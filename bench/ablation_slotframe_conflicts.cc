@@ -1,0 +1,87 @@
+// Ablation — slotframe length choices and combination conflicts
+// (paper Section VI-B, Eq. 5-6): validates the analytic skip-probability
+// model against the measured skip rate of real schedules, and shows why the
+// paper picks pairwise-coprime lengths (557/47/151): non-coprime lengths
+// starve fixed slots of lower-priority slotframes.
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "bench_util.h"
+#include "sched/conflict_analysis.h"
+#include "sched/digs_scheduler.h"
+
+namespace {
+
+using namespace digs;
+
+struct LengthTriple {
+  std::uint16_t sync, routing, app;
+};
+
+void analyze(const LengthTriple& lengths) {
+  SchedulerConfig config;
+  config.sync_slotframe_len = lengths.sync;
+  config.routing_slotframe_len = lengths.routing;
+  config.app_slotframe_len = lengths.app;
+  DigsScheduler scheduler(config);
+
+  Schedule schedule;
+  RoutingView view;
+  view.id = NodeId{5};
+  view.num_access_points = 2;
+  view.best_parent = NodeId{0};
+  view.second_best_parent = NodeId{1};
+  static std::vector<ChildEntry> children{ChildEntry{NodeId{7}, true, {}}};
+  view.children = children;
+  scheduler.rebuild(schedule, view);
+
+  const Slotframe* sync = schedule.slotframe(TrafficClass::kSync);
+  const Slotframe* routing = schedule.slotframe(TrafficClass::kRouting);
+  const Slotframe* app = schedule.slotframe(TrafficClass::kApplication);
+  const std::vector<SlotframeLoad> loads{
+      {sync->length, static_cast<int>(sync->cells.size()), 0},
+      {routing->length, static_cast<int>(routing->cells.size()), 1},
+      {app->length, static_cast<int>(app->cells.size()), 2},
+  };
+
+  const bool coprime = std::gcd(lengths.sync, lengths.routing) == 1 &&
+                       std::gcd(lengths.sync, lengths.app) == 1 &&
+                       std::gcd(lengths.routing, lengths.app) == 1;
+  std::printf("\nlengths %u/%u/%u (%s)\n", lengths.sync, lengths.routing,
+              lengths.app, coprime ? "pairwise coprime" : "NOT coprime");
+  const std::uint64_t window = 200'000;
+  for (int cls = 1; cls < 3; ++cls) {
+    const double model = slotframe_skip_probability(loads[cls], loads);
+    const double measured = measured_skip_rate(
+        schedule, static_cast<TrafficClass>(cls), window);
+    std::printf("  %-12s skip: model(Eq.6)=%.5f  measured=%.5f\n",
+                to_string(static_cast<TrafficClass>(cls)), model, measured);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("ablation_slotframe_conflicts",
+                "Section VI-B - slotframe combination conflicts (Eq. 5-6)");
+
+  // Paper configurations and deliberately bad (non-coprime) alternatives.
+  analyze({557, 47, 151});  // paper experiments
+  analyze({61, 11, 7});     // paper example (Fig. 7)
+  analyze({560, 40, 140});  // shared factors: chronic conflicts
+  analyze({128, 64, 32});   // powers of two: app slot can be starved
+
+  std::printf("\nShared routing slot contention (Eq. 5), N nodes, L=47:\n");
+  for (const int nodes : {10, 47, 100, 200}) {
+    for (const double load : {0.05, 0.2, 0.5}) {
+      std::printf("  N=%3d T=%.2f  p_contention=%.4f\n", nodes, load,
+                  digs::shared_slot_contention_probability(load, nodes, 47));
+    }
+  }
+  std::printf(
+      "\nExpected: measured skip rates match Eq. 6 for coprime lengths and\n"
+      "are low (<3%%); non-coprime lengths lock the same slots together\n"
+      "every cycle, permanently blocking lower-priority cells.\n");
+  return 0;
+}

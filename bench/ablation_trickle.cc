@@ -1,0 +1,50 @@
+// Ablation — Trickle pacing (paper Section V): Imin controls how quickly
+// topology changes propagate vs how much routing traffic the shared slot
+// carries. Sweeps Imin and measures repair behaviour after jammers start,
+// plus steady-state PDR.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "testbed/experiment.h"
+
+int main() {
+  using namespace digs;
+  bench::header("ablation_trickle",
+                "Design choice: Trickle Imin (join-in pacing)");
+  const int runs = bench::default_runs(3);
+  std::printf("runs per variant: %d, Orchestra on Testbed A, 2 jammers\n",
+              runs);
+
+  for (const double imin_s : {0.5, 1.0, 2.0, 4.0}) {
+    Cdf pdr;
+    Cdf repair_s;
+    for (int run = 0; run < runs; ++run) {
+      ExperimentConfig config;
+      config.suite = ProtocolSuite::kOrchestra;  // repair-bound baseline
+      config.seed = 15'000 + run;
+      config.num_flows = 8;
+      config.warmup = seconds(static_cast<std::int64_t>(240));
+      config.duration = seconds(static_cast<std::int64_t>(300));
+      config.num_jammers = 2;
+      config.jammer_start_after = seconds(static_cast<std::int64_t>(60));
+      TrickleConfig trickle;
+      trickle.imin = SimDuration{static_cast<std::int64_t>(imin_s * 1e6)};
+      trickle.doublings = 6;
+      config.trickle = trickle;
+      ExperimentRunner runner(testbed_a(), config);
+      const ExperimentResult result = runner.run();
+      pdr.add(result.overall_pdr);
+      for (const double t : result.repair_times_s) repair_s.add(t);
+    }
+    bench::section("Imin = " + std::to_string(imin_s) + " s");
+    std::printf("  avg PDR=%.4f  repairs: n=%zu median=%.1f s max=%.1f s\n",
+                pdr.mean(), repair_s.count(),
+                repair_s.empty() ? 0.0 : repair_s.median(),
+                repair_s.empty() ? 0.0 : repair_s.max());
+  }
+  std::printf(
+      "\nExpected: small Imin repairs faster (join-ins flow sooner after a\n"
+      "reset) at the cost of more routing traffic in the shared slot;\n"
+      "large Imin stretches repair, as the paper observes for RPL.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared helpers for the figure benches: consistent printing of CDFs,
+// boxplots and paper-vs-measured rows, and reduced-scale run counts
+// (the paper runs hundreds of flow sets on real testbeds; a bench binary
+// runs a representative number and prints how many).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/node.h"
+
+namespace digs::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+inline void paper_row(const std::string& metric, const std::string& paper,
+                      double measured, const std::string& unit) {
+  std::printf("  %-44s paper: %-16s measured: %10.3f %s\n", metric.c_str(),
+              paper.c_str(), measured, unit.c_str());
+}
+
+inline void print_cdf(const Cdf& cdf, const std::string& label,
+                      const std::string& unit) {
+  std::fputs(format_cdf(cdf, label, unit, 11).c_str(), stdout);
+}
+
+inline void print_boxplot(const Cdf& cdf, const std::string& label) {
+  std::fputs(format_boxplot(cdf.boxplot(), label).c_str(), stdout);
+}
+
+/// Number of repeated flow sets per configuration. The paper uses 300 (A)
+/// and 220 (B); benches default to a smaller representative count so the
+/// full suite finishes in minutes. Override with DIGS_BENCH_RUNS.
+inline int default_runs(int fallback = 10) {
+  if (const char* env = std::getenv("DIGS_BENCH_RUNS")) {
+    const int runs = std::atoi(env);
+    if (runs > 0) return runs;
+  }
+  return fallback;
+}
+
+}  // namespace digs::bench

@@ -1,0 +1,89 @@
+// Fig. 10 — DiGS vs Orchestra on two-floor Testbed B (44 nodes, 6 flows,
+// 3 jammers). Paper: DiGS worst-case PDR 93.2% (+7.6%), median 94.5%
+// (+5.2%), p90 97.7% (+4.7%); worst-case latency -213.0 ms, median
+// -232.7 ms; energy/packet -0.057 mW.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "testbed/experiment.h"
+
+namespace {
+
+using namespace digs;
+
+struct SuiteResults {
+  Cdf set_pdr;
+  Cdf latency_ms;
+  Cdf energy_mj;
+};
+
+SuiteResults run_suite(ProtocolSuite suite, int runs) {
+  SuiteResults results;
+  for (int run = 0; run < runs; ++run) {
+    ExperimentConfig config;
+    config.suite = suite;
+    config.seed = 10'000 + run;
+    config.num_flows = 6;  // paper: 220 flow sets x 6 flows
+    config.flow_period = seconds(static_cast<std::int64_t>(5));
+    config.warmup = seconds(static_cast<std::int64_t>(240));
+    config.duration = seconds(static_cast<std::int64_t>(300));
+    config.num_jammers = 3;
+    config.jammer_start_after = seconds(static_cast<std::int64_t>(0));
+    // The slab shields half the two-floor mesh from any one jammer, so
+    // Testbed B's jammers run hotter to bite the cross-floor funnels.
+    config.jammer_tx_power_dbm = 4.0;
+    ExperimentRunner runner(testbed_b(), config);
+    const ExperimentResult result = runner.run();
+    results.set_pdr.add(result.overall_pdr);
+    for (const double ms : result.latencies_ms) results.latency_ms.add(ms);
+    results.energy_mj.add(result.energy_per_delivered_mj);
+  }
+  return results;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("fig10_testbedB_interference",
+                "Fig. 10 - DiGS vs Orchestra under interference, Testbed B");
+  const int runs = bench::default_runs(6);
+  std::printf("flow sets per suite: %d (paper: 220)\n", runs);
+
+  const SuiteResults digs_results = run_suite(ProtocolSuite::kDigs, runs);
+  const SuiteResults orch = run_suite(ProtocolSuite::kOrchestra, runs);
+
+  const auto print_suite = [](const char* name, const SuiteResults& r) {
+    bench::section(std::string("suite: ") + name);
+    std::printf("(a) reliability\n");
+    bench::print_cdf(r.set_pdr, "flow-set PDR", "");
+    std::printf("    worst=%.3f  median=%.3f  p90=%.3f\n", r.set_pdr.min(),
+                r.set_pdr.median(), r.set_pdr.percentile(10));
+    std::printf("(b) latency\n");
+    bench::print_cdf(r.latency_ms, "latency", "ms");
+    std::printf("(c) energy per delivered packet\n");
+    bench::print_cdf(r.energy_mj, "energy/packet", "mJ");
+  };
+  print_suite("DiGS", digs_results);
+  print_suite("Orchestra", orch);
+
+  bench::section("paper-vs-measured");
+  bench::paper_row("worst-case PDR DiGS", "93.2%",
+                   100.0 * digs_results.set_pdr.min(), "%");
+  bench::paper_row("worst-case PDR delta", "+7.6%",
+                   100.0 * (digs_results.set_pdr.min() - orch.set_pdr.min()),
+                   "%");
+  bench::paper_row(
+      "median PDR delta", "+5.2%",
+      100.0 * (digs_results.set_pdr.median() - orch.set_pdr.median()), "%");
+  bench::paper_row("median latency delta", "-232.7 ms",
+                   digs_results.latency_ms.median() -
+                       orch.latency_ms.median(),
+                   "ms");
+  bench::paper_row("worst-case latency delta", "-213.0 ms",
+                   digs_results.latency_ms.max() - orch.latency_ms.max(),
+                   "ms");
+  bench::paper_row(
+      "energy/packet delta", "-0.057 mW",
+      digs_results.energy_mj.mean() - orch.energy_mj.mean(), "mJ");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the simulator:
+// event queue, PRR lookup, schedule resolution, medium SINR evaluation,
+// and the centralized graph-route computation.
+#include <benchmark/benchmark.h>
+
+#include "manager/graph_router.h"
+#include "phy/medium.h"
+#include "phy/prr.h"
+#include "sched/digs_scheduler.h"
+#include "sim/simulator.h"
+#include "testbed/layouts.h"
+
+namespace {
+
+using namespace digs;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    int counter = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(SimTime{(i * 7919) % 100000}, [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_PrrTableLookup(benchmark::State& state) {
+  PrrTable table(110);
+  double sinr = -10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.prr(sinr));
+    sinr += 0.01;
+    if (sinr > 20.0) sinr = -10.0;
+  }
+}
+BENCHMARK(BM_PrrTableLookup);
+
+void BM_PrrExact(benchmark::State& state) {
+  double sinr = -10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ieee802154_prr(sinr, 110));
+    sinr += 0.01;
+    if (sinr > 20.0) sinr = -10.0;
+  }
+}
+BENCHMARK(BM_PrrExact);
+
+void BM_ScheduleActiveCells(benchmark::State& state) {
+  SchedulerConfig config;
+  DigsScheduler scheduler(config);
+  Schedule schedule;
+  RoutingView view;
+  view.id = NodeId{5};
+  view.num_access_points = 2;
+  view.best_parent = NodeId{0};
+  view.second_best_parent = NodeId{1};
+  std::vector<ChildEntry> children;
+  for (std::uint16_t c = 10; c < 18; ++c) {
+    children.push_back(ChildEntry{NodeId{c}, c % 2 == 0, {}});
+  }
+  view.children = children;
+  scheduler.rebuild(schedule, view);
+  std::uint64_t asn = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule.active_cells(asn++));
+  }
+}
+BENCHMARK(BM_ScheduleActiveCells);
+
+void BM_SchedulerRebuild(benchmark::State& state) {
+  SchedulerConfig config;
+  DigsScheduler scheduler(config);
+  RoutingView view;
+  view.id = NodeId{5};
+  view.num_access_points = 2;
+  view.best_parent = NodeId{0};
+  view.second_best_parent = NodeId{1};
+  std::vector<ChildEntry> children;
+  for (std::uint16_t c = 10; c < 10 + state.range(0); ++c) {
+    children.push_back(ChildEntry{NodeId{c}, c % 2 == 0, {}});
+  }
+  view.children = children;
+  for (auto _ : state) {
+    Schedule schedule;
+    scheduler.rebuild(schedule, view);
+    benchmark::DoNotOptimize(schedule.total_cells());
+  }
+}
+BENCHMARK(BM_SchedulerRebuild)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_MediumReceptionProbability(benchmark::State& state) {
+  const TestbedLayout layout = testbed_a();
+  Medium medium(MediumConfig{}, layout.positions, 7);
+  TransmissionAttempt tx;
+  tx.sender = NodeId{10};
+  tx.channel = 5;
+  tx.frame_bytes = 110;
+  tx.tx_power_dbm = layout.tx_power_dbm;
+  std::vector<TransmissionAttempt> concurrent{tx};
+  std::uint64_t slot = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(medium.reception_probability(
+        tx, NodeId{11}, slot++, SimTime{0}, concurrent));
+  }
+}
+BENCHMARK(BM_MediumReceptionProbability);
+
+void BM_CentralGraphRoutes(benchmark::State& state) {
+  const TestbedLayout layout =
+      state.range(0) == 50 ? testbed_a() : cooja_150();
+  const TopologySnapshot topo = make_topology_snapshot(layout);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_graph_routes(topo));
+  }
+}
+BENCHMARK(BM_CentralGraphRoutes)->Arg(50)->Arg(152);
+
+}  // namespace

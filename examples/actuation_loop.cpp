@@ -1,0 +1,90 @@
+// Closed-loop control over the DiGS downlink-graph extension (paper
+// footnote 2): sensors report uplink to the gateway, the controller issues
+// commands downlink to actuators, and a sensor triggers an actuator
+// directly via common-ancestor routing — the full WirelessHART
+// sensor-actuator pattern, with every route and schedule computed by the
+// devices themselves.
+#include <cstdio>
+
+#include "core/network.h"
+#include "testbed/experiment.h"
+
+int main() {
+  using namespace digs;
+
+  NetworkConfig config;
+  config.suite = ProtocolSuite::kDigs;
+  config.seed = 99;
+  config.node = ExperimentRunner::default_node_config();
+  config.node.enable_downlink = true;  // the footnote-2 extension
+  config.node.mac.tx_power_dbm = 0.0;
+  config.medium.propagation.path_loss_exponent = 3.8;
+
+  // A small plant floor: two APs at the gateway, sensors on the left,
+  // actuators on the right.
+  std::vector<Position> positions = {
+      {12.0, 10.0, 0.0}, {24.0, 10.0, 0.0},  // access points
+      {4.0, 6.0, 0.0},   {4.0, 14.0, 0.0},   // sensors (2, 3)
+      {17.0, 8.0, 0.0},  {17.0, 14.0, 0.0},  // relays  (4, 5)
+      {31.0, 6.0, 0.0},  {31.0, 14.0, 0.0},  // actuators (6, 7)
+      {9.0, 10.0, 0.0},  {27.0, 10.0, 0.0},  // relays  (8, 9)
+  };
+  Network net(config, positions);
+
+  // Uplink sensing: sensor 2 -> gateway, 2 s period.
+  FlowSpec sensing;
+  sensing.id = FlowId{0};
+  sensing.source = NodeId{2};
+  sensing.period = seconds(static_cast<std::int64_t>(2));
+  sensing.start_offset = seconds(static_cast<std::int64_t>(180));
+  net.add_flow(sensing);
+
+  // Downlink actuation: gateway (AP 0) -> actuator 6, 2 s period.
+  FlowSpec command;
+  command.id = FlowId{1};
+  command.source = NodeId{0};
+  command.downlink_dest = NodeId{6};
+  command.period = seconds(static_cast<std::int64_t>(2));
+  command.start_offset = seconds(static_cast<std::int64_t>(181));
+  net.add_flow(command);
+
+  // Device-to-device interlock: sensor 3 -> actuator 7 via the common
+  // ancestor (climbs until an ancestor knows the destination's subtree).
+  FlowSpec interlock;
+  interlock.id = FlowId{2};
+  interlock.source = NodeId{3};
+  interlock.downlink_dest = NodeId{7};
+  interlock.period = seconds(static_cast<std::int64_t>(2));
+  interlock.start_offset = seconds(static_cast<std::int64_t>(182));
+  net.add_flow(interlock);
+
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(480)));
+
+  std::printf("Closed-loop control over self-computed graph routes:\n\n");
+  const SimTime measure = SimTime{0} + seconds(static_cast<std::int64_t>(185));
+  const char* names[] = {"sensing  (2 -> gateway)   ",
+                         "actuation (gateway -> 6)  ",
+                         "interlock (3 -> 7, d2d)   "};
+  for (std::uint16_t f = 0; f < 3; ++f) {
+    Cdf latency;
+    const FlowRecord* record = net.stats().flow(FlowId{f});
+    for (const PacketRecord& packet : record->packets) {
+      if (packet.generated >= measure && packet.received()) {
+        latency.add(packet.latency().millis());
+      }
+    }
+    std::printf("  %s PDR %.1f%%  latency median %.0f ms, p95 %.0f ms\n",
+                names[f],
+                100.0 * net.stats().pdr(FlowId{f}, measure),
+                latency.median(), latency.percentile(95));
+  }
+
+  std::printf(
+      "\nThe downlink routes come from destination advertisements each node\n"
+      "sends its best parent (the storing-mode analogue the paper's\n"
+      "footnote 2 sketches); downlink cells mirror Eq. 4 shifted by half a\n"
+      "slotframe. A command for a device in the other AP's subtree crosses\n"
+      "the wired gateway backbone, exactly like a WirelessHART gateway.\n");
+  return 0;
+}

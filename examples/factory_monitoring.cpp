@@ -1,0 +1,72 @@
+// Factory monitoring under WiFi interference — the scenario motivating the
+// paper: an oil field / plant floor where process sensors report through a
+// WSAN that coexists with WiFi backhaul. Runs the same workload under DiGS
+// and under Orchestra, switches three WiFi-like jammers on mid-experiment,
+// and compares reliability, latency and energy.
+#include <cstdio>
+
+#include "testbed/experiment.h"
+
+namespace {
+
+using namespace digs;
+
+ExperimentResult run_suite(ProtocolSuite suite) {
+  ExperimentConfig config;
+  config.suite = suite;
+  config.seed = 2024;
+  config.num_flows = 8;                                  // 8 process sensors
+  config.flow_period = seconds(static_cast<std::int64_t>(5));
+  config.warmup = seconds(static_cast<std::int64_t>(240));
+  config.duration = seconds(static_cast<std::int64_t>(300));
+  config.num_jammers = 3;  // WiFi APs streaming nearby
+  config.jammer_pattern = JammerPattern::kWifiStreaming;
+  config.jammer_start_after = seconds(static_cast<std::int64_t>(60));
+  ExperimentRunner runner(testbed_a(), config);
+  return runner.run();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Factory monitoring: 50-node plant floor, 8 sensor flows @ 5 s,\n"
+      "3 WiFi-like interferers switch on after 60 s of measurement.\n\n");
+
+  for (const ProtocolSuite suite :
+       {ProtocolSuite::kDigs, ProtocolSuite::kOrchestra}) {
+    const ExperimentResult result = run_suite(suite);
+    Cdf latency;
+    for (const double ms : result.latencies_ms) latency.add(ms);
+    Cdf pdr;
+    for (const double p : result.flow_pdrs) pdr.add(p);
+
+    std::printf("%s:\n", to_string(suite));
+    std::printf("  delivery: %llu/%llu packets (PDR %.1f%%), worst flow "
+                "%.1f%%\n",
+                static_cast<unsigned long long>(result.delivered),
+                static_cast<unsigned long long>(result.generated),
+                100.0 * result.overall_pdr, 100.0 * pdr.min());
+    std::printf("  latency: median %.0f ms, p95 %.0f ms\n", latency.median(),
+                latency.percentile(95));
+    std::printf("  energy: %.2f mJ per delivered packet, duty cycle "
+                "%.2f%%\n",
+                result.energy_per_delivered_mj, 100.0 * result.duty_cycle);
+    if (!result.repair_times_s.empty()) {
+      Cdf repair;
+      for (const double t : result.repair_times_s) repair.add(t);
+      std::printf("  outages after interference: %zu flows, median %.1f s, "
+                  "max %.1f s\n",
+                  repair.count(), repair.median(), repair.max());
+    } else {
+      std::printf("  outages after interference: none (seamless delivery)\n");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Takeaway: graph routing's redundant second-best parent lets DiGS\n"
+      "absorb interference that forces Orchestra into visible repair\n"
+      "windows - exactly the paper's Fig. 9 result.\n");
+  return 0;
+}

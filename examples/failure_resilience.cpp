@@ -1,0 +1,117 @@
+// Node-failure resilience — the paper's Fig. 11 scenario as a runnable
+// example: a relay node dies mid-operation; DiGS keeps delivering through
+// backup parents while the single-parent baseline must repair first.
+// Prints a per-packet timeline around the failure for one affected flow.
+#include <cstdio>
+
+#include "testbed/experiment.h"
+
+namespace {
+
+using namespace digs;
+
+struct Outcome {
+  double pdr;
+  std::size_t outages;
+  double worst_outage_s;
+  FlowId affected_flow;
+  std::unique_ptr<ExperimentRunner> runner;
+};
+
+Outcome run_suite(ProtocolSuite suite) {
+  const std::uint64_t seed = 77;
+
+  // Probe run: find the busiest relay (most children) once formed.
+  NodeId relay = kNoNode;
+  {
+    ExperimentConfig probe;
+    probe.suite = suite;
+    probe.seed = seed;
+    probe.num_flows = 6;
+    probe.warmup = seconds(static_cast<std::int64_t>(240));
+    probe.duration = seconds(static_cast<std::int64_t>(10));
+    ExperimentRunner runner(testbed_a(), probe);
+    runner.run();
+    int most = -1;
+    Network& net = runner.network();
+    for (std::uint16_t i = 2; i < net.size(); ++i) {
+      const int kids = static_cast<int>(
+          net.node(NodeId{i}).routing().children().size());
+      if (kids > most) {
+        most = kids;
+        relay = NodeId{i};
+      }
+    }
+  }
+
+  ExperimentConfig config;
+  config.suite = suite;
+  config.seed = seed;
+  config.num_flows = 6;
+  config.flow_period = seconds(static_cast<std::int64_t>(5));
+  config.warmup = seconds(static_cast<std::int64_t>(240));
+  config.duration = seconds(static_cast<std::int64_t>(300));
+  config.failures.push_back(FailureEvent{
+      config.warmup + seconds(static_cast<std::int64_t>(120)), relay,
+      false});
+  auto runner = std::make_unique<ExperimentRunner>(testbed_a(), config);
+  const ExperimentResult result = runner->run();
+
+  Outcome outcome;
+  outcome.pdr = result.overall_pdr;
+  outcome.outages = result.repair_times_s.size();
+  outcome.worst_outage_s = 0.0;
+  for (const double t : result.repair_times_s) {
+    outcome.worst_outage_s = std::max(outcome.worst_outage_s, t);
+  }
+  // Pick the flow with the lowest PDR for the timeline.
+  double worst = 2.0;
+  const auto& stats = runner->network().stats();
+  for (const FlowRecord& flow : stats.flows()) {
+    if (flow.source == relay) continue;
+    const double pdr = stats.pdr(flow.id, runner->measure_start());
+    if (pdr < worst) {
+      worst = pdr;
+      outcome.affected_flow = flow.id;
+    }
+  }
+  std::printf("%s: killed relay node %u at t+120 s\n", to_string(suite),
+              relay.value);
+  outcome.runner = std::move(runner);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Failure resilience: the busiest relay on a 50-node floor dies two\n"
+      "minutes into the measurement window.\n\n");
+
+  for (const ProtocolSuite suite :
+       {ProtocolSuite::kDigs, ProtocolSuite::kOrchestra}) {
+    const Outcome outcome = run_suite(suite);
+    std::printf("  overall PDR %.1f%%; %zu flows saw an outage (worst "
+                "%.1f s)\n",
+                100.0 * outcome.pdr, outcome.outages,
+                outcome.worst_outage_s);
+    if (outcome.affected_flow.valid()) {
+      const auto& stats = outcome.runner->network().stats();
+      std::printf("  packets 20..40 of the most affected flow "
+                  "(failure near packet 24, '.'=delivered, X=lost):\n    ");
+      for (std::uint32_t seq = 20; seq <= 40; ++seq) {
+        std::printf("%c",
+                    stats.was_delivered(outcome.affected_flow, seq) ? '.'
+                                                                    : 'X');
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Takeaway: with graph routing the backup parent is pre-provisioned\n"
+      "in the schedule (attempt-3 cells), so failover needs no repair\n"
+      "phase - the paper's Fig. 11 mechanism.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Reproduces the paper's scheduling example (Section VI-A, Fig. 7): two
+// access points (#1, #2) and two field devices (#3, #4) with primary paths
+// #3 -> #1, #4 -> #2 and backup paths #3 -> #2, #4 -> #1. Slotframe lengths
+// are 61 (synchronization), 11 (routing) and 7 (application); the combined
+// schedule spans 61 * 11 * 7 = 4697 slots and is resolved per slot by
+// traffic priority (sync > routing > application).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sched/digs_scheduler.h"
+
+namespace {
+
+using namespace digs;
+
+std::string describe(const Cell& cell) {
+  std::string out = cell.option == CellOption::kTx      ? "TX"
+                    : cell.option == CellOption::kRx    ? "RX"
+                                                        : "SH";
+  out += "/";
+  out += to_string(cell.traffic);
+  if (cell.peer.valid()) {
+    out += "->#" + std::to_string(cell.peer.value + 1);  // paper numbering
+  }
+  if (cell.attempt > 0) {
+    out += " (attempt " + std::to_string(cell.attempt) + ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // Paper numbering #1..#4 maps to ids 0..3 (APs first).
+  SchedulerConfig config;
+  config.sync_slotframe_len = 61;
+  config.routing_slotframe_len = 11;
+  config.app_slotframe_len = 7;
+  config.attempts = 3;
+  DigsScheduler scheduler(config);
+
+  // Field device #3 (id 2): best parent #1 (id 0), backup #2 (id 1).
+  // Field device #4 (id 3): best parent #2 (id 1), backup #1 (id 0).
+  struct NodeSpec {
+    NodeId id;
+    bool is_ap;
+    NodeId bp, sbp;
+    std::vector<ChildEntry> children;
+  };
+  const std::vector<NodeSpec> specs{
+      {NodeId{0}, true, kNoNode, kNoNode,
+       {{NodeId{2}, true, {}}, {NodeId{3}, false, {}}}},
+      {NodeId{1}, true, kNoNode, kNoNode,
+       {{NodeId{3}, true, {}}, {NodeId{2}, false, {}}}},
+      {NodeId{2}, false, NodeId{0}, NodeId{1}, {}},
+      {NodeId{3}, false, NodeId{1}, NodeId{0}, {}},
+  };
+
+  std::printf("Fig. 7 scheduling example - per-node slotframes:\n");
+  std::vector<Schedule> schedules(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const NodeSpec& spec = specs[i];
+    RoutingView view;
+    view.id = spec.id;
+    view.is_access_point = spec.is_ap;
+    view.num_access_points = 2;
+    view.best_parent = spec.bp;
+    view.second_best_parent = spec.sbp;
+    view.children = spec.children;
+    scheduler.rebuild(schedules[i], view);
+
+    std::printf("\n node #%u (%s):\n", spec.id.value + 1,
+                spec.is_ap ? "access point" : "field device");
+    for (const TrafficClass traffic :
+         {TrafficClass::kSync, TrafficClass::kRouting,
+          TrafficClass::kApplication}) {
+      const Slotframe* frame = schedules[i].slotframe(traffic);
+      std::printf("   %-11s (len %3u):", to_string(traffic), frame->length);
+      for (const Cell& cell : frame->cells) {
+        std::printf("  slot %u: %s", cell.slot_offset,
+                    describe(cell).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf(
+      "\ncombined schedule: %d x %d x %d = %d slots per hyperperiod\n",
+      config.sync_slotframe_len, config.routing_slotframe_len,
+      config.app_slotframe_len,
+      config.sync_slotframe_len * config.routing_slotframe_len *
+          config.app_slotframe_len);
+
+  // Show the first 30 slots of node #3's combined schedule, resolved per
+  // slot by priority, as Fig. 7(e) does.
+  std::printf("\nnode #3 combined schedule, ASN 0..29:\n");
+  for (std::uint64_t asn = 0; asn < 30; ++asn) {
+    const auto cells = schedules[2].active_cells(asn);
+    if (cells.empty()) continue;
+    std::printf("  ASN %2llu: %s\n",
+                static_cast<unsigned long long>(asn),
+                describe(cells.front()).c_str());
+  }
+  std::printf(
+      "\nConflicts (e.g. a sync and a routing cell on the same ASN) are\n"
+      "resolved locally by priority; no traffic is constantly blocked\n"
+      "because 61, 11 and 7 are pairwise coprime (paper Section VI-B).\n");
+  return 0;
+}

@@ -1,0 +1,10 @@
+#include "common/log.h"
+
+namespace digs::detail {
+
+LogLevel& global_log_level() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+}  // namespace digs::detail

@@ -1,0 +1,41 @@
+// Minimal leveled logging. Off (Warn) by default so experiment binaries stay
+// quiet; tests and debugging can raise the level per-process.
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+#include <utility>
+
+namespace digs {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+namespace detail {
+LogLevel& global_log_level();
+}
+
+inline void set_log_level(LogLevel level) {
+  detail::global_log_level() = level;
+}
+inline LogLevel log_level() { return detail::global_log_level(); }
+
+/// printf-style logging; compiled in always, gated at runtime.
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args&&... args) {
+  if (level < detail::global_log_level()) return;
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN",
+                                           "ERROR"};
+  std::fprintf(stderr, "[%s] ", kNames[static_cast<int>(level)]);
+  if constexpr (sizeof...(Args) == 0) {
+    std::fputs(fmt, stderr);
+  } else {
+    std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+  }
+  std::fputc('\n', stderr);
+}
+
+#define DIGS_LOG_DEBUG(...) ::digs::log(::digs::LogLevel::kDebug, __VA_ARGS__)
+#define DIGS_LOG_INFO(...) ::digs::log(::digs::LogLevel::kInfo, __VA_ARGS__)
+#define DIGS_LOG_WARN(...) ::digs::log(::digs::LogLevel::kWarn, __VA_ARGS__)
+
+}  // namespace digs

@@ -1,0 +1,17 @@
+#include "common/rng.h"
+
+namespace digs {
+
+double hashed_normal(std::uint64_t h) {
+  // Two independent 53-bit uniforms from successive splitmix64 steps, then
+  // Box-Muller. Quality is ample for dB-scale fading.
+  const std::uint64_t a = splitmix64(h);
+  const std::uint64_t b = splitmix64(a);
+  double u1 = static_cast<double>(a >> 11) * 0x1.0p-53;
+  const double u2 = static_cast<double>(b >> 11) * 0x1.0p-53;
+  if (u1 <= 1e-300) u1 = 1e-300;
+  constexpr double kTwoPi = 6.283185307179586;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+}  // namespace digs

@@ -1,0 +1,144 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the simulator owns an Rng seeded from the
+// experiment seed and a purpose tag, so a run is a pure function of
+// (seed, config). The generator is xoshiro256** seeded via splitmix64 —
+// fast, high-quality, and reproducible across platforms (unlike libstdc++
+// distributions, whose output is implementation-defined; we implement our
+// own transforms).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+namespace digs {
+
+/// splitmix64 step, used for seeding and for stateless per-entity hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Mixes several values into one 64-bit hash. Used for deterministic
+/// per-(link, channel, slot) fading draws without storing state.
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t a) {
+  return splitmix64(a);
+}
+template <typename... Rest>
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t a, Rest... rest) {
+  return splitmix64(a ^ (hash_mix(static_cast<std::uint64_t>(rest)...) *
+                         0x9e3779b97f4a7c15ULL));
+}
+
+/// Deterministic xoshiro256** PRNG with distribution helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      s = splitmix64(s);
+      word = s;
+    }
+  }
+
+  /// Derives a child generator; `purpose` decorrelates streams that share a
+  /// root seed (e.g. "fading", "traffic", "jammer").
+  [[nodiscard]] Rng fork(std::string_view purpose) const {
+    std::uint64_t h = state_[0] ^ (state_[3] << 1);
+    for (char c : purpose) h = splitmix64(h ^ static_cast<std::uint8_t>(c));
+    return Rng{h};
+  }
+  [[nodiscard]] Rng fork(std::uint64_t tag) const {
+    return Rng{splitmix64(state_[0] ^ splitmix64(tag))};
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (one value per call; simple and
+  /// deterministic, throughput is irrelevant here).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    constexpr double kTwoPi = 6.283185307179586;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with the given mean.
+  double exponential(double mean) {
+    double u = uniform();
+    while (u <= 1e-300) u = uniform();
+    return -mean * std::log(u);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Stateless standard-normal sample derived from a hash; used for per-slot
+/// fading so the channel needs no per-link temporal state.
+[[nodiscard]] double hashed_normal(std::uint64_t h);
+
+}  // namespace digs

@@ -1,0 +1,138 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace digs {
+
+void Summary::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+void Summary::merge(const Summary& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  mean_ += delta * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Cdf::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 100.0);
+  const double idx = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Cdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double Cdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::fraction_above(double threshold) const {
+  return samples_.empty() ? 0.0 : 1.0 - at(threshold);
+}
+
+BoxplotRow Cdf::boxplot() const {
+  BoxplotRow row;
+  row.min = percentile(0);
+  row.q1 = percentile(25);
+  row.median = percentile(50);
+  row.q3 = percentile(75);
+  row.max = percentile(100);
+  row.n = samples_.size();
+  return row;
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points < 2) return out;
+  ensure_sorted();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p =
+        100.0 * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(percentile(p), p / 100.0);
+  }
+  return out;
+}
+
+std::string format_cdf(const Cdf& cdf, std::string_view label,
+                       std::string_view unit, std::size_t points) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  CDF of %.*s (n=%zu):\n",
+                static_cast<int>(label.size()), label.data(), cdf.count());
+  out += buf;
+  for (const auto& [value, frac] : cdf.curve(points)) {
+    std::snprintf(buf, sizeof(buf), "    p%-5.1f %10.3f %.*s\n", frac * 100.0,
+                  value, static_cast<int>(unit.size()), unit.data());
+    out += buf;
+  }
+  return out;
+}
+
+std::string format_boxplot(const BoxplotRow& row, std::string_view label) {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "  %-24.*s min=%8.3f q1=%8.3f med=%8.3f q3=%8.3f max=%8.3f "
+                "(n=%zu)\n",
+                static_cast<int>(label.size()), label.data(), row.min, row.q1,
+                row.median, row.q3, row.max, row.n);
+  return std::string{buf};
+}
+
+}  // namespace digs

@@ -1,0 +1,99 @@
+// Descriptive statistics used by the evaluation harness: running summaries,
+// empirical CDFs / percentiles, and five-number boxplot summaries matching
+// the figures in the paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace digs {
+
+/// Streaming summary: count / mean / variance via Welford, min / max.
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another summary into this one.
+  void merge(const Summary& other);
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Five-number summary used for boxplots (Figs. 5, 9(c), 9(d), 11(a)).
+struct BoxplotRow {
+  double min{0};
+  double q1{0};
+  double median{0};
+  double q3{0};
+  double max{0};
+  std::size_t n{0};
+};
+
+/// Collected samples with percentile / CDF queries. Samples are stored and
+/// sorted lazily on first query.
+class Cdf {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Percentile in [0, 100] by linear interpolation between order statistics.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] double min() const { return percentile(0.0); }
+  [[nodiscard]] double max() const { return percentile(100.0); }
+  [[nodiscard]] double mean() const;
+
+  /// Empirical CDF value P(X <= x).
+  [[nodiscard]] double at(double x) const;
+
+  /// Fraction of samples strictly above the threshold.
+  [[nodiscard]] double fraction_above(double threshold) const;
+
+  [[nodiscard]] BoxplotRow boxplot() const;
+
+  /// Evenly spaced (value, cumulative fraction) pairs suitable for plotting;
+  /// `points` rows spanning the sample range.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      std::size_t points = 20) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_{true};
+};
+
+/// Renders a CDF as aligned text rows "value  fraction" for bench output.
+[[nodiscard]] std::string format_cdf(const Cdf& cdf, std::string_view label,
+                                     std::string_view unit,
+                                     std::size_t points = 11);
+
+/// Renders a boxplot row as one line of text.
+[[nodiscard]] std::string format_boxplot(const BoxplotRow& row,
+                                         std::string_view label);
+
+}  // namespace digs

@@ -1,0 +1,83 @@
+// Simulated time.
+//
+// SimTime is an absolute point on the simulation clock; SimDuration a signed
+// span. Both count microseconds in int64, which covers ~292k years — far
+// beyond any experiment. TSCH slots are 10 ms (paper Section III).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace digs {
+
+/// A signed span of simulated time, in microseconds.
+struct SimDuration {
+  std::int64_t us{0};
+
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t microseconds)
+      : us(microseconds) {}
+
+  [[nodiscard]] constexpr double seconds() const { return us * 1e-6; }
+  [[nodiscard]] constexpr double millis() const { return us * 1e-3; }
+
+  friend constexpr bool operator==(SimDuration, SimDuration) = default;
+  friend constexpr auto operator<=>(SimDuration, SimDuration) = default;
+  friend constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+    return SimDuration{a.us + b.us};
+  }
+  friend constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+    return SimDuration{a.us - b.us};
+  }
+  friend constexpr SimDuration operator*(SimDuration a, std::int64_t k) {
+    return SimDuration{a.us * k};
+  }
+  friend constexpr SimDuration operator*(std::int64_t k, SimDuration a) {
+    return SimDuration{a.us * k};
+  }
+  friend constexpr std::int64_t operator/(SimDuration a, SimDuration b) {
+    return a.us / b.us;
+  }
+};
+
+/// An absolute point on the simulation clock, in microseconds since start.
+struct SimTime {
+  std::int64_t us{0};
+
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t microseconds) : us(microseconds) {}
+
+  [[nodiscard]] constexpr double seconds() const { return us * 1e-6; }
+  [[nodiscard]] constexpr double millis() const { return us * 1e-3; }
+
+  friend constexpr bool operator==(SimTime, SimTime) = default;
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+  friend constexpr SimTime operator+(SimTime t, SimDuration d) {
+    return SimTime{t.us + d.us};
+  }
+  friend constexpr SimTime operator-(SimTime t, SimDuration d) {
+    return SimTime{t.us - d.us};
+  }
+  friend constexpr SimDuration operator-(SimTime a, SimTime b) {
+    return SimDuration{a.us - b.us};
+  }
+};
+
+constexpr SimDuration microseconds(std::int64_t n) { return SimDuration{n}; }
+constexpr SimDuration milliseconds(std::int64_t n) {
+  return SimDuration{n * 1000};
+}
+constexpr SimDuration seconds(std::int64_t n) {
+  return SimDuration{n * 1'000'000};
+}
+constexpr SimDuration seconds(double s) {
+  return SimDuration{static_cast<std::int64_t>(s * 1e6)};
+}
+constexpr SimDuration minutes(std::int64_t n) {
+  return SimDuration{n * 60'000'000};
+}
+
+/// Duration of one TSCH time slot (IEEE 802.15.4e / WirelessHART: 10 ms).
+inline constexpr SimDuration kSlotDuration = milliseconds(10);
+
+}  // namespace digs

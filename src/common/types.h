@@ -1,0 +1,76 @@
+// Strong identifier types shared across the stack.
+//
+// NodeId identifies an access point or field device. Access points occupy the
+// lowest ids (by convention ids [0, num_access_points)), matching the paper's
+// scheduling formula s = A*(NodeID - N_AP) - A + p which assumes field-device
+// ids start right after the access points.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace digs {
+
+/// Identifier of a network device (access point or field device).
+/// Jammers/interferers are PHY-level entities and do not get NodeIds.
+struct NodeId {
+  std::uint16_t value{kInvalid};
+
+  static constexpr std::uint16_t kInvalid =
+      std::numeric_limits<std::uint16_t>::max();
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint16_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+
+  friend constexpr bool operator==(NodeId a, NodeId b) = default;
+  friend constexpr auto operator<=>(NodeId a, NodeId b) = default;
+};
+
+/// An invalid (unset) node id.
+inline constexpr NodeId kNoNode{};
+
+/// IEEE 802.15.4 channel index within the hopping sequence, range [0, 16).
+using ChannelOffset = std::uint8_t;
+
+/// Physical 802.15.4 channel (11..26 in the 2.4 GHz band); we index 0..15.
+using PhysicalChannel = std::uint8_t;
+
+/// Number of 2.4 GHz IEEE 802.15.4 channels used for hopping.
+inline constexpr int kNumChannels = 16;
+
+/// Rank advertised by nodes with no route (RPL INFINITE_RANK analogue).
+inline constexpr std::uint16_t kInfiniteRank = 0xffff;
+
+/// Identifier of an end-to-end data flow.
+struct FlowId {
+  std::uint16_t value{std::numeric_limits<std::uint16_t>::max()};
+
+  constexpr FlowId() = default;
+  constexpr explicit FlowId(std::uint16_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const {
+    return value != std::numeric_limits<std::uint16_t>::max();
+  }
+
+  friend constexpr bool operator==(FlowId a, FlowId b) = default;
+  friend constexpr auto operator<=>(FlowId a, FlowId b) = default;
+};
+
+}  // namespace digs
+
+template <>
+struct std::hash<digs::NodeId> {
+  std::size_t operator()(digs::NodeId id) const noexcept {
+    return std::hash<std::uint16_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<digs::FlowId> {
+  std::size_t operator()(digs::FlowId id) const noexcept {
+    return std::hash<std::uint16_t>{}(id.value);
+  }
+};

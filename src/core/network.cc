@@ -1,0 +1,318 @@
+#include "core/network.h"
+
+#include <algorithm>
+
+namespace digs {
+
+Network::Network(const NetworkConfig& config, std::vector<Position> positions)
+    : config_(config),
+      medium_(config.medium, std::move(positions), config.seed),
+      rng_(hash_mix(config.seed, 0xAE7)),
+      joined_at_(medium_.num_nodes(), SimTime{-1}),
+      fully_joined_at_(medium_.num_nodes(), SimTime{-1}) {
+  Node::Hooks hooks;
+  hooks.on_data_delivered = [this](NodeId /*ap*/, const DataPayload& payload,
+                                   SimTime now) {
+    stats_.on_delivered(payload.flow, payload.seq, now);
+  };
+  hooks.on_data_lost = [this](NodeId /*node*/, const DataPayload& payload,
+                              SimTime now) {
+    stats_.on_dropped(payload.flow, payload.seq, now);
+  };
+  hooks.on_joined = [this](NodeId id, SimTime now) {
+    joined_at_[id.value] = now;
+  };
+  hooks.on_fully_joined = [this](NodeId id, SimTime now) {
+    fully_joined_at_[id.value] = now;
+  };
+  hooks.gateway_route = [this](const DataPayload& payload, SimTime now) {
+    // Wired backbone: inject at the access point holding the FRESHEST
+    // route to the destination (a re-homed device may transiently appear
+    // in both AP subtrees; the newer DAO-sequence wins).
+    std::int64_t best_freshness = -1;
+    std::uint16_t best_ap = 0;
+    for (std::uint16_t ap = 0; ap < config_.num_access_points; ++ap) {
+      if (!nodes_[ap]->alive()) continue;
+      const std::int64_t freshness =
+          nodes_[ap]->routing().downlink_freshness(payload.final_dst);
+      if (freshness > best_freshness) {
+        best_freshness = freshness;
+        best_ap = ap;
+      }
+    }
+    if (best_freshness < 0) return false;
+    return nodes_[best_ap]->inject_downlink(payload, now);
+  };
+
+  nodes_.reserve(medium_.num_nodes());
+  for (std::size_t i = 0; i < medium_.num_nodes(); ++i) {
+    const NodeId id{static_cast<std::uint16_t>(i)};
+    const bool is_ap = i < config_.num_access_points;
+    nodes_.push_back(std::make_unique<Node>(
+        sim_, id, is_ap, config_.suite, config_.node,
+        config_.num_access_points, rng_.fork(hash_mix(0x40DE, i)), hooks));
+  }
+  if (config_.suite == ProtocolSuite::kWirelessHart) {
+    manager_ = std::make_unique<CentralManager>(*this, config_.manager);
+  }
+}
+
+void Network::add_flow(const FlowSpec& flow) {
+  stats_.register_flow(flow.id, flow.source);
+  flows_.push_back(flow);
+  flow_seq_.push_back(0);
+}
+
+void Network::start() {
+  if (started_) return;
+  started_ = true;
+  const SimTime now = sim_.now();
+  for (auto& node : nodes_) node->start(now);
+  if (manager_) manager_->start();
+
+  // Slot loop.
+  sim_.schedule_after(kSlotDuration, [this] { slot_tick(); });
+
+  // Flow generators.
+  (void)now;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    sim_.schedule_after(flows_[i].start_offset,
+                        [this, i] { generate_flow_packet(i); });
+  }
+}
+
+void Network::generate_flow_packet(std::size_t flow_index) {
+  const FlowSpec& flow = flows_[flow_index];
+  const std::uint32_t seq = flow_seq_[flow_index]++;
+  const SimTime now = sim_.now();
+  stats_.on_generated(flow.id, seq, now);
+  Node& source = node(flow.source);
+  if (source.alive()) {
+    source.generate_packet(flow.id, seq, now, flow.downlink_dest);
+  } else {
+    stats_.on_dropped(flow.id, seq, now);
+  }
+  sim_.schedule_after(flow.period,
+                      [this, flow_index] { generate_flow_packet(flow_index); });
+}
+
+void Network::set_node_alive(NodeId id, bool alive) {
+  node(id).set_alive(alive, sim_.now());
+  if (manager_) manager_->notify_dynamics();
+}
+
+std::size_t Network::joined_count() const {
+  std::size_t n = 0;
+  for (std::size_t i = config_.num_access_points; i < nodes_.size(); ++i) {
+    if (joined_at_[i].us >= 0) ++n;
+  }
+  return n;
+}
+
+double Network::total_energy_mj() const {
+  double mj = 0.0;
+  for (std::size_t i = config_.num_access_points; i < nodes_.size(); ++i) {
+    mj += nodes_[i]->meter().energy_mj();
+  }
+  return mj;
+}
+
+double Network::mean_duty_cycle() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = config_.num_access_points; i < nodes_.size(); ++i) {
+    sum += nodes_[i]->meter().duty_cycle();
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+void Network::reset_energy() {
+  for (auto& node : nodes_) node->meter().reset();
+}
+
+void Network::slot_tick() {
+  const SimTime slot_start = sim_.now();
+  const std::uint64_t asn = asn_++;
+
+  struct PlannedTx {
+    NodeId sender;
+    SlotPlan plan;
+  };
+  struct Listener {
+    NodeId id;
+    PhysicalChannel channel;
+  };
+
+  std::vector<PlannedTx> transmitters;
+  std::vector<Listener> listeners;
+  std::vector<SlotPlan::Kind> kinds(nodes_.size(), SlotPlan::Kind::kSleep);
+  std::vector<PhysicalChannel> channels(nodes_.size(), 0);
+
+  for (auto& node_ptr : nodes_) {
+    Node& node = *node_ptr;
+    if (!node.alive()) continue;
+    SlotPlan plan = node.mac().plan_slot(asn, slot_start);
+    kinds[node.id().value] = plan.kind;
+    channels[node.id().value] = plan.channel;
+    switch (plan.kind) {
+      case SlotPlan::Kind::kTx:
+        transmitters.push_back(PlannedTx{node.id(), std::move(plan)});
+        break;
+      case SlotPlan::Kind::kRx:
+      case SlotPlan::Kind::kScan:
+        listeners.push_back(Listener{node.id(), plan.channel});
+        break;
+      case SlotPlan::Kind::kSleep:
+        break;
+    }
+  }
+
+  // All frames on the air this slot (for SINR interference terms).
+  std::vector<TransmissionAttempt> on_air;
+  on_air.reserve(transmitters.size());
+  for (const PlannedTx& tx : transmitters) {
+    TransmissionAttempt attempt;
+    attempt.sender = tx.sender;
+    attempt.channel = tx.plan.channel;
+    attempt.frame_bytes = tx.plan.frame.length_bytes;
+    attempt.tx_power_dbm = config_.node.mac.tx_power_dbm;
+    on_air.push_back(attempt);
+  }
+
+  // Reception resolution. A listener can decode at most one frame per slot;
+  // if several pass the SINR draw (rare near/far capture), the strongest
+  // wins.
+  struct Reception {
+    NodeId receiver;
+    std::size_t tx_index;
+    double rss_dbm;
+  };
+  std::vector<Reception> receptions;
+  Rng draw_rng = rng_.fork(hash_mix(0xD0A1, asn));
+
+  for (const Listener& listener : listeners) {
+    int best_tx = -1;
+    double best_rss = -1e9;
+    for (std::size_t t = 0; t < transmitters.size(); ++t) {
+      const TransmissionAttempt& attempt = on_air[t];
+      if (attempt.channel != listener.channel) continue;
+      if (attempt.sender == listener.id) continue;
+      if (!medium_.try_receive(attempt, listener.id, asn, slot_start, on_air,
+                               draw_rng)) {
+        continue;
+      }
+      const double rss = medium_.rss_dbm(attempt.sender, listener.id,
+                                         attempt.channel, asn,
+                                         attempt.tx_power_dbm);
+      if (rss > best_rss) {
+        best_rss = rss;
+        best_tx = static_cast<int>(t);
+      }
+    }
+    if (best_tx >= 0) {
+      receptions.push_back(
+          Reception{listener.id, static_cast<std::size_t>(best_tx), best_rss});
+    }
+  }
+
+  // ACK resolution: a unicast frame decoded by its destination triggers an
+  // ACK on the reverse link. ACKs occupy the tail of the slot; concurrent
+  // ACKs on the same channel interfere with each other and jammers apply.
+  std::vector<bool> frame_acked(transmitters.size(), false);
+  std::vector<bool> dst_received(transmitters.size(), false);
+  std::vector<TransmissionAttempt> ack_on_air;
+  for (const Reception& rx : receptions) {
+    const PlannedTx& tx = transmitters[rx.tx_index];
+    if (tx.plan.expects_ack && tx.plan.frame.dst == rx.receiver) {
+      dst_received[rx.tx_index] = true;
+      TransmissionAttempt ack;
+      ack.sender = rx.receiver;
+      ack.channel = tx.plan.channel;
+      ack.frame_bytes = FrameSizes::kAck;
+      ack.tx_power_dbm = config_.node.mac.tx_power_dbm;
+      ack_on_air.push_back(ack);
+    }
+  }
+  {
+    std::size_t ack_index = 0;
+    for (std::size_t t = 0; t < transmitters.size(); ++t) {
+      if (!dst_received[t]) continue;
+      const TransmissionAttempt& ack = ack_on_air[ack_index++];
+      frame_acked[t] = medium_.try_receive(ack, transmitters[t].sender, asn,
+                                           slot_start, ack_on_air, draw_rng);
+    }
+  }
+
+  // Deliver frames, then report TX outcomes. Completion is credited at the
+  // end of the slot: the frame and its ACK occupy the slot body.
+  const SimTime slot_done = slot_start + kSlotDuration;
+  for (const Reception& rx : receptions) {
+    const PlannedTx& tx = transmitters[rx.tx_index];
+    node(rx.receiver).mac().on_receive(tx.plan.frame, rx.rss_dbm, asn,
+                                       slot_done);
+  }
+  for (std::size_t t = 0; t < transmitters.size(); ++t) {
+    node(transmitters[t].sender)
+        .mac()
+        .on_tx_outcome(frame_acked[t], asn, slot_done);
+  }
+
+  // Energy accounting: every alive node accounts exactly one slot.
+  std::vector<SimDuration> listen_time(nodes_.size(), SimDuration{0});
+  std::vector<SimDuration> tx_time(nodes_.size(), SimDuration{0});
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i]->alive()) continue;
+    switch (kinds[i]) {
+      case SlotPlan::Kind::kScan:
+        listen_time[i] = kSlotDuration;
+        break;
+      case SlotPlan::Kind::kRx:
+        listen_time[i] = SlotTiming::rx_guard();
+        break;
+      default:
+        break;
+    }
+  }
+  for (std::size_t t = 0; t < transmitters.size(); ++t) {
+    const PlannedTx& tx = transmitters[t];
+    const auto i = static_cast<std::size_t>(tx.sender.value);
+    tx_time[i] =
+        tx_time[i] + SlotTiming::frame_duration(tx.plan.frame.length_bytes);
+    if (tx.plan.expects_ack) {
+      listen_time[i] = listen_time[i] + SlotTiming::ack_wait() +
+                       SlotTiming::ack_duration();
+    }
+  }
+  for (const Reception& rx : receptions) {
+    const PlannedTx& tx = transmitters[rx.tx_index];
+    const auto i = static_cast<std::size_t>(rx.receiver.value);
+    listen_time[i] =
+        listen_time[i] +
+        SlotTiming::frame_duration(tx.plan.frame.length_bytes);
+    if (tx.plan.expects_ack && tx.plan.frame.dst == rx.receiver) {
+      tx_time[i] = tx_time[i] + SlotTiming::ack_duration();
+    }
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i]->alive()) continue;
+    EnergyMeter& meter = nodes_[i]->meter();
+    SimDuration active = listen_time[i] + tx_time[i];
+    if (active > kSlotDuration) active = kSlotDuration;
+    if (tx_time[i].us > 0) meter.charge(RadioState::kTransmit, tx_time[i]);
+    if (listen_time[i].us > 0) {
+      meter.charge(RadioState::kListen, listen_time[i]);
+    }
+    meter.charge(RadioState::kSleep, kSlotDuration - active);
+  }
+
+  // End-of-slot housekeeping.
+  const SimTime slot_end = slot_start + kSlotDuration;
+  for (auto& node_ptr : nodes_) {
+    if (node_ptr->alive()) node_ptr->mac().end_slot(asn, slot_end);
+  }
+
+  sim_.schedule_after(kSlotDuration, [this] { slot_tick(); });
+}
+
+}  // namespace digs

@@ -1,0 +1,122 @@
+// The simulated WSAN: owns the simulator, the shared medium, every node,
+// the application flows, and the per-slot TSCH loop that moves frames
+// between nodes.
+//
+// The loop is slotted (TSCH is slot-synchronous): at every 10 ms boundary it
+// collects each alive node's SlotPlan, resolves transmissions on the medium
+// (SINR with co-channel transmitters and jammers), draws ACKs on the reverse
+// links, delivers frames, reports transmission outcomes, and meters radio
+// energy so each node accounts exactly one slot of radio time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/central_manager.h"
+#include "core/node.h"
+#include "phy/medium.h"
+#include "sim/simulator.h"
+#include "stats/flow_stats.h"
+
+namespace digs {
+
+struct NetworkConfig {
+  ProtocolSuite suite = ProtocolSuite::kDigs;
+  std::uint16_t num_access_points = 2;
+  NodeConfig node;
+  MediumConfig medium;
+  /// Manager behaviour for the kWirelessHart suite.
+  CentralManagerConfig manager;
+  std::uint64_t seed = 1;
+};
+
+/// A periodic application flow from a field device towards the APs.
+struct FlowSpec {
+  FlowId id;
+  NodeId source;
+  SimDuration period = seconds(static_cast<std::int64_t>(5));
+  /// Offset of the first packet after Network::start().
+  SimDuration start_offset = seconds(static_cast<std::int64_t>(0));
+  /// Valid: a downlink / device-to-device flow towards this destination
+  /// (requires the DiGS downlink extension to be enabled).
+  NodeId downlink_dest;
+};
+
+class Network {
+ public:
+  /// `positions[i]` is the position of node i; nodes
+  /// [0, num_access_points) are the access points.
+  Network(const NetworkConfig& config, std::vector<Position> positions);
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] Medium& medium() { return medium_; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_[id.value]; }
+  [[nodiscard]] const Node& node(NodeId id) const { return *nodes_[id.value]; }
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+  void add_jammer(const JammerConfig& jammer) { medium_.add_jammer(jammer); }
+
+  /// Registers a flow; packet generation starts at `first_packet` once the
+  /// network is started.
+  void add_flow(const FlowSpec& flow);
+
+  /// Starts all nodes and the slot loop at the current simulator time.
+  void start();
+
+  void run_until(SimTime until) { sim_.run_until(until); }
+  void run_for(SimDuration duration) {
+    sim_.run_until(sim_.now() + duration);
+  }
+
+  /// Failure injection.
+  void set_node_alive(NodeId id, bool alive);
+
+  /// The Network Manager (kWirelessHart suite only; nullptr otherwise).
+  [[nodiscard]] CentralManager* manager() { return manager_.get(); }
+
+  [[nodiscard]] FlowStatsCollector& stats() { return stats_; }
+  [[nodiscard]] const FlowStatsCollector& stats() const { return stats_; }
+
+  /// Join milestones (Fig. 13): time each field device first selected a
+  /// best parent / its full parent set, indexed by node id (<0 = never).
+  [[nodiscard]] const std::vector<SimTime>& join_times() const {
+    return joined_at_;
+  }
+  [[nodiscard]] const std::vector<SimTime>& full_join_times() const {
+    return fully_joined_at_;
+  }
+  [[nodiscard]] std::size_t joined_count() const;
+
+  /// Total radio energy across field devices (mJ).
+  [[nodiscard]] double total_energy_mj() const;
+  /// Mean radio duty cycle across field devices.
+  [[nodiscard]] double mean_duty_cycle() const;
+
+  /// Resets energy meters (to scope energy to a measurement window).
+  void reset_energy();
+
+  [[nodiscard]] std::uint64_t current_asn() const { return asn_; }
+
+ private:
+  void slot_tick();
+  void generate_flow_packet(std::size_t flow_index);
+
+  NetworkConfig config_;
+  Simulator sim_;
+  Medium medium_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<CentralManager> manager_;
+  std::vector<FlowSpec> flows_;
+  std::vector<std::uint32_t> flow_seq_;
+  FlowStatsCollector stats_;
+  std::vector<SimTime> joined_at_;
+  std::vector<SimTime> fully_joined_at_;
+  std::uint64_t asn_{0};
+  bool started_{false};
+};
+
+}  // namespace digs

@@ -1,0 +1,250 @@
+#include "core/node.h"
+
+#include "routing/centralized_routing.h"
+
+namespace digs {
+
+Node::Node(Simulator& sim, NodeId id, bool is_access_point,
+           ProtocolSuite suite, const NodeConfig& config,
+           std::uint16_t num_access_points, Rng rng, Hooks hooks)
+    : sim_(sim),
+      id_(id),
+      is_access_point_(is_access_point),
+      suite_(suite),
+      config_(config),
+      num_access_points_(num_access_points),
+      hooks_(std::move(hooks)),
+      neighbors_(config.etx),
+      meter_(config.power),
+      mac_(id, is_access_point, config.mac, rng.fork("mac"),
+           TschMac::Callbacks{
+               .on_frame = [this](const Frame& f, double rss,
+                                  SimTime now) { on_frame(f, rss, now); },
+               .on_tx_result =
+                   [this](NodeId peer, FrameType type, bool acked,
+                          SimTime now) { on_tx_result(peer, type, acked, now); },
+               .on_synced = [this](SimTime now) { on_synced(now); },
+               .on_desynced = [this](SimTime now) { on_desynced(now); },
+               .rank_provider =
+                   [this]() {
+                     return routing_ ? routing_->rank()
+                                     : NeighborInfo::kInfiniteRank;
+                   },
+               .on_data_dropped =
+                   [this](const DataPayload& payload, SimTime now) {
+                     if (hooks_.on_data_lost) {
+                       hooks_.on_data_lost(id_, payload, now);
+                     }
+                   },
+           }) {
+  RoutingProtocol::Env env;
+  env.send_routing = [this](const Frame& frame) {
+    mac_.enqueue_routing(frame);
+  };
+  env.on_topology_changed = [this](SimTime now) { on_topology_changed(now); };
+
+  switch (suite_) {
+    case ProtocolSuite::kDigs: {
+      DigsRoutingConfig routing_config = config_.digs_routing;
+      SchedulerConfig scheduler_config = config_.scheduler;
+      routing_config.enable_downlink = config_.enable_downlink;
+      scheduler_config.enable_downlink = config_.enable_downlink;
+      routing_ = std::make_unique<DigsRouting>(
+          sim_, id_, is_access_point_, neighbors_, routing_config,
+          rng.fork("routing"), env);
+      scheduler_ = std::make_unique<DigsScheduler>(scheduler_config);
+      break;
+    }
+    case ProtocolSuite::kOrchestra:
+      routing_ = std::make_unique<RplRouting>(
+          sim_, id_, is_access_point_, neighbors_, config_.rpl_routing,
+          rng.fork("routing"), env);
+      scheduler_ = std::make_unique<OrchestraScheduler>(
+          config_.scheduler, config_.orchestra_sender_based);
+      break;
+    case ProtocolSuite::kWirelessHart:
+      // Centrally computed routes ride the same id-derived TSCH cell
+      // layout as DiGS, isolating centralized-vs-distributed ROUTING as
+      // the variable under study.
+      routing_ = std::make_unique<CentralizedRouting>(id_, is_access_point_,
+                                                      env);
+      scheduler_ = std::make_unique<DigsScheduler>(config_.scheduler);
+      break;
+  }
+}
+
+void Node::start(SimTime now) {
+  rebuild_schedule();
+  if (is_access_point_) {
+    routing_->start(now);
+  }
+  // Field devices wait for on_synced (first EB) before starting routing.
+}
+
+void Node::set_alive(bool alive, SimTime now) {
+  if (alive == alive_) return;
+  alive_ = alive;
+  if (!alive) return;
+  // Restart: a repowered device rejoins from scratch.
+  mac_.reset_to_unsynced(now);
+  rebuild_schedule();
+}
+
+void Node::generate_packet(FlowId flow, std::uint32_t seq, SimTime now,
+                           NodeId final_dst) {
+  DataPayload payload;
+  payload.flow = flow;
+  payload.seq = seq;
+  payload.origin = id_;
+  payload.final_dst = final_dst;
+  payload.created = now;
+  payload.hops = 0;
+  NodeId down = kNoNode;
+  if (payload.is_downlink()) {
+    if (is_access_point_) {
+      // Gateway-originated command: the backbone injects it at whichever
+      // access point holds the freshest route to the destination.
+      if (hooks_.gateway_route && hooks_.gateway_route(payload, now)) return;
+      if (hooks_.on_data_lost) hooks_.on_data_lost(id_, payload, now);
+      return;
+    }
+    down = routing_->next_hop_down(final_dst);
+  }
+  mac_.enqueue_data(payload, now, down);  // drops via on_data_dropped
+}
+
+bool Node::inject_downlink(const DataPayload& payload, SimTime now) {
+  const NodeId down = routing_->next_hop_down(payload.final_dst);
+  if (!down.valid()) return false;
+  return mac_.enqueue_data(payload, now, down);
+}
+
+void Node::on_frame(const Frame& frame, double rss_dbm, SimTime now) {
+  // Keep the neighbor table fresh from everything we hear.
+  switch (frame.type) {
+    case FrameType::kJoinIn: {
+      const auto& payload = frame.as<JoinInPayload>();
+      neighbors_.on_heard(frame.src, rss_dbm, payload.rank, payload.etxw,
+                          now);
+      break;
+    }
+    default:
+      neighbors_.on_heard_rss(frame.src, rss_dbm, now);
+      break;
+  }
+  // Only traffic actually routed through us proves the child still uses
+  // us; overheard broadcasts must not keep ex-children alive.
+  if (frame.dst == id_ && frame.type == FrameType::kData) {
+    routing_->touch_child(frame.src, now);
+  }
+
+  switch (frame.type) {
+    case FrameType::kJoinIn:
+    case FrameType::kJoinSolicit:
+    case FrameType::kJoinedCallback:
+    case FrameType::kDestAdvert:
+      routing_->handle_frame(frame, rss_dbm, now);
+      break;
+    case FrameType::kData: {
+      if (frame.dst != id_) break;  // overheard; not ours to forward
+      DataPayload payload = frame.as<DataPayload>();
+      // Delivery: uplink packets end at any access point; downlink (or
+      // device-to-device) packets end at their final destination.
+      const bool delivered = payload.is_downlink()
+                                 ? payload.final_dst == id_
+                                 : is_access_point_;
+      if (delivered) {
+        if (hooks_.on_data_delivered) {
+          hooks_.on_data_delivered(id_, payload, now);
+        }
+        break;
+      }
+      ++payload.hops;
+      if (payload.hops > config_.mac.max_hops) {
+        if (hooks_.on_data_lost) hooks_.on_data_lost(id_, payload, now);
+        break;
+      }
+      // Common-ancestor forwarding: descend as soon as the destination is
+      // in our subtree, otherwise keep climbing the uplink graph.
+      NodeId down = kNoNode;
+      if (payload.is_downlink()) {
+        down = routing_->next_hop_down(payload.final_dst);
+        if (!down.valid()) {
+          if (is_access_point_) {
+            // Not in our subtree: hand over the wired gateway backbone, or
+            // declare the packet undeliverable.
+            if (hooks_.gateway_route && hooks_.gateway_route(payload, now)) {
+              break;
+            }
+            if (hooks_.on_data_lost) hooks_.on_data_lost(id_, payload, now);
+            break;
+          }
+          // A packet that was DESCENDING reached us through a stale table
+          // entry at an ancestor; re-climbing would ping-pong until the
+          // hop limit. Drop it and let end-to-end retries use the
+          // refreshed tables.
+          const bool descending =
+              frame.src == routing_->best_parent() ||
+              frame.src == routing_->second_best_parent();
+          if (descending) {
+            if (hooks_.on_data_lost) hooks_.on_data_lost(id_, payload, now);
+            break;
+          }
+          // Ascending with no route yet: keep climbing (down stays
+          // invalid, so the packet rides the uplink ladder).
+        }
+      }
+      mac_.enqueue_data(payload, now, down);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Node::on_tx_result(NodeId peer, FrameType type, bool acked,
+                        SimTime now) {
+  neighbors_.on_transmission(peer, acked);
+  routing_->on_tx_result(peer, type, acked, now);
+}
+
+void Node::on_synced(SimTime now) { routing_->start(now); }
+
+void Node::on_desynced(SimTime now) { routing_->stop(now); }
+
+bool Node::fully_joined() const {
+  if (is_access_point_) return true;
+  if (!routing_->joined()) return false;
+  if (suite_ == ProtocolSuite::kDigs) {
+    return routing_->second_best_parent().valid();
+  }
+  return true;  // Orchestra / WirelessHART: best parent suffices
+}
+
+void Node::on_topology_changed(SimTime now) {
+  rebuild_schedule();
+  mac_.set_time_source(routing_->best_parent());
+
+  if (!joined_reported_ && routing_->joined()) {
+    joined_reported_ = true;
+    if (hooks_.on_joined) hooks_.on_joined(id_, now);
+  }
+  if (!fully_joined_reported_ && fully_joined() && !is_access_point_) {
+    fully_joined_reported_ = true;
+    if (hooks_.on_fully_joined) hooks_.on_fully_joined(id_, now);
+  }
+}
+
+void Node::rebuild_schedule() {
+  RoutingView view;
+  view.id = id_;
+  view.is_access_point = is_access_point_;
+  view.num_access_points = num_access_points_;
+  view.best_parent = routing_ ? routing_->best_parent() : kNoNode;
+  view.second_best_parent =
+      routing_ ? routing_->second_best_parent() : kNoNode;
+  if (routing_) view.children = routing_->children();
+  scheduler_->rebuild(mac_.schedule(), view);
+}
+
+}  // namespace digs

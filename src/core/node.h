@@ -1,0 +1,154 @@
+// A simulated field device or access point: the full stack wired together —
+// TSCH MAC, neighbor table with ETX estimation, routing protocol (DiGS graph
+// routing or RPL baseline), autonomous scheduler (DiGS or Orchestra), and
+// radio energy meter.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "energy/energy_meter.h"
+#include "mac/tsch_mac.h"
+#include "net/neighbor_table.h"
+#include "routing/digs_routing.h"
+#include "routing/routing.h"
+#include "routing/rpl_routing.h"
+#include "sched/digs_scheduler.h"
+#include "sched/orchestra_scheduler.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+
+namespace digs {
+
+/// Which pair of (routing, scheduling) protocols the network runs.
+enum class ProtocolSuite {
+  kDigs,          // DiGS graph routing + DiGS autonomous scheduling
+  kOrchestra,     // RPL single-parent routing + Orchestra scheduling
+  kWirelessHart,  // centrally computed graph routes (Network Manager),
+                  // installed after the Fig. 3 reaction time
+};
+
+[[nodiscard]] constexpr const char* to_string(ProtocolSuite suite) {
+  switch (suite) {
+    case ProtocolSuite::kDigs: return "DiGS";
+    case ProtocolSuite::kOrchestra: return "Orchestra";
+    case ProtocolSuite::kWirelessHart: return "WirelessHART";
+  }
+  return "?";
+}
+
+struct NodeConfig {
+  MacConfig mac;
+  SchedulerConfig scheduler;
+  DigsRoutingConfig digs_routing;
+  RplRoutingConfig rpl_routing;
+  EtxConfig etx;
+  RadioPowerProfile power;
+  /// Enables the downlink-graph extension (destination advertisements +
+  /// downlink cells) for the DiGS suite.
+  bool enable_downlink = false;
+  /// Orchestra unicast slotframe flavour (see OrchestraScheduler).
+  /// Sender-based avoids persistent sibling collisions at the AP funnel and
+  /// matches the paper's measured Orchestra performance; receiver-based is
+  /// available for ablation.
+  bool orchestra_sender_based = true;
+};
+
+class Node {
+ public:
+  /// Network-level hooks.
+  struct Hooks {
+    /// An access point received an application packet (end of the uplink).
+    std::function<void(NodeId ap, const DataPayload&, SimTime now)>
+        on_data_delivered;
+    /// A data packet was lost at this node (attempts exhausted, queue
+    /// overflow, or hop limit).
+    std::function<void(NodeId node, const DataPayload&, SimTime now)>
+        on_data_lost;
+    /// First time the node selected a best parent (joined).
+    std::function<void(NodeId node, SimTime now)> on_joined;
+    /// First time the node holds every parent its protocol wants
+    /// (bp+sbp for DiGS, bp for Orchestra) — the Fig. 13 join criterion.
+    std::function<void(NodeId node, SimTime now)> on_fully_joined;
+    /// Access points are wired to the gateway: when this AP has no downlink
+    /// route to a destination, the backbone may hand the packet to the AP
+    /// that owns the destination's subtree. Returns true if taken.
+    std::function<bool(const DataPayload&, SimTime now)> gateway_route;
+  };
+
+  Node(Simulator& sim, NodeId id, bool is_access_point, ProtocolSuite suite,
+       const NodeConfig& config, std::uint16_t num_access_points, Rng rng,
+       Hooks hooks);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Begins operation at network start. APs are born synchronized and
+  /// immediately beacon; field devices start scanning.
+  void start(SimTime now);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] bool is_access_point() const { return is_access_point_; }
+  [[nodiscard]] ProtocolSuite suite() const { return suite_; }
+
+  [[nodiscard]] bool alive() const { return alive_; }
+  /// Powers the node on/off (failure injection). Turning off silences the
+  /// radio immediately; turning on restarts from the unsynchronized state.
+  void set_alive(bool alive, SimTime now);
+
+  /// Enqueues an application packet originated here. A valid `final_dst`
+  /// makes it a downlink / device-to-device packet (common-ancestor
+  /// routing); invalid means uplink to the access points.
+  void generate_packet(FlowId flow, std::uint32_t seq, SimTime now,
+                       NodeId final_dst = kNoNode);
+
+  /// Injects a downlink packet at this node (used by the wired gateway
+  /// backbone between access points). Returns false when no downlink route
+  /// to the packet's destination is known here.
+  bool inject_downlink(const DataPayload& payload, SimTime now);
+
+  [[nodiscard]] TschMac& mac() { return mac_; }
+  [[nodiscard]] const TschMac& mac() const { return mac_; }
+  [[nodiscard]] RoutingProtocol& routing() { return *routing_; }
+  [[nodiscard]] const RoutingProtocol& routing() const { return *routing_; }
+  [[nodiscard]] NeighborTable& neighbors() { return neighbors_; }
+  [[nodiscard]] EnergyMeter& meter() { return meter_; }
+  [[nodiscard]] const EnergyMeter& meter() const { return meter_; }
+  [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
+
+  /// True once the protocol-specific join criterion has ever been met.
+  [[nodiscard]] bool ever_fully_joined() const {
+    return fully_joined_reported_;
+  }
+
+ private:
+  void on_frame(const Frame& frame, double rss_dbm, SimTime now);
+  void on_tx_result(NodeId peer, FrameType type, bool acked, SimTime now);
+  void on_synced(SimTime now);
+  void on_desynced(SimTime now);
+  void on_topology_changed(SimTime now);
+  void rebuild_schedule();
+  [[nodiscard]] bool fully_joined() const;
+
+  Simulator& sim_;
+  NodeId id_;
+  bool is_access_point_;
+  ProtocolSuite suite_;
+  NodeConfig config_;
+  std::uint16_t num_access_points_;
+  Hooks hooks_;
+
+  NeighborTable neighbors_;
+  EnergyMeter meter_;
+  TschMac mac_;
+  std::unique_ptr<RoutingProtocol> routing_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  bool alive_{true};
+  bool joined_reported_{false};
+  bool fully_joined_reported_{false};
+};
+
+}  // namespace digs

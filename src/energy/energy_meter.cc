@@ -1,0 +1,37 @@
+#include "energy/energy_meter.h"
+
+namespace digs {
+
+double EnergyMeter::energy_mj() const {
+  double mj = 0.0;
+  for (int s = 0; s < kNumRadioStates; ++s) {
+    const double seconds = static_cast<double>(state_us_[s]) * 1e-6;
+    const double watts = profile_.current_ma(static_cast<RadioState>(s)) *
+                         1e-3 * profile_.supply_volts;
+    mj += watts * seconds * 1e3;
+  }
+  return mj;
+}
+
+SimDuration EnergyMeter::total_time() const {
+  std::int64_t total = 0;
+  for (const auto us : state_us_) total += us;
+  return SimDuration{total};
+}
+
+double EnergyMeter::average_power_mw() const {
+  const double total_s = total_time().seconds();
+  if (total_s <= 0.0) return 0.0;
+  return energy_mj() / total_s;  // mJ / s == mW
+}
+
+double EnergyMeter::duty_cycle() const {
+  const auto total = total_time();
+  if (total.us <= 0) return 0.0;
+  const std::int64_t on =
+      state_us_[static_cast<int>(RadioState::kListen)] +
+      state_us_[static_cast<int>(RadioState::kTransmit)];
+  return static_cast<double>(on) / static_cast<double>(total.us);
+}
+
+}  // namespace digs

@@ -1,0 +1,18 @@
+// TSCH channel hopping: physical channel = sequence[(ASN + offset) % 16].
+// We use the identity hopping sequence over the 16 IEEE 802.15.4 2.4 GHz
+// channels; the mapping is what matters, not the permutation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace digs {
+
+[[nodiscard]] constexpr PhysicalChannel hop_channel(std::uint64_t asn,
+                                                    ChannelOffset offset) {
+  return static_cast<PhysicalChannel>((asn + offset) %
+                                      static_cast<std::uint64_t>(kNumChannels));
+}
+
+}  // namespace digs

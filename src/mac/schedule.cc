@@ -1,0 +1,59 @@
+#include "mac/schedule.h"
+
+namespace digs {
+
+void Schedule::install(Slotframe frame) {
+  Entry& entry = entries_[static_cast<int>(frame.traffic)];
+  entry.present = true;
+  entry.by_offset.assign(frame.length, {});
+  for (const Cell& cell : frame.cells) {
+    entry.by_offset[cell.slot_offset % frame.length].push_back(cell);
+  }
+  entry.frame = std::move(frame);
+}
+
+void Schedule::remove(TrafficClass traffic) {
+  Entry& entry = entries_[static_cast<int>(traffic)];
+  entry.present = false;
+  entry.frame = {};
+  entry.by_offset.clear();
+}
+
+const Slotframe* Schedule::slotframe(TrafficClass traffic) const {
+  const Entry& entry = entries_[static_cast<int>(traffic)];
+  return entry.present ? &entry.frame : nullptr;
+}
+
+std::span<const Cell> Schedule::class_cells(TrafficClass traffic,
+                                            std::uint64_t asn) const {
+  const Entry& entry = entries_[static_cast<int>(traffic)];
+  if (!entry.present || entry.frame.length == 0) return {};
+  const auto offset = static_cast<std::size_t>(asn % entry.frame.length);
+  return entry.by_offset[offset];
+}
+
+std::span<const Cell> Schedule::active_cells(std::uint64_t asn) const {
+  for (int t = 0; t < kNumTrafficClasses; ++t) {
+    const auto cells = class_cells(static_cast<TrafficClass>(t), asn);
+    if (!cells.empty()) return cells;
+  }
+  return {};
+}
+
+bool Schedule::skipped(TrafficClass traffic, std::uint64_t asn) const {
+  if (class_cells(traffic, asn).empty()) return false;
+  for (int t = 0; t < static_cast<int>(traffic); ++t) {
+    if (!class_cells(static_cast<TrafficClass>(t), asn).empty()) return true;
+  }
+  return false;
+}
+
+std::size_t Schedule::total_cells() const {
+  std::size_t n = 0;
+  for (const auto& entry : entries_) {
+    if (entry.present) n += entry.frame.cells.size();
+  }
+  return n;
+}
+
+}  // namespace digs

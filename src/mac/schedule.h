@@ -1,0 +1,57 @@
+// A node's TSCH schedule: up to one slotframe per traffic class, combined at
+// runtime by static priority exactly as the paper's offline combination
+// (Section VI, "Schedule Combination"): for a given ASN, the highest-priority
+// traffic class that has any cell at that slot wins the slot; lower-priority
+// cells are skipped.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mac/slotframe.h"
+
+namespace digs {
+
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// Installs (replaces) the slotframe for its traffic class.
+  void install(Slotframe frame);
+
+  /// Removes the slotframe of a class (if present).
+  void remove(TrafficClass traffic);
+
+  [[nodiscard]] const Slotframe* slotframe(TrafficClass traffic) const;
+
+  /// Cells of the winning (highest-priority non-empty) traffic class at this
+  /// ASN. Empty span if no cell is active.
+  [[nodiscard]] std::span<const Cell> active_cells(std::uint64_t asn) const;
+
+  /// Cells of a specific class active at this ASN regardless of priority
+  /// (used by analysis/tests to count combination conflicts).
+  [[nodiscard]] std::span<const Cell> class_cells(TrafficClass traffic,
+                                                  std::uint64_t asn) const;
+
+  /// True if a higher-priority class would preempt `traffic` at `asn`
+  /// (the "skip" event of paper Eq. 6).
+  [[nodiscard]] bool skipped(TrafficClass traffic, std::uint64_t asn) const;
+
+  /// Total number of installed cells across classes.
+  [[nodiscard]] std::size_t total_cells() const;
+
+ private:
+  struct Entry {
+    bool present{false};
+    Slotframe frame;
+    // cells bucketed by slot offset for O(1) lookup.
+    std::vector<std::vector<Cell>> by_offset;
+  };
+
+  std::array<Entry, kNumTrafficClasses> entries_{};
+};
+
+}  // namespace digs

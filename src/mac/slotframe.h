@@ -1,0 +1,72 @@
+// TSCH slotframes and cells.
+//
+// Following the paper (Section VI), a node's schedule is built from three
+// slotframes with different periods, one per traffic class:
+//   synchronization (EBs)  > routing (join-in / joined-callback) > application
+// in decreasing priority. A cell binds a (slot offset, channel offset) pair
+// within a slotframe to an action.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace digs {
+
+/// Traffic classes in decreasing priority (paper Section VI: "The most
+/// critical synchronization traffic has the highest priority, while the
+/// application traffic has the lowest").
+enum class TrafficClass : std::uint8_t {
+  kSync = 0,
+  kRouting = 1,
+  kApplication = 2,
+};
+inline constexpr int kNumTrafficClasses = 3;
+
+[[nodiscard]] constexpr const char* to_string(TrafficClass t) {
+  switch (t) {
+    case TrafficClass::kSync: return "sync";
+    case TrafficClass::kRouting: return "routing";
+    case TrafficClass::kApplication: return "application";
+  }
+  return "?";
+}
+
+/// Higher priority == smaller underlying value.
+[[nodiscard]] constexpr bool higher_priority(TrafficClass a, TrafficClass b) {
+  return static_cast<int>(a) < static_cast<int>(b);
+}
+
+enum class CellOption : std::uint8_t {
+  kTx,        // dedicated transmit cell
+  kRx,        // dedicated receive cell
+  kShared,    // contention (CSMA-like) slot: transmit if pending, else listen
+};
+
+struct Cell {
+  std::uint16_t slot_offset{0};
+  ChannelOffset channel_offset{0};
+  CellOption option{CellOption::kTx};
+  TrafficClass traffic{TrafficClass::kApplication};
+  /// TX: link-layer destination (kNoNode for broadcast).
+  /// RX: expected sender (kNoNode for any).
+  NodeId peer;
+  /// For application TX cells: which transmission attempt (1-based) this
+  /// cell carries — attempts 1..2 go to the best parent, attempt 3 to the
+  /// second-best parent (WirelessHART retransmission rule, paper Section V).
+  std::uint8_t attempt{0};
+  /// Application cells of the downlink graph (TX towards a child / RX from
+  /// a parent); the MAC matches them against downlink-queued packets.
+  bool downlink{false};
+
+  friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+struct Slotframe {
+  TrafficClass traffic{TrafficClass::kApplication};
+  std::uint16_t length{101};
+  std::vector<Cell> cells;
+};
+
+}  // namespace digs

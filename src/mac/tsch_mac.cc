@@ -1,0 +1,303 @@
+#include "mac/tsch_mac.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace digs {
+
+TschMac::TschMac(NodeId id, bool is_access_point, const MacConfig& config,
+                 Rng rng, Callbacks callbacks)
+    : id_(id),
+      is_access_point_(is_access_point),
+      config_(config),
+      rng_(std::move(rng)),
+      callbacks_(std::move(callbacks)),
+      synced_(is_access_point),  // APs are the time source
+      backoff_exp_(config.backoff_min_exp) {
+  scan_channel_start_ = static_cast<int>(rng_.uniform_int(kNumChannels));
+}
+
+bool TschMac::enqueue_data(const DataPayload& payload, SimTime now,
+                           NodeId down_next_hop) {
+  if (app_queue_.size() >= config_.app_queue_capacity) {
+    if (callbacks_.on_data_dropped) callbacks_.on_data_dropped(payload, now);
+    return false;
+  }
+  app_queue_.push_back(AppPacket{payload, down_next_hop, 0, next_token_++});
+  return true;
+}
+
+void TschMac::enqueue_routing(const Frame& frame) {
+  if (frame.type == FrameType::kJoinIn && frame.is_broadcast()) {
+    // Replace any not-yet-sent join-in: only the freshest advertisement
+    // matters (Trickle may fire again before the shared slot comes around).
+    for (auto& queued : routing_queue_) {
+      if (queued.frame.type == FrameType::kJoinIn &&
+          queued.frame.is_broadcast()) {
+        queued.frame = frame;
+        return;
+      }
+    }
+  }
+  if (routing_queue_.size() >= config_.routing_queue_capacity) {
+    routing_queue_.pop_front();  // drop oldest; routing state is soft
+  }
+  routing_queue_.push_back(RoutingPacket{frame, 0});
+}
+
+SlotPlan TschMac::plan_slot(std::uint64_t asn, SimTime /*slot_start*/) {
+  pending_tx_.reset();
+  if (!synced_) {
+    // Joining: camp on one channel, rotating every scan_dwell_slots, until
+    // an EB is heard (paper Section VI, "Assigning Slots for
+    // Synchronization": a joining node snoops the channel to capture an EB).
+    SlotPlan plan;
+    plan.kind = SlotPlan::Kind::kScan;
+    const std::uint64_t dwell =
+        scan_slots_ / std::max<std::uint64_t>(config_.scan_dwell_slots, 1);
+    plan.channel = static_cast<PhysicalChannel>(
+        (scan_channel_start_ + dwell) % kNumChannels);
+    ++scan_slots_;
+    return plan;
+  }
+
+  const auto cells = schedule_.active_cells(asn);
+  if (cells.empty()) return SlotPlan{};  // sleep
+
+  switch (cells.front().traffic) {
+    case TrafficClass::kSync: return plan_sync(cells, asn);
+    case TrafficClass::kRouting: return plan_routing(cells, asn);
+    case TrafficClass::kApplication: return plan_application(cells, asn);
+  }
+  return SlotPlan{};
+}
+
+SlotPlan TschMac::plan_sync(std::span<const Cell> cells, std::uint64_t asn) {
+  // Prefer the TX (own EB) cell if present; otherwise listen for the
+  // parent's EB.
+  const Cell* tx_cell = nullptr;
+  const Cell* rx_cell = nullptr;
+  for (const Cell& cell : cells) {
+    if (cell.option == CellOption::kTx && tx_cell == nullptr) tx_cell = &cell;
+    if (cell.option == CellOption::kRx && rx_cell == nullptr) rx_cell = &cell;
+  }
+  SlotPlan plan;
+  plan.traffic = TrafficClass::kSync;
+  const std::uint16_t rank =
+      callbacks_.rank_provider ? callbacks_.rank_provider() : 0;
+  // Only routed nodes beacon: an EB from a node with no route would let
+  // joiners synchronize onto an island (Contiki TSCH behaves the same).
+  const bool may_beacon = is_access_point_ || rank != kInfiniteRank;
+  if (tx_cell != nullptr && may_beacon) {
+    plan.kind = SlotPlan::Kind::kTx;
+    plan.channel = hop_channel(asn, tx_cell->channel_offset);
+    EbPayload eb;
+    eb.asn = asn;
+    eb.rank = rank;
+    plan.frame = make_frame(FrameType::kEnhancedBeacon, id_, kNoNode, eb);
+    plan.expects_ack = false;
+    pending_tx_ = PendingTx{TrafficClass::kSync, FrameType::kEnhancedBeacon,
+                            kNoNode, false};
+    ++eb_sent_;
+    return plan;
+  }
+  if (rx_cell != nullptr) {
+    plan.kind = SlotPlan::Kind::kRx;
+    plan.channel = hop_channel(asn, rx_cell->channel_offset);
+    return plan;
+  }
+  return SlotPlan{};
+}
+
+SlotPlan TschMac::plan_routing(std::span<const Cell> cells,
+                               std::uint64_t asn) {
+  const Cell& cell = cells.front();  // single shared routing cell
+  SlotPlan plan;
+  plan.traffic = TrafficClass::kRouting;
+  plan.channel = hop_channel(asn, cell.channel_offset);
+  if (!routing_queue_.empty() && backoff_counter_ == 0) {
+    plan.kind = SlotPlan::Kind::kTx;
+    plan.frame = routing_queue_.front().frame;
+    plan.expects_ack = !plan.frame.is_broadcast();
+    pending_tx_ = PendingTx{TrafficClass::kRouting, plan.frame.type,
+                            plan.frame.dst, plan.expects_ack};
+    return plan;
+  }
+  if (backoff_counter_ > 0) --backoff_counter_;
+  // Shared slots are listen-by-default so topology/routing updates from any
+  // neighbor are heard.
+  plan.kind = SlotPlan::Kind::kRx;
+  return plan;
+}
+
+std::size_t TschMac::match_packet(const Cell& cell) const {
+  for (std::size_t i = 0; i < app_queue_.size(); ++i) {
+    const AppPacket& packet = app_queue_[i];
+    const bool packet_down = packet.down_next_hop.valid();
+    if (cell.downlink != packet_down) continue;
+    if (packet_down && packet.down_next_hop != cell.peer) continue;
+    return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+SlotPlan TschMac::plan_application(std::span<const Cell> cells,
+                                   std::uint64_t asn) {
+  SlotPlan plan;
+  plan.traffic = TrafficClass::kApplication;
+
+  // TX first: among active TX cells with a valid peer and a matching queued
+  // packet, use the lowest attempt index (cells are the WirelessHART
+  // attempt ladder).
+  if (!app_queue_.empty()) {
+    const Cell* best_tx = nullptr;
+    std::size_t best_packet = static_cast<std::size_t>(-1);
+    for (const Cell& cell : cells) {
+      if (cell.option != CellOption::kTx || !cell.peer.valid()) continue;
+      if (best_tx != nullptr && cell.attempt >= best_tx->attempt) continue;
+      const std::size_t packet = match_packet(cell);
+      if (packet == static_cast<std::size_t>(-1)) continue;
+      best_tx = &cell;
+      best_packet = packet;
+    }
+    if (best_tx != nullptr) {
+      AppPacket& packet = app_queue_[best_packet];
+      plan.kind = SlotPlan::Kind::kTx;
+      plan.channel = hop_channel(asn, best_tx->channel_offset);
+      plan.frame = make_frame(FrameType::kData, id_, best_tx->peer,
+                              packet.payload);
+      plan.expects_ack = true;
+      pending_tx_ = PendingTx{TrafficClass::kApplication, FrameType::kData,
+                              best_tx->peer, true, packet.token};
+      ++data_tx_attempts_;
+      return plan;
+    }
+  }
+
+  for (const Cell& cell : cells) {
+    if (cell.option == CellOption::kRx) {
+      plan.kind = SlotPlan::Kind::kRx;
+      plan.channel = hop_channel(asn, cell.channel_offset);
+      return plan;
+    }
+  }
+  return SlotPlan{};  // nothing to do: sleep
+}
+
+void TschMac::on_receive(const Frame& frame, double rss_dbm, std::uint64_t asn,
+                         SimTime now) {
+  (void)asn;
+  if (frame.type == FrameType::kEnhancedBeacon) {
+    // Any EB from a synchronized neighbor carries the network time (only
+    // routed nodes beacon), so any EB refreshes the sync deadline — the
+    // 6TiSCH practice. Desync then means "no synchronized neighbor heard
+    // for sync_timeout", i.e. genuine loss of contact with the network.
+    if (!synced_) {
+      synced_ = true;
+      scan_slots_ = 0;
+      if (callbacks_.on_synced) callbacks_.on_synced(now);
+    }
+    sync_deadline_ = now + config_.sync_timeout;
+  }
+  if (!synced_) return;  // cannot use non-EB frames while unsynced
+  if (callbacks_.on_frame) callbacks_.on_frame(frame, rss_dbm, now);
+}
+
+void TschMac::on_tx_outcome(bool acked, std::uint64_t /*asn*/, SimTime now) {
+  if (!pending_tx_.has_value()) return;
+  const PendingTx pending = *pending_tx_;
+  pending_data_token_ = pending.data_token;
+  pending_tx_.reset();
+
+  if (pending.expects_ack && callbacks_.on_tx_result) {
+    callbacks_.on_tx_result(pending.peer, pending.type, acked, now);
+  }
+
+  switch (pending.traffic) {
+    case TrafficClass::kSync:
+      break;  // EBs are fire-and-forget
+    case TrafficClass::kRouting:
+      handle_routing_tx_result(acked, now);
+      break;
+    case TrafficClass::kApplication:
+      handle_data_tx_result(acked, now);
+      break;
+  }
+}
+
+void TschMac::handle_routing_tx_result(bool acked, SimTime /*now*/) {
+  if (routing_queue_.empty()) return;
+  RoutingPacket& head = routing_queue_.front();
+  if (head.frame.is_broadcast()) {
+    // Broadcasts are done after one transmission.
+    routing_queue_.pop_front();
+    backoff_exp_ = config_.backoff_min_exp;
+    backoff_counter_ = 0;
+    return;
+  }
+  if (acked) {
+    routing_queue_.pop_front();
+    backoff_exp_ = config_.backoff_min_exp;
+    backoff_counter_ = 0;
+    return;
+  }
+  ++head.attempts;
+  if (head.attempts >= config_.max_routing_transmissions) {
+    routing_queue_.pop_front();
+    backoff_exp_ = config_.backoff_min_exp;
+    backoff_counter_ = 0;
+    return;
+  }
+  backoff_exp_ = std::min(backoff_exp_ + 1, config_.backoff_max_exp);
+  backoff_counter_ =
+      static_cast<int>(rng_.uniform_int(std::uint64_t{1} << backoff_exp_));
+}
+
+void TschMac::drop_packet(std::size_t index, SimTime now) {
+  if (callbacks_.on_data_dropped) {
+    callbacks_.on_data_dropped(app_queue_[index].payload, now);
+  }
+  app_queue_.erase(app_queue_.begin() +
+                   static_cast<std::ptrdiff_t>(index));
+}
+
+void TschMac::handle_data_tx_result(bool acked, SimTime now) {
+  // Locate the packet this outcome belongs to by its stable token (the
+  // queue may serve uplink and downlink packets out of order).
+  for (std::size_t i = 0; i < app_queue_.size(); ++i) {
+    if (app_queue_[i].token != pending_data_token_) continue;
+    if (acked) {
+      app_queue_.erase(app_queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+    AppPacket& packet = app_queue_[i];
+    ++packet.attempts;
+    if (packet.attempts >= config_.max_data_transmissions) {
+      drop_packet(i, now);
+    }
+    return;
+  }
+}
+
+void TschMac::end_slot(std::uint64_t /*asn*/, SimTime now) {
+  if (synced_ && !is_access_point_ && now >= sync_deadline_) {
+    reset_to_unsynced(now);
+  }
+}
+
+void TschMac::reset_to_unsynced(SimTime now) {
+  if (is_access_point_) return;
+  const bool was_synced = synced_;
+  synced_ = false;
+  time_source_ = kNoNode;
+  routing_queue_.clear();
+  backoff_counter_ = 0;
+  backoff_exp_ = config_.backoff_min_exp;
+  pending_tx_.reset();
+  scan_slots_ = 0;
+  scan_channel_start_ = static_cast<int>(rng_.uniform_int(kNumChannels));
+  if (was_synced && callbacks_.on_desynced) callbacks_.on_desynced(now);
+}
+
+}  // namespace digs

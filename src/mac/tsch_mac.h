@@ -1,0 +1,214 @@
+// Per-node TSCH MAC engine.
+//
+// The network loop is slotted: every 10 ms slot the Network asks each node
+// for a SlotPlan (transmit / listen / scan / sleep), resolves the medium, and
+// feeds back receptions and ACK outcomes. The MAC owns:
+//   - join & synchronization state (unsynced nodes scan for EBs, synced nodes
+//     keep alive on the time source's EBs and desync on timeout),
+//   - the application packet queue with the WirelessHART retransmission
+//     policy (cells carry the attempt index; attempt 3 cells point at the
+//     second-best parent),
+//   - the routing message queue with CSMA-like backoff for shared slots,
+//   - EB generation in the synchronization slotframe.
+//
+// Schedule content is owned by the scheduler (DiGS autonomous or Orchestra);
+// the MAC only executes it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "common/types.h"
+#include "mac/hopping.h"
+#include "mac/schedule.h"
+#include "net/frame.h"
+
+namespace digs {
+
+struct MacConfig {
+  /// Total unicast attempts for a data packet before it is dropped
+  /// (spread over slotframe cycles; one cycle offers A attempts under DiGS,
+  /// one under Orchestra).
+  int max_data_transmissions = 12;
+  /// Unicast attempts for a routing message (joined-callback).
+  int max_routing_transmissions = 8;
+  std::size_t app_queue_capacity = 8;
+  std::size_t routing_queue_capacity = 8;
+  /// Desync if no EB from the time source for this long.
+  SimDuration sync_timeout = seconds(static_cast<std::int64_t>(30));
+  /// Slots spent scanning one channel before moving to the next.
+  std::uint64_t scan_dwell_slots = 100;
+  /// CSMA backoff exponent bounds for shared slots (window = 2^BE slots of
+  /// the shared cell).
+  int backoff_min_exp = 1;
+  int backoff_max_exp = 5;
+  /// Frames with more hops than this are dropped (routing-loop protection).
+  int max_hops = 32;
+  double tx_power_dbm = 0.0;
+};
+
+/// Radio timing constants at 250 kbps (CC2420), used for energy accounting.
+struct SlotTiming {
+  static constexpr SimDuration byte_time() { return microseconds(32); }
+  /// Listen window in an RX cell before giving up when nothing arrives.
+  static constexpr SimDuration rx_guard() { return microseconds(2200); }
+  /// Sender's listen window for the ACK.
+  static constexpr SimDuration ack_wait() { return microseconds(1000); }
+  static constexpr SimDuration ack_duration() {
+    return microseconds(32 * FrameSizes::kAck);
+  }
+  static constexpr SimDuration frame_duration(int bytes) {
+    return microseconds(32 * bytes);
+  }
+};
+
+/// What a node does during one slot.
+struct SlotPlan {
+  enum class Kind : std::uint8_t { kSleep, kTx, kRx, kScan };
+  Kind kind{Kind::kSleep};
+  PhysicalChannel channel{0};
+  /// Valid when kind == kTx.
+  Frame frame;
+  bool expects_ack{false};
+  TrafficClass traffic{TrafficClass::kApplication};
+};
+
+class TschMac {
+ public:
+  struct Callbacks {
+    /// Upper-layer delivery of every decoded frame (broadcast or addressed
+    /// to us), with its RSS.
+    std::function<void(const Frame&, double rss_dbm, SimTime now)> on_frame;
+    /// Outcome of a unicast attempt (for ETX / failure detection).
+    std::function<void(NodeId peer, FrameType type, bool acked, SimTime now)>
+        on_tx_result;
+    /// Fired when the node acquires synchronization (heard its first EB).
+    std::function<void(SimTime now)> on_synced;
+    /// Fired when the node loses synchronization (sync timeout).
+    std::function<void(SimTime now)> on_desynced;
+    /// Rank to advertise in our EBs.
+    std::function<std::uint16_t()> rank_provider;
+    /// A queued data packet exhausted its attempts or was evicted.
+    std::function<void(const DataPayload&, SimTime now)> on_data_dropped;
+  };
+
+  TschMac(NodeId id, bool is_access_point, const MacConfig& config, Rng rng,
+          Callbacks callbacks);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] bool is_access_point() const { return is_access_point_; }
+  [[nodiscard]] bool synced() const { return synced_; }
+  [[nodiscard]] const MacConfig& config() const { return config_; }
+
+  /// The schedule executed by this MAC; schedulers install slotframes here.
+  [[nodiscard]] Schedule& schedule() { return schedule_; }
+  [[nodiscard]] const Schedule& schedule() const { return schedule_; }
+
+  /// Node whose EBs refresh our sync (the best parent). Invalid = accept any.
+  void set_time_source(NodeId source) { time_source_ = source; }
+  [[nodiscard]] NodeId time_source() const { return time_source_; }
+
+  /// Queues an application packet. Uplink packets ride the attempt-ladder
+  /// cells towards the parents; packets with a valid `down_next_hop` use
+  /// the downlink cells towards that child. Returns false (and reports a
+  /// drop) when the queue is full.
+  bool enqueue_data(const DataPayload& payload, SimTime now,
+                    NodeId down_next_hop = kNoNode);
+
+  /// Queues a routing frame (join-in broadcast or joined-callback unicast).
+  /// A queued join-in that has not been sent yet is replaced, not duplicated.
+  void enqueue_routing(const Frame& frame);
+
+  [[nodiscard]] std::size_t app_queue_size() const { return app_queue_.size(); }
+  [[nodiscard]] std::size_t routing_queue_size() const {
+    return routing_queue_.size();
+  }
+
+  // --- Slot loop interface (driven by the Network) ---
+
+  /// Decides this node's action for slot `asn`.
+  [[nodiscard]] SlotPlan plan_slot(std::uint64_t asn, SimTime slot_start);
+
+  /// Delivers a frame this node decoded during the current slot.
+  void on_receive(const Frame& frame, double rss_dbm, std::uint64_t asn,
+                  SimTime now);
+
+  /// Reports the outcome of this node's own transmission in the current
+  /// slot (`acked` is meaningful only when the plan expected an ACK;
+  /// broadcasts pass acked=false).
+  void on_tx_outcome(bool acked, std::uint64_t asn, SimTime now);
+
+  /// End-of-slot housekeeping (sync timeout).
+  void end_slot(std::uint64_t asn, SimTime now);
+
+  /// Force-desynchronizes (used when a node is restarted in experiments).
+  void reset_to_unsynced(SimTime now);
+
+  // Diagnostics
+  [[nodiscard]] std::uint64_t data_tx_attempts() const {
+    return data_tx_attempts_;
+  }
+  [[nodiscard]] std::uint64_t eb_sent() const { return eb_sent_; }
+
+ private:
+  struct AppPacket {
+    DataPayload payload;
+    NodeId down_next_hop;  // valid -> downlink packet
+    int attempts{0};
+    std::uint64_t token{0};  // stable id for TX-outcome bookkeeping
+  };
+  struct RoutingPacket {
+    Frame frame;
+    int attempts{0};
+  };
+  struct PendingTx {
+    TrafficClass traffic;
+    FrameType type;
+    NodeId peer;
+    bool expects_ack;
+    std::uint64_t data_token{0};  // AppPacket the outcome belongs to
+  };
+
+  [[nodiscard]] SlotPlan plan_sync(std::span<const Cell> cells,
+                                   std::uint64_t asn);
+  [[nodiscard]] SlotPlan plan_routing(std::span<const Cell> cells,
+                                      std::uint64_t asn);
+  [[nodiscard]] SlotPlan plan_application(std::span<const Cell> cells,
+                                          std::uint64_t asn);
+  void handle_data_tx_result(bool acked, SimTime now);
+  void handle_routing_tx_result(bool acked, SimTime now);
+  void drop_packet(std::size_t index, SimTime now);
+  /// Queue index of the first packet the given TX cell can carry, or npos.
+  [[nodiscard]] std::size_t match_packet(const Cell& cell) const;
+
+  NodeId id_;
+  bool is_access_point_;
+  MacConfig config_;
+  Rng rng_;
+  Callbacks callbacks_;
+
+  Schedule schedule_;
+  bool synced_;
+  NodeId time_source_;
+  SimTime sync_deadline_{};
+  std::uint64_t scan_slots_{0};
+  int scan_channel_start_;
+
+  std::deque<AppPacket> app_queue_;
+  std::uint64_t next_token_{1};
+  std::deque<RoutingPacket> routing_queue_;
+  int backoff_counter_{0};
+  int backoff_exp_;
+
+  std::optional<PendingTx> pending_tx_;
+  std::uint64_t pending_data_token_{0};
+
+  std::uint64_t data_tx_attempts_{0};
+  std::uint64_t eb_sent_{0};
+};
+
+}  // namespace digs

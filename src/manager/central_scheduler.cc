@@ -1,0 +1,108 @@
+#include "manager/central_scheduler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace digs {
+
+bool CentralSchedule::conflict_free() const {
+  std::set<std::pair<std::uint32_t, ChannelOffset>> channel_use;
+  std::set<std::pair<std::uint32_t, std::uint16_t>> node_busy;
+  for (const ScheduledCell& cell : cells) {
+    if (!channel_use.emplace(cell.slot, cell.channel_offset).second) {
+      return false;
+    }
+    if (!node_busy.emplace(cell.slot, cell.transmitter.value).second) {
+      return false;
+    }
+    if (!node_busy.emplace(cell.slot, cell.receiver.value).second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+class Allocator {
+ public:
+  explicit Allocator(int num_channels) : num_channels_(num_channels) {}
+
+  /// Finds the earliest slot >= `not_before` where both endpoints are free
+  /// and a channel offset is available; books and returns it.
+  ScheduledCell book(std::uint32_t not_before, NodeId tx, NodeId rx) {
+    for (std::uint32_t slot = not_before;; ++slot) {
+      if (busy_.contains({slot, tx.value}) ||
+          busy_.contains({slot, rx.value})) {
+        continue;
+      }
+      const int used = static_cast<int>(channels_used_[slot].size());
+      if (used >= num_channels_) continue;
+      ChannelOffset offset = 0;
+      while (channels_used_[slot].contains(offset)) ++offset;
+      channels_used_[slot].insert(offset);
+      busy_.insert({slot, tx.value});
+      busy_.insert({slot, rx.value});
+      ScheduledCell cell;
+      cell.slot = slot;
+      cell.channel_offset = offset;
+      cell.transmitter = tx;
+      cell.receiver = rx;
+      if (slot + 1 > horizon_) horizon_ = slot + 1;
+      return cell;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t horizon() const { return horizon_; }
+
+ private:
+  int num_channels_;
+  std::set<std::pair<std::uint32_t, std::uint16_t>> busy_;
+  std::map<std::uint32_t, std::set<ChannelOffset>> channels_used_;
+  std::uint32_t horizon_{0};
+};
+
+}  // namespace
+
+CentralSchedule compute_central_schedule(
+    const TopologySnapshot& topology, const GraphRoutingResult& routes,
+    const std::vector<CentralFlow>& flows,
+    const CentralSchedulerConfig& config) {
+  CentralSchedule schedule;
+  Allocator allocator(config.num_channels);
+
+  for (const CentralFlow& flow : flows) {
+    NodeId hop = flow.source;
+    std::uint32_t not_before = 0;
+    // Walk the primary path; at each hop schedule attempts-1 cells to the
+    // best parent and one cell to the second-best parent (when present).
+    int guard = 0;
+    while (hop.value >= topology.num_access_points &&
+           guard++ < topology.num_nodes) {
+      const GraphRoute& route = routes.routes[hop.value];
+      if (!route.best_parent.valid()) break;  // unreachable source
+      std::uint32_t last_slot = not_before;
+      for (int p = 1; p <= config.attempts; ++p) {
+        const bool backup = (p == config.attempts);
+        const NodeId peer = backup && route.second_best_parent.valid()
+                                ? route.second_best_parent
+                                : route.best_parent;
+        ScheduledCell cell = allocator.book(not_before, hop, peer);
+        cell.flow = flow.id;
+        cell.attempt = static_cast<std::uint8_t>(p);
+        last_slot = cell.slot;
+        not_before = cell.slot;  // attempts of one hop may share no slot,
+                                 // allocator enforces tx-busy anyway
+        schedule.cells.push_back(cell);
+      }
+      not_before = last_slot + 1;  // next hop forwards after reception
+      hop = route.best_parent;
+    }
+  }
+
+  schedule.superframe_length = allocator.horizon();
+  return schedule;
+}
+
+}  // namespace digs

@@ -1,0 +1,54 @@
+// Centralized TSCH schedule computation, as the WirelessHART Network
+// Manager performs it: given the centrally computed graph routes and the
+// set of flows, allocate dedicated (slot, channel) cells for every
+// transmission attempt along every route, conflict-free:
+//   - a node is in at most one cell per slot,
+//   - a (slot, channel offset) pair is used by at most one transmitter.
+// Greedy earliest-slot allocation in flow order, attempts scheduled
+// strictly after the previous hop's attempts (pipeline causality).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "manager/graph_router.h"
+
+namespace digs {
+
+struct CentralFlow {
+  FlowId id;
+  NodeId source;
+};
+
+struct ScheduledCell {
+  std::uint32_t slot{0};
+  ChannelOffset channel_offset{0};
+  NodeId transmitter;
+  NodeId receiver;
+  FlowId flow;
+  std::uint8_t attempt{1};
+};
+
+struct CentralSchedule {
+  std::uint32_t superframe_length{0};
+  std::vector<ScheduledCell> cells;
+
+  /// True if no node is double-booked in a slot and no (slot, channel) is
+  /// reused.
+  [[nodiscard]] bool conflict_free() const;
+};
+
+struct CentralSchedulerConfig {
+  int attempts = 3;  // per hop: attempts-1 on primary, 1 on backup parent
+  int num_channels = kNumChannels;
+};
+
+/// Computes the full network schedule. Flows with unreachable sources are
+/// skipped.
+[[nodiscard]] CentralSchedule compute_central_schedule(
+    const TopologySnapshot& topology, const GraphRoutingResult& routes,
+    const std::vector<CentralFlow>& flows,
+    const CentralSchedulerConfig& config = {});
+
+}  // namespace digs

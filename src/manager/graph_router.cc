@@ -1,0 +1,111 @@
+#include "manager/graph_router.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace digs {
+
+GraphRoutingResult compute_graph_routes(const TopologySnapshot& topology) {
+  const std::size_t n = topology.num_nodes;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<double> dist(n, kInf);
+  std::vector<int> depth(n, 0);
+  std::vector<NodeId> parent(n);
+
+  using QueueItem = std::pair<double, std::uint16_t>;  // (cost, node)
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>
+      queue;
+  for (std::uint16_t ap = 0; ap < topology.num_access_points; ++ap) {
+    dist[ap] = 0.0;
+    queue.emplace(0.0, ap);
+  }
+
+  while (!queue.empty()) {
+    const auto [cost, u] = queue.top();
+    queue.pop();
+    if (cost > dist[u]) continue;
+    for (std::uint16_t v = 0; v < n; ++v) {
+      if (!topology.linked(u, v)) continue;
+      const double next = cost + topology.etx[u][v];
+      if (next < dist[v]) {
+        dist[v] = next;
+        parent[v] = NodeId{u};
+        depth[v] = depth[u] + 1;
+        queue.emplace(next, v);
+      }
+    }
+  }
+
+  GraphRoutingResult result;
+  result.routes.resize(n);
+  for (std::uint16_t v = 0; v < n; ++v) {
+    GraphRoute& route = result.routes[v];
+    if (v < topology.num_access_points) {
+      route.cost = 0.0;
+      route.depth = 0;
+      continue;
+    }
+    if (dist[v] == kInf) {
+      result.unreachable.push_back(NodeId{v});
+      continue;
+    }
+    route.best_parent = parent[v];
+    route.cost = dist[v];
+    route.depth = depth[v];
+
+    // Second-best parent: the cheapest other neighbor with a strictly
+    // smaller node cost — guarantees the backup edge also points "downhill"
+    // towards the APs, so backup routes cannot cycle.
+    double best_alt = kInf;
+    for (std::uint16_t m = 0; m < n; ++m) {
+      if (m == route.best_parent.value || !topology.linked(v, m)) continue;
+      if (dist[m] >= dist[v]) continue;
+      const double through = dist[m] + topology.etx[v][m];
+      if (through < best_alt) {
+        best_alt = through;
+        route.second_best_parent = NodeId{m};
+      }
+    }
+  }
+  return result;
+}
+
+bool routes_are_dag(const TopologySnapshot& topology,
+                    const GraphRoutingResult& result) {
+  const std::size_t n = topology.num_nodes;
+  // Colors: 0 = unvisited, 1 = in progress, 2 = done.
+  std::vector<int> color(n, 0);
+  // Iterative DFS over parent edges.
+  for (std::uint16_t start = 0; start < n; ++start) {
+    if (color[start] != 0) continue;
+    std::vector<std::pair<std::uint16_t, int>> stack;  // (node, next edge)
+    stack.emplace_back(start, 0);
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [u, edge] = stack.back();
+      const GraphRoute& route = result.routes[u];
+      NodeId next = kNoNode;
+      if (edge == 0) {
+        next = route.best_parent;
+      } else if (edge == 1) {
+        next = route.second_best_parent;
+      } else {
+        color[u] = 2;
+        stack.pop_back();
+        continue;
+      }
+      ++edge;
+      if (!next.valid()) continue;
+      if (color[next.value] == 1) return false;  // back edge: cycle
+      if (color[next.value] == 0) {
+        color[next.value] = 1;
+        stack.emplace_back(next.value, 0);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace digs

@@ -1,0 +1,66 @@
+// Centralized graph-route computation, as performed by the WirelessHART
+// Network Manager (the baseline of paper Fig. 3; algorithmically in the
+// spirit of Han et al., RTAS'11): from a global connectivity/cost matrix,
+// compute every field device's best and second-best parent such that all
+// routes form a DAG terminating at the access points.
+//
+// Also used by tests as a reference to validate the distributed protocol's
+// steady-state routes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace digs {
+
+/// Global view of the network used by the centralized manager.
+struct TopologySnapshot {
+  std::uint16_t num_nodes{0};
+  std::uint16_t num_access_points{0};
+  /// etx[a][b]: link cost between nodes a and b; <= 0 or +inf means no link.
+  std::vector<std::vector<double>> etx;
+
+  [[nodiscard]] bool linked(std::uint16_t a, std::uint16_t b) const {
+    return a != b && etx[a][b] > 0.0 && etx[a][b] < kNoLink;
+  }
+
+  static constexpr double kNoLink = 1e9;
+};
+
+struct GraphRoute {
+  NodeId best_parent;
+  NodeId second_best_parent;
+  /// Accumulated ETX to the access points via the best parent.
+  double cost{0.0};
+  /// Hop distance to the nearest access point via best parents.
+  int depth{0};
+};
+
+/// Result of the centralized computation: routes[i] for node i (access
+/// points have invalid parents and depth 0).
+struct GraphRoutingResult {
+  std::vector<GraphRoute> routes;
+  /// Nodes (other than APs) for which no route exists.
+  std::vector<NodeId> unreachable;
+
+  [[nodiscard]] bool fully_connected() const { return unreachable.empty(); }
+};
+
+/// Dijkstra-based uplink graph construction: node costs are the minimum
+/// accumulated ETX to any access point; the best parent is the neighbor on
+/// that shortest path, and the second-best parent is the lowest-cost other
+/// neighbor with a strictly smaller cost than the node (the WirelessHART
+/// requirement of at least two outgoing paths, kept loop-free).
+[[nodiscard]] GraphRoutingResult compute_graph_routes(
+    const TopologySnapshot& topology);
+
+/// Verifies that the routes form a DAG over the best-parent edges and (when
+/// present) second-best-parent edges, i.e. following parents always strictly
+/// decreases cost. Returns true if acyclic.
+[[nodiscard]] bool routes_are_dag(const TopologySnapshot& topology,
+                                  const GraphRoutingResult& result);
+
+}  // namespace digs

@@ -1,0 +1,63 @@
+#include "manager/manager_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace digs {
+
+int total_depth(const GraphRoutingResult& routes,
+                std::uint16_t num_access_points) {
+  int depth = 0;
+  for (std::size_t i = num_access_points; i < routes.routes.size(); ++i) {
+    depth += routes.routes[i].depth;
+  }
+  return depth;
+}
+
+std::vector<ManagerAnchor> ManagerReactionModel::paper_anchors() {
+  // Fig. 3: Half A (20 nodes, 203 s), Full A (50, 506 s),
+  //         Half B (19, 191 s), Full B (44, 443 s).
+  // Depth sums approximate our testbed layouts (~2.2 mean hops).
+  return {
+      {20, 44, 203.0},
+      {50, 110, 506.0},
+      {19, 42, 191.0},
+      {44, 97, 443.0},
+  };
+}
+
+ManagerReactionModel ManagerReactionModel::fit(
+    const std::vector<ManagerAnchor>& anchors) {
+  // Model: y = p1 * x1 + p2 * x2 with x1 = 2*total_depth, x2 = N^2.
+  double s11 = 0, s12 = 0, s22 = 0, sy1 = 0, sy2 = 0;
+  for (const ManagerAnchor& anchor : anchors) {
+    const double x1 = 2.0 * anchor.total_depth;
+    const double x2 =
+        static_cast<double>(anchor.num_nodes) * anchor.num_nodes;
+    s11 += x1 * x1;
+    s12 += x1 * x2;
+    s22 += x2 * x2;
+    sy1 += x1 * anchor.measured_total_s;
+    sy2 += x2 * anchor.measured_total_s;
+  }
+  const double det = s11 * s22 - s12 * s12;
+  double p1 = 0.0;
+  double p2 = 0.0;
+  if (std::abs(det) > 1e-12) {
+    p1 = (sy1 * s22 - sy2 * s12) / det;
+    p2 = (s11 * sy2 - s12 * sy1) / det;
+  }
+  return ManagerReactionModel(std::max(p1, 0.0), std::max(p2, 0.0));
+}
+
+ManagerReactionBreakdown ManagerReactionModel::predict(
+    int num_nodes, int depth_sum) const {
+  ManagerReactionBreakdown out;
+  out.collect_s = per_hop_s_ * depth_sum;
+  out.disseminate_s = per_hop_s_ * depth_sum;
+  out.compute_s =
+      compute_coeff_s_ * static_cast<double>(num_nodes) * num_nodes;
+  return out;
+}
+
+}  // namespace digs

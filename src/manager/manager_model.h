@@ -1,0 +1,72 @@
+// Reaction-time model of the centralized WirelessHART Network Manager
+// (paper Fig. 3): when dynamics occur, the manager must
+//   1. collect topology reports from every device (multi-hop, through the
+//      management bandwidth of the TSCH network),
+//   2. recompute routes and the transmission schedule,
+//   3. disseminate per-device configuration (again multi-hop).
+//
+// Collection and dissemination costs are proportional to the total number
+// of report/config message-hops; computation grows with the schedule size
+// (~N^2 behaviour observed in deployed managers). The two coefficients are
+// fitted by least squares to measured anchor points — by default the four
+// testbed measurements the paper reports (Half/Full Testbed A and B) — so
+// the bench reproduces both the anchors and the scaling shape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "manager/graph_router.h"
+
+namespace digs {
+
+struct ManagerReactionBreakdown {
+  double collect_s{0};
+  double compute_s{0};
+  double disseminate_s{0};
+  [[nodiscard]] double total_s() const {
+    return collect_s + compute_s + disseminate_s;
+  }
+};
+
+/// One measured data point used for calibration.
+struct ManagerAnchor {
+  int num_nodes{0};
+  /// Sum over devices of hop distance to the nearest AP.
+  int total_depth{0};
+  double measured_total_s{0};
+};
+
+class ManagerReactionModel {
+ public:
+  /// Model: total = per_hop_s * (report_hops + config_hops)
+  ///              + compute_coeff_s * N^2
+  /// where report_hops = config_hops = total_depth (one report up and one
+  /// configuration down per device, each crossing `depth` hops).
+  ManagerReactionModel(double per_hop_s, double compute_coeff_s)
+      : per_hop_s_(per_hop_s), compute_coeff_s_(compute_coeff_s) {}
+
+  /// Least-squares fit of the two coefficients to the anchors (2x2 normal
+  /// equations; coefficients clamped to be non-negative).
+  [[nodiscard]] static ManagerReactionModel fit(
+      const std::vector<ManagerAnchor>& anchors);
+
+  /// The paper's Fig. 3 anchors with depths from our testbed layouts.
+  [[nodiscard]] static std::vector<ManagerAnchor> paper_anchors();
+
+  [[nodiscard]] ManagerReactionBreakdown predict(int num_nodes,
+                                                 int total_depth) const;
+
+  [[nodiscard]] double per_hop_s() const { return per_hop_s_; }
+  [[nodiscard]] double compute_coeff_s() const { return compute_coeff_s_; }
+
+ private:
+  double per_hop_s_;
+  double compute_coeff_s_;
+};
+
+/// Sum of best-parent hop depths over all field devices.
+[[nodiscard]] int total_depth(const GraphRoutingResult& routes,
+                              std::uint16_t num_access_points);
+
+}  // namespace digs

@@ -1,0 +1,43 @@
+#include "net/etx.h"
+
+namespace digs {
+
+double etx_from_rss(double rss_dbm, const EtxConfig& cfg) {
+  if (rss_dbm >= cfg.rss_max_dbm) return cfg.etx_at_rss_max;
+  if (rss_dbm <= cfg.rss_min_dbm) return cfg.etx_at_rss_min;
+  const double t =
+      (rss_dbm - cfg.rss_min_dbm) / (cfg.rss_max_dbm - cfg.rss_min_dbm);
+  return cfg.etx_at_rss_min + t * (cfg.etx_at_rss_max - cfg.etx_at_rss_min);
+}
+
+void EtxEstimator::seed_from_rss(double rss_dbm) {
+  seed_etx_ = etx_from_rss(rss_dbm, config_);
+  initialized_ = true;
+}
+
+void EtxEstimator::on_transmission(bool acked) {
+  attempts_ += 1.0;
+  if (acked) successes_ += 1.0;
+  if (attempts_ >= config_.window) {
+    attempts_ *= 0.5;
+    successes_ *= 0.5;
+  }
+  initialized_ = true;
+}
+
+double EtxEstimator::value() const {
+  if (!initialized_) return config_.etx_ceiling;
+  if (attempts_ < config_.min_attempts) {
+    // Blend the RSS seed with early feedback: a couple of failures on a
+    // supposedly good link already push the estimate up (the paper's
+    // "penalized if a transmission error occurs").
+    const double failures = attempts_ - successes_;
+    const double seed = seed_etx_ > 0.0 ? seed_etx_ : config_.etx_floor;
+    return std::clamp(seed + failures, config_.etx_floor,
+                      config_.etx_ceiling);
+  }
+  const double ratio = attempts_ / std::max(successes_, 0.5);
+  return std::clamp(ratio, config_.etx_floor, config_.etx_ceiling);
+}
+
+}  // namespace digs

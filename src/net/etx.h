@@ -1,0 +1,69 @@
+// Expected transmission count estimation, following the paper (Section V):
+//
+//   "the initialized ETX between two nodes are determined by the Received
+//    Signal Strength (RSS). We empirically set RSSmin = -90 dBm and
+//    RSSmax = -60 dBm. If the RSS value is larger than -60 dBm, the ETX is
+//    set to 1. If the RSS value is smaller than -90 dBm, the ETX is set
+//    to 3. The ETX in between is scaled proportionally between 1 and 3.
+//    The ETX value gets penalized if a transmission error occurs."
+//
+// After initialization the estimate is refined from unicast ACK outcomes
+// over a decaying attempt/success window (attempts / successes ~ 1 / PRR),
+// the way deployed link estimators (Contiki link-stats) work: stable under
+// partial loss, yet it degrades decisively when a link truly dies.
+#pragma once
+
+#include <algorithm>
+
+namespace digs {
+
+struct EtxConfig {
+  double rss_min_dbm = -90.0;
+  double rss_max_dbm = -60.0;
+  double etx_at_rss_min = 3.0;
+  double etx_at_rss_max = 1.0;
+  /// Window feedback starts overriding the RSS seed after this many
+  /// attempts.
+  int min_attempts = 8;
+  /// When the attempt count reaches this, both counters are halved
+  /// (exponential forgetting).
+  int window = 32;
+  /// Estimates are clamped to [floor, ceiling].
+  double etx_floor = 1.0;
+  double etx_ceiling = 16.0;
+  /// Neighbors first heard below this RSS are not admitted to the table:
+  /// the paper's seed mapping caps at ETX 3 for anything under -90 dBm,
+  /// which would make barely-audible links look only 3x worse than perfect
+  /// ones; deployed link estimators reject such links outright.
+  double admission_rss_dbm = -89.0;
+};
+
+/// Maps an RSS reading to the paper's initial ETX value.
+[[nodiscard]] double etx_from_rss(double rss_dbm, const EtxConfig& cfg = {});
+
+/// Per-neighbor link cost estimator.
+class EtxEstimator {
+ public:
+  explicit EtxEstimator(const EtxConfig& config = {}) : config_(config) {}
+
+  /// Seeds the estimate from an RSS reading. Only effective until enough
+  /// ACK feedback has accumulated.
+  void seed_from_rss(double rss_dbm);
+
+  /// Folds in the outcome of one unicast transmission attempt.
+  void on_transmission(bool acked);
+
+  [[nodiscard]] bool initialized() const { return initialized_; }
+
+  /// Current estimate; neighbors never heard from report the ceiling.
+  [[nodiscard]] double value() const;
+
+ private:
+  EtxConfig config_;
+  double seed_etx_{0.0};
+  bool initialized_{false};
+  double attempts_{0.0};
+  double successes_{0.0};
+};
+
+}  // namespace digs

@@ -1,0 +1,176 @@
+// Link-layer frames exchanged by the simulated stack.
+//
+// Traffic classes follow the paper's separation (Section VI): enhanced
+// beacons are synchronization traffic; join-in and joined-callback messages
+// are routing traffic; data frames are application traffic. Topology reports
+// and management updates exist only for the centralized WirelessHART
+// baseline (Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+
+namespace digs {
+
+enum class FrameType : std::uint8_t {
+  kEnhancedBeacon,
+  kJoinIn,
+  kJoinSolicit,
+  kJoinedCallback,
+  kDestAdvert,
+  kData,
+  kTopologyReport,
+  kMgmtUpdate,
+};
+
+[[nodiscard]] constexpr const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kEnhancedBeacon: return "EB";
+    case FrameType::kJoinIn: return "JOIN_IN";
+    case FrameType::kJoinSolicit: return "JOIN_SOLICIT";
+    case FrameType::kJoinedCallback: return "JOINED_CALLBACK";
+    case FrameType::kDestAdvert: return "DEST_ADVERT";
+    case FrameType::kData: return "DATA";
+    case FrameType::kTopologyReport: return "TOPOLOGY_REPORT";
+    case FrameType::kMgmtUpdate: return "MGMT_UPDATE";
+  }
+  return "?";
+}
+
+/// Enhanced beacon: lets joining nodes synchronize (learn the ASN) and learn
+/// the sender's position in the DODAG.
+struct EbPayload {
+  std::uint64_t asn{0};
+  std::uint16_t rank{0};
+};
+
+/// Join-in message (paper Section V): advertises rank and weighted ETX so
+/// neighbors can run Algorithm 1. Doubles as the RPL DIO for the Orchestra
+/// baseline (where etxw is the plain accumulated ETX).
+struct JoinInPayload {
+  std::uint16_t rank{0};
+  double etxw{0.0};
+};
+
+/// Join solicitation (the RPL DIS analogue): broadcast by a synchronized
+/// node that has no parent; joined neighbors respond by resetting their
+/// Trickle timer so a fresh join-in arrives quickly. Without it, a joiner
+/// in a dense, quiescent network waits up to Imax (Trickle suppression).
+struct JoinSolicitPayload {};
+
+/// Joined-callback (paper Section V): tells the selected parent it now has
+/// this child, and in which role, so it can install RX cells for the child's
+/// transmission slots.
+struct JoinedCallbackPayload {
+  /// True if the sender chose the destination as its best parent; false for
+  /// second-best parent.
+  bool as_best_parent{true};
+};
+
+/// Destination advertisement (the RPL storing-mode DAO analogue) for the
+/// paper's downlink graph (footnote 2: "other graphs such as downlink graph
+/// ... can be generated following the same method"): a node tells its best
+/// parent which destinations are reachable through it (itself plus its
+/// subtree), so downlink packets can be forwarded child-by-child.
+struct DestAdvertPayload {
+  struct Entry {
+    NodeId dest;
+    /// Freshness sequence (DAO-sequence semantics): bumped by the
+    /// destination each time it re-homes; freshest entry wins everywhere.
+    std::uint32_t seq{0};
+  };
+  std::vector<Entry> destinations;
+};
+
+/// Application data packet. Uplink packets (final_dst invalid) travel the
+/// uplink graph towards the APs; downlink packets (final_dst set) descend
+/// the child tables towards a specific device.
+struct DataPayload {
+  FlowId flow;
+  std::uint32_t seq{0};
+  NodeId origin;
+  /// Downlink destination; invalid means uplink to the access points.
+  NodeId final_dst;
+  SimTime created;
+  std::uint8_t hops{0};
+
+  [[nodiscard]] bool is_downlink() const { return final_dst.valid(); }
+};
+
+/// Topology report for the centralized Network Manager baseline.
+struct TopologyReportPayload {
+  NodeId reporter;
+  std::uint16_t num_neighbors{0};
+};
+
+/// Route/schedule dissemination chunk from the centralized Network Manager.
+struct MgmtUpdatePayload {
+  NodeId target;          // node whose configuration this chunk carries
+  std::uint16_t chunk{0}; // sequence within the update
+};
+
+using FramePayload =
+    std::variant<EbPayload, JoinInPayload, JoinSolicitPayload,
+                 JoinedCallbackPayload, DestAdvertPayload, DataPayload,
+                 TopologyReportPayload, MgmtUpdatePayload>;
+
+/// Typical over-the-air sizes (bytes) including PHY/MAC overhead.
+struct FrameSizes {
+  static constexpr int kEnhancedBeacon = 50;
+  static constexpr int kJoinIn = 40;
+  static constexpr int kJoinSolicit = 20;
+  static constexpr int kJoinedCallback = 30;
+  static constexpr int kDestAdvert = 60;
+  static constexpr int kData = 110;
+  static constexpr int kTopologyReport = 80;
+  static constexpr int kMgmtUpdate = 90;
+  static constexpr int kAck = 26;
+};
+
+[[nodiscard]] constexpr int default_frame_bytes(FrameType t) {
+  switch (t) {
+    case FrameType::kEnhancedBeacon: return FrameSizes::kEnhancedBeacon;
+    case FrameType::kJoinIn: return FrameSizes::kJoinIn;
+    case FrameType::kJoinSolicit: return FrameSizes::kJoinSolicit;
+    case FrameType::kJoinedCallback: return FrameSizes::kJoinedCallback;
+    case FrameType::kDestAdvert: return FrameSizes::kDestAdvert;
+    case FrameType::kData: return FrameSizes::kData;
+    case FrameType::kTopologyReport: return FrameSizes::kTopologyReport;
+    case FrameType::kMgmtUpdate: return FrameSizes::kMgmtUpdate;
+  }
+  return FrameSizes::kData;
+}
+
+struct Frame {
+  FrameType type{FrameType::kData};
+  NodeId src;  // link-layer sender of this hop
+  NodeId dst;  // link-layer destination; kNoNode means broadcast (no ACK)
+  int length_bytes{FrameSizes::kData};
+  FramePayload payload;
+
+  [[nodiscard]] bool is_broadcast() const { return !dst.valid(); }
+
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    return std::get<T>(payload);
+  }
+};
+
+/// Builds a frame with the default length for its type.
+template <typename Payload>
+[[nodiscard]] Frame make_frame(FrameType type, NodeId src, NodeId dst,
+                               Payload payload) {
+  Frame f;
+  f.type = type;
+  f.src = src;
+  f.dst = dst;
+  f.length_bytes = default_frame_bytes(type);
+  f.payload = std::move(payload);
+  return f;
+}
+
+}  // namespace digs

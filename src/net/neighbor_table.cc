@@ -1,0 +1,84 @@
+#include "net/neighbor_table.h"
+
+#include <algorithm>
+
+namespace digs {
+
+NeighborInfo* NeighborTable::get_or_create(NodeId id, double rss_dbm,
+                                           SimTime now) {
+  for (auto& entry : entries_) {
+    if (entry.id == id) return &entry;
+  }
+  // Admission control: don't track neighbors that are barely audible.
+  if (rss_dbm < etx_config_.admission_rss_dbm) return nullptr;
+  NeighborInfo info;
+  info.id = id;
+  info.etx = EtxEstimator{etx_config_};
+  info.rss_dbm = rss_dbm;
+  info.last_heard = now;
+  entries_.push_back(info);
+  return &entries_.back();
+}
+
+void NeighborTable::on_heard(NodeId id, double rss_dbm, std::uint16_t rank,
+                             double etxw, SimTime now) {
+  NeighborInfo* n = get_or_create(id, rss_dbm, now);
+  if (n == nullptr) return;
+  // Smooth RSS with a light EWMA; first contact seeds directly.
+  n->rss_dbm = 0.8 * n->rss_dbm + 0.2 * rss_dbm;
+  n->etx.seed_from_rss(n->rss_dbm);
+  n->rank = rank;
+  n->advertised_etxw = etxw;
+  n->last_heard = now;
+}
+
+void NeighborTable::on_heard_rss(NodeId id, double rss_dbm, SimTime now) {
+  NeighborInfo* n = get_or_create(id, rss_dbm, now);
+  if (n == nullptr) return;
+  n->rss_dbm = 0.8 * n->rss_dbm + 0.2 * rss_dbm;
+  n->etx.seed_from_rss(n->rss_dbm);
+  n->last_heard = now;
+}
+
+void NeighborTable::on_transmission(NodeId id, bool acked) {
+  NeighborInfo* n = find(id);
+  if (n == nullptr) return;
+  n->etx.on_transmission(acked);
+  n->consecutive_noacks = acked ? 0 : n->consecutive_noacks + 1;
+}
+
+void NeighborTable::remove(NodeId id) {
+  std::erase_if(entries_, [id](const NeighborInfo& n) { return n.id == id; });
+}
+
+const NeighborInfo* NeighborTable::find(NodeId id) const {
+  for (const auto& entry : entries_) {
+    if (entry.id == id) return &entry;
+  }
+  return nullptr;
+}
+
+NeighborInfo* NeighborTable::find(NodeId id) {
+  for (auto& entry : entries_) {
+    if (entry.id == id) return &entry;
+  }
+  return nullptr;
+}
+
+const NeighborInfo* NeighborTable::best(
+    const std::function<double(const NeighborInfo&)>& cost,
+    const std::function<bool(const NeighborInfo&)>& exclude) const {
+  const NeighborInfo* best_entry = nullptr;
+  double best_cost = NeighborInfo::kInfiniteEtx;
+  for (const auto& entry : entries_) {
+    if (exclude && exclude(entry)) continue;
+    const double c = cost(entry);
+    if (c < best_cost) {
+      best_cost = c;
+      best_entry = &entry;
+    }
+  }
+  return best_entry;
+}
+
+}  // namespace digs

@@ -1,0 +1,84 @@
+// Per-node neighbor table: everything a node has learned about its radio
+// neighborhood from overheard join-in messages and unicast ACK feedback.
+// Both the DiGS routing protocol and the RPL/Orchestra baseline read from it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "net/etx.h"
+
+namespace digs {
+
+struct NeighborInfo {
+  NodeId id;
+  EtxEstimator etx;
+  /// Smoothed RSS of frames heard from this neighbor (dBm).
+  double rss_dbm{-100.0};
+  /// Last advertised rank (infinity until heard).
+  std::uint16_t rank{kInfiniteRank};
+  /// Last advertised weighted ETX / path cost.
+  double advertised_etxw{kInfiniteEtx};
+  SimTime last_heard{};
+  /// Consecutive unicast failures towards this neighbor; reset on success.
+  int consecutive_noacks{0};
+
+  static constexpr std::uint16_t kInfiniteRank = digs::kInfiniteRank;
+  static constexpr double kInfiniteEtx = 1e9;
+
+  /// Accumulated cost to the APs when routing through this neighbor:
+  /// link ETX plus the neighbor's advertised path cost (paper's
+  /// ETXa(node, i) = ETX(node, i) + ETXw(i)).
+  [[nodiscard]] double accumulated_etx() const {
+    if (advertised_etxw >= kInfiniteEtx) return kInfiniteEtx;
+    return etx.value() + advertised_etxw;
+  }
+};
+
+class NeighborTable {
+ public:
+  explicit NeighborTable(const EtxConfig& etx_config = {})
+      : etx_config_(etx_config) {}
+
+  /// Records a frame heard from `id` carrying the given advertisement.
+  /// Seeds the neighbor's ETX from RSS on first contact (paper Section V).
+  void on_heard(NodeId id, double rss_dbm, std::uint16_t rank, double etxw,
+                SimTime now);
+
+  /// Records RSS-only contact (e.g. an overheard EB with no routing info).
+  void on_heard_rss(NodeId id, double rss_dbm, SimTime now);
+
+  /// Records the outcome of one unicast attempt towards `id`.
+  void on_transmission(NodeId id, bool acked);
+
+  /// Removes a neighbor entirely (e.g. declared dead).
+  void remove(NodeId id);
+
+  [[nodiscard]] const NeighborInfo* find(NodeId id) const;
+  [[nodiscard]] NeighborInfo* find(NodeId id);
+
+  [[nodiscard]] const std::vector<NeighborInfo>& neighbors() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Best neighbor according to `cost` (smaller is better), excluding those
+  /// for which `exclude` returns true. Returns nullptr if none qualify.
+  [[nodiscard]] const NeighborInfo* best(
+      const std::function<double(const NeighborInfo&)>& cost,
+      const std::function<bool(const NeighborInfo&)>& exclude) const;
+
+ private:
+  /// Returns the entry, creating it unless the first contact is below the
+  /// admission RSS (in which case nullptr).
+  NeighborInfo* get_or_create(NodeId id, double rss_dbm, SimTime now);
+
+  EtxConfig etx_config_;
+  std::vector<NeighborInfo> entries_;
+};
+
+}  // namespace digs

@@ -1,0 +1,32 @@
+// Node placement geometry. Positions are metres; z encodes the floor
+// elevation (Testbed B spans two floors, paper Fig. 8(b)).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace digs {
+
+struct Position {
+  double x{0};
+  double y{0};
+  double z{0};
+
+  friend constexpr bool operator==(const Position&, const Position&) = default;
+};
+
+[[nodiscard]] inline double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = a.z - b.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+/// Number of floor boundaries crossed between two positions, assuming
+/// `floor_height` metres per storey. Used to add per-floor penetration loss.
+[[nodiscard]] inline int floors_crossed(const Position& a, const Position& b,
+                                        double floor_height = 4.0) {
+  return static_cast<int>(std::abs(a.z - b.z) / floor_height + 0.5);
+}
+
+}  // namespace digs

@@ -1,0 +1,59 @@
+#include "phy/jammer.h"
+
+#include <cmath>
+
+namespace digs {
+
+bool Jammer::macro_on(SimTime t) const {
+  if (t < config_.start) return false;
+  if (config_.off_duration.us <= 0) return true;
+  const std::int64_t cycle =
+      config_.on_duration.us + config_.off_duration.us;
+  const std::int64_t phase = (t - config_.start).us % cycle;
+  return phase < config_.on_duration.us;
+}
+
+bool Jammer::active(PhysicalChannel channel, std::uint64_t slot,
+                    SimTime slot_start) const {
+  if (!macro_on(slot_start)) return false;
+  switch (config_.pattern) {
+    case JammerPattern::kConstant:
+      return true;
+    case JammerPattern::kWifiStreaming: {
+      // Affects a block of 4 adjacent channels. Busy/idle bursts: carve time
+      // into 50-slot (500 ms) epochs; within a busy epoch each slot is hit
+      // with p=0.9, in an idle epoch with p=0.1. ~3 of 4 epochs are busy,
+      // emulating sustained data streaming with inter-frame gaps.
+      const int block = config_.wifi_block_start;
+      if (channel < block || channel >= block + 4) return false;
+      const std::uint64_t epoch = slot / 50;
+      const bool busy = (hash_mix(seed_, 0xE9, epoch) & 3) != 0;
+      const double p = busy ? 0.9 : 0.1;
+      const std::uint64_t h = hash_mix(seed_, 0x51, slot);
+      return (h >> 11) * 0x1.0p-53 < p;
+    }
+    case JammerPattern::kBluetooth: {
+      // 1600 hops/s over 79 1-MHz channels: within one 10 ms slot, 16 hops;
+      // each 802.15.4 channel (2 MHz wide) overlaps ~2/79 of hops, so the
+      // chance at least one of ~16 hops lands on this channel ~ 33%.
+      const std::uint64_t h = hash_mix(seed_, 0xB7, channel, slot);
+      return (h >> 11) * 0x1.0p-53 < 0.33;
+    }
+  }
+  return false;
+}
+
+double Jammer::received_power_mw(const Position& rx, double path_loss_ref_db,
+                                 double path_loss_exponent,
+                                 double floor_penetration_db,
+                                 double floor_height_m) const {
+  const double d = std::max(distance(config_.position, rx), 1.0);
+  const double pl = path_loss_ref_db +
+                    10.0 * path_loss_exponent * std::log10(d) +
+                    floors_crossed(config_.position, rx, floor_height_m) *
+                        floor_penetration_db;
+  const double rss_dbm = config_.tx_power_dbm - pl;
+  return std::pow(10.0, rss_dbm / 10.0);
+}
+
+}  // namespace digs

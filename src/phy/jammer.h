@@ -1,0 +1,76 @@
+// Controlled interference sources, modelled after JamLab (Boano et al.,
+// IPSN'11) as used in the paper's experiments: sensor motes reconfigured to
+// emit signals whose temporal pattern emulates WiFi data streaming (bursty,
+// high duty cycle while "busy") or Bluetooth. A WiFi-shaped jammer occupies a
+// block of 4 adjacent 802.15.4 channels (a 22 MHz WiFi channel covers four
+// 2 MHz 802.15.4 channels); a wideband jammer covers all 16.
+//
+// Jammers additionally have a macro on/off cycle (paper Fig. 12: Cooja
+// disturbers toggling every 5 minutes). Activity per slot is hash-derived so
+// runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "common/types.h"
+#include "phy/geometry.h"
+
+namespace digs {
+
+enum class JammerPattern {
+  /// Emulated WiFi data streaming: busy bursts of many consecutive slots
+  /// with short gaps; ~75% of slots hit while the macro-cycle is on.
+  kWifiStreaming,
+  /// Emulated Bluetooth: frequency-hopping short bursts, lower per-channel
+  /// hit probability but all channels affected over time.
+  kBluetooth,
+  /// Constant carrier while on.
+  kConstant,
+};
+
+struct JammerConfig {
+  Position position;
+  double tx_power_dbm = 10.0;  // boosted to emulate 802.11 power (paper VII-A)
+  JammerPattern pattern = JammerPattern::kWifiStreaming;
+  /// First 802.15.4 channel (0..15) of the affected 4-channel block for the
+  /// WiFi pattern; ignored for Bluetooth/Constant.
+  int wifi_block_start = 6;
+  /// Macro activity cycle. Active in [start, start+on), then off for `off`,
+  /// repeating. `off.us == 0` means always within the on-phase.
+  SimTime start{0};
+  SimDuration on_duration = seconds(static_cast<std::int64_t>(3'600));
+  SimDuration off_duration = seconds(static_cast<std::int64_t>(0));
+};
+
+/// One interference source. Stateless: activity is a pure function of
+/// (config, seed, channel, slot).
+class Jammer {
+ public:
+  Jammer(const JammerConfig& config, std::uint64_t seed)
+      : config_(config), seed_(seed) {}
+
+  /// True if this jammer corrupts the given channel during the given slot.
+  [[nodiscard]] bool active(PhysicalChannel channel, std::uint64_t slot,
+                            SimTime slot_start) const;
+
+  /// Interference power in mW received at `rx` when active (path loss only;
+  /// jammer emissions are wideband noise, no fading structure needed).
+  [[nodiscard]] double received_power_mw(const Position& rx,
+                                         double path_loss_ref_db,
+                                         double path_loss_exponent,
+                                         double floor_penetration_db,
+                                         double floor_height_m) const;
+
+  [[nodiscard]] const JammerConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] bool macro_on(SimTime t) const;
+
+  JammerConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace digs

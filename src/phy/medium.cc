@@ -1,0 +1,86 @@
+#include "phy/medium.h"
+
+#include <cmath>
+
+namespace digs {
+
+Medium::Medium(const MediumConfig& config, std::vector<Position> positions,
+               std::uint64_t seed)
+    : config_(config),
+      positions_(std::move(positions)),
+      propagation_(config.propagation, seed),
+      seed_(seed) {}
+
+void Medium::add_jammer(const JammerConfig& jammer_config) {
+  jammers_.emplace_back(jammer_config,
+                        hash_mix(seed_, 0x1A33, jammers_.size()));
+}
+
+double Medium::rss_dbm(NodeId tx, NodeId rx, PhysicalChannel channel,
+                       std::uint64_t slot, double tx_power_dbm) const {
+  return propagation_.rss_dbm(tx_power_dbm, tx, rx, positions_[tx.value],
+                              positions_[rx.value], channel, slot);
+}
+
+double Medium::mean_rss_dbm(NodeId tx, NodeId rx, PhysicalChannel channel,
+                            double tx_power_dbm) const {
+  return propagation_.mean_rss_dbm(tx_power_dbm, tx, rx, positions_[tx.value],
+                                   positions_[rx.value], channel);
+}
+
+double Medium::interference_mw(NodeId rx, PhysicalChannel channel,
+                               std::uint64_t slot, SimTime slot_start,
+                               std::span<const TransmissionAttempt> concurrent,
+                               NodeId wanted) const {
+  double total_mw = 0.0;
+  for (const auto& other : concurrent) {
+    if (other.sender == wanted || other.sender == rx) continue;
+    if (other.channel != channel) continue;
+    const double rss =
+        rss_dbm(other.sender, rx, channel, slot, other.tx_power_dbm);
+    total_mw += std::pow(10.0, rss / 10.0);
+  }
+  const auto& prop = config_.propagation;
+  for (const auto& jammer : jammers_) {
+    if (!jammer.active(channel, slot, slot_start)) continue;
+    total_mw += jammer.received_power_mw(
+        positions_[rx.value], prop.path_loss_ref_db, prop.path_loss_exponent,
+        prop.floor_penetration_db, prop.floor_height_m);
+  }
+  return total_mw;
+}
+
+const PrrTable& Medium::table_for(int frame_bytes) const {
+  auto it = prr_tables_.find(frame_bytes);
+  if (it == prr_tables_.end()) {
+    it = prr_tables_.emplace(frame_bytes, PrrTable{frame_bytes}).first;
+  }
+  return it->second;
+}
+
+double Medium::reception_probability(
+    const TransmissionAttempt& tx, NodeId rx, std::uint64_t slot,
+    SimTime slot_start,
+    std::span<const TransmissionAttempt> concurrent) const {
+  if (tx.sender == rx) return 0.0;
+  const double signal_dbm =
+      rss_dbm(tx.sender, rx, tx.channel, slot, tx.tx_power_dbm);
+  if (signal_dbm < config_.sensitivity_dbm) return 0.0;
+
+  const double noise_mw = std::pow(10.0, config_.noise_floor_dbm / 10.0);
+  const double interf_mw = interference_mw(rx, tx.channel, slot, slot_start,
+                                           concurrent, tx.sender);
+  const double signal_mw = std::pow(10.0, signal_dbm / 10.0);
+  const double sinr_db = 10.0 * std::log10(signal_mw / (noise_mw + interf_mw));
+  return table_for(tx.frame_bytes).prr(sinr_db);
+}
+
+bool Medium::try_receive(const TransmissionAttempt& tx, NodeId rx,
+                         std::uint64_t slot, SimTime slot_start,
+                         std::span<const TransmissionAttempt> concurrent,
+                         Rng& rng) const {
+  return rng.chance(
+      reception_probability(tx, rx, slot, slot_start, concurrent));
+}
+
+}  // namespace digs

@@ -1,0 +1,103 @@
+// The shared wireless medium.
+//
+// The TSCH network loop is slotted: in each 10 ms slot the MAC layer gathers
+// every transmission attempt, and the Medium decides per listener whether the
+// frame is received, given
+//   - signal RSS (path loss + shadowing + channel offset + temporal fading),
+//   - co-channel interference from every other simultaneous transmitter,
+//   - jammer interference active on that (channel, slot),
+//   - the thermal noise floor and radio sensitivity,
+// via the 802.15.4 SINR->PRR model and a Bernoulli draw.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "phy/geometry.h"
+#include "phy/jammer.h"
+#include "phy/propagation.h"
+#include "phy/prr.h"
+
+namespace digs {
+
+struct MediumConfig {
+  PropagationConfig propagation;
+  /// Thermal noise + receiver noise figure (dBm).
+  double noise_floor_dbm = -95.0;
+  /// CC2420 receiver sensitivity (dBm): frames below this are never decoded.
+  double sensitivity_dbm = -94.0;
+};
+
+/// One frame on the air during a slot.
+struct TransmissionAttempt {
+  NodeId sender;
+  PhysicalChannel channel{0};
+  int frame_bytes{127};
+  double tx_power_dbm{0.0};
+};
+
+class Medium {
+ public:
+  /// `positions[i]` is the position of NodeId(i).
+  Medium(const MediumConfig& config, std::vector<Position> positions,
+         std::uint64_t seed);
+
+  void add_jammer(const JammerConfig& config);
+  void clear_jammers() { jammers_.clear(); }
+  [[nodiscard]] std::size_t num_jammers() const { return jammers_.size(); }
+
+  [[nodiscard]] std::size_t num_nodes() const { return positions_.size(); }
+  [[nodiscard]] const Position& position(NodeId id) const {
+    return positions_[id.value];
+  }
+
+  /// Instantaneous RSS of a frame from `tx` at `rx` (dBm).
+  [[nodiscard]] double rss_dbm(NodeId tx, NodeId rx, PhysicalChannel channel,
+                               std::uint64_t slot,
+                               double tx_power_dbm = 0.0) const;
+
+  /// Static expected RSS (no temporal fading), for tests and topology tools.
+  [[nodiscard]] double mean_rss_dbm(NodeId tx, NodeId rx,
+                                    PhysicalChannel channel,
+                                    double tx_power_dbm = 0.0) const;
+
+  /// Total interference power at `rx` on `channel` during `slot` from
+  /// jammers and from concurrent transmitters other than `wanted` (mW).
+  [[nodiscard]] double interference_mw(
+      NodeId rx, PhysicalChannel channel, std::uint64_t slot,
+      SimTime slot_start, std::span<const TransmissionAttempt> concurrent,
+      NodeId wanted) const;
+
+  /// Probability that `rx`, listening on `tx.channel`, decodes `tx`.
+  [[nodiscard]] double reception_probability(
+      const TransmissionAttempt& tx, NodeId rx, std::uint64_t slot,
+      SimTime slot_start,
+      std::span<const TransmissionAttempt> concurrent) const;
+
+  /// Bernoulli reception draw.
+  [[nodiscard]] bool try_receive(
+      const TransmissionAttempt& tx, NodeId rx, std::uint64_t slot,
+      SimTime slot_start, std::span<const TransmissionAttempt> concurrent,
+      Rng& rng) const;
+
+  [[nodiscard]] const MediumConfig& config() const { return config_; }
+  [[nodiscard]] const Propagation& propagation() const { return propagation_; }
+  [[nodiscard]] const std::vector<Jammer>& jammers() const { return jammers_; }
+
+ private:
+  [[nodiscard]] const PrrTable& table_for(int frame_bytes) const;
+
+  MediumConfig config_;
+  std::vector<Position> positions_;
+  Propagation propagation_;
+  std::uint64_t seed_;
+  std::vector<Jammer> jammers_;
+  // PRR lookup tables keyed by frame length, built on demand.
+  mutable std::map<int, PrrTable> prr_tables_;
+};
+
+}  // namespace digs

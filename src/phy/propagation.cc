@@ -1,0 +1,55 @@
+#include "phy/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace digs {
+
+std::uint64_t Propagation::link_key(NodeId a, NodeId b) const {
+  // Symmetric: (a, b) and (b, a) share all static draws.
+  const std::uint64_t lo = std::min(a.value, b.value);
+  const std::uint64_t hi = std::max(a.value, b.value);
+  return hash_mix(seed_, lo, hi);
+}
+
+double Propagation::mean_rss_dbm(double tx_power_dbm, NodeId a, NodeId b,
+                                 const Position& tx_pos,
+                                 const Position& rx_pos,
+                                 PhysicalChannel channel) const {
+  const double d =
+      std::max(distance(tx_pos, rx_pos), config_.reference_distance_m);
+  const double path_loss =
+      config_.path_loss_ref_db +
+      10.0 * config_.path_loss_exponent *
+          std::log10(d / config_.reference_distance_m);
+  const double floors =
+      floors_crossed(tx_pos, rx_pos, config_.floor_height_m) *
+      config_.floor_penetration_db;
+
+  const std::uint64_t key = link_key(a, b);
+  constexpr std::uint64_t kShadowTag = 0x5AAD;
+  constexpr std::uint64_t kChannelTag = 0xC0FF;
+  const double shadowing =
+      hashed_normal(hash_mix(key, kShadowTag)) * config_.shadowing_sigma_db;
+  const double channel_offset =
+      hashed_normal(hash_mix(key, kChannelTag, channel)) *
+      config_.channel_offset_sigma_db;
+
+  return tx_power_dbm - path_loss - floors + shadowing + channel_offset;
+}
+
+double Propagation::rss_dbm(double tx_power_dbm, NodeId a, NodeId b,
+                            const Position& tx_pos, const Position& rx_pos,
+                            PhysicalChannel channel,
+                            std::uint64_t slot) const {
+  const std::uint64_t block = slot / std::max<std::uint64_t>(
+                                         config_.coherence_slots, 1);
+  const std::uint64_t key = link_key(a, b);
+  constexpr std::uint64_t kFadingTag = 0xFAD0;
+  const double fading =
+      hashed_normal(hash_mix(key, kFadingTag, channel, block)) *
+      config_.temporal_fading_sigma_db;
+  return mean_rss_dbm(tx_power_dbm, a, b, tx_pos, rx_pos, channel) + fading;
+}
+
+}  // namespace digs

@@ -1,0 +1,72 @@
+// Indoor radio propagation: log-distance path loss with per-link lognormal
+// shadowing, per-(link, channel) frequency-selective offsets (the reason TSCH
+// channel hopping helps), and block temporal fading.
+//
+// All random components are *hash-derived* from (seed, link, channel, time
+// block): the model is stateless and a given run is exactly reproducible.
+// Links are symmetric in the static components; temporal fading is symmetric
+// too (same coherence block draw both directions), which matches the
+// reciprocity of narrowband channels on the timescale of a slot.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "phy/geometry.h"
+
+namespace digs {
+
+struct PropagationConfig {
+  /// Path loss at the reference distance (dB). ~40 dB at 1 m for 2.4 GHz.
+  double path_loss_ref_db = 40.0;
+  double reference_distance_m = 1.0;
+  /// Indoor office environments: exponent ~3.
+  double path_loss_exponent = 3.0;
+  /// Static per-link lognormal shadowing (dB).
+  double shadowing_sigma_db = 4.0;
+  /// Attenuation per floor boundary crossed (dB).
+  double floor_penetration_db = 12.0;
+  double floor_height_m = 4.0;
+  /// Per-(link, channel) static frequency-selective offset (dB). This is
+  /// what makes some channels good and others bad on the same link.
+  double channel_offset_sigma_db = 4.0;
+  /// Temporal fading sigma (dB), redrawn once per coherence block. Together
+  /// with the channel offsets this creates the wide "gray region" of real
+  /// indoor 802.15.4 links.
+  double temporal_fading_sigma_db = 3.0;
+  /// Coherence time of the temporal fading in TSCH slots (100 slots = 1 s).
+  std::uint64_t coherence_slots = 100;
+};
+
+/// Computes received signal strength for a (tx, rx, channel, slot) tuple.
+class Propagation {
+ public:
+  Propagation(const PropagationConfig& config, std::uint64_t seed)
+      : config_(config), seed_(seed) {}
+
+  /// RSS in dBm at `rx_pos` for a transmission from `tx_pos` at
+  /// `tx_power_dbm`. `a`/`b` identify the link endpoints for the hash-derived
+  /// shadowing; channel and slot select the frequency/temporal components.
+  [[nodiscard]] double rss_dbm(double tx_power_dbm, NodeId a, NodeId b,
+                               const Position& tx_pos, const Position& rx_pos,
+                               PhysicalChannel channel,
+                               std::uint64_t slot) const;
+
+  /// Deterministic (static-only) RSS with no temporal fading; used for
+  /// expected-topology computations and tests.
+  [[nodiscard]] double mean_rss_dbm(double tx_power_dbm, NodeId a, NodeId b,
+                                    const Position& tx_pos,
+                                    const Position& rx_pos,
+                                    PhysicalChannel channel) const;
+
+  [[nodiscard]] const PropagationConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] std::uint64_t link_key(NodeId a, NodeId b) const;
+
+  PropagationConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace digs

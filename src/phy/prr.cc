@@ -1,0 +1,52 @@
+#include "phy/prr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace digs {
+
+namespace {
+
+// C(16, k) for k = 0..16.
+constexpr double kBinomial16[17] = {
+    1,    16,   120,  560,   1820,  4368, 8008, 11440, 12870,
+    11440, 8008, 4368, 1820, 560,   120,  16,   1};
+
+}  // namespace
+
+double ieee802154_ber(double sinr_linear) {
+  if (sinr_linear <= 0.0) return 0.5;
+  double acc = 0.0;
+  for (int k = 2; k <= 16; ++k) {
+    const double sign = (k % 2 == 0) ? 1.0 : -1.0;
+    acc += sign * kBinomial16[k] *
+           std::exp(20.0 * sinr_linear * (1.0 / k - 1.0));
+  }
+  const double ber = (8.0 / 15.0) * (1.0 / 16.0) * acc;
+  return std::clamp(ber, 0.0, 0.5);
+}
+
+double ieee802154_prr(double sinr_db, int frame_bytes) {
+  const double sinr_linear = std::pow(10.0, sinr_db / 10.0);
+  const double ber = ieee802154_ber(sinr_linear);
+  return std::pow(1.0 - ber, 8.0 * frame_bytes);
+}
+
+PrrTable::PrrTable(int frame_bytes) : frame_bytes_(frame_bytes) {
+  for (int i = 0; i < kEntries; ++i) {
+    table_[static_cast<std::size_t>(i)] =
+        ieee802154_prr(kMinDb + i * kStepDb, frame_bytes);
+  }
+}
+
+double PrrTable::prr(double sinr_db) const {
+  if (sinr_db < kMinDb) return 0.0;
+  if (sinr_db >= kMaxDb) return table_.back();
+  const double idx = (sinr_db - kMinDb) / kStepDb;
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, table_.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return table_[lo] * (1.0 - frac) + table_[hi] * frac;
+}
+
+}  // namespace digs

@@ -1,0 +1,41 @@
+// SINR -> packet reception ratio for IEEE 802.15.4 O-QPSK/DSSS.
+//
+// Bit error rate follows the standard 2.4 GHz 802.15.4 model
+//   BER(sinr) = (8/15) * (1/16) * sum_{k=2}^{16} (-1)^k C(16,k)
+//               * exp(20 * sinr * (1/k - 1))
+// with sinr in linear scale, and PRR = (1 - BER)^(8 * frame_bytes).
+// A lookup table over SINR dB makes the per-slot evaluation cheap.
+#pragma once
+
+#include <array>
+
+namespace digs {
+
+/// Raw bit error rate for a linear SINR value.
+[[nodiscard]] double ieee802154_ber(double sinr_linear);
+
+/// Packet reception ratio for a frame of `frame_bytes` at `sinr_db`.
+/// Exact evaluation (no table); use PrrTable for hot paths.
+[[nodiscard]] double ieee802154_prr(double sinr_db, int frame_bytes);
+
+/// Precomputed PRR over SINR in [-10, +20] dB at 0.1 dB resolution for one
+/// frame length. Below range -> 0, above -> computed at +20 dB (≈1).
+class PrrTable {
+ public:
+  explicit PrrTable(int frame_bytes);
+
+  [[nodiscard]] double prr(double sinr_db) const;
+  [[nodiscard]] int frame_bytes() const { return frame_bytes_; }
+
+  static constexpr double kMinDb = -10.0;
+  static constexpr double kMaxDb = 20.0;
+  static constexpr double kStepDb = 0.1;
+  static constexpr int kEntries =
+      static_cast<int>((kMaxDb - kMinDb) / kStepDb) + 1;
+
+ private:
+  int frame_bytes_;
+  std::array<double, kEntries> table_{};
+};
+
+}  // namespace digs

@@ -1,0 +1,71 @@
+// Routing state for the centralized WirelessHART baseline: the node holds
+// whatever the Network Manager last installed — it computes nothing itself,
+// sends no join-ins, and performs no local repair. When a parent dies the
+// node keeps using the stale assignment until the manager pushes new routes,
+// which is exactly the sluggishness the paper's Section III/IV describes
+// ("the network during the update has to operate under compromised routes").
+#pragma once
+
+#include <vector>
+
+#include "routing/routing.h"
+
+namespace digs {
+
+class CentralizedRouting final : public RoutingProtocol {
+ public:
+  explicit CentralizedRouting(NodeId id, bool is_access_point, Env env)
+      : id_(id), is_access_point_(is_access_point), env_(std::move(env)) {}
+
+  /// Installs a manager-computed assignment (routes + child table + rank).
+  void set_assignment(NodeId best_parent, NodeId second_best_parent,
+                      std::uint16_t rank, std::vector<ChildEntry> children,
+                      SimTime now) {
+    best_parent_ = best_parent;
+    second_best_parent_ = second_best_parent;
+    rank_ = is_access_point_ ? kAccessPointRank : rank;
+    children_ = std::move(children);
+    if (env_.on_topology_changed) env_.on_topology_changed(now);
+  }
+
+  void start(SimTime now) override {
+    if (is_access_point_) {
+      rank_ = kAccessPointRank;
+      if (env_.on_topology_changed) env_.on_topology_changed(now);
+    }
+  }
+
+  void stop(SimTime now) override {
+    // A desynchronized node keeps its installed routes (the manager, not
+    // the node, owns them) but cannot use them until it re-syncs.
+    (void)now;
+  }
+
+  void handle_frame(const Frame&, double, SimTime) override {}
+  void on_tx_result(NodeId, FrameType, bool, SimTime) override {}
+  void touch_child(NodeId, SimTime) override {}
+
+  [[nodiscard]] NodeId best_parent() const override { return best_parent_; }
+  [[nodiscard]] NodeId second_best_parent() const override {
+    return second_best_parent_;
+  }
+  [[nodiscard]] std::uint16_t rank() const override { return rank_; }
+  [[nodiscard]] double advertised_cost() const override { return 0.0; }
+  [[nodiscard]] std::span<const ChildEntry> children() const override {
+    return children_;
+  }
+  [[nodiscard]] bool joined() const override {
+    return is_access_point_ || best_parent_.valid();
+  }
+
+ private:
+  NodeId id_;
+  bool is_access_point_;
+  Env env_;
+  NodeId best_parent_;
+  NodeId second_best_parent_;
+  std::uint16_t rank_{kInfiniteRank};
+  std::vector<ChildEntry> children_;
+};
+
+}  // namespace digs

@@ -1,0 +1,547 @@
+#include "routing/digs_routing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace digs {
+
+DigsRouting::DigsRouting(Simulator& sim, NodeId id, bool is_access_point,
+                         NeighborTable& neighbors,
+                         const DigsRoutingConfig& config, Rng rng, Env env)
+    : sim_(sim),
+      id_(id),
+      is_access_point_(is_access_point),
+      neighbors_(neighbors),
+      config_(config),
+      env_(std::move(env)),
+      trickle_(sim, config.trickle, rng.fork("trickle"),
+               [this] { send_join_in(); }),
+      prune_timer_(sim, seconds(static_cast<std::int64_t>(30)),
+                   [this] {
+                     prune_children(sim_.now());
+                     prune_descendants(sim_.now());
+                   }),
+      solicit_timer_(
+          sim,
+          SimDuration{5'000'000 +
+                      static_cast<std::int64_t>(
+                          rng.fork("solicit").uniform(0.0, 4e6))},
+          [this] {
+            if (started_ && !joined()) {
+              env_.send_routing(make_frame(FrameType::kJoinSolicit, id_,
+                                           kNoNode, JoinSolicitPayload{}));
+            }
+          }),
+      confirm_timer_(
+          sim,
+          SimDuration{8'000'000 +
+                      static_cast<std::int64_t>(
+                          rng.fork("confirm").uniform(0.0, 3e6))},
+          [this] {
+            if (!started_) return;
+            reconfirm_roles();
+            // Keepalive: an ACKed unicast probes a parent link (feeding
+            // ETX/failure detection) and refreshes its child table — but
+            // only for links with no recent unicast feedback of their own,
+            // so the shared routing slot is not flooded at scale (Contiki
+            // TSCH keepalives behave the same way).
+            const SimTime now = sim_.now();
+            const SimDuration idle = seconds(static_cast<std::int64_t>(45));
+            if (best_parent_.valid() && now - last_bp_feedback_ > idle) {
+              send_callback(best_parent_, /*as_best=*/true);
+              last_bp_feedback_ = now;  // pace retries
+            }
+            if (second_best_parent_.valid() &&
+                now - last_sbp_feedback_ > idle) {
+              send_callback(second_best_parent_, /*as_best=*/false);
+              last_sbp_feedback_ = now;
+            }
+          }),
+      advert_timer_(
+          sim,
+          SimDuration{config.dest_advert_period.us +
+                      static_cast<std::int64_t>(
+                          rng.fork("advert").uniform(
+                              0.0, 0.4 * config.dest_advert_period.us))},
+          [this] {
+            if (started_) send_dest_advert();
+          }) {}
+
+void DigsRouting::start(SimTime now) {
+  started_ = true;
+  if (!is_access_point_) {
+    solicit_timer_.start();
+    confirm_timer_.start();
+    if (config_.enable_downlink) advert_timer_.start();
+  }
+  if (is_access_point_) {
+    // Algorithm 1: access points initialize rank to 1 and ETXw to 0 and
+    // begin broadcasting join-in messages.
+    rank_ = kAccessPointRank;
+    etxw_ = 0.0;
+    trickle_.start();
+    if (env_.on_topology_changed) env_.on_topology_changed(now);
+  }
+  prune_timer_.start();
+}
+
+void DigsRouting::stop(SimTime now) {
+  started_ = false;
+  trickle_.stop();
+  prune_timer_.stop();
+  solicit_timer_.stop();
+  confirm_timer_.stop();
+  advert_timer_.stop();
+  advert_soon_.cancel();
+  assign_parents(kNoNode, kNoNode);
+  if (!is_access_point_) {
+    rank_ = NeighborInfo::kInfiniteRank;
+    etxw_ = NeighborInfo::kInfiniteEtx;
+  }
+  // Children are soft state refreshed by callbacks; keep them so a brief
+  // desync does not orphan downstream nodes.
+  if (env_.on_topology_changed) env_.on_topology_changed(now);
+}
+
+void DigsRouting::handle_frame(const Frame& frame, double /*rss_dbm*/,
+                               SimTime now) {
+  switch (frame.type) {
+    case FrameType::kJoinIn:
+      process_join_in(frame.src, frame.as<JoinInPayload>(), now);
+      break;
+    case FrameType::kJoinSolicit:
+      // A parentless neighbor asks for advertisements: answer promptly by
+      // resetting Trickle (RFC 6550 DIS semantics).
+      if (joined()) trickle_.hear_inconsistent();
+      break;
+    case FrameType::kJoinedCallback:
+      if (frame.dst == id_) {
+        process_callback(frame.src, frame.as<JoinedCallbackPayload>(), now);
+      }
+      break;
+    case FrameType::kDestAdvert:
+      if (frame.dst == id_ && config_.enable_downlink) {
+        process_dest_advert(frame.src, frame.as<DestAdvertPayload>(), now);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+NodeId DigsRouting::next_hop_down(NodeId dest) const {
+  if (!config_.enable_downlink || !dest.valid()) return kNoNode;
+  const auto it = descendants_.find(dest.value);
+  return it == descendants_.end() ? kNoNode : it->second.via;
+}
+
+std::int64_t DigsRouting::downlink_freshness(NodeId dest) const {
+  if (!config_.enable_downlink || !dest.valid()) return -1;
+  const auto it = descendants_.find(dest.value);
+  return it == descendants_.end() ? -1
+                                  : static_cast<std::int64_t>(it->second.seq);
+}
+
+void DigsRouting::schedule_advert_soon() {
+  if (!config_.enable_downlink || is_access_point_) return;
+  if (advert_soon_.pending()) return;
+  advert_soon_ = sim_.schedule_after(
+      seconds(static_cast<std::int64_t>(2)), [this] {
+        if (started_) send_dest_advert();
+      });
+}
+
+void DigsRouting::process_dest_advert(NodeId from,
+                                      const DestAdvertPayload& payload,
+                                      SimTime now) {
+  if (!is_child(from)) return;  // only children extend our subtree
+  touch_child(from, now);  // an advert proves the child still uses us
+  bool changed = false;
+  for (const auto& adv : payload.destinations) {
+    if (!adv.dest.valid() || adv.dest == id_) continue;  // loop guard
+    auto it = descendants_.find(adv.dest.value);
+    if (it == descendants_.end()) {
+      descendants_[adv.dest.value] = Descendant{from, now, adv.seq};
+      changed = true;
+      continue;
+    }
+    Descendant& entry = it->second;
+    // Freshest-wins (DAO-sequence semantics): an older advert from another
+    // branch must not overwrite a newer route; a refresh from the same
+    // child always applies.
+    if (entry.via == from || adv.seq >= entry.seq) {
+      if (entry.via != from || entry.seq != adv.seq) changed = true;
+      entry.via = from;
+      entry.refreshed = now;
+      entry.seq = adv.seq;
+    }
+  }
+  // Adverts carry the child's COMPLETE destination set, so anything we
+  // previously learned via this child that is now absent has left its
+  // subtree — erase it (RPL's No-Path DAO semantics). Without this,
+  // re-homed subtrees leave stale descent branches that blackhole
+  // downlink traffic.
+  std::erase_if(descendants_, [&](const auto& kv) {
+    if (kv.second.via != from) return false;
+    for (const auto& adv : payload.destinations) {
+      if (adv.dest.value == kv.first) return false;
+    }
+    changed = true;
+    return true;
+  });
+  // Subtree grew or re-homed: push the update towards the root promptly
+  // (triggered DAO semantics); the periodic advert only refreshes.
+  if (changed) schedule_advert_soon();
+}
+
+void DigsRouting::send_dest_advert() {
+  if (!config_.enable_downlink || !joined() || is_access_point_) return;
+  prune_descendants(sim_.now());
+  DestAdvertPayload payload;
+  payload.destinations.push_back({id_, advert_seq_});
+  for (const auto& [dest, entry] : descendants_) {
+    payload.destinations.push_back({NodeId{dest}, entry.seq});
+  }
+  env_.send_routing(
+      make_frame(FrameType::kDestAdvert, id_, best_parent_, payload));
+}
+
+double DigsRouting::accumulated(NodeId id) const {
+  const NeighborInfo* info = neighbors_.find(id);
+  if (info == nullptr) return NeighborInfo::kInfiniteEtx;
+  return info->accumulated_etx();
+}
+
+void DigsRouting::invalidate_neighbor(NodeId id) {
+  if (NeighborInfo* info = neighbors_.find(id)) {
+    info->advertised_etxw = NeighborInfo::kInfiniteEtx;
+    info->rank = NeighborInfo::kInfiniteRank;
+  }
+}
+
+bool DigsRouting::recompute(SimTime /*now*/) {
+  const std::uint16_t old_rank = rank_;
+  const double old_etxw = etxw_;
+
+  if (is_access_point_) {
+    rank_ = kAccessPointRank;
+    etxw_ = 0.0;
+    return false;
+  }
+  if (!best_parent_.valid()) {
+    rank_ = NeighborInfo::kInfiniteRank;
+    etxw_ = NeighborInfo::kInfiniteEtx;
+    return old_rank != rank_;
+  }
+
+  const NeighborInfo* bp = neighbors_.find(best_parent_);
+  if (bp == nullptr || bp->rank == NeighborInfo::kInfiniteRank) {
+    // Best parent no longer usable; caller handles failover.
+    return false;
+  }
+  rank_ = static_cast<std::uint16_t>(bp->rank + 1);
+
+  // Enforce the rank rule on the second-best parent after any rank change.
+  if (second_best_parent_.valid()) {
+    const NeighborInfo* sbp = neighbors_.find(second_best_parent_);
+    if (sbp == nullptr || sbp->rank >= rank_ ||
+        sbp->advertised_etxw >= NeighborInfo::kInfiniteEtx) {
+      second_best_parent_ = kNoNode;
+      sbp_confirmed_ = ConfirmedRole::kNone;
+    }
+  }
+
+  const double acc_bp = bp->accumulated_etx();
+  const double acc_sbp = second_best_parent_.valid()
+                             ? accumulated(second_best_parent_)
+                             : acc_bp + config_.missing_backup_penalty;
+  etxw_ = config_.use_weighted_etx
+              ? weighted_etx(bp->etx.value(), acc_bp, acc_sbp)
+              : acc_bp;
+
+  return old_rank != rank_ ||
+         std::abs(old_etxw - etxw_) > config_.cost_epsilon;
+}
+
+bool DigsRouting::is_child(NodeId id) const {
+  for (const ChildEntry& child : children_) {
+    if (child.id == id) return true;
+  }
+  return false;
+}
+
+NodeId DigsRouting::select_second_best() const {
+  const NeighborInfo* pick = neighbors_.best(
+      [](const NeighborInfo& n) { return n.accumulated_etx(); },
+      [this](const NeighborInfo& n) {
+        return n.id == best_parent_ || n.id == id_ ||
+               n.rank >= rank_ ||  // strictly smaller rank required
+               is_child(n.id) ||
+               n.advertised_etxw >= NeighborInfo::kInfiniteEtx;
+      });
+  return pick ? pick->id : kNoNode;
+}
+
+void DigsRouting::assign_parents(NodeId new_bp, NodeId new_sbp) {
+  const NodeId old_bp = best_parent_;
+  const NodeId old_sbp = second_best_parent_;
+  const ConfirmedRole old_bp_role = bp_confirmed_;
+  const ConfirmedRole old_sbp_role = sbp_confirmed_;
+
+  const auto carried_role = [&](NodeId id) {
+    if (id == old_bp) return old_bp_role;
+    if (id == old_sbp) return old_sbp_role;
+    return ConfirmedRole::kNone;
+  };
+  bp_confirmed_ = new_bp.valid() ? carried_role(new_bp) : ConfirmedRole::kNone;
+  sbp_confirmed_ =
+      new_sbp.valid() ? carried_role(new_sbp) : ConfirmedRole::kNone;
+  best_parent_ = new_bp;
+  second_best_parent_ = new_sbp;
+}
+
+void DigsRouting::reconfirm_roles() {
+  if (best_parent_.valid() && bp_confirmed_ != ConfirmedRole::kPrimary) {
+    send_callback(best_parent_, /*as_best=*/true);
+  }
+  if (second_best_parent_.valid() &&
+      sbp_confirmed_ != ConfirmedRole::kBackup) {
+    send_callback(second_best_parent_, /*as_best=*/false);
+  }
+}
+
+void DigsRouting::process_join_in(NodeId from, const JoinInPayload& payload,
+                                  SimTime now) {
+  if (is_access_point_) return;  // APs are the DODAG roots
+
+  // Poisoning: our parent advertising an infinite rank equals failure.
+  if (payload.rank == NeighborInfo::kInfiniteRank) {
+    if (from == best_parent_ || from == second_best_parent_) {
+      handle_parent_failure(from, now);
+    }
+    return;
+  }
+
+  const NodeId old_bp = best_parent_;
+  const NodeId old_sbp = second_best_parent_;
+  const double etxa_i = accumulated(from);
+
+  if (is_child(from)) return;  // our own subtree cannot be a parent
+
+  if (!best_parent_.valid()) {
+    // First join-in: the sender becomes the best parent (Algorithm 1).
+    assign_parents(from, second_best_parent_);
+  } else if (from != best_parent_) {
+    const double etx_min = accumulated(best_parent_);
+    const NeighborInfo* candidate = neighbors_.find(from);
+    const bool rank_ok =
+        candidate != nullptr && candidate->rank < rank_;
+    // Algorithm 1 switches the best parent purely on accumulated ETX (the
+    // rank constraint applies only to the second-best parent); hysteresis
+    // (absolute, plus relative at deep-network cost scales) prevents
+    // flapping.
+    const double hysteresis =
+        std::max(config_.parent_switch_hysteresis, 0.15 * etx_min);
+    if (etxa_i + hysteresis < etx_min) {
+      // Better primary route: demote the current best parent to second-best
+      // (Algorithm 1) and adopt the sender.
+      assign_parents(from, best_parent_);
+      ++parent_switches_;
+    } else if (rank_ok && etxa_i >= etx_min &&
+               (from == second_best_parent_ ||
+                etxa_i < accumulated(second_best_parent_))) {
+      // Algorithm 1's second branch:
+      //   ETXa(node, sbp) > ETXa(node, i) >= ETXmin and Rank(i) < Rank(node)
+      if (from != second_best_parent_) {
+        assign_parents(best_parent_, from);
+      }
+    }
+  }
+
+  bool recomputed = recompute(now);
+
+  // A node missing its backup parent fills it from the neighbor table:
+  // eligible advertisements may have been heard before we had a rank (or
+  // before this sender became eligible), and waiting for each candidate's
+  // next Trickle-paced join-in would stretch joining by up to Imax.
+  if (!second_best_parent_.valid() && best_parent_.valid()) {
+    const NodeId candidate = select_second_best();
+    if (candidate.valid()) {
+      assign_parents(best_parent_, candidate);
+      recomputed = recompute(now) || recomputed;
+    }
+  }
+
+  const bool parents_changed =
+      best_parent_ != old_bp || second_best_parent_ != old_sbp;
+  if (parents_changed) reconfirm_roles();
+  after_update(parents_changed || recomputed, now);
+}
+
+void DigsRouting::after_update(bool changed, SimTime now) {
+  if (!joined()) return;
+  if (!trickle_.running()) trickle_.start();
+  if (changed) {
+    trickle_.hear_inconsistent();
+    ++advert_seq_;           // our routes re-homed: newer than any old branch
+    schedule_advert_soon();  // re-home our subtree under the new parent
+    if (env_.on_topology_changed) env_.on_topology_changed(now);
+  } else {
+    trickle_.hear_consistent();
+  }
+}
+
+void DigsRouting::process_callback(NodeId from,
+                                   const JoinedCallbackPayload& payload,
+                                   SimTime now) {
+  for (ChildEntry& child : children_) {
+    if (child.id == from) {
+      const bool changed = child.as_best != payload.as_best_parent;
+      child.as_best = payload.as_best_parent;
+      child.last_refresh = now;
+      if (changed && env_.on_topology_changed) env_.on_topology_changed(now);
+      return;
+    }
+  }
+  children_.push_back(ChildEntry{from, payload.as_best_parent, now});
+  if (env_.on_topology_changed) env_.on_topology_changed(now);
+}
+
+void DigsRouting::on_tx_result(NodeId peer, FrameType type, bool acked,
+                               SimTime now) {
+  if (peer == best_parent_) last_bp_feedback_ = now;
+  if (peer == second_best_parent_) last_sbp_feedback_ = now;
+  if (type == FrameType::kJoinedCallback && acked) {
+    // The parent acknowledged our role announcement: its RX cells for the
+    // matching attempt slots are (or will be, on its next rebuild) in
+    // place, so the scheduler may now use those attempts.
+    bool changed = false;
+    if (peer == best_parent_ && bp_confirmed_ != ConfirmedRole::kPrimary) {
+      bp_confirmed_ = ConfirmedRole::kPrimary;
+      changed = true;
+    } else if (peer == second_best_parent_ &&
+               sbp_confirmed_ != ConfirmedRole::kBackup) {
+      sbp_confirmed_ = ConfirmedRole::kBackup;
+      changed = true;
+    }
+    if (changed && env_.on_topology_changed) env_.on_topology_changed(now);
+    return;
+  }
+  if (acked) return;
+  const NeighborInfo* info = neighbors_.find(peer);
+  if (info == nullptr) return;
+  const bool dead = info->consecutive_noacks >= config_.parent_fail_noacks ||
+                    info->etx.value() >= config_.parent_fail_etx;
+  if (!dead) return;
+  if (peer == best_parent_ || peer == second_best_parent_) {
+    handle_parent_failure(peer, now);
+  }
+}
+
+void DigsRouting::handle_parent_failure(NodeId failed, SimTime now) {
+  invalidate_neighbor(failed);
+
+  if (failed == best_parent_) {
+    if (second_best_parent_.valid()) {
+      // Seamless failover: the backup route becomes primary. Data keeps
+      // flowing through it on the attempt slots it already confirmed
+      // (ConfirmedRole carries over), so no outage occurs while the role
+      // upgrade is re-confirmed.
+      assign_parents(second_best_parent_, kNoNode);
+      ++parent_switches_;
+      recompute(now);
+      assign_parents(best_parent_, select_second_best());
+      reconfirm_roles();
+      recompute(now);
+      after_update(true, now);
+      return;
+    }
+    // No backup: fall back to the best remaining neighbor, if any.
+    assign_parents(kNoNode, kNoNode);
+    recompute(now);
+    const NeighborInfo* candidate = neighbors_.best(
+        [](const NeighborInfo& n) { return n.accumulated_etx(); },
+        [this](const NeighborInfo& n) {
+          return n.id == id_ || is_child(n.id) ||
+                 n.advertised_etxw >= NeighborInfo::kInfiniteEtx;
+        });
+    if (candidate != nullptr) {
+      assign_parents(candidate->id, kNoNode);
+      ++parent_switches_;
+      recompute(now);
+      assign_parents(best_parent_, select_second_best());
+      reconfirm_roles();
+      recompute(now);
+      after_update(true, now);
+    } else {
+      // Detached: poison so children stop routing through us.
+      send_poison();
+      trickle_.stop();
+      if (env_.on_topology_changed) env_.on_topology_changed(now);
+    }
+    return;
+  }
+
+  if (failed == second_best_parent_) {
+    assign_parents(best_parent_, select_second_best());
+    reconfirm_roles();
+    recompute(now);
+    after_update(true, now);
+  }
+}
+
+void DigsRouting::send_join_in() {
+  if (!joined()) return;
+  JoinInPayload payload;
+  payload.rank = rank_;
+  payload.etxw = etxw_;
+  env_.send_routing(
+      make_frame(FrameType::kJoinIn, id_, kNoNode, payload));
+}
+
+void DigsRouting::send_poison() {
+  JoinInPayload payload;
+  payload.rank = NeighborInfo::kInfiniteRank;
+  payload.etxw = NeighborInfo::kInfiniteEtx;
+  env_.send_routing(
+      make_frame(FrameType::kJoinIn, id_, kNoNode, payload));
+}
+
+void DigsRouting::send_callback(NodeId parent, bool as_best) {
+  if (!parent.valid()) return;
+  JoinedCallbackPayload payload;
+  payload.as_best_parent = as_best;
+  env_.send_routing(
+      make_frame(FrameType::kJoinedCallback, id_, parent, payload));
+}
+
+void DigsRouting::touch_child(NodeId from, SimTime now) {
+  for (ChildEntry& child : children_) {
+    if (child.id == from) {
+      child.last_refresh = now;
+      return;
+    }
+  }
+}
+
+void DigsRouting::prune_descendants(SimTime now) {
+  if (!config_.enable_downlink) return;
+  std::erase_if(descendants_, [&](const auto& kv) {
+    return now - kv.second.refreshed > config_.descendant_timeout ||
+           !is_child(kv.second.via);
+  });
+}
+
+void DigsRouting::prune_children(SimTime now) {
+  const auto before = children_.size();
+  std::erase_if(children_, [&](const ChildEntry& child) {
+    return now - child.last_refresh > config_.child_timeout;
+  });
+  if (children_.size() != before && env_.on_topology_changed) {
+    env_.on_topology_changed(now);
+  }
+}
+
+}  // namespace digs

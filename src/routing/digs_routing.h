@@ -1,0 +1,195 @@
+// DiGS distributed graph routing (paper Section V, Algorithm 1).
+//
+// Every field device maintains a best parent and a second-best parent chosen
+// by accumulated ETX towards the access points; ranks grow away from the
+// APs and a (second-best) parent must have a strictly smaller rank than the
+// node — equal-rank links are never used for routing, the paper's
+// loop-avoidance rule. The advertised path cost is the weighted ETX of
+// Eq. (1)-(3), which accounts for the WirelessHART retransmission split
+// (attempts 1-2 on the primary path, attempt 3 on the backup path).
+//
+// Join-in messages are paced by Trickle; joined-callback messages inform a
+// selected parent of its new child and role so it can install the matching
+// RX cells.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "routing/routing.h"
+#include "routing/trickle.h"
+#include "sim/simulator.h"
+
+namespace digs {
+
+struct DigsRoutingConfig {
+  TrickleConfig trickle;
+  /// Accumulated-ETX improvement required before switching best parent
+  /// (standard distance-vector hysteresis; prevents parent flapping).
+  double parent_switch_hysteresis = 0.5;
+  /// A parent is declared dead on a long run of consecutive unicast
+  /// failures, or when its EWMA link ETX degrades past a threshold —
+  /// evidence-weighted, so a partially jammed link (channel hopping still
+  /// succeeds on clean channels) does not trigger spurious churn.
+  int parent_fail_noacks = 10;
+  double parent_fail_etx = 8.0;
+  /// Surrogate extra cost used for ETXw while no second-best parent exists
+  /// (ETXasbp := ETXabp + penalty), so single-parented nodes advertise a
+  /// worse cost than fully backed-up ones.
+  double missing_backup_penalty = 1.0;
+  /// Children not heard from for this long are pruned.
+  SimDuration child_timeout = seconds(static_cast<std::int64_t>(180));
+  /// Advertised rank/cost changes below these thresholds count as
+  /// consistent for Trickle.
+  double cost_epsilon = 0.25;
+  /// Ablation switch: when false, advertise the plain accumulated ETX via
+  /// the best parent instead of the paper's weighted ETX (Eq. 1-3).
+  bool use_weighted_etx = true;
+  /// Downlink graph (paper footnote 2): when enabled, nodes advertise their
+  /// subtree destinations to the best parent (RPL storing-mode DAO style)
+  /// and forward downlink packets via the learned child tables.
+  bool enable_downlink = false;
+  SimDuration dest_advert_period = seconds(static_cast<std::int64_t>(45));
+  SimDuration descendant_timeout = seconds(static_cast<std::int64_t>(90));
+};
+
+class DigsRouting final : public RoutingProtocol {
+ public:
+  DigsRouting(Simulator& sim, NodeId id, bool is_access_point,
+              NeighborTable& neighbors, const DigsRoutingConfig& config,
+              Rng rng, Env env);
+
+  void start(SimTime now) override;
+  void stop(SimTime now) override;
+  void handle_frame(const Frame& frame, double rss_dbm, SimTime now) override;
+  void on_tx_result(NodeId peer, FrameType type, bool acked,
+                    SimTime now) override;
+  void touch_child(NodeId from, SimTime now) override;
+
+  [[nodiscard]] NodeId best_parent() const override { return best_parent_; }
+  [[nodiscard]] NodeId second_best_parent() const override {
+    return second_best_parent_;
+  }
+  [[nodiscard]] ConfirmedRole best_parent_confirmed() const override {
+    return bp_confirmed_;
+  }
+  [[nodiscard]] ConfirmedRole second_best_parent_confirmed() const override {
+    return sbp_confirmed_;
+  }
+  [[nodiscard]] NodeId next_hop_down(NodeId dest) const override;
+  [[nodiscard]] std::int64_t downlink_freshness(NodeId dest) const override;
+  [[nodiscard]] std::uint16_t rank() const override { return rank_; }
+  [[nodiscard]] double advertised_cost() const override { return etxw_; }
+  [[nodiscard]] std::span<const ChildEntry> children() const override {
+    return children_;
+  }
+  [[nodiscard]] bool joined() const override {
+    return is_access_point_ ? rank_ == kAccessPointRank
+                            : best_parent_.valid();
+  }
+
+  /// True when both preferred parents are set (the DiGS join criterion used
+  /// for Fig. 13).
+  [[nodiscard]] bool fully_joined() const {
+    return is_access_point_ ||
+           (best_parent_.valid() && second_best_parent_.valid());
+  }
+
+  // Diagnostics for tests and ablations.
+  [[nodiscard]] std::uint64_t parent_switches() const {
+    return parent_switches_;
+  }
+  [[nodiscard]] const Trickle& trickle() const { return trickle_; }
+
+ private:
+  /// Runs the Algorithm 1 update for a join-in received from `from`.
+  void process_join_in(NodeId from, const JoinInPayload& payload, SimTime now);
+  void process_callback(NodeId from, const JoinedCallbackPayload& payload,
+                        SimTime now);
+  void handle_parent_failure(NodeId failed, SimTime now);
+
+  void send_join_in();
+  void send_callback(NodeId parent, bool as_best);
+  void send_poison();
+  void send_dest_advert();
+  void process_dest_advert(NodeId from, const DestAdvertPayload& payload,
+                           SimTime now);
+
+  /// Accumulated ETX to the APs through neighbor `id`
+  /// (paper: ETXa(node, i) = ETX(node, i) + ETXw(i)).
+  [[nodiscard]] double accumulated(NodeId id) const;
+  /// Recomputes rank_ and etxw_ from the current parents. Returns true if
+  /// either changed materially.
+  bool recompute(SimTime now);
+  /// Picks the lowest-cost eligible second-best parent from the neighbor
+  /// table (rank < ours, not the best parent). Returns kNoNode if none.
+  [[nodiscard]] NodeId select_second_best() const;
+  /// True if `id` is currently in our child table. A child's route passes
+  /// through us, so adopting it as a parent would form a routing loop
+  /// (the distance-vector count-to-infinity); children are never parent
+  /// candidates.
+  [[nodiscard]] bool is_child(NodeId id) const;
+  /// Marks a neighbor unusable until it is heard from again.
+  void invalidate_neighbor(NodeId id);
+  void prune_children(SimTime now);
+  /// Drops subtree routes that were not refreshed or whose via-child left.
+  void prune_descendants(SimTime now);
+  void after_update(bool changed, SimTime now);
+
+  Simulator& sim_;
+  NodeId id_;
+  bool is_access_point_;
+  NeighborTable& neighbors_;
+  DigsRoutingConfig config_;
+  Env env_;
+
+  /// Reassigns bp/sbp while carrying each parent's confirmed role along
+  /// with its identity (a demoted parent keeps its confirmed kPrimary role
+  /// until it ACKs the downgrade, and vice versa).
+  void assign_parents(NodeId new_bp, NodeId new_sbp);
+  /// Sends callbacks for any parent whose confirmed role does not match
+  /// its current assignment (initial joins, promotions, demotions, and
+  /// retries after lost callbacks).
+  void reconfirm_roles();
+
+  NodeId best_parent_;
+  NodeId second_best_parent_;
+  ConfirmedRole bp_confirmed_{ConfirmedRole::kNone};
+  ConfirmedRole sbp_confirmed_{ConfirmedRole::kNone};
+  std::uint16_t rank_{NeighborInfo::kInfiniteRank};
+  double etxw_{NeighborInfo::kInfiniteEtx};
+  std::vector<ChildEntry> children_;
+
+  Trickle trickle_;
+  PeriodicTimer prune_timer_;
+  /// DIS-analogue pacing: while synchronized but parentless, solicit
+  /// join-ins so Trickle-suppressed neighbors answer promptly.
+  PeriodicTimer solicit_timer_;
+  /// Retries joined-callbacks for parents that have not confirmed their
+  /// current role (lost callbacks would otherwise leave attempt slots
+  /// unusable forever).
+  PeriodicTimer confirm_timer_;
+  /// Downlink graph: dest id -> (child next hop, last refresh).
+  struct Descendant {
+    NodeId via;
+    SimTime refreshed;
+    std::uint32_t seq{0};
+  };
+  std::unordered_map<std::uint16_t, Descendant> descendants_;
+  /// Our own DAO-sequence: bumped whenever we re-home (best parent
+  /// changes), so ancestors can tell fresh routes from stale branches.
+  std::uint32_t advert_seq_{0};
+  PeriodicTimer advert_timer_;
+  /// Triggered advert (the RPL "DAO on change" behaviour): scheduled a
+  /// couple of seconds after the subtree or the best parent changes.
+  EventHandle advert_soon_;
+  void schedule_advert_soon();
+  SimTime last_bp_feedback_{};
+  SimTime last_sbp_feedback_{};
+  bool started_{false};
+  std::uint64_t parent_switches_{0};
+};
+
+}  // namespace digs

@@ -1,0 +1,289 @@
+#include "routing/rpl_routing.h"
+
+#include <cmath>
+
+namespace digs {
+
+RplRouting::RplRouting(Simulator& sim, NodeId id, bool is_access_point,
+                       NeighborTable& neighbors,
+                       const RplRoutingConfig& config, Rng rng, Env env)
+    : sim_(sim),
+      id_(id),
+      is_access_point_(is_access_point),
+      neighbors_(neighbors),
+      config_(config),
+      env_(std::move(env)),
+      trickle_(sim, config.trickle, rng.fork("trickle"),
+               [this] { send_join_in(); }),
+      prune_timer_(sim, seconds(static_cast<std::int64_t>(30)),
+                   [this] { prune_children(sim_.now()); }),
+      solicit_timer_(
+          sim,
+          SimDuration{5'000'000 +
+                      static_cast<std::int64_t>(
+                          rng.fork("solicit").uniform(0.0, 4e6))},
+          [this] {
+            if (started_ && !joined()) {
+              env_.send_routing(make_frame(FrameType::kJoinSolicit, id_,
+                                           kNoNode, JoinSolicitPayload{}));
+            }
+          }),
+      confirm_timer_(
+          sim,
+          SimDuration{8'000'000 +
+                      static_cast<std::int64_t>(
+                          rng.fork("confirm").uniform(0.0, 3e6))},
+          [this] {
+            if (!started_ || !parent_.valid()) return;
+            const SimTime now = sim_.now();
+            const SimDuration idle = seconds(static_cast<std::int64_t>(45));
+            if (parent_confirmed_ != ConfirmedRole::kPrimary ||
+                now - last_parent_feedback_ > idle) {
+              // Unconfirmed: retry the announcement. Idle link: keepalive
+              // probing the parent (TSCH keepalive semantics) and
+              // refreshing its child table.
+              send_callback(parent_);
+              last_parent_feedback_ = now;
+            }
+          }) {}
+
+void RplRouting::start(SimTime now) {
+  started_ = true;
+  if (!is_access_point_) {
+    solicit_timer_.start();
+    confirm_timer_.start();
+  }
+  if (is_access_point_) {
+    rank_ = kAccessPointRank;
+    cost_ = 0.0;
+    trickle_.start();
+    if (env_.on_topology_changed) env_.on_topology_changed(now);
+  }
+  prune_timer_.start();
+}
+
+void RplRouting::stop(SimTime now) {
+  started_ = false;
+  trickle_.stop();
+  prune_timer_.stop();
+  solicit_timer_.stop();
+  confirm_timer_.stop();
+  parent_ = kNoNode;
+  parent_confirmed_ = ConfirmedRole::kNone;
+  if (!is_access_point_) {
+    rank_ = NeighborInfo::kInfiniteRank;
+    cost_ = NeighborInfo::kInfiniteEtx;
+  }
+  if (env_.on_topology_changed) env_.on_topology_changed(now);
+}
+
+void RplRouting::handle_frame(const Frame& frame, double /*rss_dbm*/,
+                              SimTime now) {
+  switch (frame.type) {
+    case FrameType::kJoinIn:
+      process_join_in(frame.src, frame.as<JoinInPayload>(), now);
+      break;
+    case FrameType::kJoinSolicit:
+      if (joined()) trickle_.hear_inconsistent();  // RFC 6550 DIS
+      break;
+    case FrameType::kJoinedCallback:
+      if (frame.dst == id_) {
+        process_callback(frame.src, frame.as<JoinedCallbackPayload>(), now);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+double RplRouting::accumulated(NodeId id) const {
+  const NeighborInfo* info = neighbors_.find(id);
+  return info == nullptr ? NeighborInfo::kInfiniteEtx
+                         : info->accumulated_etx();
+}
+
+void RplRouting::invalidate_neighbor(NodeId id) {
+  if (NeighborInfo* info = neighbors_.find(id)) {
+    info->advertised_etxw = NeighborInfo::kInfiniteEtx;
+    info->rank = NeighborInfo::kInfiniteRank;
+  }
+}
+
+bool RplRouting::recompute(SimTime /*now*/) {
+  const std::uint16_t old_rank = rank_;
+  const double old_cost = cost_;
+  if (is_access_point_) {
+    rank_ = kAccessPointRank;
+    cost_ = 0.0;
+    return false;
+  }
+  if (!parent_.valid()) {
+    rank_ = NeighborInfo::kInfiniteRank;
+    cost_ = NeighborInfo::kInfiniteEtx;
+    return old_rank != rank_;
+  }
+  const NeighborInfo* parent = neighbors_.find(parent_);
+  if (parent == nullptr || parent->rank == NeighborInfo::kInfiniteRank) {
+    return false;
+  }
+  rank_ = static_cast<std::uint16_t>(parent->rank + 1);
+  cost_ = parent->accumulated_etx();
+  return old_rank != rank_ ||
+         std::abs(old_cost - cost_) > config_.cost_epsilon;
+}
+
+bool RplRouting::is_child(NodeId id) const {
+  for (const ChildEntry& child : children_) {
+    if (child.id == id) return true;
+  }
+  return false;
+}
+
+void RplRouting::process_join_in(NodeId from, const JoinInPayload& payload,
+                                 SimTime now) {
+  if (is_access_point_) return;
+
+  if (payload.rank == NeighborInfo::kInfiniteRank) {
+    if (from == parent_) handle_parent_failure(from, now);
+    return;
+  }
+  if (is_child(from)) return;
+
+  const NodeId old_parent = parent_;
+  if (!parent_.valid()) {
+    parent_ = from;
+    parent_confirmed_ = ConfirmedRole::kNone;
+    send_callback(from);
+  } else if (from != parent_) {
+    const NeighborInfo* candidate = neighbors_.find(from);
+    const bool rank_ok = candidate != nullptr && candidate->rank < rank_;
+    const double cost_parent = accumulated(parent_);
+    const double hysteresis =
+        std::max(config_.parent_switch_hysteresis, 0.15 * cost_parent);
+    if (rank_ok && accumulated(from) + hysteresis < cost_parent) {
+      parent_ = from;
+      parent_confirmed_ = ConfirmedRole::kNone;
+      ++parent_switches_;
+      send_callback(from);
+    }
+  }
+
+  const bool recomputed = recompute(now);
+  after_update(parent_ != old_parent || recomputed, now);
+}
+
+void RplRouting::after_update(bool changed, SimTime now) {
+  if (!joined()) return;
+  if (!trickle_.running()) trickle_.start();
+  if (changed) {
+    trickle_.hear_inconsistent();
+    if (env_.on_topology_changed) env_.on_topology_changed(now);
+  } else {
+    trickle_.hear_consistent();
+  }
+}
+
+void RplRouting::process_callback(NodeId from,
+                                  const JoinedCallbackPayload& /*payload*/,
+                                  SimTime now) {
+  for (ChildEntry& child : children_) {
+    if (child.id == from) {
+      child.last_refresh = now;
+      return;
+    }
+  }
+  children_.push_back(ChildEntry{from, /*as_best=*/true, now});
+  if (env_.on_topology_changed) env_.on_topology_changed(now);
+}
+
+void RplRouting::on_tx_result(NodeId peer, FrameType type, bool acked,
+                              SimTime now) {
+  if (peer == parent_) last_parent_feedback_ = now;
+  if (type == FrameType::kJoinedCallback && acked) {
+    if (peer == parent_ && parent_confirmed_ != ConfirmedRole::kPrimary) {
+      parent_confirmed_ = ConfirmedRole::kPrimary;
+      if (env_.on_topology_changed) env_.on_topology_changed(now);
+    }
+    return;
+  }
+  if (acked || peer != parent_) return;
+  const NeighborInfo* info = neighbors_.find(peer);
+  if (info == nullptr) return;
+  if (info->consecutive_noacks >= config_.parent_fail_noacks ||
+      info->etx.value() >= config_.parent_fail_etx) {
+    handle_parent_failure(peer, now);
+  }
+}
+
+void RplRouting::handle_parent_failure(NodeId failed, SimTime now) {
+  invalidate_neighbor(failed);
+  if (failed != parent_) return;
+  parent_ = kNoNode;
+  parent_confirmed_ = ConfirmedRole::kNone;
+  recompute(now);
+
+  const NeighborInfo* candidate = neighbors_.best(
+      [](const NeighborInfo& n) { return n.accumulated_etx(); },
+      [this](const NeighborInfo& n) {
+        return n.id == id_ || is_child(n.id) ||
+               n.advertised_etxw >= NeighborInfo::kInfiniteEtx;
+      });
+  if (candidate != nullptr) {
+    parent_ = candidate->id;
+    parent_confirmed_ = ConfirmedRole::kNone;
+    ++parent_switches_;
+    send_callback(parent_);
+    recompute(now);
+    after_update(true, now);
+    return;
+  }
+  // Detached: poison the sub-DODAG and go quiet until a fresh join-in
+  // arrives (local repair).
+  send_poison();
+  trickle_.stop();
+  if (env_.on_topology_changed) env_.on_topology_changed(now);
+}
+
+void RplRouting::send_join_in() {
+  if (!joined()) return;
+  JoinInPayload payload;
+  payload.rank = rank_;
+  payload.etxw = cost_;
+  env_.send_routing(make_frame(FrameType::kJoinIn, id_, kNoNode, payload));
+}
+
+void RplRouting::send_poison() {
+  JoinInPayload payload;
+  payload.rank = NeighborInfo::kInfiniteRank;
+  payload.etxw = NeighborInfo::kInfiniteEtx;
+  env_.send_routing(make_frame(FrameType::kJoinIn, id_, kNoNode, payload));
+}
+
+void RplRouting::send_callback(NodeId parent) {
+  if (!parent.valid()) return;
+  JoinedCallbackPayload payload;
+  payload.as_best_parent = true;
+  env_.send_routing(
+      make_frame(FrameType::kJoinedCallback, id_, parent, payload));
+}
+
+void RplRouting::touch_child(NodeId from, SimTime now) {
+  for (ChildEntry& child : children_) {
+    if (child.id == from) {
+      child.last_refresh = now;
+      return;
+    }
+  }
+}
+
+void RplRouting::prune_children(SimTime now) {
+  const auto before = children_.size();
+  std::erase_if(children_, [&](const ChildEntry& child) {
+    return now - child.last_refresh > config_.child_timeout;
+  });
+  if (children_.size() != before && env_.on_topology_changed) {
+    env_.on_topology_changed(now);
+  }
+}
+
+}  // namespace digs

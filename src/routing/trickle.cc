@@ -1,0 +1,64 @@
+#include "routing/trickle.h"
+
+namespace digs {
+
+Trickle::Trickle(Simulator& sim, const TrickleConfig& config, Rng rng,
+                 std::function<void()> transmit)
+    : sim_(sim),
+      config_(config),
+      rng_(std::move(rng)),
+      transmit_(std::move(transmit)) {}
+
+Trickle::~Trickle() { stop(); }
+
+void Trickle::start() {
+  stop();
+  running_ = true;
+  interval_ = config_.imin;
+  begin_interval();
+}
+
+void Trickle::stop() {
+  fire_event_.cancel();
+  end_event_.cancel();
+  running_ = false;
+}
+
+void Trickle::begin_interval() {
+  counter_ = 0;
+  // t uniform in [I/2, I).
+  const std::int64_t half = interval_.us / 2;
+  const std::int64_t t = half + rng_.uniform_int(0, half - 1);
+  fire_event_ = sim_.schedule_after(SimDuration{t}, [this] { fire(); });
+  end_event_ = sim_.schedule_after(interval_, [this] { interval_end(); });
+}
+
+void Trickle::fire() {
+  if (config_.redundancy_k > 0 && counter_ >= config_.redundancy_k) {
+    ++suppressions_;
+    return;
+  }
+  ++transmissions_;
+  transmit_();
+}
+
+void Trickle::interval_end() {
+  const SimDuration doubled{interval_.us * 2};
+  interval_ = doubled < imax() ? doubled : imax();
+  begin_interval();
+}
+
+void Trickle::hear_consistent() {
+  if (running_) ++counter_;
+}
+
+void Trickle::hear_inconsistent() {
+  if (!running_) return;
+  if (interval_ == config_.imin) return;  // RFC 6206: only reset if I > Imin
+  fire_event_.cancel();
+  end_event_.cancel();
+  interval_ = config_.imin;
+  begin_interval();
+}
+
+}  // namespace digs

@@ -1,0 +1,73 @@
+// The Trickle algorithm (RFC 6206), used by both DiGS and the RPL baseline
+// to pace join-in transmissions (paper Section V): the interval starts at
+// Imin, doubles up to Imax, transmits at a random point in the second half
+// of the interval unless suppressed by redundancy, and resets to Imin on
+// inconsistency (e.g. a parent change).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace digs {
+
+struct TrickleConfig {
+  SimDuration imin = seconds(static_cast<std::int64_t>(1));
+  /// Number of doublings: Imax = Imin * 2^doublings.
+  int doublings = 6;
+  /// Redundancy constant k: suppress transmission after hearing k
+  /// consistent messages in the current interval. 0 disables suppression.
+  int redundancy_k = 3;
+};
+
+class Trickle {
+ public:
+  /// `transmit` fires when the algorithm decides to send this interval.
+  Trickle(Simulator& sim, const TrickleConfig& config, Rng rng,
+          std::function<void()> transmit);
+  ~Trickle();
+  Trickle(const Trickle&) = delete;
+  Trickle& operator=(const Trickle&) = delete;
+
+  /// Starts with I = Imin (restarts if already running).
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// A consistent message was heard (counts towards suppression).
+  void hear_consistent();
+
+  /// An inconsistency was detected: reset the interval to Imin (RFC 6206
+  /// step 6). No-op if already at Imin per the RFC.
+  void hear_inconsistent();
+
+  [[nodiscard]] SimDuration current_interval() const { return interval_; }
+  [[nodiscard]] SimDuration imax() const {
+    return SimDuration{config_.imin.us << config_.doublings};
+  }
+  [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
+  [[nodiscard]] std::uint64_t suppressions() const { return suppressions_; }
+
+ private:
+  void begin_interval();
+  void fire();
+  void interval_end();
+
+  Simulator& sim_;
+  TrickleConfig config_;
+  Rng rng_;
+  std::function<void()> transmit_;
+
+  bool running_{false};
+  SimDuration interval_{};
+  int counter_{0};
+  EventHandle fire_event_;
+  EventHandle end_event_;
+  std::uint64_t transmissions_{0};
+  std::uint64_t suppressions_{0};
+};
+
+}  // namespace digs

@@ -1,0 +1,43 @@
+#include "sched/conflict_analysis.h"
+
+#include <cmath>
+
+namespace digs {
+
+double shared_slot_contention_probability(double traffic_load, int num_nodes,
+                                          int slotframe_len) {
+  if (traffic_load <= 0.0 || num_nodes <= 0 || slotframe_len <= 0) return 0.0;
+  if (slotframe_len >= num_nodes) {
+    return 1.0 - std::exp(-traffic_load * slotframe_len / num_nodes);
+  }
+  return 1.0 - std::exp(-traffic_load);
+}
+
+double slotframe_skip_probability(const SlotframeLoad& target,
+                                  const std::vector<SlotframeLoad>& all) {
+  double survive = 1.0;
+  for (const SlotframeLoad& other : all) {
+    if (other.priority >= target.priority) continue;  // smaller = higher
+    if (other.length <= 0) continue;
+    const double p_conf =
+        std::min(1.0, static_cast<double>(other.cells_per_frame) /
+                          static_cast<double>(other.length));
+    survive *= 1.0 - p_conf;
+  }
+  return 1.0 - survive;
+}
+
+double measured_skip_rate(const Schedule& schedule, TrafficClass traffic,
+                          std::uint64_t window) {
+  std::uint64_t active = 0;
+  std::uint64_t skipped = 0;
+  for (std::uint64_t asn = 0; asn < window; ++asn) {
+    if (schedule.class_cells(traffic, asn).empty()) continue;
+    ++active;
+    if (schedule.skipped(traffic, asn)) ++skipped;
+  }
+  if (active == 0) return 0.0;
+  return static_cast<double>(skipped) / static_cast<double>(active);
+}
+
+}  // namespace digs

@@ -1,0 +1,47 @@
+// Analytic models of paper Section VI-B:
+//   Eq. 5 — contention probability of the shared routing slot under Poisson
+//           traffic load,
+//   Eq. 6 — probability that a slotframe's cell is skipped because a
+//           higher-priority slotframe claims the same slot during schedule
+//           combination,
+// plus a measured counterpart computed by sweeping a real Schedule, used by
+// the ablation bench to validate the model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mac/schedule.h"
+
+namespace digs {
+
+/// Eq. 5: p_c = 1 - e^(-T*L/N) when L >= N, else 1 - e^(-T), where T is the
+/// average traffic load on the slot (Poisson), N the number of nodes and L
+/// the slotframe length.
+[[nodiscard]] double shared_slot_contention_probability(double traffic_load,
+                                                        int num_nodes,
+                                                        int slotframe_len);
+
+/// One slotframe as seen by the skip model: `cells_per_frame` cells
+/// installed in a slotframe of `length` slots, with priority `priority`
+/// (smaller = higher, as TrafficClass).
+struct SlotframeLoad {
+  int length{1};
+  int cells_per_frame{0};
+  int priority{0};
+};
+
+/// Eq. 6: probability that a given cell of slotframe `target` is skipped
+/// due to a conflict with any higher-priority slotframe. For coprime
+/// lengths, a random slot of A meets a cell of B with probability
+/// n_B / L_B.
+[[nodiscard]] double slotframe_skip_probability(
+    const SlotframeLoad& target, const std::vector<SlotframeLoad>& all);
+
+/// Empirical skip rate of `traffic` cells in `schedule` over `window`
+/// consecutive slots: skipped-slots / active-slots.
+[[nodiscard]] double measured_skip_rate(const Schedule& schedule,
+                                        TrafficClass traffic,
+                                        std::uint64_t window);
+
+}  // namespace digs

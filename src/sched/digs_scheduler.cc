@@ -1,0 +1,144 @@
+#include "sched/digs_scheduler.h"
+
+namespace digs {
+
+std::uint16_t DigsScheduler::app_tx_slot(NodeId id,
+                                         std::uint16_t num_access_points,
+                                         int attempt) const {
+  // Paper Eq. 4 with 0-based ids (access points occupy ids
+  // [0, num_access_points)): s = A * (id - N_AP) + p.
+  const int device_index = id.value - num_access_points;
+  const int slot = config_.attempts * device_index + attempt;
+  return static_cast<std::uint16_t>(slot % config_.app_slotframe_len);
+}
+
+std::uint16_t DigsScheduler::downlink_slot(NodeId child,
+                                           std::uint16_t num_access_points,
+                                           int attempt) const {
+  const std::uint16_t up = app_tx_slot(child, num_access_points, attempt);
+  return static_cast<std::uint16_t>(
+      (up + config_.app_slotframe_len / 2) % config_.app_slotframe_len);
+}
+
+void DigsScheduler::rebuild(Schedule& schedule,
+                            const RoutingView& view) const {
+  // --- Synchronization slotframe ---
+  Slotframe sync;
+  sync.traffic = TrafficClass::kSync;
+  sync.length = config_.sync_slotframe_len;
+  {
+    Cell eb_tx;
+    eb_tx.slot_offset =
+        static_cast<std::uint16_t>(view.id.value % sync.length);
+    eb_tx.channel_offset = tx_channel_offset(view.id);
+    eb_tx.option = CellOption::kTx;
+    eb_tx.traffic = TrafficClass::kSync;
+    eb_tx.peer = kNoNode;  // EBs are broadcast
+    sync.cells.push_back(eb_tx);
+  }
+  if (view.best_parent.valid()) {
+    Cell eb_rx;
+    eb_rx.slot_offset =
+        static_cast<std::uint16_t>(view.best_parent.value % sync.length);
+    eb_rx.channel_offset = tx_channel_offset(view.best_parent);
+    eb_rx.option = CellOption::kRx;
+    eb_rx.traffic = TrafficClass::kSync;
+    eb_rx.peer = view.best_parent;
+    sync.cells.push_back(eb_rx);
+  }
+  schedule.install(std::move(sync));
+
+  // --- Routing slotframe: one shared network-wide cell ---
+  Slotframe routing;
+  routing.traffic = TrafficClass::kRouting;
+  routing.length = config_.routing_slotframe_len;
+  {
+    Cell shared;
+    shared.slot_offset = config_.routing_shared_slot;
+    shared.channel_offset = config_.routing_channel_offset;
+    shared.option = CellOption::kShared;
+    shared.traffic = TrafficClass::kRouting;
+    shared.peer = kNoNode;
+    routing.cells.push_back(shared);
+  }
+  schedule.install(std::move(routing));
+
+  // --- Application slotframe ---
+  Slotframe app;
+  app.traffic = TrafficClass::kApplication;
+  app.length = config_.app_slotframe_len;
+
+  if (!view.is_access_point && view.best_parent.valid()) {
+    for (int p = 1; p <= config_.attempts; ++p) {
+      // Attempts 1..A-1 go to the best parent, attempt A to the
+      // second-best parent (WirelessHART rule); with no backup parent the
+      // last attempt falls back to the primary.
+      const bool backup_slot = (p == config_.attempts);
+      const NodeId peer = backup_slot && view.second_best_parent.valid()
+                              ? view.second_best_parent
+                              : view.best_parent;
+      Cell tx;
+      tx.slot_offset = app_tx_slot(view.id, view.num_access_points, p);
+      tx.channel_offset = attempt_channel_offset(view.id, p);
+      tx.option = CellOption::kTx;
+      tx.traffic = TrafficClass::kApplication;
+      tx.peer = peer;
+      tx.attempt = static_cast<std::uint8_t>(p);
+      app.cells.push_back(tx);
+    }
+  }
+
+  for (const ChildEntry& child : view.children) {
+    // Mirror RX cells: a parent listens on the child's whole attempt
+    // ladder regardless of its current role. Roles change when a child
+    // promotes its backup parent, and a parent listening only on its old
+    // attempts would be deaf exactly during the failover — the moment the
+    // redundancy matters. The idle listening is the energy cost of the
+    // graph redundancy (it shows up in the energy figures).
+    for (int p = 1; p <= config_.attempts; ++p) {
+      Cell rx;
+      rx.slot_offset = app_tx_slot(child.id, view.num_access_points, p);
+      rx.channel_offset = attempt_channel_offset(child.id, p);
+      rx.option = CellOption::kRx;
+      rx.traffic = TrafficClass::kApplication;
+      rx.peer = child.id;
+      rx.attempt = static_cast<std::uint8_t>(p);
+      app.cells.push_back(rx);
+    }
+  }
+  if (config_.enable_downlink) {
+    // Downlink graph: we transmit to each child on the child's downlink
+    // ladder; a field device listens on its own downlink slots for frames
+    // from either parent.
+    for (const ChildEntry& child : view.children) {
+      for (int p = 1; p <= config_.attempts; ++p) {
+        Cell tx;
+        tx.slot_offset =
+            downlink_slot(child.id, view.num_access_points, p);
+        tx.channel_offset = attempt_channel_offset(child.id, p + 5);
+        tx.option = CellOption::kTx;
+        tx.traffic = TrafficClass::kApplication;
+        tx.peer = child.id;
+        tx.attempt = static_cast<std::uint8_t>(p);
+        tx.downlink = true;
+        app.cells.push_back(tx);
+      }
+    }
+    if (!view.is_access_point && view.best_parent.valid()) {
+      for (int p = 1; p <= config_.attempts; ++p) {
+        Cell rx;
+        rx.slot_offset = downlink_slot(view.id, view.num_access_points, p);
+        rx.channel_offset = attempt_channel_offset(view.id, p + 5);
+        rx.option = CellOption::kRx;
+        rx.traffic = TrafficClass::kApplication;
+        rx.peer = kNoNode;  // either parent may transmit downlink
+        rx.attempt = static_cast<std::uint8_t>(p);
+        rx.downlink = true;
+        app.cells.push_back(rx);
+      }
+    }
+  }
+  schedule.install(std::move(app));
+}
+
+}  // namespace digs

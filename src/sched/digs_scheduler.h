@@ -1,0 +1,48 @@
+// The DiGS autonomous scheduling approach (paper Section VI).
+//
+//  - Synchronization slotframe: node i broadcasts its EB in slot i and
+//    listens in slot j of its best parent j.
+//  - Routing slotframe: one network-wide shared slot for join-in and
+//    joined-callback messages (contention; Trickle limits the load).
+//  - Application slotframe: the p-th transmission attempt of node NodeID
+//    uses slot  s = A*(NodeID - N_AP) - A + p  (Eq. 4, with the paper's
+//    1-based device numbering; equivalently A*(id - N_AP) + p for our
+//    0-based ids). Attempts 1..A-1 are directed at the best parent and
+//    attempt A at the second-best parent; a parent installs the mirror RX
+//    cells for each child it learned via joined-callback.
+//
+// Everything is derived from node ids and the local routing table — no
+// negotiation (the salient property evaluated in the paper).
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace digs {
+
+class DigsScheduler final : public Scheduler {
+ public:
+  explicit DigsScheduler(const SchedulerConfig& config) : config_(config) {}
+
+  void rebuild(Schedule& schedule, const RoutingView& view) const override;
+
+  [[nodiscard]] const SchedulerConfig& config() const override {
+    return config_;
+  }
+
+  /// Slot offset of attempt `p` (1-based) for transmitter `id`, Eq. 4.
+  [[nodiscard]] std::uint16_t app_tx_slot(NodeId id,
+                                          std::uint16_t num_access_points,
+                                          int attempt) const;
+
+  /// Downlink ladder: the slot in which `child`'s parent transmits the
+  /// p-th downlink attempt to it — the Eq. 4 slot shifted by half the
+  /// slotframe, derivable by both sides from the child's id alone.
+  [[nodiscard]] std::uint16_t downlink_slot(NodeId child,
+                                            std::uint16_t num_access_points,
+                                            int attempt) const;
+
+ private:
+  SchedulerConfig config_;
+};
+
+}  // namespace digs

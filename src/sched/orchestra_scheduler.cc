@@ -1,0 +1,100 @@
+#include "sched/orchestra_scheduler.h"
+
+namespace digs {
+
+void OrchestraScheduler::rebuild(Schedule& schedule,
+                                 const RoutingView& view) const {
+  // --- EB (synchronization) slotframe: sender-based ---
+  Slotframe sync;
+  sync.traffic = TrafficClass::kSync;
+  sync.length = config_.sync_slotframe_len;
+  {
+    Cell eb_tx;
+    eb_tx.slot_offset =
+        static_cast<std::uint16_t>(view.id.value % sync.length);
+    eb_tx.channel_offset = tx_channel_offset(view.id);
+    eb_tx.option = CellOption::kTx;
+    eb_tx.traffic = TrafficClass::kSync;
+    eb_tx.peer = kNoNode;
+    sync.cells.push_back(eb_tx);
+  }
+  if (view.best_parent.valid()) {
+    Cell eb_rx;
+    eb_rx.slot_offset =
+        static_cast<std::uint16_t>(view.best_parent.value % sync.length);
+    eb_rx.channel_offset = tx_channel_offset(view.best_parent);
+    eb_rx.option = CellOption::kRx;
+    eb_rx.traffic = TrafficClass::kSync;
+    eb_rx.peer = view.best_parent;
+    sync.cells.push_back(eb_rx);
+  }
+  schedule.install(std::move(sync));
+
+  // --- Common shared slotframe for routing traffic ---
+  Slotframe routing;
+  routing.traffic = TrafficClass::kRouting;
+  routing.length = config_.routing_slotframe_len;
+  {
+    Cell shared;
+    shared.slot_offset = config_.routing_shared_slot;
+    shared.channel_offset = config_.routing_channel_offset;
+    shared.option = CellOption::kShared;
+    shared.traffic = TrafficClass::kRouting;
+    shared.peer = kNoNode;
+    routing.cells.push_back(shared);
+  }
+  schedule.install(std::move(routing));
+
+  // --- Unicast slotframe ---
+  Slotframe app;
+  app.traffic = TrafficClass::kApplication;
+  app.length = config_.orchestra_unicast_len;
+
+  if (sender_based_) {
+    // Our own TX slot towards the RPL parent (the parent starts listening
+    // once it processes our joined-callback; until then transmissions are
+    // wasted, which the callback retry bounds to a few seconds).
+    if (!view.is_access_point && view.best_parent.valid()) {
+      Cell tx;
+      tx.slot_offset = unicast_slot(view.id);
+      tx.channel_offset = tx_channel_offset(view.id);
+      tx.option = CellOption::kTx;
+      tx.traffic = TrafficClass::kApplication;
+      tx.peer = view.best_parent;
+      tx.attempt = 1;
+      app.cells.push_back(tx);
+    }
+    // One RX slot per child, on the child's own slot.
+    for (const ChildEntry& child : view.children) {
+      Cell rx;
+      rx.slot_offset = unicast_slot(child.id);
+      rx.channel_offset = tx_channel_offset(child.id);
+      rx.option = CellOption::kRx;
+      rx.traffic = TrafficClass::kApplication;
+      rx.peer = child.id;
+      app.cells.push_back(rx);
+    }
+  } else {
+    // Receiver-based: always-on RX slot; TX in the parent's slot.
+    Cell rx;
+    rx.slot_offset = unicast_slot(view.id);
+    rx.channel_offset = tx_channel_offset(view.id);
+    rx.option = CellOption::kRx;
+    rx.traffic = TrafficClass::kApplication;
+    rx.peer = kNoNode;  // any sender
+    app.cells.push_back(rx);
+    if (!view.is_access_point && view.best_parent.valid()) {
+      Cell tx;
+      tx.slot_offset = unicast_slot(view.best_parent);
+      tx.channel_offset = tx_channel_offset(view.best_parent);
+      tx.option = CellOption::kTx;
+      tx.traffic = TrafficClass::kApplication;
+      tx.peer = view.best_parent;
+      tx.attempt = 1;
+      app.cells.push_back(tx);
+    }
+  }
+  schedule.install(std::move(app));
+}
+
+}  // namespace digs

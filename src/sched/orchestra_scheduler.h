@@ -1,0 +1,49 @@
+// Orchestra baseline scheduler (Duquennoy et al., SenSys'15), as used by the
+// paper's comparison (the authors' Contiki implementation).
+//
+//  - EB slotframe: sender-based — node i transmits its EB in a slot derived
+//    from its own id and listens in its time source's slot.
+//  - Common shared slotframe for routing traffic (RPL control messages).
+//  - Unicast slotframe, two variants:
+//      * sender-based (default, Contiki's unicast_per_neighbor rule with
+//        RPL storing mode): every node owns one TX slot derived from its own
+//        id, directed at its RPL parent; the parent listens on each child's
+//        slot (children are learned from joined-callback messages). Distinct
+//        senders never collide.
+//      * receiver-based: every node owns one always-on RX slot; senders
+//        transmit in their parent's slot. Zero signalling, but children of
+//        the same parent contend for one slot.
+//    Either way: one attempt per slotframe cycle, always through the single
+//    RPL parent — no backup route, which is what DiGS adds.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace digs {
+
+class OrchestraScheduler final : public Scheduler {
+ public:
+  explicit OrchestraScheduler(const SchedulerConfig& config,
+                              bool sender_based = true)
+      : config_(config), sender_based_(sender_based) {}
+
+  void rebuild(Schedule& schedule, const RoutingView& view) const override;
+
+  [[nodiscard]] const SchedulerConfig& config() const override {
+    return config_;
+  }
+  [[nodiscard]] bool sender_based() const { return sender_based_; }
+
+  /// The unicast slot owned by `id` (TX slot when sender-based, RX slot
+  /// when receiver-based).
+  [[nodiscard]] std::uint16_t unicast_slot(NodeId id) const {
+    return static_cast<std::uint16_t>(hash_mix(0x0C4A, id.value) %
+                                      config_.orchestra_unicast_len);
+  }
+
+ private:
+  SchedulerConfig config_;
+  bool sender_based_;
+};
+
+}  // namespace digs

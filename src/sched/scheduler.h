@@ -1,0 +1,86 @@
+// Autonomous schedulers: build a node's TSCH schedule purely from local
+// information (node id, traffic demand, routing table) — no negotiation or
+// schedule sharing between neighbors (the key property of paper Section VI).
+//
+// Two implementations:
+//   - DigsScheduler: the paper's contribution (id-derived attempt ladder).
+//   - OrchestraScheduler: the receiver-based Orchestra baseline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "mac/schedule.h"
+#include "routing/routing.h"
+
+namespace digs {
+
+struct SchedulerConfig {
+  /// Slotframe lengths; the paper uses 557 / 47 / 151 for all experiments
+  /// (Section VII) and 61 / 11 / 7 in the worked example (Fig. 7).
+  /// Pairwise coprime lengths ensure no traffic class is starved.
+  std::uint16_t sync_slotframe_len = 557;
+  std::uint16_t routing_slotframe_len = 47;
+  std::uint16_t app_slotframe_len = 151;
+  /// Total transmission attempts per packet per slotframe cycle (A in the
+  /// paper's Eq. 4). Attempts 1..A-1 use the best parent, attempt A the
+  /// second-best parent (WirelessHART rule).
+  int attempts = 3;
+  /// Orchestra's unicast slotframe length. The paper configures the
+  /// application slotframe to 151 slots "for all experiments", which is
+  /// what makes DiGS's 3-attempt ladder pay off in latency; a shorter
+  /// Contiki-default-style frame (e.g. 53) gives Orchestra more service
+  /// bandwidth and is available here for ablations.
+  std::uint16_t orchestra_unicast_len = 151;
+  /// Downlink graph cells (paper footnote 2 extension): when enabled, each
+  /// parent gets TX cells towards every child on a second Eq. 4-style
+  /// ladder (shifted by half the application slotframe), and every device
+  /// listens on its own downlink slots.
+  bool enable_downlink = false;
+  /// Slot offset of the network-wide shared routing cell ("All nodes in the
+  /// network use the same time slot offset for the routing traffic").
+  std::uint16_t routing_shared_slot = 0;
+  ChannelOffset routing_channel_offset = 0;
+};
+
+/// Snapshot of the routing state a scheduler may read — local info only.
+struct RoutingView {
+  NodeId id;
+  bool is_access_point{false};
+  std::uint16_t num_access_points{2};
+  NodeId best_parent;
+  NodeId second_best_parent;
+  std::span<const ChildEntry> children;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Rebuilds all three slotframes of `schedule` from the routing view.
+  virtual void rebuild(Schedule& schedule, const RoutingView& view) const = 0;
+
+  [[nodiscard]] virtual const SchedulerConfig& config() const = 0;
+};
+
+/// Channel offset derived from the transmitting node's id; computed
+/// identically by sender and receiver so dedicated cells agree without any
+/// exchange.
+[[nodiscard]] inline ChannelOffset tx_channel_offset(NodeId sender) {
+  return static_cast<ChannelOffset>(hash_mix(0xA55, sender.value) %
+                                    kNumChannels);
+}
+
+/// Per-attempt channel offset: successive attempts of the same packet land
+/// on decorrelated channels so a frequency-local interferer (one WiFi
+/// channel = four 802.15.4 channels) cannot kill a whole attempt ladder —
+/// the WirelessHART channel-diversity rule.
+[[nodiscard]] inline ChannelOffset attempt_channel_offset(NodeId sender,
+                                                          int attempt) {
+  return static_cast<ChannelOffset>(
+      hash_mix(0xA77, sender.value, attempt) % kNumChannels);
+}
+
+}  // namespace digs

@@ -1,0 +1,53 @@
+#include "sim/simulator.h"
+
+namespace digs {
+
+bool EventHandle::pending() const {
+  return sim_ != nullptr && sim_->live_.contains(id_);
+}
+
+void EventHandle::cancel() {
+  if (sim_ != nullptr) sim_->live_.erase(id_);
+  sim_ = nullptr;
+  id_ = 0;
+}
+
+EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
+  return EventHandle{this, id};
+}
+
+void Simulator::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    // priority_queue::top() is const; moving out is safe because we pop
+    // immediately and never touch the moved-from element.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (live_.erase(ev.id) == 0) continue;  // was cancelled
+    now_ = ev.at;
+    ++events_executed_;
+    ev.fn();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    run_until(queue_.top().at);
+  }
+}
+
+void PeriodicTimer::start() {
+  handle_.cancel();
+  handle_ = sim_.schedule_after(period_, [this] { fire(); });
+}
+
+void PeriodicTimer::fire() {
+  handle_ = sim_.schedule_after(period_, [this] { fire(); });
+  fn_();
+}
+
+}  // namespace digs

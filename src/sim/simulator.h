@@ -1,0 +1,129 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns a priority queue of timestamped events. Events scheduled
+// for the same instant fire in scheduling order (FIFO via a sequence number),
+// which keeps runs deterministic. Events can be cancelled through the handle
+// returned at scheduling time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+
+namespace digs {
+
+class Simulator;
+
+/// Handle to a scheduled event; allows cancellation. Default-constructed
+/// handles are inert. Handles do not own the event; cancelling after the
+/// event fired is a harmless no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event has neither fired nor been cancelled.
+  [[nodiscard]] bool pending() const;
+
+  /// Cancels the event if still pending.
+  void cancel();
+
+ private:
+  friend class Simulator;
+  EventHandle(Simulator* sim, std::uint64_t id) : sim_(sim), id_(id) {}
+
+  Simulator* sim_{nullptr};
+  std::uint64_t id_{0};
+};
+
+/// Single-threaded discrete-event simulator.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at`; times in the past are clamped to
+  /// now (fires immediately on the next run step).
+  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` after the given delay (>= 0).
+  EventHandle schedule_after(SimDuration delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue drains or `until` is reached; the clock
+  /// advances to `until` even if the queue drains earlier.
+  void run_until(SimTime until);
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Number of events executed so far (for diagnostics/benchmarks).
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_executed_;
+  }
+
+  /// Number of events currently pending (scheduled, not fired, not
+  /// cancelled).
+  [[nodiscard]] std::size_t pending_events() const { return live_.size(); }
+
+ private:
+  friend class EventHandle;
+
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_{};
+  std::uint64_t next_seq_{0};
+  std::uint64_t next_id_{1};
+  std::uint64_t events_executed_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Ids of events that are queued and neither fired nor cancelled.
+  std::unordered_set<std::uint64_t> live_;
+};
+
+/// Repeating timer built on the simulator; fires every `period` until
+/// stopped. Restartable. Non-copyable (the callback captures `this`).
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, SimDuration period, std::function<void()> fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Starts (or restarts) the timer; first firing after one period.
+  void start();
+  void stop() { handle_.cancel(); }
+  [[nodiscard]] bool running() const { return handle_.pending(); }
+
+  void set_period(SimDuration period) { period_ = period; }
+  [[nodiscard]] SimDuration period() const { return period_; }
+
+ private:
+  void fire();
+
+  Simulator& sim_;
+  SimDuration period_;
+  std::function<void()> fn_;
+  EventHandle handle_;
+};
+
+}  // namespace digs

@@ -1,0 +1,169 @@
+#include "stats/flow_stats.h"
+
+namespace digs {
+
+PacketRecord* FlowRecord::find(std::uint32_t seq) {
+  // Packets are appended in seq order; direct index when dense.
+  if (seq < packets.size() && packets[seq].seq == seq) return &packets[seq];
+  for (auto& packet : packets) {
+    if (packet.seq == seq) return &packet;
+  }
+  return nullptr;
+}
+
+const PacketRecord* FlowRecord::find(std::uint32_t seq) const {
+  return const_cast<FlowRecord*>(this)->find(seq);
+}
+
+void FlowStatsCollector::register_flow(FlowId flow, NodeId source) {
+  if (index_.contains(flow.value)) return;
+  index_[flow.value] = flows_.size();
+  FlowRecord record;
+  record.id = flow;
+  record.source = source;
+  flows_.push_back(std::move(record));
+}
+
+FlowRecord* FlowStatsCollector::get(FlowId flow) {
+  const auto it = index_.find(flow.value);
+  return it == index_.end() ? nullptr : &flows_[it->second];
+}
+
+const FlowRecord* FlowStatsCollector::flow(FlowId id) const {
+  const auto it = index_.find(id.value);
+  return it == index_.end() ? nullptr : &flows_[it->second];
+}
+
+void FlowStatsCollector::on_generated(FlowId flow, std::uint32_t seq,
+                                      SimTime now) {
+  FlowRecord* record = get(flow);
+  if (record == nullptr) return;
+  PacketRecord packet;
+  packet.seq = seq;
+  packet.generated = now;
+  record->packets.push_back(packet);
+}
+
+void FlowStatsCollector::on_delivered(FlowId flow, std::uint32_t seq,
+                                      SimTime now) {
+  FlowRecord* record = get(flow);
+  if (record == nullptr) return;
+  PacketRecord* packet = record->find(seq);
+  if (packet == nullptr || packet->received()) return;  // duplicate
+  packet->delivered = now;
+}
+
+void FlowStatsCollector::on_dropped(FlowId flow, std::uint32_t seq,
+                                    SimTime now) {
+  (void)now;
+  FlowRecord* record = get(flow);
+  if (record == nullptr) return;
+  // A drop on one path is not a loss if another copy made it through.
+  PacketRecord* packet = record->find(seq);
+  if (packet == nullptr || packet->received()) return;
+  packet->dropped = true;
+}
+
+double FlowStatsCollector::pdr(FlowId flow, SimTime from, SimTime to) const {
+  const FlowRecord* record = this->flow(flow);
+  if (record == nullptr) return 0.0;
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  for (const PacketRecord& packet : record->packets) {
+    if (packet.generated < from || packet.generated >= to) continue;
+    ++generated;
+    if (packet.received()) ++delivered;
+  }
+  if (generated == 0) return 1.0;
+  return static_cast<double>(delivered) / static_cast<double>(generated);
+}
+
+double FlowStatsCollector::overall_pdr(SimTime from, SimTime to) const {
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  for (const FlowRecord& record : flows_) {
+    for (const PacketRecord& packet : record.packets) {
+      if (packet.generated < from || packet.generated >= to) continue;
+      ++generated;
+      if (packet.received()) ++delivered;
+    }
+  }
+  if (generated == 0) return 1.0;
+  return static_cast<double>(delivered) / static_cast<double>(generated);
+}
+
+std::vector<double> FlowStatsCollector::latencies_ms(SimTime from,
+                                                     SimTime to) const {
+  std::vector<double> out;
+  for (const FlowRecord& record : flows_) {
+    for (const PacketRecord& packet : record.packets) {
+      if (packet.generated < from || packet.generated >= to) continue;
+      if (packet.received()) out.push_back(packet.latency().millis());
+    }
+  }
+  return out;
+}
+
+bool FlowStatsCollector::was_delivered(FlowId flow, std::uint32_t seq) const {
+  const FlowRecord* record = this->flow(flow);
+  if (record == nullptr) return false;
+  const PacketRecord* packet = record->find(seq);
+  return packet != nullptr && packet->received();
+}
+
+std::optional<SimDuration> FlowStatsCollector::outage_after(
+    FlowId flow, SimTime event) const {
+  const FlowRecord* record = this->flow(flow);
+  if (record == nullptr) return std::nullopt;
+
+  std::optional<SimTime> outage_start;
+  std::optional<SimDuration> longest;
+  for (const PacketRecord& packet : record->packets) {
+    if (packet.generated < event) continue;
+    if (!packet.received()) {
+      if (!outage_start) outage_start = packet.generated;
+      continue;
+    }
+    if (outage_start) {
+      const SimDuration outage = *packet.delivered - *outage_start;
+      if (!longest || outage > *longest) longest = outage;
+      outage_start.reset();
+    }
+  }
+  // An outage still open at the end of the trace counts to the last
+  // generated packet (the flow never recovered).
+  if (outage_start && !record->packets.empty()) {
+    const SimDuration outage =
+        record->packets.back().generated - *outage_start;
+    if (outage.us > 0 && (!longest || outage > *longest)) longest = outage;
+  }
+  return longest;
+}
+
+std::uint64_t FlowStatsCollector::total_generated() const {
+  std::uint64_t n = 0;
+  for (const FlowRecord& record : flows_) n += record.packets.size();
+  return n;
+}
+
+std::uint64_t FlowStatsCollector::total_delivered() const {
+  std::uint64_t n = 0;
+  for (const FlowRecord& record : flows_) {
+    for (const PacketRecord& packet : record.packets) {
+      if (packet.received()) ++n;
+    }
+  }
+  return n;
+}
+
+std::uint64_t FlowStatsCollector::total_dropped() const {
+  std::uint64_t n = 0;
+  for (const FlowRecord& record : flows_) {
+    for (const PacketRecord& packet : record.packets) {
+      if (packet.dropped && !packet.received()) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace digs

@@ -1,0 +1,87 @@
+// End-to-end flow accounting: per-packet generation / delivery / drop
+// records, from which every evaluation metric in the paper derives —
+// PDR (reliability), latency, repair time (outage after a disturbance),
+// and per-packet micro-benchmarks (Figs. 9(f), 11(b)).
+//
+// Deliveries are de-duplicated per (flow, seq): graph routing can deliver a
+// packet over both the primary and the backup path, or a lost ACK can cause
+// a duplicate; the first arrival counts, as at a WirelessHART gateway.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "common/types.h"
+
+namespace digs {
+
+struct PacketRecord {
+  std::uint32_t seq{0};
+  SimTime generated;
+  std::optional<SimTime> delivered;
+  bool dropped{false};
+
+  [[nodiscard]] bool received() const { return delivered.has_value(); }
+  [[nodiscard]] SimDuration latency() const {
+    return received() ? *delivered - generated : SimDuration{0};
+  }
+};
+
+struct FlowRecord {
+  FlowId id;
+  NodeId source;
+  std::vector<PacketRecord> packets;
+
+  [[nodiscard]] PacketRecord* find(std::uint32_t seq);
+  [[nodiscard]] const PacketRecord* find(std::uint32_t seq) const;
+};
+
+class FlowStatsCollector {
+ public:
+  void register_flow(FlowId flow, NodeId source);
+
+  void on_generated(FlowId flow, std::uint32_t seq, SimTime now);
+  /// Records a delivery; duplicates (same flow+seq) are ignored.
+  void on_delivered(FlowId flow, std::uint32_t seq, SimTime now);
+  void on_dropped(FlowId flow, std::uint32_t seq, SimTime now);
+
+  [[nodiscard]] const std::vector<FlowRecord>& flows() const { return flows_; }
+  [[nodiscard]] const FlowRecord* flow(FlowId id) const;
+
+  /// PDR of one flow, counting packets generated in [from, to).
+  [[nodiscard]] double pdr(FlowId flow, SimTime from = SimTime{0},
+                           SimTime to = SimTime{INT64_MAX}) const;
+  /// PDR over all flows (packet-weighted).
+  [[nodiscard]] double overall_pdr(SimTime from = SimTime{0},
+                                   SimTime to = SimTime{INT64_MAX}) const;
+
+  /// Latencies (ms) of delivered packets across all flows.
+  [[nodiscard]] std::vector<double> latencies_ms(
+      SimTime from = SimTime{0}, SimTime to = SimTime{INT64_MAX}) const;
+
+  /// True if the packet was delivered (for micro-benchmarks).
+  [[nodiscard]] bool was_delivered(FlowId flow, std::uint32_t seq) const;
+
+  /// Longest outage of a flow starting at or after `event`: the time from
+  /// the generation of the first lost packet to the delivery time of the
+  /// next delivered packet. nullopt if no packet was lost after `event`.
+  /// Used for repair-time measurement (paper Fig. 4).
+  [[nodiscard]] std::optional<SimDuration> outage_after(FlowId flow,
+                                                        SimTime event) const;
+
+  [[nodiscard]] std::uint64_t total_generated() const;
+  [[nodiscard]] std::uint64_t total_delivered() const;
+  [[nodiscard]] std::uint64_t total_dropped() const;
+
+ private:
+  FlowRecord* get(FlowId flow);
+
+  std::vector<FlowRecord> flows_;
+  std::unordered_map<std::uint16_t, std::size_t> index_;
+};
+
+}  // namespace digs

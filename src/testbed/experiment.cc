@@ -1,0 +1,171 @@
+#include "testbed/experiment.h"
+
+#include <algorithm>
+
+namespace digs {
+
+NodeConfig ExperimentRunner::default_node_config() {
+  NodeConfig config;
+  // Paper Section VII: slotframe lengths 557 / 47 / 151 for all
+  // experiments; 3 attempts per packet per cycle (WirelessHART rule).
+  config.scheduler.sync_slotframe_len = 557;
+  config.scheduler.routing_slotframe_len = 47;
+  config.scheduler.app_slotframe_len = 151;
+  config.scheduler.attempts = 3;
+  return config;
+}
+
+MediumConfig ExperimentRunner::default_medium_config() {
+  return MediumConfig{};
+}
+
+ExperimentRunner::ExperimentRunner(const TestbedLayout& layout,
+                                   const ExperimentConfig& config)
+    : layout_(layout), config_(config) {
+  NetworkConfig net;
+  net.suite = config.suite;
+  net.num_access_points = layout.num_access_points;
+  net.seed = config.seed;
+  net.node = default_node_config();
+  net.node.scheduler = config.scheduler;
+  // Per-packet persistence: DiGS offers `attempts` tries per 151-slot
+  // cycle; Orchestra one try per (shorter) unicast cycle. Both get
+  // max_delivery_cycles of their own cycles, bounded by Contiki TSCH's
+  // 8-retransmission default for the Orchestra baseline.
+  net.node.mac.max_data_transmissions =
+      config.suite == ProtocolSuite::kDigs
+          ? config.scheduler.attempts * config.max_delivery_cycles
+          : std::min(config.max_delivery_cycles, 8);
+  net.node.mac.tx_power_dbm = layout.tx_power_dbm;
+  if (config.trickle.has_value()) {
+    net.node.digs_routing.trickle = *config.trickle;
+    net.node.rpl_routing.trickle = *config.trickle;
+  }
+  net.node.digs_routing.use_weighted_etx = config.use_weighted_etx;
+  net.node.orchestra_sender_based = config.orchestra_sender_based;
+  net.medium = default_medium_config();
+  net.medium.propagation.path_loss_exponent = layout.path_loss_exponent;
+  net.node.etx.admission_rss_dbm = layout.admission_rss_dbm;
+
+  network_ = std::make_unique<Network>(net, layout.positions);
+
+  // Flows: sources drawn deterministically from the experiment seed,
+  // periods staggered so sources do not phase-align.
+  const auto sources =
+      pick_sources(layout, config.num_flows, hash_mix(config.seed, 0xF10));
+  Rng stagger_rng(hash_mix(config.seed, 0x57A6));
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    FlowSpec flow;
+    flow.id = FlowId{static_cast<std::uint16_t>(i)};
+    flow.source = sources[i];
+    flow.period = config.flow_period;
+    flow.start_offset =
+        config.warmup +
+        SimDuration{static_cast<std::int64_t>(
+            stagger_rng.uniform(0.0, config.flow_period.seconds()) * 1e6)};
+    network_->add_flow(flow);
+  }
+
+  // Jammers.
+  if (config.num_jammers > 0 && config.jammer_start_after.has_value()) {
+    const SimTime jam_start =
+        SimTime{0} + config.warmup + *config.jammer_start_after;
+    const std::size_t count =
+        std::min(config.num_jammers, layout.jammer_positions.size());
+    for (std::size_t j = 0; j < count; ++j) {
+      JammerConfig jammer;
+      jammer.position = layout.jammer_positions[j];
+      jammer.tx_power_dbm = config.jammer_tx_power_dbm;
+      jammer.pattern = config.jammer_pattern;
+      jammer.wifi_block_start = static_cast<int>((j * 4) % 13);
+      jammer.start = jam_start;
+      jammer.on_duration = config.jammer_on;
+      jammer.off_duration = config.jammer_off;
+      network_->add_jammer(jammer);
+    }
+  }
+}
+
+ExperimentResult ExperimentRunner::run() {
+  Network& net = *network_;
+  net.start();
+
+  // Failure injections (offsets from network start).
+  for (const FailureEvent& failure : config_.failures) {
+    net.sim().schedule_after(failure.at, [&net, failure] {
+      net.set_node_alive(failure.node, failure.alive);
+    });
+  }
+
+  // Warmup: let the mesh form.
+  net.run_for(config_.warmup);
+  measure_start_ = net.sim().now();
+  net.reset_energy();
+
+  net.run_for(config_.duration + config_.stat_drain);
+  // Packets *generated* within the window count; the drain time only gives
+  // the last generations a chance to arrive.
+  const SimTime measure_end = measure_start_ + config_.duration;
+
+  ExperimentResult result;
+  const FlowStatsCollector& stats = net.stats();
+  result.overall_pdr = stats.overall_pdr(measure_start_, measure_end);
+  for (const FlowRecord& flow : stats.flows()) {
+    result.flow_ids.push_back(flow.id);
+    result.flow_pdrs.push_back(stats.pdr(flow.id, measure_start_,
+                                         measure_end));
+  }
+  result.latencies_ms = stats.latencies_ms(measure_start_, measure_end);
+
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  for (const FlowRecord& flow : stats.flows()) {
+    for (const PacketRecord& packet : flow.packets) {
+      if (packet.generated < measure_start_ ||
+          packet.generated >= measure_end) {
+        continue;
+      }
+      ++generated;
+      if (packet.received()) ++delivered;
+    }
+  }
+  result.generated = generated;
+  result.delivered = delivered;
+
+  const double energy_mj = net.total_energy_mj();
+  result.energy_per_delivered_mj =
+      delivered > 0 ? energy_mj / static_cast<double>(delivered) : 0.0;
+  result.duty_cycle = net.mean_duty_cycle();
+  result.duty_cycle_per_delivered =
+      delivered > 0
+          ? 100.0 * result.duty_cycle / static_cast<double>(delivered) * 100.0
+          : 0.0;
+
+  // Repair times: longest outage after the disturbance event (jammer start
+  // or first failure), per flow that lost packets.
+  std::optional<SimTime> disturbance;
+  if (config_.num_jammers > 0 && config_.jammer_start_after.has_value()) {
+    disturbance = SimTime{0} + config_.warmup + *config_.jammer_start_after;
+  }
+  for (const FailureEvent& failure : config_.failures) {
+    const SimTime at = SimTime{0} + failure.at;
+    if (!disturbance || at < *disturbance) disturbance = at;
+  }
+  if (disturbance) {
+    for (const FlowRecord& flow : stats.flows()) {
+      const auto outage = stats.outage_after(flow.id, *disturbance);
+      if (outage) result.repair_times_s.push_back(outage->seconds());
+    }
+  }
+
+  for (std::size_t i = layout_.num_access_points;
+       i < net.join_times().size(); ++i) {
+    const SimTime t = net.join_times()[i];
+    if (t.us >= 0) result.join_times_s.push_back(t.seconds());
+    const SimTime full = net.full_join_times()[i];
+    if (full.us >= 0) result.full_join_times_s.push_back(full.seconds());
+  }
+  return result;
+}
+
+}  // namespace digs

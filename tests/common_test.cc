@@ -1,0 +1,314 @@
+// Unit tests for src/common: time arithmetic, deterministic RNG,
+// statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "common/types.h"
+
+namespace digs {
+namespace {
+
+// --- time ---
+
+TEST(TimeTest, DurationArithmetic) {
+  EXPECT_EQ(milliseconds(10).us, 10'000);
+  EXPECT_EQ(seconds(static_cast<std::int64_t>(2)).us, 2'000'000);
+  EXPECT_EQ((milliseconds(10) + microseconds(5)).us, 10'005);
+  EXPECT_EQ((seconds(static_cast<std::int64_t>(1)) - milliseconds(250)).us,
+            750'000);
+  EXPECT_EQ((milliseconds(10) * 3).us, 30'000);
+  EXPECT_EQ(seconds(static_cast<std::int64_t>(1)) / milliseconds(10), 100);
+}
+
+TEST(TimeTest, TimePointArithmetic) {
+  const SimTime t0{1'000'000};
+  const SimTime t1 = t0 + milliseconds(500);
+  EXPECT_EQ(t1.us, 1'500'000);
+  EXPECT_EQ((t1 - t0).us, 500'000);
+  EXPECT_LT(t0, t1);
+  EXPECT_DOUBLE_EQ(t1.seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(t1.millis(), 1500.0);
+}
+
+TEST(TimeTest, SlotDurationIsTenMilliseconds) {
+  EXPECT_EQ(kSlotDuration.us, 10'000);
+}
+
+TEST(TimeTest, FractionalSeconds) {
+  EXPECT_EQ(seconds(1.5).us, 1'500'000);
+  EXPECT_EQ(minutes(5).us, 300'000'000);
+}
+
+// --- types ---
+
+TEST(TypesTest, NodeIdValidity) {
+  EXPECT_FALSE(kNoNode.valid());
+  EXPECT_TRUE(NodeId{0}.valid());
+  EXPECT_TRUE(NodeId{42}.valid());
+  EXPECT_EQ(NodeId{7}, NodeId{7});
+  EXPECT_NE(NodeId{7}, NodeId{8});
+  EXPECT_LT(NodeId{3}, NodeId{5});
+}
+
+TEST(TypesTest, NodeIdHashDistinct) {
+  std::set<std::size_t> hashes;
+  for (std::uint16_t i = 0; i < 100; ++i) {
+    hashes.insert(std::hash<NodeId>{}(NodeId{i}));
+  }
+  EXPECT_EQ(hashes.size(), 100u);
+}
+
+TEST(TypesTest, FlowIdValidity) {
+  EXPECT_FALSE(FlowId{}.valid());
+  EXPECT_TRUE(FlowId{0}.valid());
+}
+
+// --- rng ---
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng root(7);
+  Rng a = root.fork("alpha");
+  Rng b = root.fork("beta");
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  Summary s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParameters) {
+  Rng rng(17);
+  Summary s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  Summary s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.exponential(3.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.15);
+}
+
+TEST(RngTest, ChanceProbability) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, HashMixOrderSensitive) {
+  EXPECT_NE(hash_mix(1, 2), hash_mix(2, 1));
+  EXPECT_NE(hash_mix(1, 2, 3), hash_mix(1, 2, 4));
+  EXPECT_EQ(hash_mix(1, 2, 3), hash_mix(1, 2, 3));
+}
+
+TEST(RngTest, HashedNormalIsStandardNormal) {
+  Summary s;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    s.add(hashed_normal(hash_mix(99, i)));
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+// --- stats ---
+
+TEST(SummaryTest, Basics) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+}
+
+TEST(SummaryTest, SingleSampleVarianceZero) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryTest, MergeMatchesCombined) {
+  Summary a;
+  Summary b;
+  Summary all;
+  Rng rng(29);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 1.5);
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.normal(-1.0, 0.5);
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryTest, MergeWithEmpty) {
+  Summary a;
+  a.add(1.0);
+  Summary b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(CdfTest, Percentiles) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 100.0);
+  EXPECT_NEAR(cdf.median(), 50.5, 1e-9);
+  EXPECT_NEAR(cdf.percentile(90), 90.1, 1e-9);
+  EXPECT_NEAR(cdf.mean(), 50.5, 1e-9);
+}
+
+TEST(CdfTest, At) {
+  Cdf cdf;
+  for (int i = 1; i <= 10; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_above(9.0), 0.1);
+}
+
+TEST(CdfTest, UnsortedInsertOrder) {
+  Cdf cdf;
+  cdf.add(5.0);
+  cdf.add(1.0);
+  cdf.add(3.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+}
+
+TEST(CdfTest, Boxplot) {
+  Cdf cdf;
+  for (int i = 0; i <= 100; ++i) cdf.add(i);
+  const BoxplotRow box = cdf.boxplot();
+  EXPECT_DOUBLE_EQ(box.min, 0.0);
+  EXPECT_DOUBLE_EQ(box.q1, 25.0);
+  EXPECT_DOUBLE_EQ(box.median, 50.0);
+  EXPECT_DOUBLE_EQ(box.q3, 75.0);
+  EXPECT_DOUBLE_EQ(box.max, 100.0);
+  EXPECT_EQ(box.n, 101u);
+}
+
+TEST(CdfTest, CurveMonotone) {
+  Cdf cdf;
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) cdf.add(rng.uniform(0.0, 10.0));
+  const auto curve = cdf.curve(21);
+  ASSERT_EQ(curve.size(), 21u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LT(curve[i - 1].second, curve[i].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(CdfTest, EmptySafe) {
+  Cdf cdf;
+  EXPECT_DOUBLE_EQ(cdf.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+  EXPECT_TRUE(cdf.curve().empty());
+}
+
+TEST(CdfTest, FormatBoxplotContainsFiveNumbers) {
+  Cdf cdf;
+  for (int i = 0; i <= 4; ++i) cdf.add(i * 10.0);
+  const std::string text = format_boxplot(cdf.boxplot(), "latency");
+  EXPECT_NE(text.find("latency"), std::string::npos);
+  EXPECT_NE(text.find("min="), std::string::npos);
+  EXPECT_NE(text.find("med="), std::string::npos);
+  EXPECT_NE(text.find("max="), std::string::npos);
+  EXPECT_NE(text.find("(n=5)"), std::string::npos);
+}
+
+TEST(CdfTest, FormatContainsLabel) {
+  Cdf cdf;
+  cdf.add(1.0);
+  cdf.add(2.0);
+  const std::string text = format_cdf(cdf, "latency", "ms", 3);
+  EXPECT_NE(text.find("latency"), std::string::npos);
+  EXPECT_NE(text.find("ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace digs

@@ -1,0 +1,303 @@
+// Tests for the downlink-graph extension (paper footnote 2): destination
+// advertisements, the downlink cell ladder, and end-to-end downlink /
+// device-to-device delivery via common-ancestor routing.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "routing/digs_routing.h"
+#include "sched/digs_scheduler.h"
+#include "sim/simulator.h"
+#include "testbed/experiment.h"
+
+namespace digs {
+namespace {
+
+// --- routing: destination advertisements ---
+
+struct DownlinkHarness {
+  Simulator sim;
+  NeighborTable table;
+  std::vector<Frame> sent;
+  DigsRoutingConfig config;
+  std::unique_ptr<DigsRouting> node;
+
+  DownlinkHarness(NodeId id, bool is_ap = false) {
+    config.enable_downlink = true;
+    config.dest_advert_period = seconds(static_cast<std::int64_t>(5));
+    RoutingProtocol::Env env;
+    env.send_routing = [this](const Frame& f) { sent.push_back(f); };
+    env.on_topology_changed = [](SimTime) {};
+    node = std::make_unique<DigsRouting>(sim, id, is_ap, table, config,
+                                         Rng(3), env);
+  }
+
+  void join_under(NodeId parent) {
+    table.on_heard(parent, -65.0, 1, 0.0, sim.now());
+    JoinInPayload payload;
+    payload.rank = 1;
+    payload.etxw = 0.0;
+    node->handle_frame(
+        make_frame(FrameType::kJoinIn, parent, kNoNode, payload), -65.0,
+        sim.now());
+  }
+
+  void add_child(NodeId me, NodeId child) {
+    table.on_heard_rss(child, -65.0, sim.now());
+    JoinedCallbackPayload payload;
+    payload.as_best_parent = true;
+    node->handle_frame(
+        make_frame(FrameType::kJoinedCallback, child, me, payload), -65.0,
+        sim.now());
+  }
+
+  void hear_advert(NodeId me, NodeId from, std::vector<NodeId> dests,
+                   std::uint32_t seq = 1) {
+    DestAdvertPayload payload;
+    for (const NodeId d : dests) payload.destinations.push_back({d, seq});
+    node->handle_frame(make_frame(FrameType::kDestAdvert, from, me, payload),
+                       -65.0, sim.now());
+  }
+};
+
+TEST(DownlinkRoutingTest, AdvertisesOwnIdUpward) {
+  DownlinkHarness h(NodeId{5});
+  h.node->start(h.sim.now());
+  h.join_under(NodeId{0});
+  h.sim.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(30)));
+  bool advertised_self = false;
+  for (const Frame& f : h.sent) {
+    if (f.type != FrameType::kDestAdvert) continue;
+    EXPECT_EQ(f.dst, NodeId{0});  // unicast to the best parent
+    for (const auto& adv : f.as<DestAdvertPayload>().destinations) {
+      if (adv.dest == NodeId{5}) advertised_self = true;
+    }
+  }
+  EXPECT_TRUE(advertised_self);
+}
+
+TEST(DownlinkRoutingTest, SubtreeDestinationsPropagate) {
+  DownlinkHarness h(NodeId{5});
+  h.node->start(h.sim.now());
+  h.join_under(NodeId{0});
+  h.add_child(NodeId{5}, NodeId{9});
+  h.hear_advert(NodeId{5}, NodeId{9}, {NodeId{9}, NodeId{12}});
+  EXPECT_EQ(h.node->next_hop_down(NodeId{9}), NodeId{9});
+  EXPECT_EQ(h.node->next_hop_down(NodeId{12}), NodeId{9});
+  EXPECT_EQ(h.node->next_hop_down(NodeId{33}), kNoNode);
+
+  // The subtree is re-advertised upward on the next advert.
+  h.sim.run_until(h.sim.now() + seconds(static_cast<std::int64_t>(30)));
+  bool relayed = false;
+  for (const Frame& f : h.sent) {
+    if (f.type != FrameType::kDestAdvert) continue;
+    for (const auto& adv : f.as<DestAdvertPayload>().destinations) {
+      if (adv.dest == NodeId{12}) relayed = true;
+    }
+  }
+  EXPECT_TRUE(relayed);
+}
+
+TEST(DownlinkRoutingTest, AdvertsFromNonChildrenIgnored) {
+  DownlinkHarness h(NodeId{5});
+  h.node->start(h.sim.now());
+  h.join_under(NodeId{0});
+  h.hear_advert(NodeId{5}, NodeId{9}, {NodeId{9}});  // 9 is not our child
+  EXPECT_EQ(h.node->next_hop_down(NodeId{9}), kNoNode);
+}
+
+TEST(DownlinkRoutingTest, DisabledByDefault) {
+  Simulator sim;
+  NeighborTable table;
+  RoutingProtocol::Env env;
+  env.send_routing = [](const Frame&) {};
+  env.on_topology_changed = [](SimTime) {};
+  DigsRouting node(sim, NodeId{5}, false, table, DigsRoutingConfig{}, Rng(1),
+                   env);
+  EXPECT_EQ(node.next_hop_down(NodeId{9}), kNoNode);
+}
+
+TEST(DownlinkRoutingTest, StaleDescendantsPruned) {
+  DownlinkHarness h(NodeId{5});
+  h.config.descendant_timeout = seconds(static_cast<std::int64_t>(10));
+  // Recreate with the short timeout.
+  RoutingProtocol::Env env;
+  env.send_routing = [&h](const Frame& f) { h.sent.push_back(f); };
+  env.on_topology_changed = [](SimTime) {};
+  h.node = std::make_unique<DigsRouting>(h.sim, NodeId{5}, false, h.table,
+                                         h.config, Rng(3), env);
+  h.node->start(h.sim.now());
+  h.join_under(NodeId{0});
+  h.add_child(NodeId{5}, NodeId{9});
+  h.hear_advert(NodeId{5}, NodeId{9}, {NodeId{9}});
+  ASSERT_EQ(h.node->next_hop_down(NodeId{9}), NodeId{9});
+  // No refresh for > timeout: pruned at the next advert cycle.
+  h.sim.run_until(h.sim.now() + seconds(static_cast<std::int64_t>(30)));
+  EXPECT_EQ(h.node->next_hop_down(NodeId{9}), kNoNode);
+}
+
+// --- scheduler: downlink ladder ---
+
+TEST(DownlinkSchedulerTest, LadderSharedBetweenParentAndChild) {
+  SchedulerConfig config;
+  config.enable_downlink = true;
+  DigsScheduler scheduler(config);
+
+  Schedule parent;
+  std::vector<ChildEntry> children{ChildEntry{NodeId{7}, true, {}}};
+  RoutingView parent_view;
+  parent_view.id = NodeId{4};
+  parent_view.num_access_points = 2;
+  parent_view.best_parent = NodeId{0};
+  parent_view.children = children;
+  scheduler.rebuild(parent, parent_view);
+
+  Schedule child;
+  RoutingView child_view;
+  child_view.id = NodeId{7};
+  child_view.num_access_points = 2;
+  child_view.best_parent = NodeId{4};
+  scheduler.rebuild(child, child_view);
+
+  // Every downlink TX cell of the parent has a matching RX cell at the
+  // child (same slot, same channel offset).
+  int matched = 0;
+  for (const Cell& tx :
+       parent.slotframe(TrafficClass::kApplication)->cells) {
+    if (!tx.downlink || tx.option != CellOption::kTx) continue;
+    EXPECT_EQ(tx.peer, NodeId{7});
+    for (const Cell& rx :
+         child.slotframe(TrafficClass::kApplication)->cells) {
+      if (rx.downlink && rx.option == CellOption::kRx &&
+          rx.slot_offset == tx.slot_offset &&
+          rx.channel_offset == tx.channel_offset) {
+        ++matched;
+      }
+    }
+  }
+  EXPECT_EQ(matched, config.attempts);
+}
+
+TEST(DownlinkSchedulerTest, DownlinkSlotsDisjointFromUplink) {
+  SchedulerConfig config;  // 151 app slots
+  config.enable_downlink = true;
+  DigsScheduler scheduler(config);
+  for (std::uint16_t id = 2; id < 40; ++id) {
+    for (int p = 1; p <= config.attempts; ++p) {
+      EXPECT_NE(scheduler.app_tx_slot(NodeId{id}, 2, p),
+                scheduler.downlink_slot(NodeId{id}, 2, p));
+    }
+  }
+}
+
+TEST(DownlinkSchedulerTest, NoDownlinkCellsWhenDisabled) {
+  SchedulerConfig config;
+  DigsScheduler scheduler(config);
+  Schedule schedule;
+  std::vector<ChildEntry> children{ChildEntry{NodeId{7}, true, {}}};
+  RoutingView view;
+  view.id = NodeId{4};
+  view.num_access_points = 2;
+  view.best_parent = NodeId{0};
+  view.children = children;
+  scheduler.rebuild(schedule, view);
+  for (const Cell& cell :
+       schedule.slotframe(TrafficClass::kApplication)->cells) {
+    EXPECT_FALSE(cell.downlink);
+  }
+}
+
+// --- end to end ---
+
+TestbedLayout downlink_layout() {
+  TestbedLayout layout;
+  layout.name = "downlink-10";
+  layout.num_access_points = 2;
+  layout.positions = {
+      {12.0, 10.0, 0.0}, {24.0, 10.0, 0.0},  // APs
+      {10.0, 5.0, 0.0},  {10.0, 15.0, 0.0}, {17.0, 8.0, 0.0},
+      {17.0, 14.0, 0.0}, {24.0, 6.0, 0.0},  {30.0, 10.0, 0.0},
+      {14.0, 11.0, 0.0}, {27.0, 12.0, 0.0},
+  };
+  return layout;
+}
+
+TEST(DownlinkEndToEndTest, GatewayToDeviceDelivery) {
+  NetworkConfig config;
+  config.suite = ProtocolSuite::kDigs;
+  config.seed = 21;
+  config.node = ExperimentRunner::default_node_config();
+  config.node.enable_downlink = true;
+  config.node.mac.tx_power_dbm = 0.0;
+  config.medium.propagation.path_loss_exponent = 3.8;
+  const TestbedLayout layout = downlink_layout();
+  Network net(config, layout.positions);
+
+  // Downlink command flow: AP 0 -> device 7 (the far node), every 2 s,
+  // starting after formation + advert propagation.
+  FlowSpec flow;
+  flow.id = FlowId{0};
+  flow.source = NodeId{0};
+  flow.downlink_dest = NodeId{7};
+  flow.period = seconds(static_cast<std::int64_t>(2));
+  flow.start_offset = seconds(static_cast<std::int64_t>(180));
+  net.add_flow(flow);
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(330)));
+
+  EXPECT_GT(net.stats().pdr(FlowId{0},
+                            SimTime{0} + seconds(static_cast<std::int64_t>(185))),
+            0.85);
+}
+
+TEST(DownlinkEndToEndTest, DeviceToDeviceViaCommonAncestor) {
+  NetworkConfig config;
+  config.suite = ProtocolSuite::kDigs;
+  config.seed = 22;
+  config.node = ExperimentRunner::default_node_config();
+  config.node.enable_downlink = true;
+  config.node.mac.tx_power_dbm = 0.0;
+  config.medium.propagation.path_loss_exponent = 3.8;
+  Network net(config, downlink_layout().positions);
+
+  // Sensor 2 -> actuator 9: climbs the uplink graph until some ancestor
+  // knows a downlink route, then descends.
+  FlowSpec flow;
+  flow.id = FlowId{0};
+  flow.source = NodeId{2};
+  flow.downlink_dest = NodeId{9};
+  flow.period = seconds(static_cast<std::int64_t>(2));
+  flow.start_offset = seconds(static_cast<std::int64_t>(180));
+  net.add_flow(flow);
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(330)));
+
+  EXPECT_GT(net.stats().pdr(FlowId{0},
+                            SimTime{0} + seconds(static_cast<std::int64_t>(185))),
+            0.8);
+}
+
+TEST(DownlinkEndToEndTest, UplinkUnaffectedByExtension) {
+  // Same uplink flow with and without the extension: PDR stays high.
+  for (const bool enabled : {false, true}) {
+    NetworkConfig config;
+    config.suite = ProtocolSuite::kDigs;
+    config.seed = 23;
+    config.node = ExperimentRunner::default_node_config();
+    config.node.enable_downlink = enabled;
+    config.node.mac.tx_power_dbm = 0.0;
+    config.medium.propagation.path_loss_exponent = 3.8;
+    Network net(config, downlink_layout().positions);
+    FlowSpec flow;
+    flow.id = FlowId{0};
+    flow.source = NodeId{7};
+    flow.period = seconds(static_cast<std::int64_t>(2));
+    flow.start_offset = seconds(static_cast<std::int64_t>(150));
+    net.add_flow(flow);
+    net.start();
+    net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(280)));
+    EXPECT_GT(net.stats().pdr(FlowId{0}), 0.9) << "enabled=" << enabled;
+  }
+}
+
+}  // namespace
+}  // namespace digs

@@ -1,0 +1,88 @@
+// Unit tests for the CC2420 radio energy model.
+#include <gtest/gtest.h>
+
+#include "energy/energy_meter.h"
+
+namespace digs {
+namespace {
+
+TEST(EnergyMeterTest, StartsEmpty) {
+  EnergyMeter meter;
+  EXPECT_DOUBLE_EQ(meter.energy_mj(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.average_power_mw(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.duty_cycle(), 0.0);
+  EXPECT_EQ(meter.total_time().us, 0);
+}
+
+TEST(EnergyMeterTest, ListenEnergyMatchesDatasheet) {
+  EnergyMeter meter;
+  meter.charge(RadioState::kListen, seconds(static_cast<std::int64_t>(1)));
+  // 18.8 mA * 3 V = 56.4 mW -> 56.4 mJ over 1 s.
+  EXPECT_NEAR(meter.energy_mj(), 56.4, 1e-9);
+  EXPECT_NEAR(meter.average_power_mw(), 56.4, 1e-9);
+}
+
+TEST(EnergyMeterTest, TransmitEnergy) {
+  EnergyMeter meter;
+  meter.charge(RadioState::kTransmit, milliseconds(100));
+  // 17.4 mA * 3 V = 52.2 mW * 0.1 s = 5.22 mJ.
+  EXPECT_NEAR(meter.energy_mj(), 5.22, 1e-9);
+}
+
+TEST(EnergyMeterTest, SleepIsCheap) {
+  EnergyMeter meter;
+  meter.charge(RadioState::kSleep, seconds(static_cast<std::int64_t>(100)));
+  // 21 uA * 3 V = 63 uW * 100 s = 6.3 mJ.
+  EXPECT_NEAR(meter.energy_mj(), 6.3, 1e-9);
+}
+
+TEST(EnergyMeterTest, DutyCycle) {
+  EnergyMeter meter;
+  meter.charge(RadioState::kListen, milliseconds(10));
+  meter.charge(RadioState::kTransmit, milliseconds(10));
+  meter.charge(RadioState::kSleep, milliseconds(80));
+  EXPECT_NEAR(meter.duty_cycle(), 0.2, 1e-12);
+  EXPECT_EQ(meter.total_time().us, 100'000);
+}
+
+TEST(EnergyMeterTest, AccumulatesAcrossCharges) {
+  EnergyMeter meter;
+  for (int i = 0; i < 10; ++i) {
+    meter.charge(RadioState::kListen, milliseconds(1));
+  }
+  EXPECT_EQ(meter.time_in(RadioState::kListen).us, 10'000);
+}
+
+TEST(EnergyMeterTest, ResetClears) {
+  EnergyMeter meter;
+  meter.charge(RadioState::kTransmit, seconds(static_cast<std::int64_t>(1)));
+  meter.reset();
+  EXPECT_DOUBLE_EQ(meter.energy_mj(), 0.0);
+  EXPECT_EQ(meter.total_time().us, 0);
+}
+
+TEST(EnergyMeterTest, CustomProfile) {
+  RadioPowerProfile profile;
+  profile.listen_ma = 10.0;
+  profile.supply_volts = 2.0;
+  EnergyMeter meter(profile);
+  meter.charge(RadioState::kListen, seconds(static_cast<std::int64_t>(1)));
+  EXPECT_NEAR(meter.energy_mj(), 20.0, 1e-9);
+}
+
+TEST(EnergyMeterTest, ListenDominatesSleepByOrders) {
+  // The whole point of TSCH duty cycling: radio-on is ~1000x sleep.
+  RadioPowerProfile profile;
+  EXPECT_GT(profile.listen_ma / profile.sleep_ma, 500.0);
+}
+
+TEST(EnergyMeterTest, AveragePowerWeighted) {
+  EnergyMeter meter;
+  meter.charge(RadioState::kListen, milliseconds(50));
+  meter.charge(RadioState::kSleep, milliseconds(50));
+  // (56.4 + 0.063) / 2
+  EXPECT_NEAR(meter.average_power_mw(), (56.4 + 0.063) / 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace digs

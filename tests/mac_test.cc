@@ -1,0 +1,537 @@
+// Unit tests for the TSCH MAC: slotframes, schedule combination by traffic
+// priority (paper Section VI), channel hopping, queues, retransmission
+// policy, join/sync behaviour, and shared-slot backoff.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/rng.h"
+#include "mac/hopping.h"
+#include "mac/schedule.h"
+#include "mac/tsch_mac.h"
+
+namespace digs {
+namespace {
+
+// --- hopping ---
+
+TEST(HoppingTest, CyclesThroughAllChannels) {
+  std::set<PhysicalChannel> seen;
+  for (std::uint64_t asn = 0; asn < 16; ++asn) {
+    seen.insert(hop_channel(asn, 0));
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(HoppingTest, OffsetSeparatesChannels) {
+  for (std::uint64_t asn = 0; asn < 100; ++asn) {
+    EXPECT_NE(hop_channel(asn, 0), hop_channel(asn, 1));
+  }
+}
+
+TEST(HoppingTest, WrapsAtSixteen) {
+  EXPECT_EQ(hop_channel(0, 0), hop_channel(16, 0));
+  EXPECT_EQ(hop_channel(5, 15), hop_channel(5 + 16, 15));
+}
+
+// --- schedule combination ---
+
+Slotframe make_slotframe(TrafficClass traffic, std::uint16_t length,
+                         std::vector<std::uint16_t> tx_slots) {
+  Slotframe frame;
+  frame.traffic = traffic;
+  frame.length = length;
+  for (const auto slot : tx_slots) {
+    Cell cell;
+    cell.slot_offset = slot;
+    cell.option = CellOption::kTx;
+    cell.traffic = traffic;
+    frame.cells.push_back(cell);
+  }
+  return frame;
+}
+
+TEST(ScheduleTest, EmptyScheduleNoCells) {
+  Schedule schedule;
+  EXPECT_TRUE(schedule.active_cells(0).empty());
+  EXPECT_EQ(schedule.total_cells(), 0u);
+}
+
+TEST(ScheduleTest, SingleSlotframeRepeats) {
+  Schedule schedule;
+  schedule.install(make_slotframe(TrafficClass::kApplication, 7, {3}));
+  EXPECT_TRUE(schedule.active_cells(0).empty());
+  EXPECT_EQ(schedule.active_cells(3).size(), 1u);
+  EXPECT_EQ(schedule.active_cells(10).size(), 1u);  // 10 % 7 == 3
+  EXPECT_EQ(schedule.active_cells(17).size(), 1u);
+}
+
+TEST(ScheduleTest, PriorityCombination) {
+  // Paper Fig. 7: sync wins over routing wins over application.
+  Schedule schedule;
+  schedule.install(make_slotframe(TrafficClass::kSync, 61, {0}));
+  schedule.install(make_slotframe(TrafficClass::kRouting, 11, {0}));
+  schedule.install(make_slotframe(TrafficClass::kApplication, 7, {0}));
+  // ASN 0: all three match; sync wins.
+  EXPECT_EQ(schedule.active_cells(0).front().traffic, TrafficClass::kSync);
+  // ASN 77 = 7*11: routing (77%11==0) and app (77%7==0) match, sync
+  // (77%61==16) does not; routing wins.
+  EXPECT_EQ(schedule.active_cells(77).front().traffic,
+            TrafficClass::kRouting);
+  // ASN 7: only application matches.
+  EXPECT_EQ(schedule.active_cells(7).front().traffic,
+            TrafficClass::kApplication);
+}
+
+TEST(ScheduleTest, SkippedDetection) {
+  Schedule schedule;
+  schedule.install(make_slotframe(TrafficClass::kSync, 61, {0}));
+  schedule.install(make_slotframe(TrafficClass::kApplication, 7, {0}));
+  EXPECT_TRUE(schedule.skipped(TrafficClass::kApplication, 0));
+  EXPECT_FALSE(schedule.skipped(TrafficClass::kApplication, 7));
+  EXPECT_FALSE(schedule.skipped(TrafficClass::kSync, 0));
+}
+
+TEST(ScheduleTest, NoTrafficConstantlyBlocked) {
+  // Coprime lengths (61, 11, 7): every class gets unskipped slots within
+  // one hyperperiod (the paper's "no traffic is constantly blocked").
+  Schedule schedule;
+  schedule.install(make_slotframe(TrafficClass::kSync, 61, {0}));
+  schedule.install(make_slotframe(TrafficClass::kRouting, 11, {0}));
+  schedule.install(make_slotframe(TrafficClass::kApplication, 7, {0}));
+  int app_unskipped = 0;
+  int routing_unskipped = 0;
+  const std::uint64_t hyper = 61ULL * 11 * 7;
+  for (std::uint64_t asn = 0; asn < hyper; ++asn) {
+    if (!schedule.class_cells(TrafficClass::kApplication, asn).empty() &&
+        !schedule.skipped(TrafficClass::kApplication, asn)) {
+      ++app_unskipped;
+    }
+    if (!schedule.class_cells(TrafficClass::kRouting, asn).empty() &&
+        !schedule.skipped(TrafficClass::kRouting, asn)) {
+      ++routing_unskipped;
+    }
+  }
+  EXPECT_GT(app_unskipped, 0);
+  EXPECT_GT(routing_unskipped, 0);
+}
+
+TEST(ScheduleTest, ReinstallReplaces) {
+  Schedule schedule;
+  schedule.install(make_slotframe(TrafficClass::kApplication, 7, {1, 2, 3}));
+  EXPECT_EQ(schedule.total_cells(), 3u);
+  schedule.install(make_slotframe(TrafficClass::kApplication, 7, {5}));
+  EXPECT_EQ(schedule.total_cells(), 1u);
+  EXPECT_TRUE(schedule.active_cells(1).empty());
+  EXPECT_EQ(schedule.active_cells(5).size(), 1u);
+}
+
+TEST(ScheduleTest, RemoveClass) {
+  Schedule schedule;
+  schedule.install(make_slotframe(TrafficClass::kSync, 61, {0}));
+  schedule.remove(TrafficClass::kSync);
+  EXPECT_TRUE(schedule.active_cells(0).empty());
+  EXPECT_EQ(schedule.slotframe(TrafficClass::kSync), nullptr);
+}
+
+// --- TschMac ---
+
+struct MacHarness {
+  MacConfig config;
+  std::vector<Frame> received;
+  std::vector<std::pair<NodeId, bool>> tx_results;
+  std::vector<DataPayload> drops;
+  int synced_events = 0;
+  int desynced_events = 0;
+  std::unique_ptr<TschMac> mac;
+
+  explicit MacHarness(NodeId id, bool is_ap = false, MacConfig cfg = {}) {
+    config = cfg;
+    TschMac::Callbacks callbacks;
+    callbacks.on_frame = [this](const Frame& f, double, SimTime) {
+      received.push_back(f);
+    };
+    callbacks.on_tx_result = [this](NodeId peer, FrameType, bool acked,
+                                    SimTime) {
+      tx_results.emplace_back(peer, acked);
+    };
+    callbacks.on_synced = [this](SimTime) { ++synced_events; };
+    callbacks.on_desynced = [this](SimTime) { ++desynced_events; };
+    callbacks.rank_provider = [] { return std::uint16_t{3}; };
+    callbacks.on_data_dropped = [this](const DataPayload& p, SimTime) {
+      drops.push_back(p);
+    };
+    mac = std::make_unique<TschMac>(id, is_ap, config, Rng(42), callbacks);
+  }
+};
+
+Frame eb_from(NodeId src, std::uint64_t asn = 0) {
+  EbPayload payload;
+  payload.asn = asn;
+  payload.rank = 1;
+  return make_frame(FrameType::kEnhancedBeacon, src, kNoNode, payload);
+}
+
+TEST(TschMacTest, AccessPointBornSynced) {
+  MacHarness harness(NodeId{0}, /*is_ap=*/true);
+  EXPECT_TRUE(harness.mac->synced());
+}
+
+TEST(TschMacTest, FieldDeviceScansUntilEb) {
+  MacHarness harness(NodeId{5});
+  EXPECT_FALSE(harness.mac->synced());
+  const SlotPlan plan = harness.mac->plan_slot(0, SimTime{0});
+  EXPECT_EQ(plan.kind, SlotPlan::Kind::kScan);
+  harness.mac->on_receive(eb_from(NodeId{0}), -70.0, 0, SimTime{0});
+  EXPECT_TRUE(harness.mac->synced());
+  EXPECT_EQ(harness.synced_events, 1);
+}
+
+TEST(TschMacTest, ScanRotatesChannels) {
+  MacConfig config;
+  config.scan_dwell_slots = 10;
+  MacHarness harness(NodeId{5}, false, config);
+  std::set<PhysicalChannel> channels;
+  for (std::uint64_t asn = 0; asn < 160; ++asn) {
+    channels.insert(harness.mac->plan_slot(asn, SimTime{0}).channel);
+  }
+  EXPECT_EQ(channels.size(), 16u);
+}
+
+TEST(TschMacTest, SyncTimeoutDesyncs) {
+  MacConfig config;
+  config.sync_timeout = seconds(static_cast<std::int64_t>(5));
+  MacHarness harness(NodeId{5}, false, config);
+  harness.mac->on_receive(eb_from(NodeId{0}), -70.0, 0, SimTime{0});
+  EXPECT_TRUE(harness.mac->synced());
+  harness.mac->end_slot(100, SimTime{0} + seconds(static_cast<std::int64_t>(4)));
+  EXPECT_TRUE(harness.mac->synced());
+  harness.mac->end_slot(600, SimTime{0} + seconds(static_cast<std::int64_t>(6)));
+  EXPECT_FALSE(harness.mac->synced());
+  EXPECT_EQ(harness.desynced_events, 1);
+}
+
+TEST(TschMacTest, EbFromTimeSourceRefreshesSync) {
+  MacConfig config;
+  config.sync_timeout = seconds(static_cast<std::int64_t>(5));
+  MacHarness harness(NodeId{5}, false, config);
+  harness.mac->on_receive(eb_from(NodeId{0}), -70.0, 0, SimTime{0});
+  harness.mac->set_time_source(NodeId{0});
+  harness.mac->on_receive(eb_from(NodeId{0}), -70.0, 400,
+                          SimTime{0} + seconds(static_cast<std::int64_t>(4)));
+  harness.mac->end_slot(600, SimTime{0} + seconds(static_cast<std::int64_t>(6)));
+  EXPECT_TRUE(harness.mac->synced());  // refreshed at t=4s
+}
+
+TEST(TschMacTest, EbFromAnyNeighborRefreshesSync) {
+  // Only routed nodes beacon, so any EB carries the network time
+  // (6TiSCH-style time keeping; we do not model clock drift).
+  MacConfig config;
+  config.sync_timeout = seconds(static_cast<std::int64_t>(5));
+  MacHarness harness(NodeId{5}, false, config);
+  harness.mac->on_receive(eb_from(NodeId{0}), -70.0, 0, SimTime{0});
+  harness.mac->set_time_source(NodeId{0});
+  harness.mac->on_receive(eb_from(NodeId{9}), -70.0, 400,
+                          SimTime{0} + seconds(static_cast<std::int64_t>(4)));
+  harness.mac->end_slot(600, SimTime{0} + seconds(static_cast<std::int64_t>(6)));
+  EXPECT_TRUE(harness.mac->synced());
+  // And with no EBs at all the timeout still fires.
+  harness.mac->end_slot(1200,
+                        SimTime{0} + seconds(static_cast<std::int64_t>(12)));
+  EXPECT_FALSE(harness.mac->synced());
+}
+
+// Installs a simple application slotframe with one TX cell to `peer` at
+// slot 1 and an EB TX cell at slot 0 of a sync slotframe.
+void install_simple_schedule(TschMac& mac, NodeId peer) {
+  Slotframe sync;
+  sync.traffic = TrafficClass::kSync;
+  sync.length = 101;
+  Cell eb;
+  eb.slot_offset = 0;
+  eb.option = CellOption::kTx;
+  eb.traffic = TrafficClass::kSync;
+  sync.cells.push_back(eb);
+  mac.schedule().install(sync);
+
+  Slotframe app;
+  app.traffic = TrafficClass::kApplication;
+  app.length = 10;
+  for (int p = 1; p <= 3; ++p) {
+    Cell tx;
+    tx.slot_offset = static_cast<std::uint16_t>(p);
+    tx.option = CellOption::kTx;
+    tx.traffic = TrafficClass::kApplication;
+    tx.peer = peer;
+    tx.attempt = static_cast<std::uint8_t>(p);
+    app.cells.push_back(tx);
+  }
+  mac.schedule().install(app);
+}
+
+TEST(TschMacTest, TransmitsEbInSyncSlot) {
+  MacHarness harness(NodeId{0}, /*is_ap=*/true);
+  install_simple_schedule(*harness.mac, NodeId{1});
+  const SlotPlan plan = harness.mac->plan_slot(0, SimTime{0});
+  EXPECT_EQ(plan.kind, SlotPlan::Kind::kTx);
+  EXPECT_EQ(plan.frame.type, FrameType::kEnhancedBeacon);
+  EXPECT_TRUE(plan.frame.is_broadcast());
+  EXPECT_FALSE(plan.expects_ack);
+  EXPECT_EQ(plan.frame.as<EbPayload>().rank, 3);  // from rank_provider
+}
+
+TEST(TschMacTest, DataWaitsInQueueUntilTxCell) {
+  MacHarness harness(NodeId{0}, /*is_ap=*/true);
+  install_simple_schedule(*harness.mac, NodeId{1});
+  DataPayload payload;
+  payload.flow = FlowId{1};
+  payload.seq = 7;
+  EXPECT_TRUE(harness.mac->enqueue_data(payload, SimTime{0}));
+  // Slot 5: no cell -> sleep.
+  EXPECT_EQ(harness.mac->plan_slot(5, SimTime{0}).kind,
+            SlotPlan::Kind::kSleep);
+  // Slot 1: TX cell.
+  const SlotPlan plan = harness.mac->plan_slot(11, SimTime{0});
+  EXPECT_EQ(plan.kind, SlotPlan::Kind::kTx);
+  EXPECT_EQ(plan.frame.type, FrameType::kData);
+  EXPECT_EQ(plan.frame.dst, NodeId{1});
+  EXPECT_TRUE(plan.expects_ack);
+  EXPECT_EQ(plan.frame.as<DataPayload>().seq, 7u);
+}
+
+TEST(TschMacTest, AckDequeuesPacket) {
+  MacHarness harness(NodeId{0}, /*is_ap=*/true);
+  install_simple_schedule(*harness.mac, NodeId{1});
+  harness.mac->enqueue_data(DataPayload{}, SimTime{0});
+  (void)harness.mac->plan_slot(1, SimTime{0});
+  harness.mac->on_tx_outcome(true, 1, SimTime{0});
+  EXPECT_EQ(harness.mac->app_queue_size(), 0u);
+  ASSERT_EQ(harness.tx_results.size(), 1u);
+  EXPECT_TRUE(harness.tx_results[0].second);
+}
+
+TEST(TschMacTest, NoAckRetriesThenDrops) {
+  MacConfig config;
+  config.max_data_transmissions = 4;
+  MacHarness harness(NodeId{0}, /*is_ap=*/true, config);
+  install_simple_schedule(*harness.mac, NodeId{1});
+  harness.mac->enqueue_data(DataPayload{}, SimTime{0});
+  int attempts = 0;
+  for (std::uint64_t asn = 0; asn < 40 && harness.mac->app_queue_size() > 0;
+       ++asn) {
+    const SlotPlan plan = harness.mac->plan_slot(asn, SimTime{0});
+    if (plan.kind == SlotPlan::Kind::kTx &&
+        plan.frame.type == FrameType::kData) {
+      ++attempts;
+      harness.mac->on_tx_outcome(false, asn, SimTime{0});
+    }
+  }
+  EXPECT_EQ(attempts, 4);
+  EXPECT_EQ(harness.drops.size(), 1u);
+  EXPECT_EQ(harness.mac->app_queue_size(), 0u);
+}
+
+TEST(TschMacTest, QueueOverflowDrops) {
+  MacConfig config;
+  config.app_queue_capacity = 2;
+  MacHarness harness(NodeId{0}, /*is_ap=*/true, config);
+  EXPECT_TRUE(harness.mac->enqueue_data(DataPayload{}, SimTime{0}));
+  EXPECT_TRUE(harness.mac->enqueue_data(DataPayload{}, SimTime{0}));
+  EXPECT_FALSE(harness.mac->enqueue_data(DataPayload{}, SimTime{0}));
+  EXPECT_EQ(harness.drops.size(), 1u);
+  EXPECT_EQ(harness.mac->app_queue_size(), 2u);
+}
+
+TEST(TschMacTest, JoinInReplacedNotDuplicated) {
+  MacHarness harness(NodeId{0}, /*is_ap=*/true);
+  JoinInPayload p1;
+  p1.rank = 2;
+  harness.mac->enqueue_routing(
+      make_frame(FrameType::kJoinIn, NodeId{0}, kNoNode, p1));
+  JoinInPayload p2;
+  p2.rank = 3;
+  harness.mac->enqueue_routing(
+      make_frame(FrameType::kJoinIn, NodeId{0}, kNoNode, p2));
+  EXPECT_EQ(harness.mac->routing_queue_size(), 1u);
+}
+
+TEST(TschMacTest, SharedSlotTransmitsRoutingFrame) {
+  MacHarness harness(NodeId{0}, /*is_ap=*/true);
+  Slotframe routing;
+  routing.traffic = TrafficClass::kRouting;
+  routing.length = 11;
+  Cell shared;
+  shared.slot_offset = 0;
+  shared.option = CellOption::kShared;
+  shared.traffic = TrafficClass::kRouting;
+  routing.cells.push_back(shared);
+  harness.mac->schedule().install(routing);
+
+  // Without pending traffic the shared slot listens.
+  EXPECT_EQ(harness.mac->plan_slot(0, SimTime{0}).kind, SlotPlan::Kind::kRx);
+
+  harness.mac->enqueue_routing(
+      make_frame(FrameType::kJoinIn, NodeId{0}, kNoNode, JoinInPayload{}));
+  const SlotPlan plan = harness.mac->plan_slot(11, SimTime{0});
+  EXPECT_EQ(plan.kind, SlotPlan::Kind::kTx);
+  EXPECT_EQ(plan.frame.type, FrameType::kJoinIn);
+  // Broadcast: done after one transmission.
+  harness.mac->on_tx_outcome(false, 11, SimTime{0});
+  EXPECT_EQ(harness.mac->routing_queue_size(), 0u);
+}
+
+TEST(TschMacTest, UnicastRoutingBacksOffAfterFailure) {
+  MacHarness harness(NodeId{0}, /*is_ap=*/true);
+  Slotframe routing;
+  routing.traffic = TrafficClass::kRouting;
+  routing.length = 1;  // shared slot every slot, for test speed
+  Cell shared;
+  shared.slot_offset = 0;
+  shared.option = CellOption::kShared;
+  shared.traffic = TrafficClass::kRouting;
+  routing.cells.push_back(shared);
+  harness.mac->schedule().install(routing);
+
+  harness.mac->enqueue_routing(make_frame(
+      FrameType::kJoinedCallback, NodeId{0}, NodeId{1},
+      JoinedCallbackPayload{}));
+  // First transmission fails -> backoff engaged: not every subsequent slot
+  // may transmit.
+  const SlotPlan first = harness.mac->plan_slot(0, SimTime{0});
+  ASSERT_EQ(first.kind, SlotPlan::Kind::kTx);
+  EXPECT_TRUE(first.expects_ack);
+  harness.mac->on_tx_outcome(false, 0, SimTime{0});
+  EXPECT_EQ(harness.mac->routing_queue_size(), 1u);  // retained for retry
+
+  int tx_count = 0;
+  for (std::uint64_t asn = 1; asn < 200 && harness.mac->routing_queue_size();
+       ++asn) {
+    const SlotPlan plan = harness.mac->plan_slot(asn, SimTime{0});
+    if (plan.kind == SlotPlan::Kind::kTx) {
+      ++tx_count;
+      harness.mac->on_tx_outcome(false, asn, SimTime{0});
+    }
+  }
+  // max_routing_transmissions = 8 total; 7 more after the first.
+  EXPECT_EQ(tx_count, 7);
+  EXPECT_EQ(harness.mac->routing_queue_size(), 0u);
+}
+
+TEST(TschMacTest, ResetToUnsyncedClearsRoutingState) {
+  MacHarness harness(NodeId{5});
+  harness.mac->on_receive(eb_from(NodeId{0}), -70.0, 0, SimTime{0});
+  harness.mac->enqueue_routing(
+      make_frame(FrameType::kJoinIn, NodeId{5}, kNoNode, JoinInPayload{}));
+  harness.mac->reset_to_unsynced(SimTime{100});
+  EXPECT_FALSE(harness.mac->synced());
+  EXPECT_EQ(harness.mac->routing_queue_size(), 0u);
+  EXPECT_EQ(harness.desynced_events, 1);
+}
+
+TEST(TschMacTest, UnsyncedIgnoresNonEbFrames) {
+  MacHarness harness(NodeId{5});
+  harness.mac->on_receive(
+      make_frame(FrameType::kJoinIn, NodeId{1}, kNoNode, JoinInPayload{}),
+      -70.0, 0, SimTime{0});
+  EXPECT_TRUE(harness.received.empty());
+}
+
+TEST(TschMacTest, UnjoinedNodeDoesNotBeacon) {
+  // A synced-but-unrouted field device must not send EBs (joiners would
+  // synchronize onto an island).
+  MacHarness harness(NodeId{5});
+  harness.mac->on_receive(eb_from(NodeId{0}), -70.0, 0, SimTime{0});
+  ASSERT_TRUE(harness.mac->synced());
+  Slotframe sync;
+  sync.traffic = TrafficClass::kSync;
+  sync.length = 10;
+  Cell eb;
+  eb.slot_offset = 0;
+  eb.option = CellOption::kTx;
+  eb.traffic = TrafficClass::kSync;
+  sync.cells.push_back(eb);
+  harness.mac->schedule().install(sync);
+
+  // rank_provider returns 3 by default (joined) -> beacons.
+  EXPECT_EQ(harness.mac->plan_slot(0, SimTime{0}).kind, SlotPlan::Kind::kTx);
+
+  // Unrouted (infinite rank) -> silent.
+  TschMac::Callbacks callbacks;
+  callbacks.rank_provider = [] { return kInfiniteRank; };
+  TschMac unrouted(NodeId{6}, false, MacConfig{}, Rng(1), callbacks);
+  unrouted.on_receive(eb_from(NodeId{0}), -70.0, 0, SimTime{0});
+  unrouted.schedule().install(sync);
+  EXPECT_NE(unrouted.plan_slot(0, SimTime{0}).kind, SlotPlan::Kind::kTx);
+}
+
+TEST(TschMacTest, DownlinkAndUplinkPacketsMatchTheirCells) {
+  MacHarness harness(NodeId{0}, /*is_ap=*/true);
+  Slotframe app;
+  app.traffic = TrafficClass::kApplication;
+  app.length = 10;
+  Cell up;
+  up.slot_offset = 1;
+  up.option = CellOption::kTx;
+  up.traffic = TrafficClass::kApplication;
+  up.peer = NodeId{1};
+  up.attempt = 1;
+  app.cells.push_back(up);
+  Cell down;
+  down.slot_offset = 2;
+  down.option = CellOption::kTx;
+  down.traffic = TrafficClass::kApplication;
+  down.peer = NodeId{7};
+  down.attempt = 1;
+  down.downlink = true;
+  app.cells.push_back(down);
+  harness.mac->schedule().install(app);
+
+  DataPayload command;
+  command.final_dst = NodeId{9};
+  harness.mac->enqueue_data(command, SimTime{0}, NodeId{7});  // downlink
+  DataPayload report;
+  harness.mac->enqueue_data(report, SimTime{0});  // uplink
+
+  // Uplink cell at slot 1 must carry the uplink packet even though the
+  // downlink packet is at the head of the queue.
+  const SlotPlan at1 = harness.mac->plan_slot(1, SimTime{0});
+  ASSERT_EQ(at1.kind, SlotPlan::Kind::kTx);
+  EXPECT_EQ(at1.frame.dst, NodeId{1});
+  EXPECT_FALSE(at1.frame.as<DataPayload>().is_downlink());
+  harness.mac->on_tx_outcome(true, 1, SimTime{0});
+
+  // Downlink cell carries the command.
+  const SlotPlan at2 = harness.mac->plan_slot(2, SimTime{0});
+  ASSERT_EQ(at2.kind, SlotPlan::Kind::kTx);
+  EXPECT_EQ(at2.frame.dst, NodeId{7});
+  EXPECT_TRUE(at2.frame.as<DataPayload>().is_downlink());
+  harness.mac->on_tx_outcome(true, 2, SimTime{0});
+  EXPECT_EQ(harness.mac->app_queue_size(), 0u);
+}
+
+TEST(TschMacTest, AttemptLadderPicksLowestAttemptCell) {
+  MacHarness harness(NodeId{0}, /*is_ap=*/true);
+  // Two TX cells at the same slot offset with different attempts: the MAC
+  // must use the earlier attempt.
+  Slotframe app;
+  app.traffic = TrafficClass::kApplication;
+  app.length = 5;
+  for (int p : {3, 1}) {
+    Cell tx;
+    tx.slot_offset = 2;
+    tx.option = CellOption::kTx;
+    tx.traffic = TrafficClass::kApplication;
+    tx.peer = NodeId{static_cast<std::uint16_t>(p)};  // peer encodes attempt
+    tx.attempt = static_cast<std::uint8_t>(p);
+    app.cells.push_back(tx);
+  }
+  harness.mac->schedule().install(app);
+  harness.mac->enqueue_data(DataPayload{}, SimTime{0});
+  const SlotPlan plan = harness.mac->plan_slot(2, SimTime{0});
+  ASSERT_EQ(plan.kind, SlotPlan::Kind::kTx);
+  EXPECT_EQ(plan.frame.dst, NodeId{1});
+}
+
+}  // namespace
+}  // namespace digs

@@ -1,0 +1,263 @@
+// Unit tests for the centralized WirelessHART baseline: graph route
+// computation, conflict-free central scheduling, and the Fig. 3 reaction
+// time model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "manager/central_scheduler.h"
+#include "manager/graph_router.h"
+#include "manager/manager_model.h"
+
+namespace digs {
+namespace {
+
+/// Line topology: AP(0) - 1 - 2 - 3 with unit costs, plus a cross link
+/// 1-3 with cost 2.5 and a second AP linked to node 1.
+TopologySnapshot line_topology() {
+  TopologySnapshot topo;
+  topo.num_nodes = 5;  // 0,1 APs; 2,3,4 devices
+  topo.num_access_points = 2;
+  topo.etx.assign(5, std::vector<double>(5, TopologySnapshot::kNoLink));
+  auto link = [&](int a, int b, double cost) {
+    topo.etx[a][b] = cost;
+    topo.etx[b][a] = cost;
+  };
+  link(0, 2, 1.0);
+  link(1, 2, 1.2);
+  link(2, 3, 1.0);
+  link(1, 3, 2.5);
+  link(3, 4, 1.0);
+  link(2, 4, 2.2);
+  return topo;
+}
+
+TEST(GraphRouterTest, ComputesShortestCosts) {
+  const auto result = compute_graph_routes(line_topology());
+  EXPECT_TRUE(result.fully_connected());
+  EXPECT_DOUBLE_EQ(result.routes[2].cost, 1.0);
+  EXPECT_EQ(result.routes[2].best_parent, NodeId{0});
+  EXPECT_DOUBLE_EQ(result.routes[3].cost, 2.0);
+  EXPECT_EQ(result.routes[3].best_parent, NodeId{2});
+  EXPECT_DOUBLE_EQ(result.routes[4].cost, 3.0);
+}
+
+TEST(GraphRouterTest, SecondParentsPointDownhill) {
+  const auto topo = line_topology();
+  const auto result = compute_graph_routes(topo);
+  // Node 2's backup: AP1 (only other downhill neighbor).
+  EXPECT_EQ(result.routes[2].second_best_parent, NodeId{1});
+  // Node 3's backup: AP1 via the cross link.
+  EXPECT_EQ(result.routes[3].second_best_parent, NodeId{1});
+  // Node 4's backup: node 2 (cost 1.0 < cost(4)=3.0).
+  EXPECT_EQ(result.routes[4].second_best_parent, NodeId{2});
+}
+
+TEST(GraphRouterTest, ApsHaveNoParents) {
+  const auto result = compute_graph_routes(line_topology());
+  EXPECT_FALSE(result.routes[0].best_parent.valid());
+  EXPECT_EQ(result.routes[0].depth, 0);
+  EXPECT_DOUBLE_EQ(result.routes[0].cost, 0.0);
+}
+
+TEST(GraphRouterTest, RoutesFormDag) {
+  const auto topo = line_topology();
+  const auto result = compute_graph_routes(topo);
+  EXPECT_TRUE(routes_are_dag(topo, result));
+}
+
+TEST(GraphRouterTest, DisconnectedNodeReported) {
+  TopologySnapshot topo;
+  topo.num_nodes = 4;
+  topo.num_access_points = 1;
+  topo.etx.assign(4, std::vector<double>(4, TopologySnapshot::kNoLink));
+  topo.etx[0][1] = topo.etx[1][0] = 1.0;
+  // Nodes 2 and 3 are islands.
+  const auto result = compute_graph_routes(topo);
+  EXPECT_FALSE(result.fully_connected());
+  EXPECT_EQ(result.unreachable.size(), 2u);
+}
+
+TEST(GraphRouterTest, DepthCountsHops) {
+  const auto result = compute_graph_routes(line_topology());
+  EXPECT_EQ(result.routes[2].depth, 1);
+  EXPECT_EQ(result.routes[3].depth, 2);
+  EXPECT_EQ(result.routes[4].depth, 3);
+}
+
+TEST(GraphRouterTest, DagDetectsCycle) {
+  // Hand-build a cyclic "result" to prove the checker sees it.
+  TopologySnapshot topo = line_topology();
+  GraphRoutingResult result = compute_graph_routes(topo);
+  result.routes[2].second_best_parent = NodeId{3};  // 2->3 and 3->2
+  result.routes[3].best_parent = NodeId{2};
+  EXPECT_FALSE(routes_are_dag(topo, result));
+}
+
+TEST(GraphRouterTest, RandomTopologiesAlwaysDag) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    TopologySnapshot topo;
+    topo.num_nodes = 30;
+    topo.num_access_points = 2;
+    topo.etx.assign(30, std::vector<double>(30, TopologySnapshot::kNoLink));
+    for (int a = 0; a < 30; ++a) {
+      for (int b = a + 1; b < 30; ++b) {
+        if (rng.chance(0.25)) {
+          const double cost = rng.uniform(1.0, 3.0);
+          topo.etx[a][b] = cost;
+          topo.etx[b][a] = cost;
+        }
+      }
+    }
+    const auto result = compute_graph_routes(topo);
+    EXPECT_TRUE(routes_are_dag(topo, result)) << "trial " << trial;
+    // Every reachable device must also have a backup whenever any downhill
+    // neighbor exists (WirelessHART's two-outgoing-paths requirement is
+    // best-effort in sparse graphs, so only check consistency).
+    for (std::uint16_t v = 2; v < 30; ++v) {
+      const GraphRoute& route = result.routes[v];
+      if (route.second_best_parent.valid()) {
+        EXPECT_NE(route.second_best_parent, route.best_parent);
+      }
+    }
+  }
+}
+
+// --- central scheduler ---
+
+TEST(CentralSchedulerTest, SchedulesAllAttempts) {
+  const auto topo = line_topology();
+  const auto routes = compute_graph_routes(topo);
+  const std::vector<CentralFlow> flows{{FlowId{0}, NodeId{4}}};
+  const auto schedule = compute_central_schedule(topo, routes, flows);
+  // Node 4 is 3 hops deep: 3 hops x 3 attempts = 9 cells.
+  EXPECT_EQ(schedule.cells.size(), 9u);
+  EXPECT_TRUE(schedule.conflict_free());
+}
+
+TEST(CentralSchedulerTest, AttemptsUseBackupParent) {
+  const auto topo = line_topology();
+  const auto routes = compute_graph_routes(topo);
+  const std::vector<CentralFlow> flows{{FlowId{0}, NodeId{3}}};
+  const auto schedule = compute_central_schedule(topo, routes, flows);
+  int backup_cells = 0;
+  for (const ScheduledCell& cell : schedule.cells) {
+    if (cell.attempt == 3) {
+      ++backup_cells;
+      if (cell.transmitter == NodeId{3}) {
+        EXPECT_EQ(cell.receiver, routes.routes[3].second_best_parent);
+      }
+    }
+  }
+  EXPECT_GT(backup_cells, 0);
+}
+
+TEST(CentralSchedulerTest, MultipleFlowsConflictFree) {
+  const auto topo = line_topology();
+  const auto routes = compute_graph_routes(topo);
+  const std::vector<CentralFlow> flows{
+      {FlowId{0}, NodeId{4}}, {FlowId{1}, NodeId{3}}, {FlowId{2}, NodeId{2}}};
+  const auto schedule = compute_central_schedule(topo, routes, flows);
+  EXPECT_TRUE(schedule.conflict_free());
+  EXPECT_GT(schedule.superframe_length, 0u);
+}
+
+TEST(CentralSchedulerTest, HopCausality) {
+  const auto topo = line_topology();
+  const auto routes = compute_graph_routes(topo);
+  const std::vector<CentralFlow> flows{{FlowId{0}, NodeId{4}}};
+  const auto schedule = compute_central_schedule(topo, routes, flows);
+  // Along the primary path 4 -> 3 -> 2 -> AP, each hop's first cell must be
+  // at or after the previous hop's last cell.
+  std::uint32_t hop4_last = 0;
+  std::uint32_t hop3_first = UINT32_MAX;
+  for (const ScheduledCell& cell : schedule.cells) {
+    if (cell.transmitter == NodeId{4}) {
+      hop4_last = std::max(hop4_last, cell.slot);
+    }
+    if (cell.transmitter == NodeId{3}) {
+      hop3_first = std::min(hop3_first, cell.slot);
+    }
+  }
+  EXPECT_GT(hop3_first, hop4_last);
+}
+
+TEST(CentralSchedulerTest, UnreachableSourceSkipped) {
+  TopologySnapshot topo;
+  topo.num_nodes = 3;
+  topo.num_access_points = 1;
+  topo.etx.assign(3, std::vector<double>(3, TopologySnapshot::kNoLink));
+  topo.etx[0][1] = topo.etx[1][0] = 1.0;
+  const auto routes = compute_graph_routes(topo);
+  const std::vector<CentralFlow> flows{{FlowId{0}, NodeId{2}}};
+  const auto schedule = compute_central_schedule(topo, routes, flows);
+  EXPECT_TRUE(schedule.cells.empty());
+}
+
+// --- reaction time model ---
+
+TEST(GraphRouterTest, SingleAccessPointTopology) {
+  TopologySnapshot topo;
+  topo.num_nodes = 4;
+  topo.num_access_points = 1;
+  topo.etx.assign(4, std::vector<double>(4, TopologySnapshot::kNoLink));
+  auto link = [&](int a, int b, double cost) {
+    topo.etx[a][b] = topo.etx[b][a] = cost;
+  };
+  link(0, 1, 1.0);
+  link(1, 2, 1.0);
+  link(0, 2, 2.5);
+  link(2, 3, 1.0);
+  const auto result = compute_graph_routes(topo);
+  EXPECT_TRUE(result.fully_connected());
+  EXPECT_EQ(result.routes[1].best_parent, NodeId{0});
+  EXPECT_EQ(result.routes[2].best_parent, NodeId{1});
+  EXPECT_EQ(result.routes[2].second_best_parent, NodeId{0});
+  // Node 3 has exactly one downhill neighbor: no backup possible.
+  EXPECT_EQ(result.routes[3].best_parent, NodeId{2});
+  EXPECT_FALSE(result.routes[3].second_best_parent.valid());
+}
+
+TEST(ManagerModelTest, FitReproducesAnchors) {
+  const auto anchors = ManagerReactionModel::paper_anchors();
+  const auto model = ManagerReactionModel::fit(anchors);
+  for (const ManagerAnchor& anchor : anchors) {
+    const auto predicted =
+        model.predict(anchor.num_nodes, anchor.total_depth);
+    EXPECT_NEAR(predicted.total_s(), anchor.measured_total_s,
+                0.25 * anchor.measured_total_s)
+        << anchor.num_nodes << " nodes";
+  }
+}
+
+TEST(ManagerModelTest, ScalesWithNetworkSize) {
+  const auto model =
+      ManagerReactionModel::fit(ManagerReactionModel::paper_anchors());
+  const double small = model.predict(20, 44).total_s();
+  const double large = model.predict(50, 110).total_s();
+  EXPECT_GT(large, 2.0 * small);  // paper: 203 s -> 506 s
+}
+
+TEST(ManagerModelTest, BreakdownNonNegative) {
+  const auto model =
+      ManagerReactionModel::fit(ManagerReactionModel::paper_anchors());
+  const auto breakdown = model.predict(30, 70);
+  EXPECT_GE(breakdown.collect_s, 0.0);
+  EXPECT_GE(breakdown.compute_s, 0.0);
+  EXPECT_GE(breakdown.disseminate_s, 0.0);
+  EXPECT_NEAR(breakdown.total_s(),
+              breakdown.collect_s + breakdown.compute_s +
+                  breakdown.disseminate_s,
+              1e-12);
+}
+
+TEST(ManagerModelTest, TotalDepthSumsDevices) {
+  const auto routes = compute_graph_routes(line_topology());
+  EXPECT_EQ(total_depth(routes, 2), 1 + 2 + 3);
+}
+
+}  // namespace
+}  // namespace digs

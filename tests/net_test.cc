@@ -1,0 +1,246 @@
+// Unit tests for frames, the paper's RSS->ETX mapping, the ETX estimator,
+// and the neighbor table.
+#include <gtest/gtest.h>
+
+#include "net/etx.h"
+#include "net/frame.h"
+#include "net/neighbor_table.h"
+
+namespace digs {
+namespace {
+
+// --- RSS -> ETX mapping (paper Section V) ---
+
+TEST(EtxFromRssTest, PaperEndpoints) {
+  EXPECT_DOUBLE_EQ(etx_from_rss(-50.0), 1.0);
+  EXPECT_DOUBLE_EQ(etx_from_rss(-60.0), 1.0);
+  EXPECT_DOUBLE_EQ(etx_from_rss(-90.0), 3.0);
+  EXPECT_DOUBLE_EQ(etx_from_rss(-100.0), 3.0);
+}
+
+TEST(EtxFromRssTest, LinearInBetween) {
+  EXPECT_DOUBLE_EQ(etx_from_rss(-75.0), 2.0);  // midpoint
+  EXPECT_NEAR(etx_from_rss(-67.5), 1.5, 1e-12);
+  EXPECT_NEAR(etx_from_rss(-82.5), 2.5, 1e-12);
+}
+
+TEST(EtxFromRssTest, MonotoneDecreasingInRss) {
+  double last = 10.0;
+  for (double rss = -100.0; rss <= -50.0; rss += 2.5) {
+    const double etx = etx_from_rss(rss);
+    EXPECT_LE(etx, last);
+    last = etx;
+  }
+}
+
+// --- ETX estimator ---
+
+TEST(EtxEstimatorTest, UninitializedReportsCeiling) {
+  EtxEstimator etx;
+  EXPECT_FALSE(etx.initialized());
+  EXPECT_DOUBLE_EQ(etx.value(), EtxConfig{}.etx_ceiling);
+}
+
+TEST(EtxEstimatorTest, SeedsFromRss) {
+  EtxEstimator etx;
+  etx.seed_from_rss(-75.0);
+  EXPECT_TRUE(etx.initialized());
+  EXPECT_DOUBLE_EQ(etx.value(), 2.0);
+}
+
+TEST(EtxEstimatorTest, SuccessPullsTowardsOne) {
+  EtxEstimator etx;
+  etx.seed_from_rss(-75.0);
+  for (int i = 0; i < 100; ++i) etx.on_transmission(true);
+  EXPECT_NEAR(etx.value(), 1.0, 0.01);
+}
+
+TEST(EtxEstimatorTest, FailuresPenalize) {
+  EtxEstimator etx;
+  etx.seed_from_rss(-60.0);
+  const double before = etx.value();
+  etx.on_transmission(false);
+  EXPECT_GT(etx.value(), before);
+}
+
+TEST(EtxEstimatorTest, DeadLinkReachesCeiling) {
+  EtxConfig config;
+  EtxEstimator etx(config);
+  etx.seed_from_rss(-90.0);
+  for (int i = 0; i < 200; ++i) etx.on_transmission(false);
+  EXPECT_DOUBLE_EQ(etx.value(), config.etx_ceiling);
+}
+
+TEST(EtxEstimatorTest, TracksDeliveryRatio) {
+  // 50% delivery -> ETX ~2; stable, no oscillation (windowed ratio).
+  EtxEstimator etx;
+  etx.seed_from_rss(-70.0);
+  for (int i = 0; i < 200; ++i) etx.on_transmission(i % 2 == 0);
+  EXPECT_NEAR(etx.value(), 2.0, 0.3);
+  const double a = etx.value();
+  etx.on_transmission(true);
+  etx.on_transmission(false);
+  EXPECT_NEAR(etx.value(), a, 0.2);  // barely moves per sample
+}
+
+TEST(EtxEstimatorTest, RssSeedIgnoredAfterEnoughFeedback) {
+  EtxEstimator etx;
+  for (int i = 0; i < 20; ++i) etx.on_transmission(true);
+  const double after_feedback = etx.value();
+  etx.seed_from_rss(-90.0);
+  EXPECT_DOUBLE_EQ(etx.value(), after_feedback);
+}
+
+// --- frames ---
+
+TEST(FrameTest, BroadcastDetection) {
+  const Frame eb = make_frame(FrameType::kEnhancedBeacon, NodeId{1}, kNoNode,
+                              EbPayload{});
+  EXPECT_TRUE(eb.is_broadcast());
+  const Frame data =
+      make_frame(FrameType::kData, NodeId{1}, NodeId{2}, DataPayload{});
+  EXPECT_FALSE(data.is_broadcast());
+}
+
+TEST(FrameTest, DefaultSizes) {
+  EXPECT_EQ(default_frame_bytes(FrameType::kData), FrameSizes::kData);
+  EXPECT_EQ(default_frame_bytes(FrameType::kEnhancedBeacon),
+            FrameSizes::kEnhancedBeacon);
+  const Frame f = make_frame(FrameType::kJoinIn, NodeId{1}, kNoNode,
+                             JoinInPayload{});
+  EXPECT_EQ(f.length_bytes, FrameSizes::kJoinIn);
+}
+
+TEST(FrameTest, PayloadAccess) {
+  JoinInPayload p;
+  p.rank = 4;
+  p.etxw = 3.25;
+  const Frame f = make_frame(FrameType::kJoinIn, NodeId{9}, kNoNode, p);
+  EXPECT_EQ(f.as<JoinInPayload>().rank, 4);
+  EXPECT_DOUBLE_EQ(f.as<JoinInPayload>().etxw, 3.25);
+  EXPECT_EQ(f.src, NodeId{9});
+}
+
+TEST(FrameTest, TypeNames) {
+  EXPECT_STREQ(to_string(FrameType::kData), "DATA");
+  EXPECT_STREQ(to_string(FrameType::kEnhancedBeacon), "EB");
+}
+
+// --- neighbor table ---
+
+TEST(NeighborTableTest, HeardCreatesEntry) {
+  NeighborTable table;
+  table.on_heard(NodeId{3}, -70.0, 2, 1.5, SimTime{100});
+  ASSERT_EQ(table.size(), 1u);
+  const NeighborInfo* info = table.find(NodeId{3});
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->rank, 2);
+  EXPECT_DOUBLE_EQ(info->advertised_etxw, 1.5);
+  EXPECT_EQ(info->last_heard.us, 100);
+  EXPECT_TRUE(info->etx.initialized());
+}
+
+TEST(NeighborTableTest, AccumulatedEtx) {
+  NeighborTable table;
+  table.on_heard(NodeId{3}, -60.0, 2, 1.5, SimTime{0});
+  const NeighborInfo* info = table.find(NodeId{3});
+  // link ETX seeded to 1.0 at -60 dBm, + advertised 1.5.
+  EXPECT_NEAR(info->accumulated_etx(), 2.5, 0.2);
+}
+
+TEST(NeighborTableTest, UnheardNeighborInfiniteCost) {
+  NeighborTable table;
+  table.on_heard_rss(NodeId{4}, -70.0, SimTime{0});
+  const NeighborInfo* info = table.find(NodeId{4});
+  EXPECT_GE(info->accumulated_etx(), NeighborInfo::kInfiniteEtx);
+}
+
+TEST(NeighborTableTest, TransmissionTracksNoacks) {
+  NeighborTable table;
+  table.on_heard(NodeId{3}, -70.0, 2, 1.0, SimTime{0});
+  table.on_transmission(NodeId{3}, false);
+  table.on_transmission(NodeId{3}, false);
+  EXPECT_EQ(table.find(NodeId{3})->consecutive_noacks, 2);
+  table.on_transmission(NodeId{3}, true);
+  EXPECT_EQ(table.find(NodeId{3})->consecutive_noacks, 0);
+}
+
+TEST(NeighborTableTest, TransmissionToUnknownIgnored) {
+  NeighborTable table;
+  table.on_transmission(NodeId{9}, false);  // no crash, no entry
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(NeighborTableTest, RemoveErases) {
+  NeighborTable table;
+  table.on_heard(NodeId{1}, -70.0, 2, 1.0, SimTime{0});
+  table.on_heard(NodeId{2}, -70.0, 2, 1.0, SimTime{0});
+  table.remove(NodeId{1});
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.find(NodeId{1}), nullptr);
+  EXPECT_NE(table.find(NodeId{2}), nullptr);
+}
+
+TEST(NeighborTableTest, BestSelectsMinCost) {
+  NeighborTable table;
+  table.on_heard(NodeId{1}, -60.0, 2, 5.0, SimTime{0});
+  table.on_heard(NodeId{2}, -60.0, 2, 1.0, SimTime{0});
+  table.on_heard(NodeId{3}, -60.0, 2, 3.0, SimTime{0});
+  const NeighborInfo* best = table.best(
+      [](const NeighborInfo& n) { return n.accumulated_etx(); },
+      [](const NeighborInfo&) { return false; });
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->id, NodeId{2});
+}
+
+TEST(NeighborTableTest, BestHonorsExclusion) {
+  NeighborTable table;
+  table.on_heard(NodeId{1}, -60.0, 2, 5.0, SimTime{0});
+  table.on_heard(NodeId{2}, -60.0, 2, 1.0, SimTime{0});
+  const NeighborInfo* best = table.best(
+      [](const NeighborInfo& n) { return n.accumulated_etx(); },
+      [](const NeighborInfo& n) { return n.id == NodeId{2}; });
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->id, NodeId{1});
+}
+
+TEST(NeighborTableTest, BestReturnsNullWhenAllExcluded) {
+  NeighborTable table;
+  table.on_heard(NodeId{1}, -60.0, 2, 5.0, SimTime{0});
+  const NeighborInfo* best = table.best(
+      [](const NeighborInfo& n) { return n.accumulated_etx(); },
+      [](const NeighborInfo&) { return true; });
+  EXPECT_EQ(best, nullptr);
+}
+
+TEST(NeighborTableTest, AdmissionRejectsWeakFirstContact) {
+  NeighborTable table;  // default admission -89 dBm
+  table.on_heard(NodeId{3}, -93.0, 2, 1.0, SimTime{0});
+  EXPECT_EQ(table.size(), 0u);
+  table.on_heard_rss(NodeId{4}, -92.0, SimTime{0});
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(NeighborTableTest, AdmissionKeepsExistingEntries) {
+  // A neighbor admitted at good RSS keeps being updated even when later
+  // frames arrive faded below the admission threshold.
+  NeighborTable table;
+  table.on_heard(NodeId{3}, -70.0, 2, 1.0, SimTime{0});
+  table.on_heard(NodeId{3}, -95.0, 3, 2.0, SimTime{10});
+  const NeighborInfo* info = table.find(NodeId{3});
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->rank, 3);
+  EXPECT_EQ(info->last_heard.us, 10);
+}
+
+TEST(NeighborTableTest, RssSmoothing) {
+  NeighborTable table;
+  table.on_heard_rss(NodeId{1}, -70.0, SimTime{0});
+  table.on_heard_rss(NodeId{1}, -80.0, SimTime{1});
+  const NeighborInfo* info = table.find(NodeId{1});
+  EXPECT_LT(info->rss_dbm, -70.0);
+  EXPECT_GT(info->rss_dbm, -80.0);
+}
+
+}  // namespace
+}  // namespace digs

@@ -1,0 +1,259 @@
+// Network-level tests: the slotted TSCH loop end to end — EB propagation
+// and joining, ACK feedback, energy accounting, jammer impact, failure
+// injection and recovery, duplicate suppression, and the hop limit.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "testbed/experiment.h"
+
+namespace digs {
+namespace {
+
+std::vector<Position> line_positions(int devices, double spacing,
+                                     double ap_gap = 8.0) {
+  // Two APs at the head, then a ladder of devices: two per tier so every
+  // hop has the redundancy the protocols are designed around, while the
+  // tier spacing still forces genuine multi-hop routes.
+  std::vector<Position> positions;
+  positions.push_back({0.0, 0.0, 0.0});
+  positions.push_back({ap_gap, 0.0, 0.0});
+  for (int i = 0; i < devices; ++i) {
+    const double x = ap_gap + spacing * (i / 2 + 1);
+    const double y = (i % 2 == 0) ? -3.0 : 3.0;
+    positions.push_back({x, y, 0.0});
+  }
+  return positions;
+}
+
+NetworkConfig base_config(ProtocolSuite suite = ProtocolSuite::kDigs,
+                          std::uint64_t seed = 5) {
+  NetworkConfig config;
+  config.suite = suite;
+  config.seed = seed;
+  config.node = ExperimentRunner::default_node_config();
+  config.node.mac.tx_power_dbm = 0.0;
+  config.medium.propagation.path_loss_exponent = 3.8;
+  return config;
+}
+
+TEST(NetworkTest, ApsBeaconFieldDevicesJoin) {
+  Network net(base_config(), line_positions(3, 10.0));
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(120)));
+  EXPECT_GT(net.node(NodeId{0}).mac().eb_sent(), 10u);
+  for (std::uint16_t i = 2; i < net.size(); ++i) {
+    EXPECT_TRUE(net.node(NodeId{i}).mac().synced()) << "node " << i;
+    EXPECT_TRUE(net.node(NodeId{i}).routing().joined()) << "node " << i;
+  }
+  EXPECT_EQ(net.joined_count(), 3u);
+}
+
+TEST(NetworkTest, MultiHopLadderDelivery) {
+  // Three tiers of two devices, tier spacing beyond single-hop reach of
+  // the APs: forced multi-hop with per-tier redundancy.
+  Network net(base_config(), line_positions(6, 14.0));
+  FlowSpec flow;
+  flow.id = FlowId{0};
+  flow.source = NodeId{7};  // far tier
+  flow.period = seconds(static_cast<std::int64_t>(2));
+  flow.start_offset = seconds(static_cast<std::int64_t>(120));
+  net.add_flow(flow);
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(300)));
+  const double pdr = net.stats().pdr(FlowId{0});
+  EXPECT_GT(pdr, 0.9);
+  // The route is genuinely multi-hop.
+  EXPECT_GE(net.node(NodeId{7}).routing().rank(), 3);
+}
+
+TEST(NetworkTest, DeliveredPacketsHavePositiveLatency) {
+  Network net(base_config(), line_positions(2, 10.0));
+  FlowSpec flow;
+  flow.id = FlowId{0};
+  flow.source = NodeId{3};
+  flow.period = seconds(static_cast<std::int64_t>(2));
+  flow.start_offset = seconds(static_cast<std::int64_t>(90));
+  net.add_flow(flow);
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(200)));
+  const auto latencies = net.stats().latencies_ms();
+  ASSERT_FALSE(latencies.empty());
+  for (const double ms : latencies) {
+    EXPECT_GT(ms, 0.0);
+    // One application slotframe cycle is 1.51 s; a couple of cycles per
+    // hop bounds any sane delivery.
+    EXPECT_LT(ms, 30'000.0);
+  }
+}
+
+TEST(NetworkTest, EnergyAccountsWholeRuntimePerNode) {
+  Network net(base_config(), line_positions(3, 10.0));
+  net.start();
+  const auto runtime = seconds(static_cast<std::int64_t>(60));
+  net.run_until(SimTime{0} + runtime);
+  for (std::uint16_t i = 0; i < net.size(); ++i) {
+    // Every alive node is metered for every slot (one slot lag allowed).
+    EXPECT_NEAR(net.node(NodeId{i}).meter().total_time().seconds(),
+                runtime.seconds(), 0.1)
+        << "node " << i;
+  }
+}
+
+TEST(NetworkTest, ScanningDominatesEnergyBeforeJoin) {
+  Network net(base_config(), line_positions(3, 10.0));
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(2)));
+  // Two seconds in, field devices are still scanning: radio on ~100%.
+  const auto& meter = net.node(NodeId{4}).meter();
+  EXPECT_GT(meter.duty_cycle(), 0.9);
+}
+
+TEST(NetworkTest, JoinedNodesSleepMostOfTheTime) {
+  Network net(base_config(), line_positions(3, 10.0));
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(120)));
+  net.reset_energy();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(240)));
+  EXPECT_LT(net.mean_duty_cycle(), 0.10);  // TSCH low-power operation
+}
+
+TEST(NetworkTest, DeadNodeGoesSilent) {
+  Network net(base_config(), line_positions(3, 10.0));
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(120)));
+  const NodeId victim{3};
+  net.set_node_alive(victim, false);
+  const auto eb_before = net.node(victim).mac().eb_sent();
+  const double energy_before = net.node(victim).meter().energy_mj();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(180)));
+  EXPECT_EQ(net.node(victim).mac().eb_sent(), eb_before);
+  EXPECT_DOUBLE_EQ(net.node(victim).meter().energy_mj(), energy_before);
+}
+
+TEST(NetworkTest, RevivedNodeRejoins) {
+  Network net(base_config(), line_positions(3, 10.0));
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(120)));
+  const NodeId victim{4};
+  ASSERT_TRUE(net.node(victim).routing().joined());
+  net.set_node_alive(victim, false);
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(180)));
+  net.set_node_alive(victim, true);
+  EXPECT_FALSE(net.node(victim).mac().synced());  // restarts cold
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(330)));
+  EXPECT_TRUE(net.node(victim).mac().synced());
+  EXPECT_TRUE(net.node(victim).routing().joined());
+}
+
+TEST(NetworkTest, ConstantJammerOnAllChannelsStopsNearbyTraffic) {
+  NetworkConfig config = base_config();
+  std::vector<Position> positions = line_positions(2, 10.0);
+  Network net(config, positions);
+  // Wideband constant jammer right on top of the only source, from t=150 s.
+  JammerConfig jam;
+  jam.position = positions[3];
+  jam.tx_power_dbm = 0.0;
+  jam.pattern = JammerPattern::kConstant;
+  jam.start = SimTime{0} + seconds(static_cast<std::int64_t>(150));
+  net.add_jammer(jam);
+
+  FlowSpec flow;
+  flow.id = FlowId{0};
+  flow.source = NodeId{3};
+  flow.period = seconds(static_cast<std::int64_t>(2));
+  flow.start_offset = seconds(static_cast<std::int64_t>(100));
+  net.add_flow(flow);
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(240)));
+
+  const SimTime jam_start = SimTime{0} + seconds(static_cast<std::int64_t>(150));
+  const double before = net.stats().pdr(FlowId{0}, SimTime{0}, jam_start);
+  const double during = net.stats().pdr(
+      FlowId{0}, jam_start + seconds(static_cast<std::int64_t>(10)),
+      SimTime{0} + seconds(static_cast<std::int64_t>(240)));
+  EXPECT_GT(before, 0.9);
+  EXPECT_LT(during, 0.2);
+}
+
+TEST(NetworkTest, DuplicateDeliveriesCountedOnce) {
+  // Dense cluster: data may arrive via both parents or be retransmitted
+  // after a lost ACK; PDR must never exceed 1.
+  TestbedLayout layout;
+  layout.num_access_points = 2;
+  layout.positions = {{0, 0, 0}, {6, 0, 0}, {3, 4, 0}, {3, 8, 0}};
+  ExperimentConfig config;
+  config.suite = ProtocolSuite::kDigs;
+  config.seed = 8;
+  config.num_flows = 2;
+  config.flow_period = seconds(static_cast<std::int64_t>(1));
+  config.warmup = seconds(static_cast<std::int64_t>(90));
+  config.duration = seconds(static_cast<std::int64_t>(60));
+  ExperimentRunner runner(layout, config);
+  const ExperimentResult result = runner.run();
+  EXPECT_LE(result.overall_pdr, 1.0 + 1e-12);
+  for (const FlowRecord& flow : runner.network().stats().flows()) {
+    std::uint64_t delivered = 0;
+    for (const PacketRecord& packet : flow.packets) {
+      if (packet.received()) ++delivered;
+    }
+    EXPECT_LE(delivered, flow.packets.size());
+  }
+}
+
+TEST(NetworkTest, SameSeedSameEnergy) {
+  const auto run_once = [] {
+    Network net(base_config(ProtocolSuite::kDigs, 77),
+                line_positions(3, 10.0));
+    net.start();
+    net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(90)));
+    return net.total_energy_mj();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(NetworkTest, OrchestraAndDigsShareMacSubstrate) {
+  // Same topology/seed under both suites: both form and deliver; this
+  // guards the suite-switching plumbing.
+  for (const ProtocolSuite suite :
+       {ProtocolSuite::kDigs, ProtocolSuite::kOrchestra}) {
+    Network net(base_config(suite), line_positions(3, 10.0));
+    FlowSpec flow;
+    flow.id = FlowId{0};
+    flow.source = NodeId{4};
+    flow.period = seconds(static_cast<std::int64_t>(2));
+    flow.start_offset = seconds(static_cast<std::int64_t>(120));
+    net.add_flow(flow);
+    net.start();
+    net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(220)));
+    EXPECT_GT(net.stats().pdr(FlowId{0}), 0.8) << to_string(suite);
+  }
+}
+
+TEST(NetworkTest, AsnAdvancesWithSlots) {
+  Network net(base_config(), line_positions(1, 10.0));
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(10)));
+  // 10 s / 10 ms = 1000 slots (first tick at t=10ms).
+  EXPECT_NEAR(static_cast<double>(net.current_asn()), 1000.0, 2.0);
+}
+
+TEST(NetworkTest, FlowFromDeadSourceCountsAsLost) {
+  Network net(base_config(), line_positions(2, 10.0));
+  FlowSpec flow;
+  flow.id = FlowId{0};
+  flow.source = NodeId{3};
+  flow.period = seconds(static_cast<std::int64_t>(2));
+  flow.start_offset = seconds(static_cast<std::int64_t>(100));
+  net.add_flow(flow);
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(120)));
+  net.set_node_alive(NodeId{3}, false);
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(180)));
+  const double pdr_after = net.stats().pdr(
+      FlowId{0}, SimTime{0} + seconds(static_cast<std::int64_t>(125)));
+  EXPECT_DOUBLE_EQ(pdr_after, 0.0);
+  EXPECT_GT(net.stats().total_generated(), 0u);
+}
+
+}  // namespace
+}  // namespace digs

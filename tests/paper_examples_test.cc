@@ -1,0 +1,222 @@
+// Regression tests pinning the paper's two worked examples (the same
+// scenarios examples/routing_example and examples/scheduling_example print
+// interactively): Fig. 6's generated graph routes and Fig. 7's combined
+// schedule must keep reproducing exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "routing/digs_routing.h"
+#include "sched/digs_scheduler.h"
+#include "sim/simulator.h"
+
+namespace digs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Fig. 6 — routing example: 2 APs + devices #3..#6.
+// ---------------------------------------------------------------------
+
+class Fig6Network {
+ public:
+  Fig6Network() {
+    for (const std::uint16_t id : {0, 1, 3, 4, 5, 6}) {
+      auto& node = nodes_[id];
+      node.id = NodeId{id};
+      RoutingProtocol::Env env;
+      env.send_routing = [this, id](const Frame& frame) {
+        nodes_[id].outbox.push_back(frame);
+      };
+      env.on_topology_changed = [](SimTime) {};
+      DigsRoutingConfig config;
+      config.trickle.imin = milliseconds(100);
+      node.routing = std::make_unique<DigsRouting>(
+          sim_, node.id, id < 2, node.table, config, Rng(id + 1), env);
+      node.routing->start(sim_.now());
+    }
+  }
+
+  /// Runs `rounds` one-second message-pump rounds over the Fig. 6 links.
+  void pump(int rounds) {
+    for (int round = 0; round < rounds; ++round) {
+      sim_.run_until(sim_.now() + seconds(static_cast<std::int64_t>(1)));
+      for (auto& [id, node] : nodes_) {
+        std::vector<Frame> outbox;
+        outbox.swap(node.outbox);
+        for (const Frame& frame : outbox) {
+          for (auto& [other_id, other] : nodes_) {
+            if (other_id == id) continue;
+            const double etx = link_etx(node.id, other.id);
+            if (etx < 0.0) continue;
+            if (!frame.is_broadcast() && frame.dst != other.id) continue;
+            const double rss = -60.0 - (etx - 1.0) * 15.0;
+            if (frame.type == FrameType::kJoinIn) {
+              const auto& payload = frame.as<JoinInPayload>();
+              other.table.on_heard(frame.src, rss, payload.rank,
+                                   payload.etxw, sim_.now());
+            } else {
+              other.table.on_heard_rss(frame.src, rss, sim_.now());
+            }
+            other.routing->handle_frame(frame, rss, sim_.now());
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] const DigsRouting& node(std::uint16_t id) {
+    return *nodes_.at(id).routing;
+  }
+
+ private:
+  struct ExampleNode {
+    NodeId id;
+    NeighborTable table;
+    std::unique_ptr<DigsRouting> routing;
+    std::vector<Frame> outbox;
+  };
+
+  static double link_etx(NodeId a, NodeId b) {
+    static const std::map<std::pair<int, int>, double> kLinks = {
+        {{5, 0}, 1.0}, {{5, 1}, 1.6}, {{6, 1}, 1.0},
+        {{6, 0}, 1.8}, {{6, 5}, 1.2}, {{6, 4}, 1.0},
+        {{5, 4}, 1.7}, {{4, 3}, 1.0}, {{5, 3}, 2.6},
+    };
+    const auto it = kLinks.find({std::max(a.value, b.value),
+                                 std::min(a.value, b.value)});
+    return it == kLinks.end() ? -1.0 : it->second;
+  }
+
+  Simulator sim_;
+  std::map<std::uint16_t, ExampleNode> nodes_;
+};
+
+TEST(Fig6RoutingExample, ReproducesThePapersGraphRoutes) {
+  Fig6Network net;
+  net.pump(15);
+  // Paper Section V-A: primary #3->#4->#6->AP2, #5->AP1;
+  // backups #3->#5, #4->#5, #5->AP2, #6->AP1.
+  EXPECT_EQ(net.node(5).best_parent(), NodeId{0});
+  EXPECT_EQ(net.node(5).second_best_parent(), NodeId{1});
+  EXPECT_EQ(net.node(5).rank(), 2);
+  EXPECT_EQ(net.node(6).best_parent(), NodeId{1});
+  EXPECT_EQ(net.node(6).second_best_parent(), NodeId{0});
+  EXPECT_EQ(net.node(6).rank(), 2);
+  EXPECT_EQ(net.node(4).best_parent(), NodeId{6});
+  EXPECT_EQ(net.node(4).second_best_parent(), NodeId{5});
+  EXPECT_EQ(net.node(4).rank(), 3);
+  EXPECT_EQ(net.node(3).best_parent(), NodeId{4});
+  EXPECT_EQ(net.node(3).second_best_parent(), NodeId{5});
+  EXPECT_EQ(net.node(3).rank(), 4);
+}
+
+TEST(Fig6RoutingExample, EqualRankLinkNeverUsed) {
+  Fig6Network net;
+  net.pump(15);
+  // "#5 and #6 have the same rank ... used to avoid loops"
+  EXPECT_NE(net.node(5).best_parent(), NodeId{6});
+  EXPECT_NE(net.node(5).second_best_parent(), NodeId{6});
+  EXPECT_NE(net.node(6).best_parent(), NodeId{5});
+  EXPECT_NE(net.node(6).second_best_parent(), NodeId{5});
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7 — scheduling example: slotframes 61/11/7, nodes #1..#4.
+// ---------------------------------------------------------------------
+
+SchedulerConfig fig7_config() {
+  SchedulerConfig config;
+  config.sync_slotframe_len = 61;
+  config.routing_slotframe_len = 11;
+  config.app_slotframe_len = 7;
+  config.attempts = 3;
+  return config;
+}
+
+Schedule build_node3_schedule() {
+  // Paper numbering #3 = our id 2 (APs are #1/#2 = ids 0/1); its primary
+  // parent is #1 (id 0) and backup #2 (id 1).
+  DigsScheduler scheduler(fig7_config());
+  Schedule schedule;
+  RoutingView view;
+  view.id = NodeId{2};
+  view.num_access_points = 2;
+  view.best_parent = NodeId{0};
+  view.second_best_parent = NodeId{1};
+  scheduler.rebuild(schedule, view);
+  return schedule;
+}
+
+TEST(Fig7SchedulingExample, HyperperiodIs4697Slots) {
+  // "The combined schedule has 61 * 11 * 7 = 4697 time slots in total."
+  const Schedule schedule = build_node3_schedule();
+  for (std::uint64_t asn = 0; asn < 200; ++asn) {
+    const auto a = schedule.active_cells(asn);
+    const auto b = schedule.active_cells(asn + 4697);
+    ASSERT_EQ(a.size(), b.size()) << asn;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << asn;
+    }
+  }
+}
+
+TEST(Fig7SchedulingExample, Node3UsesItsEq4Slots) {
+  // Device #3 is the first field device: attempt slots 1, 2, 3; attempts
+  // 1-2 towards #1 (primary), attempt 3 towards #2 (backup). (At ASN 2
+  // the cell is preempted by #3's own EB slot — Fig. 7(e)'s combination —
+  // so assert on the application class directly.)
+  const Schedule schedule = build_node3_schedule();
+  const auto app = [&](std::uint64_t asn) {
+    return schedule.class_cells(TrafficClass::kApplication, asn);
+  };
+  ASSERT_FALSE(app(1).empty());
+  EXPECT_EQ(app(1).front().peer, NodeId{0});
+  ASSERT_FALSE(app(2).empty());
+  EXPECT_EQ(app(2).front().peer, NodeId{0});
+  EXPECT_TRUE(schedule.skipped(TrafficClass::kApplication, 2));  // EB wins
+  ASSERT_FALSE(app(3).empty());
+  EXPECT_EQ(app(3).front().peer, NodeId{1});
+  // The active (priority-resolved) slot 1 really is the application cell.
+  ASSERT_FALSE(schedule.active_cells(1).empty());
+  EXPECT_EQ(schedule.active_cells(1).front().traffic,
+            TrafficClass::kApplication);
+}
+
+TEST(Fig7SchedulingExample, CombinationResolvesByPriority) {
+  const Schedule schedule = build_node3_schedule();
+  // ASN 0: routing shared slot (asn%11==0) vs sync RX of parent #1
+  // (slot 0 of the 61-frame): sync wins.
+  ASSERT_FALSE(schedule.active_cells(0).empty());
+  EXPECT_EQ(schedule.active_cells(0).front().traffic, TrafficClass::kSync);
+  // ASN 11: routing slot, no sync conflict.
+  ASSERT_FALSE(schedule.active_cells(11).empty());
+  EXPECT_EQ(schedule.active_cells(11).front().traffic,
+            TrafficClass::kRouting);
+  // ASN 2: node #3's own EB slot (id 2).
+  ASSERT_FALSE(schedule.active_cells(2).empty());
+  EXPECT_EQ(schedule.active_cells(2).front().traffic, TrafficClass::kSync);
+  EXPECT_EQ(schedule.active_cells(2).front().option, CellOption::kTx);
+}
+
+TEST(Fig7SchedulingExample, NoTrafficConstantlyBlockedOverHyperperiod) {
+  const Schedule schedule = build_node3_schedule();
+  int app = 0;
+  int routing = 0;
+  int sync = 0;
+  for (std::uint64_t asn = 0; asn < 4697; ++asn) {
+    const auto cells = schedule.active_cells(asn);
+    if (cells.empty()) continue;
+    switch (cells.front().traffic) {
+      case TrafficClass::kSync: ++sync; break;
+      case TrafficClass::kRouting: ++routing; break;
+      case TrafficClass::kApplication: ++app; break;
+    }
+  }
+  EXPECT_GT(sync, 0);
+  EXPECT_GT(routing, 0);
+  EXPECT_GT(app, 0);
+}
+
+}  // namespace
+}  // namespace digs

@@ -1,0 +1,432 @@
+// Property-based tests (parameterized gtest sweeps) over the system's core
+// invariants:
+//   - the DiGS autonomous schedule (Eq. 4) is collision-free and
+//     sender/receiver-consistent for any network size / attempt count,
+//   - centrally computed graph routes always form a DAG with monotonically
+//     decreasing cost towards the APs,
+//   - the central TDMA schedule is conflict-free for arbitrary flow sets,
+//   - Trickle intervals stay within [Imin, Imax] under arbitrary event
+//     sequences,
+//   - the PRR model is monotone in SINR and frame length,
+//   - schedule combination always yields the highest-priority active class.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "manager/central_scheduler.h"
+#include "manager/graph_router.h"
+#include "phy/prr.h"
+#include "routing/trickle.h"
+#include "sched/digs_scheduler.h"
+#include "sched/orchestra_scheduler.h"
+#include "sim/simulator.h"
+
+namespace digs {
+namespace {
+
+// ---------------------------------------------------------------------
+// DiGS schedule invariants across (num_nodes, num_aps, attempts, length).
+// ---------------------------------------------------------------------
+
+struct ScheduleParams {
+  int num_nodes;
+  int num_aps;
+  int attempts;
+  std::uint16_t app_len;
+};
+
+class DigsScheduleProperty : public ::testing::TestWithParam<ScheduleParams> {
+};
+
+TEST_P(DigsScheduleProperty, TxSlotsDistinctWhileCapacityAllows) {
+  const ScheduleParams p = GetParam();
+  SchedulerConfig config;
+  config.attempts = p.attempts;
+  config.app_slotframe_len = p.app_len;
+  DigsScheduler scheduler(config);
+
+  const int devices = p.num_nodes - p.num_aps;
+  std::set<std::uint16_t> slots;
+  int assigned = 0;
+  for (int id = p.num_aps; id < p.num_nodes; ++id) {
+    for (int attempt = 1; attempt <= p.attempts; ++attempt) {
+      slots.insert(scheduler.app_tx_slot(
+          NodeId{static_cast<std::uint16_t>(id)},
+          static_cast<std::uint16_t>(p.num_aps), attempt));
+      ++assigned;
+    }
+  }
+  if (devices * p.attempts <= p.app_len) {
+    // Within capacity Eq. 4 is a perfect assignment: no slot is reused.
+    EXPECT_EQ(slots.size(), static_cast<std::size_t>(assigned));
+  } else {
+    // Beyond capacity the assignment wraps; it must still cover the
+    // whole slotframe evenly rather than clustering.
+    EXPECT_EQ(slots.size(), static_cast<std::size_t>(p.app_len));
+  }
+}
+
+TEST_P(DigsScheduleProperty, MirrorCellsMatchForEveryChild) {
+  const ScheduleParams p = GetParam();
+  SchedulerConfig config;
+  config.attempts = p.attempts;
+  config.app_slotframe_len = p.app_len;
+  DigsScheduler scheduler(config);
+
+  // Parent = first field device; all remaining devices are its children,
+  // alternating best/second-best roles.
+  const NodeId parent{static_cast<std::uint16_t>(p.num_aps)};
+  std::vector<ChildEntry> children;
+  for (int id = p.num_aps + 1; id < p.num_nodes; ++id) {
+    children.push_back(ChildEntry{NodeId{static_cast<std::uint16_t>(id)},
+                                  id % 2 == 0, {}});
+  }
+  RoutingView parent_view;
+  parent_view.id = parent;
+  parent_view.num_access_points = static_cast<std::uint16_t>(p.num_aps);
+  parent_view.best_parent = NodeId{0};
+  parent_view.children = children;
+  Schedule parent_schedule;
+  scheduler.rebuild(parent_schedule, parent_view);
+  const Slotframe* parent_app =
+      parent_schedule.slotframe(TrafficClass::kApplication);
+
+  for (const ChildEntry& child : children) {
+    RoutingView child_view;
+    child_view.id = child.id;
+    child_view.num_access_points = static_cast<std::uint16_t>(p.num_aps);
+    child_view.best_parent = child.as_best ? parent : NodeId{0};
+    child_view.second_best_parent = child.as_best ? NodeId{0} : parent;
+    Schedule child_schedule;
+    scheduler.rebuild(child_schedule, child_view);
+
+    // Every TX cell of the child aimed at this parent must have a matching
+    // RX cell (same slot, same channel offset) in the parent's schedule.
+    for (const Cell& tx :
+         child_schedule.slotframe(TrafficClass::kApplication)->cells) {
+      if (tx.option != CellOption::kTx || tx.peer != parent) continue;
+      bool matched = false;
+      for (const Cell& rx : parent_app->cells) {
+        if (rx.option == CellOption::kRx && rx.peer == child.id &&
+            rx.slot_offset == tx.slot_offset &&
+            rx.channel_offset == tx.channel_offset) {
+          matched = true;
+        }
+      }
+      EXPECT_TRUE(matched)
+          << "child " << child.id.value << " attempt "
+          << static_cast<int>(tx.attempt) << " has no mirror RX cell";
+    }
+  }
+}
+
+TEST_P(DigsScheduleProperty, LastAttemptTargetsBackupParent) {
+  const ScheduleParams p = GetParam();
+  SchedulerConfig config;
+  config.attempts = p.attempts;
+  config.app_slotframe_len = p.app_len;
+  DigsScheduler scheduler(config);
+
+  RoutingView view;
+  view.id = NodeId{static_cast<std::uint16_t>(p.num_aps + 1)};
+  view.num_access_points = static_cast<std::uint16_t>(p.num_aps);
+  view.best_parent = NodeId{0};
+  view.second_best_parent = NodeId{1};
+  Schedule schedule;
+  scheduler.rebuild(schedule, view);
+  for (const Cell& cell :
+       schedule.slotframe(TrafficClass::kApplication)->cells) {
+    if (cell.option != CellOption::kTx) continue;
+    if (cell.attempt == p.attempts) {
+      EXPECT_EQ(cell.peer, NodeId{1});
+    } else {
+      EXPECT_EQ(cell.peer, NodeId{0});
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DigsScheduleProperty,
+    ::testing::Values(ScheduleParams{6, 2, 3, 7},      // paper Fig. 7 scale
+                      ScheduleParams{20, 2, 3, 151},   // Half Testbed A
+                      ScheduleParams{50, 2, 3, 151},   // Testbed A (exact fit)
+                      ScheduleParams{44, 2, 3, 151},   // Testbed B
+                      ScheduleParams{152, 2, 3, 151},  // Cooja-150 (wraps)
+                      ScheduleParams{30, 4, 3, 151},   // more APs
+                      ScheduleParams{20, 2, 2, 151},   // A = 2
+                      ScheduleParams{20, 2, 4, 151},   // A = 4
+                      ScheduleParams{20, 2, 3, 101}));
+
+// ---------------------------------------------------------------------
+// Centralized graph routing invariants over random topologies.
+// ---------------------------------------------------------------------
+
+class GraphRouterProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  [[nodiscard]] TopologySnapshot random_topology(std::uint64_t seed) const {
+    Rng rng(seed);
+    TopologySnapshot topo;
+    topo.num_nodes = static_cast<std::uint16_t>(rng.uniform_int(10, 60));
+    topo.num_access_points = static_cast<std::uint16_t>(rng.uniform_int(1, 3));
+    topo.etx.assign(topo.num_nodes,
+                    std::vector<double>(topo.num_nodes,
+                                        TopologySnapshot::kNoLink));
+    const double density = rng.uniform(0.1, 0.5);
+    for (std::uint16_t a = 0; a < topo.num_nodes; ++a) {
+      for (std::uint16_t b = a + 1; b < topo.num_nodes; ++b) {
+        if (!rng.chance(density)) continue;
+        const double cost = rng.uniform(1.0, 3.0);
+        topo.etx[a][b] = cost;
+        topo.etx[b][a] = cost;
+      }
+    }
+    return topo;
+  }
+};
+
+TEST_P(GraphRouterProperty, RoutesAreAlwaysDag) {
+  const auto topo = random_topology(GetParam());
+  const auto result = compute_graph_routes(topo);
+  EXPECT_TRUE(routes_are_dag(topo, result));
+}
+
+TEST_P(GraphRouterProperty, CostsDecreaseAlongParents) {
+  const auto topo = random_topology(GetParam());
+  const auto result = compute_graph_routes(topo);
+  for (std::uint16_t v = topo.num_access_points; v < topo.num_nodes; ++v) {
+    const GraphRoute& route = result.routes[v];
+    if (!route.best_parent.valid()) continue;
+    EXPECT_LT(result.routes[route.best_parent.value].cost, route.cost);
+    if (route.second_best_parent.valid()) {
+      EXPECT_LT(result.routes[route.second_best_parent.value].cost,
+                route.cost);
+      EXPECT_NE(route.second_best_parent, route.best_parent);
+    }
+  }
+}
+
+TEST_P(GraphRouterProperty, UnreachablesHaveNoParents) {
+  const auto topo = random_topology(GetParam());
+  const auto result = compute_graph_routes(topo);
+  for (const NodeId unreachable : result.unreachable) {
+    EXPECT_FALSE(result.routes[unreachable.value].best_parent.valid());
+    EXPECT_FALSE(
+        result.routes[unreachable.value].second_best_parent.valid());
+  }
+}
+
+TEST_P(GraphRouterProperty, CentralScheduleConflictFree) {
+  const auto topo = random_topology(GetParam());
+  const auto routes = compute_graph_routes(topo);
+  Rng rng(GetParam() ^ 0xF10);
+  std::vector<CentralFlow> flows;
+  for (int f = 0; f < 6; ++f) {
+    const auto source = static_cast<std::uint16_t>(
+        rng.uniform_int(topo.num_access_points, topo.num_nodes - 1));
+    flows.push_back(
+        {FlowId{static_cast<std::uint16_t>(f)}, NodeId{source}});
+  }
+  const auto schedule = compute_central_schedule(topo, routes, flows);
+  EXPECT_TRUE(schedule.conflict_free());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphRouterProperty,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+// ---------------------------------------------------------------------
+// Trickle interval bounds under arbitrary event sequences.
+// ---------------------------------------------------------------------
+
+struct TrickleParams {
+  std::int64_t imin_ms;
+  int doublings;
+  int redundancy_k;
+};
+
+class TrickleProperty : public ::testing::TestWithParam<TrickleParams> {};
+
+TEST_P(TrickleProperty, IntervalAlwaysWithinBounds) {
+  const TrickleParams p = GetParam();
+  Simulator sim;
+  TrickleConfig config;
+  config.imin = milliseconds(p.imin_ms);
+  config.doublings = p.doublings;
+  config.redundancy_k = p.redundancy_k;
+  Trickle trickle(sim, config, Rng(p.imin_ms * 31 + p.doublings), [] {});
+  trickle.start();
+
+  Rng rng(p.imin_ms);
+  for (int step = 0; step < 200; ++step) {
+    sim.run_until(sim.now() +
+                  SimDuration{rng.uniform_int(1'000, 2'000'000)});
+    switch (rng.uniform_int(3)) {
+      case 0: trickle.hear_consistent(); break;
+      case 1: trickle.hear_inconsistent(); break;
+      default: break;
+    }
+    EXPECT_GE(trickle.current_interval().us, config.imin.us);
+    EXPECT_LE(trickle.current_interval().us, trickle.imax().us);
+  }
+}
+
+TEST_P(TrickleProperty, SteadyStateRateBounded) {
+  const TrickleParams p = GetParam();
+  Simulator sim;
+  TrickleConfig config;
+  config.imin = milliseconds(p.imin_ms);
+  config.doublings = p.doublings;
+  config.redundancy_k = 0;
+  int fires = 0;
+  Trickle trickle(sim, config, Rng(3), [&] { ++fires; });
+  trickle.start();
+  const SimDuration horizon{trickle.imax().us * 20};
+  sim.run_until(SimTime{0} + horizon);
+  // At most one transmission per interval; intervals at least Imin.
+  EXPECT_LE(fires, static_cast<int>(horizon.us / config.imin.us) + 1);
+  // And at least one per two Imax periods once settled.
+  EXPECT_GE(fires, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TrickleProperty,
+    ::testing::Values(TrickleParams{100, 3, 0}, TrickleParams{100, 6, 3},
+                      TrickleParams{1000, 6, 3}, TrickleParams{500, 1, 1},
+                      TrickleParams{4000, 8, 3}));
+
+// ---------------------------------------------------------------------
+// PRR model monotonicity across frame lengths.
+// ---------------------------------------------------------------------
+
+class PrrProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrrProperty, MonotoneInSinr) {
+  PrrTable table(GetParam());
+  double last = -1.0;
+  for (double db = -10.0; db <= 20.0; db += 0.25) {
+    const double prr = table.prr(db);
+    EXPECT_GE(prr, last - 1e-12);
+    EXPECT_GE(prr, 0.0);
+    EXPECT_LE(prr, 1.0);
+    last = prr;
+  }
+}
+
+TEST_P(PrrProperty, ShorterFramesNeverWorse) {
+  const int bytes = GetParam();
+  if (bytes <= 26) return;
+  PrrTable longer(bytes);
+  PrrTable ack(26);
+  for (double db = -5.0; db <= 10.0; db += 0.5) {
+    EXPECT_GE(ack.prr(db), longer.prr(db) - 1e-12) << db;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FrameLengths, PrrProperty,
+                         ::testing::Values(26, 40, 50, 80, 110, 127));
+
+// ---------------------------------------------------------------------
+// Schedule combination priority invariant under random slotframes.
+// ---------------------------------------------------------------------
+
+class CombinationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CombinationProperty, WinnerIsAlwaysHighestActivePriority) {
+  Rng rng(GetParam());
+  Schedule schedule;
+  std::array<std::uint16_t, 3> lengths{};
+  for (int t = 0; t < 3; ++t) {
+    Slotframe frame;
+    frame.traffic = static_cast<TrafficClass>(t);
+    frame.length = static_cast<std::uint16_t>(rng.uniform_int(5, 60));
+    lengths[t] = frame.length;
+    const int cells = static_cast<int>(rng.uniform_int(1, 5));
+    for (int c = 0; c < cells; ++c) {
+      Cell cell;
+      cell.slot_offset =
+          static_cast<std::uint16_t>(rng.uniform_int(frame.length));
+      cell.traffic = frame.traffic;
+      cell.option = CellOption::kTx;
+      frame.cells.push_back(cell);
+    }
+    schedule.install(std::move(frame));
+  }
+
+  for (std::uint64_t asn = 0; asn < 2000; ++asn) {
+    const auto active = schedule.active_cells(asn);
+    if (active.empty()) {
+      for (int t = 0; t < 3; ++t) {
+        EXPECT_TRUE(
+            schedule.class_cells(static_cast<TrafficClass>(t), asn).empty());
+      }
+      continue;
+    }
+    const auto winner = active.front().traffic;
+    // No higher-priority class may be active.
+    for (int t = 0; t < static_cast<int>(winner); ++t) {
+      EXPECT_TRUE(
+          schedule.class_cells(static_cast<TrafficClass>(t), asn).empty())
+          << "asn " << asn;
+    }
+    // All returned cells share the winning class.
+    for (const Cell& cell : active) {
+      EXPECT_EQ(cell.traffic, winner);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombinationProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// ---------------------------------------------------------------------
+// Orchestra scheduler: sender/receiver agreement across node id sweeps.
+// ---------------------------------------------------------------------
+
+class OrchestraProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrchestraProperty, SenderBasedAgreementForAnyPair) {
+  SchedulerConfig config;
+  OrchestraScheduler scheduler(config);
+  const auto child_id = static_cast<std::uint16_t>(GetParam());
+  const auto parent_id = static_cast<std::uint16_t>(GetParam() / 2);
+  if (child_id == parent_id) return;
+
+  Schedule child;
+  RoutingView child_view;
+  child_view.id = NodeId{child_id};
+  child_view.num_access_points = 2;
+  child_view.best_parent = NodeId{parent_id};
+  scheduler.rebuild(child, child_view);
+
+  Schedule parent;
+  std::vector<ChildEntry> children{ChildEntry{NodeId{child_id}, true, {}}};
+  RoutingView parent_view;
+  parent_view.id = NodeId{parent_id};
+  parent_view.num_access_points = 2;
+  parent_view.best_parent = NodeId{0};
+  parent_view.children = children;
+  scheduler.rebuild(parent, parent_view);
+
+  const Cell* tx = nullptr;
+  for (const Cell& cell :
+       child.slotframe(TrafficClass::kApplication)->cells) {
+    if (cell.option == CellOption::kTx) tx = &cell;
+  }
+  ASSERT_NE(tx, nullptr);
+  bool matched = false;
+  for (const Cell& rx :
+       parent.slotframe(TrafficClass::kApplication)->cells) {
+    if (rx.option == CellOption::kRx && rx.slot_offset == tx->slot_offset &&
+        rx.channel_offset == tx->channel_offset) {
+      matched = true;
+    }
+  }
+  EXPECT_TRUE(matched);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ids, OrchestraProperty,
+                         ::testing::Values(3, 9, 17, 33, 65, 129, 255));
+
+}  // namespace
+}  // namespace digs

@@ -1,0 +1,447 @@
+// Unit tests for the autonomous schedulers (paper Section VI) and the
+// slotframe conflict analysis (Eq. 5-6).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "sched/conflict_analysis.h"
+#include "sched/digs_scheduler.h"
+#include "sched/orchestra_scheduler.h"
+
+namespace digs {
+namespace {
+
+SchedulerConfig paper_example_config() {
+  // Fig. 7: slotframe lengths 61 / 11 / 7.
+  SchedulerConfig config;
+  config.sync_slotframe_len = 61;
+  config.routing_slotframe_len = 11;
+  config.app_slotframe_len = 7;
+  config.attempts = 3;
+  return config;
+}
+
+RoutingView device_view(NodeId id, NodeId bp, NodeId sbp,
+                        std::vector<ChildEntry> children = {}) {
+  static std::vector<ChildEntry> storage;
+  storage = std::move(children);
+  RoutingView view;
+  view.id = id;
+  view.is_access_point = false;
+  view.num_access_points = 2;
+  view.best_parent = bp;
+  view.second_best_parent = sbp;
+  view.children = storage;
+  return view;
+}
+
+// --- DiGS scheduler ---
+
+TEST(DigsSchedulerTest, Eq4SlotAssignment) {
+  DigsScheduler scheduler(paper_example_config());
+  // First field device (id 2 with 2 APs): slots 1, 2, 3.
+  EXPECT_EQ(scheduler.app_tx_slot(NodeId{2}, 2, 1), 1);
+  EXPECT_EQ(scheduler.app_tx_slot(NodeId{2}, 2, 2), 2);
+  EXPECT_EQ(scheduler.app_tx_slot(NodeId{2}, 2, 3), 3);
+  // Second field device: slots 4, 5, 6.
+  EXPECT_EQ(scheduler.app_tx_slot(NodeId{3}, 2, 1), 4);
+  EXPECT_EQ(scheduler.app_tx_slot(NodeId{3}, 2, 3), 6);
+}
+
+TEST(DigsSchedulerTest, SlotsWrapModuloLength) {
+  DigsScheduler scheduler(paper_example_config());
+  // Third device would need slot 7 == length -> wraps to 0.
+  EXPECT_EQ(scheduler.app_tx_slot(NodeId{4}, 2, 1), 0);
+}
+
+TEST(DigsSchedulerTest, DistinctDevicesDistinctSlots) {
+  SchedulerConfig config;
+  config.app_slotframe_len = 151;
+  config.attempts = 3;
+  DigsScheduler scheduler(config);
+  std::set<std::uint16_t> slots;
+  // 50 devices x 3 attempts = 150 slots, all distinct within 151.
+  for (std::uint16_t id = 2; id < 52; ++id) {
+    for (int p = 1; p <= 3; ++p) {
+      slots.insert(scheduler.app_tx_slot(NodeId{id}, 2, p));
+    }
+  }
+  EXPECT_EQ(slots.size(), 150u);
+}
+
+TEST(DigsSchedulerTest, TxCellsFollowAttemptLadder) {
+  DigsScheduler scheduler(paper_example_config());
+  Schedule schedule;
+  scheduler.rebuild(schedule,
+                    device_view(NodeId{2}, NodeId{0}, NodeId{1}));
+  const Slotframe* app = schedule.slotframe(TrafficClass::kApplication);
+  ASSERT_NE(app, nullptr);
+  int to_best = 0;
+  int to_backup = 0;
+  for (const Cell& cell : app->cells) {
+    if (cell.option != CellOption::kTx) continue;
+    if (cell.attempt < 3) {
+      EXPECT_EQ(cell.peer, NodeId{0});
+      ++to_best;
+    } else {
+      EXPECT_EQ(cell.peer, NodeId{1});
+      ++to_backup;
+    }
+  }
+  EXPECT_EQ(to_best, 2);
+  EXPECT_EQ(to_backup, 1);
+}
+
+TEST(DigsSchedulerTest, NoBackupParentFallsBackToPrimary) {
+  DigsScheduler scheduler(paper_example_config());
+  Schedule schedule;
+  scheduler.rebuild(schedule, device_view(NodeId{2}, NodeId{0}, kNoNode));
+  const Slotframe* app = schedule.slotframe(TrafficClass::kApplication);
+  for (const Cell& cell : app->cells) {
+    if (cell.option == CellOption::kTx) {
+      EXPECT_EQ(cell.peer, NodeId{0});
+    }
+  }
+}
+
+TEST(DigsSchedulerTest, UnjoinedDeviceHasNoAppTxCells) {
+  DigsScheduler scheduler(paper_example_config());
+  Schedule schedule;
+  scheduler.rebuild(schedule, device_view(NodeId{2}, kNoNode, kNoNode));
+  const Slotframe* app = schedule.slotframe(TrafficClass::kApplication);
+  EXPECT_TRUE(app->cells.empty());
+}
+
+TEST(DigsSchedulerTest, ParentInstallsMirrorRxCells) {
+  DigsScheduler scheduler(paper_example_config());
+  Schedule schedule;
+  // We listen on both children's whole attempt ladders regardless of our
+  // role for them, so a role change (backup promotion) never finds us
+  // deaf.
+  scheduler.rebuild(
+      schedule,
+      device_view(NodeId{2}, NodeId{0}, NodeId{1},
+                  {ChildEntry{NodeId{3}, true, {}},
+                   ChildEntry{NodeId{4}, false, {}}}));
+  const Slotframe* app = schedule.slotframe(TrafficClass::kApplication);
+  int rx_child3 = 0;
+  int rx_child4 = 0;
+  for (const Cell& cell : app->cells) {
+    if (cell.option != CellOption::kRx) continue;
+    if (cell.peer == NodeId{3}) {
+      EXPECT_EQ(cell.slot_offset,
+                scheduler.app_tx_slot(NodeId{3}, 2, cell.attempt));
+      ++rx_child3;
+    }
+    if (cell.peer == NodeId{4}) {
+      EXPECT_EQ(cell.slot_offset,
+                scheduler.app_tx_slot(NodeId{4}, 2, cell.attempt));
+      ++rx_child4;
+    }
+  }
+  EXPECT_EQ(rx_child3, 3);
+  EXPECT_EQ(rx_child4, 3);
+}
+
+TEST(DigsSchedulerTest, ChannelOffsetsAgreeBetweenChildAndParent) {
+  DigsScheduler scheduler(paper_example_config());
+  Schedule child_schedule;
+  scheduler.rebuild(child_schedule,
+                    device_view(NodeId{3}, NodeId{2}, kNoNode));
+  Schedule parent_schedule;
+  scheduler.rebuild(
+      parent_schedule,
+      device_view(NodeId{2}, NodeId{0}, kNoNode,
+                  {ChildEntry{NodeId{3}, true, {}}}));
+  const Slotframe* child_app =
+      child_schedule.slotframe(TrafficClass::kApplication);
+  const Slotframe* parent_app =
+      parent_schedule.slotframe(TrafficClass::kApplication);
+  for (const Cell& tx : child_app->cells) {
+    if (tx.option != CellOption::kTx || tx.attempt >= 3) continue;
+    bool matched = false;
+    for (const Cell& rx : parent_app->cells) {
+      if (rx.option == CellOption::kRx && rx.peer == NodeId{3} &&
+          rx.slot_offset == tx.slot_offset &&
+          rx.channel_offset == tx.channel_offset) {
+        matched = true;
+      }
+    }
+    EXPECT_TRUE(matched) << "attempt " << static_cast<int>(tx.attempt);
+  }
+}
+
+TEST(DigsSchedulerTest, SyncCellsPerPaper) {
+  DigsScheduler scheduler(paper_example_config());
+  Schedule schedule;
+  scheduler.rebuild(schedule, device_view(NodeId{3}, NodeId{2}, kNoNode));
+  const Slotframe* sync = schedule.slotframe(TrafficClass::kSync);
+  ASSERT_NE(sync, nullptr);
+  bool has_own_eb_tx = false;
+  bool has_parent_eb_rx = false;
+  for (const Cell& cell : sync->cells) {
+    if (cell.option == CellOption::kTx && cell.slot_offset == 3) {
+      has_own_eb_tx = true;  // "node i uses the ith slot"
+    }
+    if (cell.option == CellOption::kRx && cell.slot_offset == 2 &&
+        cell.peer == NodeId{2}) {
+      has_parent_eb_rx = true;  // "jth slot to receive EB from best parent"
+    }
+  }
+  EXPECT_TRUE(has_own_eb_tx);
+  EXPECT_TRUE(has_parent_eb_rx);
+}
+
+TEST(DigsSchedulerTest, SharedRoutingSlotIdenticalForAllNodes) {
+  DigsScheduler scheduler(paper_example_config());
+  Schedule a;
+  Schedule b;
+  scheduler.rebuild(a, device_view(NodeId{2}, NodeId{0}, kNoNode));
+  scheduler.rebuild(b, device_view(NodeId{9}, NodeId{3}, kNoNode));
+  const Slotframe* ra = a.slotframe(TrafficClass::kRouting);
+  const Slotframe* rb = b.slotframe(TrafficClass::kRouting);
+  ASSERT_EQ(ra->cells.size(), 1u);
+  ASSERT_EQ(rb->cells.size(), 1u);
+  EXPECT_EQ(ra->cells[0].slot_offset, rb->cells[0].slot_offset);
+  EXPECT_EQ(ra->cells[0].channel_offset, rb->cells[0].channel_offset);
+  EXPECT_EQ(ra->cells[0].option, CellOption::kShared);
+}
+
+TEST(DigsSchedulerTest, PaperSlotframeLengthsCoprime) {
+  const SchedulerConfig config;  // 557 / 47 / 151
+  EXPECT_EQ(std::gcd(config.sync_slotframe_len,
+                     config.routing_slotframe_len), 1);
+  EXPECT_EQ(std::gcd(config.sync_slotframe_len, config.app_slotframe_len), 1);
+  EXPECT_EQ(std::gcd(config.routing_slotframe_len, config.app_slotframe_len),
+            1);
+  // Fig. 7 example: 61 * 11 * 7 = 4697 combined slots.
+  const SchedulerConfig example = paper_example_config();
+  EXPECT_EQ(static_cast<int>(example.sync_slotframe_len) *
+                example.routing_slotframe_len * example.app_slotframe_len,
+            4697);
+}
+
+TEST(DigsSchedulerTest, AttemptChannelsDecorrelated) {
+  // Successive attempts of the same packet must land on different channel
+  // offsets, so one jammed WiFi block (4 adjacent channels) cannot kill a
+  // whole attempt ladder.
+  int distinct_pairs = 0;
+  int total_pairs = 0;
+  for (std::uint16_t id = 2; id < 60; ++id) {
+    for (int p = 1; p < 3; ++p) {
+      ++total_pairs;
+      if (attempt_channel_offset(NodeId{id}, p) !=
+          attempt_channel_offset(NodeId{id}, p + 1)) {
+        ++distinct_pairs;
+      }
+    }
+  }
+  // Hash-based: expect the overwhelming majority distinct.
+  EXPECT_GT(distinct_pairs, total_pairs * 8 / 10);
+}
+
+// --- Orchestra scheduler ---
+
+TEST(OrchestraSchedulerTest, SenderBasedCells) {
+  OrchestraScheduler scheduler(paper_example_config());
+  EXPECT_TRUE(scheduler.sender_based());
+  Schedule schedule;
+  scheduler.rebuild(schedule, device_view(NodeId{3}, NodeId{2}, kNoNode));
+  const Slotframe* app = schedule.slotframe(TrafficClass::kApplication);
+  ASSERT_NE(app, nullptr);
+  int rx = 0;
+  int tx = 0;
+  for (const Cell& cell : app->cells) {
+    if (cell.option == CellOption::kRx) ++rx;
+    if (cell.option == CellOption::kTx) {
+      EXPECT_EQ(cell.peer, NodeId{2});
+      // Sender-based: TX in our OWN slot.
+      EXPECT_EQ(cell.slot_offset, scheduler.unicast_slot(NodeId{3}));
+      ++tx;
+    }
+  }
+  EXPECT_EQ(rx, 0);  // no children -> no RX cells
+  EXPECT_EQ(tx, 1);
+}
+
+TEST(OrchestraSchedulerTest, SenderBasedParentListensPerChild) {
+  OrchestraScheduler scheduler(paper_example_config());
+  Schedule schedule;
+  scheduler.rebuild(
+      schedule,
+      device_view(NodeId{2}, NodeId{0}, kNoNode,
+                  {ChildEntry{NodeId{3}, true, {}},
+                   ChildEntry{NodeId{4}, true, {}}}));
+  const Slotframe* app = schedule.slotframe(TrafficClass::kApplication);
+  int rx = 0;
+  for (const Cell& cell : app->cells) {
+    if (cell.option != CellOption::kRx) continue;
+    EXPECT_EQ(cell.slot_offset, scheduler.unicast_slot(cell.peer));
+    ++rx;
+  }
+  EXPECT_EQ(rx, 2);
+}
+
+TEST(OrchestraSchedulerTest, SendersSpreadAcrossUnicastFrame) {
+  // Sender-based slots avoid *persistent sibling* collisions; hash
+  // collisions across the short unicast frame exist but co-channel overlap
+  // (same slot AND same channel offset) must stay rare.
+  SchedulerConfig config;
+  OrchestraScheduler scheduler(config);
+  std::set<std::uint16_t> used;
+  std::set<std::pair<std::uint16_t, ChannelOffset>> slot_channel;
+  int cochannel = 0;
+  for (std::uint16_t id = 0; id < 52; ++id) {
+    const std::uint16_t slot = scheduler.unicast_slot(NodeId{id});
+    EXPECT_LT(slot, config.orchestra_unicast_len);
+    used.insert(slot);
+    if (!slot_channel.emplace(slot, tx_channel_offset(NodeId{id})).second) {
+      ++cochannel;
+    }
+  }
+  EXPECT_GE(used.size(), 25u);  // well spread over 53 slots
+  EXPECT_LE(cochannel, 3);
+}
+
+TEST(OrchestraSchedulerTest, ReceiverBasedVariant) {
+  OrchestraScheduler scheduler(paper_example_config(),
+                               /*sender_based=*/false);
+  Schedule schedule;
+  scheduler.rebuild(schedule, device_view(NodeId{3}, NodeId{2}, kNoNode));
+  const Slotframe* app = schedule.slotframe(TrafficClass::kApplication);
+  int rx = 0;
+  int tx = 0;
+  for (const Cell& cell : app->cells) {
+    if (cell.option == CellOption::kRx) {
+      EXPECT_EQ(cell.slot_offset, scheduler.unicast_slot(NodeId{3}));
+      ++rx;
+    }
+    if (cell.option == CellOption::kTx) {
+      // Receiver-based: TX in the PARENT's slot.
+      EXPECT_EQ(cell.slot_offset, scheduler.unicast_slot(NodeId{2}));
+      ++tx;
+    }
+  }
+  EXPECT_EQ(rx, 1);
+  EXPECT_EQ(tx, 1);
+}
+
+TEST(OrchestraSchedulerTest, ReceiverBasedRxAlwaysInstalled) {
+  OrchestraScheduler scheduler(paper_example_config(),
+                               /*sender_based=*/false);
+  Schedule schedule;
+  scheduler.rebuild(schedule, device_view(NodeId{3}, kNoNode, kNoNode));
+  const Slotframe* app = schedule.slotframe(TrafficClass::kApplication);
+  ASSERT_EQ(app->cells.size(), 1u);
+  EXPECT_EQ(app->cells[0].option, CellOption::kRx);
+}
+
+TEST(OrchestraSchedulerTest, SingleTxAttemptPerCycle) {
+  OrchestraScheduler scheduler(paper_example_config());
+  Schedule schedule;
+  scheduler.rebuild(schedule,
+                    device_view(NodeId{3}, NodeId{2}, NodeId{1}));
+  const Slotframe* app = schedule.slotframe(TrafficClass::kApplication);
+  int tx = 0;
+  for (const Cell& cell : app->cells) {
+    if (cell.option == CellOption::kTx) ++tx;
+  }
+  EXPECT_EQ(tx, 1);  // Orchestra: one attempt per slotframe, single parent
+}
+
+TEST(OrchestraSchedulerTest, SenderAndReceiverAgree) {
+  OrchestraScheduler scheduler(paper_example_config());
+  Schedule child;
+  scheduler.rebuild(child, device_view(NodeId{5}, NodeId{4}, kNoNode));
+  Schedule parent;
+  scheduler.rebuild(parent,
+                    device_view(NodeId{4}, NodeId{0}, kNoNode,
+                                {ChildEntry{NodeId{5}, true, {}}}));
+  const Cell* child_tx = nullptr;
+  for (const Cell& cell :
+       child.slotframe(TrafficClass::kApplication)->cells) {
+    if (cell.option == CellOption::kTx) child_tx = &cell;
+  }
+  const Cell* parent_rx = nullptr;
+  for (const Cell& cell :
+       parent.slotframe(TrafficClass::kApplication)->cells) {
+    if (cell.option == CellOption::kRx) parent_rx = &cell;
+  }
+  ASSERT_NE(child_tx, nullptr);
+  ASSERT_NE(parent_rx, nullptr);
+  EXPECT_EQ(child_tx->slot_offset, parent_rx->slot_offset);
+  EXPECT_EQ(child_tx->channel_offset, parent_rx->channel_offset);
+}
+
+// --- conflict analysis (Eq. 5-6) ---
+
+TEST(ConflictAnalysisTest, Eq5Limits) {
+  EXPECT_DOUBLE_EQ(shared_slot_contention_probability(0.0, 10, 47), 0.0);
+  // Long slotframe relative to N: more contention per Eq. 5's first branch.
+  const double long_frame = shared_slot_contention_probability(0.1, 10, 47);
+  const double short_frame = shared_slot_contention_probability(0.1, 100, 47);
+  EXPECT_GT(long_frame, 0.0);
+  EXPECT_GT(long_frame, short_frame);
+}
+
+TEST(ConflictAnalysisTest, Eq5MonotoneInLoad) {
+  double last = 0.0;
+  for (double load = 0.0; load <= 2.0; load += 0.1) {
+    const double p = shared_slot_contention_probability(load, 50, 47);
+    EXPECT_GE(p, last);
+    last = p;
+  }
+  EXPECT_LT(last, 1.0 + 1e-12);
+}
+
+TEST(ConflictAnalysisTest, Eq6HighestPriorityNeverSkipped) {
+  const std::vector<SlotframeLoad> frames{
+      {557, 2, 0}, {47, 1, 1}, {151, 3, 2}};
+  EXPECT_DOUBLE_EQ(slotframe_skip_probability(frames[0], frames), 0.0);
+}
+
+TEST(ConflictAnalysisTest, Eq6LowerPriorityAccumulates) {
+  const std::vector<SlotframeLoad> frames{
+      {557, 2, 0}, {47, 1, 1}, {151, 3, 2}};
+  const double routing_skip = slotframe_skip_probability(frames[1], frames);
+  const double app_skip = slotframe_skip_probability(frames[2], frames);
+  // Routing only conflicts with sync (2/557); app with sync and routing.
+  EXPECT_NEAR(routing_skip, 2.0 / 557.0, 1e-12);
+  EXPECT_NEAR(app_skip, 1.0 - (1.0 - 2.0 / 557.0) * (1.0 - 1.0 / 47.0),
+              1e-12);
+  EXPECT_GT(app_skip, routing_skip);
+  // "expected to be very low in practice" (paper Section VI-B)
+  EXPECT_LT(app_skip, 0.03);
+}
+
+TEST(ConflictAnalysisTest, MeasuredSkipMatchesModel) {
+  // Build a real schedule and compare the measured skip rate of the
+  // application class against Eq. 6.
+  SchedulerConfig config;  // paper lengths
+  DigsScheduler scheduler(config);
+  Schedule schedule;
+  RoutingView view;
+  view.id = NodeId{5};
+  view.num_access_points = 2;
+  view.best_parent = NodeId{0};
+  view.second_best_parent = NodeId{1};
+  scheduler.rebuild(schedule, view);
+
+  const Slotframe* sync = schedule.slotframe(TrafficClass::kSync);
+  const Slotframe* routing = schedule.slotframe(TrafficClass::kRouting);
+  const Slotframe* app = schedule.slotframe(TrafficClass::kApplication);
+  const std::vector<SlotframeLoad> loads{
+      {sync->length, static_cast<int>(sync->cells.size()), 0},
+      {routing->length, static_cast<int>(routing->cells.size()), 1},
+      {app->length, static_cast<int>(app->cells.size()), 2},
+  };
+  const double model = slotframe_skip_probability(loads[2], loads);
+  const double measured = measured_skip_rate(
+      schedule, TrafficClass::kApplication, 557ULL * 47 * 151);
+  EXPECT_NEAR(measured, model, 0.01);
+}
+
+}  // namespace
+}  // namespace digs

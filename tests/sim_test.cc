@@ -1,0 +1,206 @@
+// Unit tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace digs {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now().us, 0);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime{300}, [&] { order.push_back(3); });
+  sim.schedule_at(SimTime{100}, [&] { order.push_back(1); });
+  sim.schedule_at(SimTime{200}, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, SameTimeFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime{100}, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule_at(SimTime{12345}, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen.us, 12345);
+  EXPECT_EQ(sim.now().us, 12345);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime{100}, [&] { ++fired; });
+  sim.schedule_at(SimTime{200}, [&] { ++fired; });
+  sim.run_until(SimTime{150});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().us, 150);
+  sim.run_until(SimTime{250});
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(SimTime{5000});
+  EXPECT_EQ(sim.now().us, 5000);
+}
+
+TEST(SimulatorTest, ScheduleAfter) {
+  Simulator sim;
+  sim.schedule_at(SimTime{100}, [&] {
+    sim.schedule_after(SimDuration{50}, [&] {
+      EXPECT_EQ(sim.now().us, 150);
+    });
+  });
+  sim.run();
+  EXPECT_EQ(sim.now().us, 150);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRun) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.schedule_after(SimDuration{10}, chain);
+  };
+  sim.schedule_at(SimTime{0}, chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now().us, 40);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle handle =
+      sim.schedule_at(SimTime{100}, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, HandleNotPendingAfterFire) {
+  Simulator sim;
+  EventHandle handle = sim.schedule_at(SimTime{10}, [] {});
+  sim.run();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // harmless no-op
+}
+
+TEST(SimulatorTest, DefaultHandleInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();
+}
+
+TEST(SimulatorTest, PendingEventCount) {
+  Simulator sim;
+  EXPECT_EQ(sim.pending_events(), 0u);
+  auto h1 = sim.schedule_at(SimTime{10}, [] {});
+  auto h2 = sim.schedule_at(SimTime{20}, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  h1.cancel();
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  (void)h2;
+}
+
+TEST(SimulatorTest, EventsExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.schedule_at(SimTime{i * 10}, [] {});
+  }
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(SimulatorTest, PastScheduleClampsToNow) {
+  Simulator sim;
+  sim.run_until(SimTime{100});
+  bool fired = false;
+  sim.schedule_at(SimTime{50}, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now().us, 100);
+}
+
+TEST(PeriodicTimerTest, FiresEveryPeriod) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, SimDuration{100}, [&] { ++fires; });
+  timer.start();
+  sim.run_until(SimTime{1000});
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(PeriodicTimerTest, StopHalts) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, SimDuration{100}, [&] { ++fires; });
+  timer.start();
+  sim.run_until(SimTime{350});
+  timer.stop();
+  EXPECT_FALSE(timer.running());
+  sim.run_until(SimTime{1000});
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTimerTest, RestartResetsPhase) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, SimDuration{100}, [&] { ++fires; });
+  timer.start();
+  sim.run_until(SimTime{50});
+  timer.start();  // restart at t=50; next fire at 150
+  sim.run_until(SimTime{149});
+  EXPECT_EQ(fires, 0);
+  sim.run_until(SimTime{150});
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(PeriodicTimerTest, SetPeriodAppliesOnRestart) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, SimDuration{100}, [&] { ++fires; });
+  timer.start();
+  sim.run_until(SimTime{200});
+  EXPECT_EQ(fires, 2);
+  timer.set_period(SimDuration{400});
+  EXPECT_EQ(timer.period().us, 400);
+  timer.start();
+  sim.run_until(SimTime{500});  // next fire at 600
+  EXPECT_EQ(fires, 2);
+  sim.run_until(SimTime{600});
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTimerTest, DestructorCancels) {
+  Simulator sim;
+  int fires = 0;
+  {
+    PeriodicTimer timer(sim, SimDuration{10}, [&] { ++fires; });
+    timer.start();
+  }
+  sim.run_until(SimTime{100});
+  EXPECT_EQ(fires, 0);
+}
+
+}  // namespace
+}  // namespace digs

@@ -1,0 +1,197 @@
+// Unit tests for flow statistics: PDR windows, latency, duplicate
+// suppression, drops, and repair-time (outage) extraction.
+#include <gtest/gtest.h>
+
+#include "stats/flow_stats.h"
+
+namespace digs {
+namespace {
+
+constexpr FlowId kFlow{1};
+
+TEST(FlowStatsTest, RegisterOnce) {
+  FlowStatsCollector stats;
+  stats.register_flow(kFlow, NodeId{5});
+  stats.register_flow(kFlow, NodeId{5});
+  EXPECT_EQ(stats.flows().size(), 1u);
+}
+
+TEST(FlowStatsTest, PdrCountsDelivered) {
+  FlowStatsCollector stats;
+  stats.register_flow(kFlow, NodeId{5});
+  for (std::uint32_t seq = 0; seq < 10; ++seq) {
+    stats.on_generated(kFlow, seq, SimTime{static_cast<std::int64_t>(seq)});
+    if (seq % 2 == 0) {
+      stats.on_delivered(kFlow, seq,
+                         SimTime{static_cast<std::int64_t>(seq) + 100});
+    }
+  }
+  EXPECT_DOUBLE_EQ(stats.pdr(kFlow), 0.5);
+  EXPECT_DOUBLE_EQ(stats.overall_pdr(), 0.5);
+  EXPECT_EQ(stats.total_generated(), 10u);
+  EXPECT_EQ(stats.total_delivered(), 5u);
+}
+
+TEST(FlowStatsTest, DuplicateDeliveryIgnored) {
+  FlowStatsCollector stats;
+  stats.register_flow(kFlow, NodeId{5});
+  stats.on_generated(kFlow, 0, SimTime{0});
+  stats.on_delivered(kFlow, 0, SimTime{100});
+  stats.on_delivered(kFlow, 0, SimTime{200});  // duplicate via backup path
+  EXPECT_EQ(stats.total_delivered(), 1u);
+  const auto latencies = stats.latencies_ms();
+  ASSERT_EQ(latencies.size(), 1u);
+  EXPECT_DOUBLE_EQ(latencies[0], 0.1);  // first arrival counts
+}
+
+TEST(FlowStatsTest, DropAfterDeliveryIgnored) {
+  FlowStatsCollector stats;
+  stats.register_flow(kFlow, NodeId{5});
+  stats.on_generated(kFlow, 0, SimTime{0});
+  stats.on_delivered(kFlow, 0, SimTime{50});
+  stats.on_dropped(kFlow, 0, SimTime{60});  // the backup copy died; fine
+  EXPECT_EQ(stats.total_dropped(), 0u);
+  EXPECT_DOUBLE_EQ(stats.pdr(kFlow), 1.0);
+}
+
+TEST(FlowStatsTest, WindowedPdr) {
+  FlowStatsCollector stats;
+  stats.register_flow(kFlow, NodeId{5});
+  // 5 packets before t=1000 (all delivered), 5 after (none delivered).
+  for (std::uint32_t seq = 0; seq < 10; ++seq) {
+    const SimTime t{seq < 5 ? 100 + seq : 2000 + seq};
+    stats.on_generated(kFlow, seq, t);
+    if (seq < 5) stats.on_delivered(kFlow, seq, t + SimDuration{10});
+  }
+  EXPECT_DOUBLE_EQ(stats.pdr(kFlow, SimTime{0}, SimTime{1000}), 1.0);
+  EXPECT_DOUBLE_EQ(stats.pdr(kFlow, SimTime{1000}, SimTime{10000}), 0.0);
+}
+
+TEST(FlowStatsTest, LatenciesInWindow) {
+  FlowStatsCollector stats;
+  stats.register_flow(kFlow, NodeId{5});
+  stats.on_generated(kFlow, 0, SimTime{0});
+  stats.on_delivered(kFlow, 0, SimTime{500'000});  // 500 ms
+  stats.on_generated(kFlow, 1, SimTime{1'000'000});
+  stats.on_delivered(kFlow, 1, SimTime{1'250'000});  // 250 ms
+  const auto all = stats.latencies_ms();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[0], 500.0);
+  EXPECT_DOUBLE_EQ(all[1], 250.0);
+  const auto windowed = stats.latencies_ms(SimTime{900'000});
+  ASSERT_EQ(windowed.size(), 1u);
+  EXPECT_DOUBLE_EQ(windowed[0], 250.0);
+}
+
+TEST(FlowStatsTest, WasDelivered) {
+  FlowStatsCollector stats;
+  stats.register_flow(kFlow, NodeId{5});
+  stats.on_generated(kFlow, 0, SimTime{0});
+  stats.on_generated(kFlow, 1, SimTime{10});
+  stats.on_delivered(kFlow, 1, SimTime{20});
+  EXPECT_FALSE(stats.was_delivered(kFlow, 0));
+  EXPECT_TRUE(stats.was_delivered(kFlow, 1));
+  EXPECT_FALSE(stats.was_delivered(FlowId{9}, 0));
+}
+
+TEST(FlowStatsTest, OutageAfterEvent) {
+  FlowStatsCollector stats;
+  stats.register_flow(kFlow, NodeId{5});
+  // Packets every 1 s; seq 3,4,5 lost; seq 6 delivered at t=6.2s.
+  for (std::uint32_t seq = 0; seq < 10; ++seq) {
+    const SimTime t{static_cast<std::int64_t>(seq) * 1'000'000};
+    stats.on_generated(kFlow, seq, t);
+    if (seq < 3 || seq > 5) {
+      stats.on_delivered(kFlow, seq, t + SimDuration{200'000});
+    }
+  }
+  const auto outage = stats.outage_after(kFlow, SimTime{0});
+  ASSERT_TRUE(outage.has_value());
+  // From generation of seq 3 (t=3s) to delivery of seq 6 (t=6.2s).
+  EXPECT_NEAR(outage->seconds(), 3.2, 1e-9);
+}
+
+TEST(FlowStatsTest, NoOutageWhenAllDelivered) {
+  FlowStatsCollector stats;
+  stats.register_flow(kFlow, NodeId{5});
+  for (std::uint32_t seq = 0; seq < 5; ++seq) {
+    const SimTime t{static_cast<std::int64_t>(seq) * 1'000'000};
+    stats.on_generated(kFlow, seq, t);
+    stats.on_delivered(kFlow, seq, t + SimDuration{100});
+  }
+  EXPECT_FALSE(stats.outage_after(kFlow, SimTime{0}).has_value());
+}
+
+TEST(FlowStatsTest, OutageOnlyAfterEvent) {
+  FlowStatsCollector stats;
+  stats.register_flow(kFlow, NodeId{5});
+  // Loss at t=1s (before event), all delivered after.
+  for (std::uint32_t seq = 0; seq < 6; ++seq) {
+    const SimTime t{static_cast<std::int64_t>(seq) * 1'000'000};
+    stats.on_generated(kFlow, seq, t);
+    if (seq != 1) stats.on_delivered(kFlow, seq, t + SimDuration{100});
+  }
+  EXPECT_FALSE(stats.outage_after(kFlow, SimTime{3'000'000}).has_value());
+}
+
+TEST(FlowStatsTest, UnrecoveredOutageCountsToEnd) {
+  FlowStatsCollector stats;
+  stats.register_flow(kFlow, NodeId{5});
+  for (std::uint32_t seq = 0; seq < 6; ++seq) {
+    const SimTime t{static_cast<std::int64_t>(seq) * 1'000'000};
+    stats.on_generated(kFlow, seq, t);
+    if (seq < 2) stats.on_delivered(kFlow, seq, t + SimDuration{100});
+  }
+  const auto outage = stats.outage_after(kFlow, SimTime{0});
+  ASSERT_TRUE(outage.has_value());
+  // From t=2s (first loss) to t=5s (last generation).
+  EXPECT_NEAR(outage->seconds(), 3.0, 1e-9);
+}
+
+TEST(FlowStatsTest, LongestOutageWins) {
+  FlowStatsCollector stats;
+  stats.register_flow(kFlow, NodeId{5});
+  // Two outages: seq 2 (short) and seq 5-7 (long).
+  for (std::uint32_t seq = 0; seq < 10; ++seq) {
+    const SimTime t{static_cast<std::int64_t>(seq) * 1'000'000};
+    stats.on_generated(kFlow, seq, t);
+    const bool lost = (seq == 2) || (seq >= 5 && seq <= 7);
+    if (!lost) stats.on_delivered(kFlow, seq, t + SimDuration{100'000});
+  }
+  const auto outage = stats.outage_after(kFlow, SimTime{0});
+  ASSERT_TRUE(outage.has_value());
+  // 5s -> delivery of seq 8 at 8.1s.
+  EXPECT_NEAR(outage->seconds(), 3.1, 1e-9);
+}
+
+TEST(FlowStatsTest, SparseSequenceNumbersStillFound) {
+  // Sequence numbers need not be dense (a source may skip while dead);
+  // the record lookup must still match them.
+  FlowStatsCollector stats;
+  stats.register_flow(kFlow, NodeId{5});
+  stats.on_generated(kFlow, 10, SimTime{0});
+  stats.on_generated(kFlow, 20, SimTime{10});
+  stats.on_delivered(kFlow, 20, SimTime{30});
+  EXPECT_FALSE(stats.was_delivered(kFlow, 10));
+  EXPECT_TRUE(stats.was_delivered(kFlow, 20));
+  EXPECT_DOUBLE_EQ(stats.pdr(kFlow), 0.5);
+}
+
+TEST(FlowStatsTest, EmptyPdrIsPerfect) {
+  FlowStatsCollector stats;
+  stats.register_flow(kFlow, NodeId{5});
+  EXPECT_DOUBLE_EQ(stats.pdr(kFlow), 1.0);
+  EXPECT_DOUBLE_EQ(stats.overall_pdr(), 1.0);
+}
+
+TEST(FlowStatsTest, UnknownFlowSafe) {
+  FlowStatsCollector stats;
+  stats.on_generated(FlowId{9}, 0, SimTime{0});
+  stats.on_delivered(FlowId{9}, 0, SimTime{0});
+  stats.on_dropped(FlowId{9}, 0, SimTime{0});
+  EXPECT_DOUBLE_EQ(stats.pdr(FlowId{9}), 0.0);
+  EXPECT_EQ(stats.flow(FlowId{9}), nullptr);
+}
+
+}  // namespace
+}  // namespace digs

@@ -1,0 +1,219 @@
+// Tests for the testbed layouts, the topology snapshot used by the
+// centralized baseline, and the experiment harness plumbing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "manager/graph_router.h"
+#include "manager/manager_model.h"
+#include "testbed/experiment.h"
+#include "testbed/layouts.h"
+
+namespace digs {
+namespace {
+
+TEST(LayoutTest, NodeCountsMatchPaper) {
+  EXPECT_EQ(testbed_a().num_nodes(), 50);
+  EXPECT_EQ(testbed_a().num_field_devices(), 48);
+  EXPECT_EQ(half_testbed_a().num_nodes(), 20);
+  EXPECT_EQ(testbed_b().num_nodes(), 44);
+  EXPECT_EQ(half_testbed_b().num_nodes(), 19);
+  EXPECT_EQ(cooja_150().num_nodes(), 152);
+}
+
+TEST(LayoutTest, DeterministicGivenSeed) {
+  const TestbedLayout a1 = testbed_a(7);
+  const TestbedLayout a2 = testbed_a(7);
+  ASSERT_EQ(a1.positions.size(), a2.positions.size());
+  for (std::size_t i = 0; i < a1.positions.size(); ++i) {
+    EXPECT_EQ(a1.positions[i], a2.positions[i]);
+  }
+  const TestbedLayout b = testbed_a(8);
+  EXPECT_NE(a1.positions[5], b.positions[5]);
+}
+
+TEST(LayoutTest, TestbedAWithinFloorBounds) {
+  const TestbedLayout layout = testbed_a();
+  for (const Position& p : layout.positions) {
+    EXPECT_GE(p.x, -3.0);
+    EXPECT_LE(p.x, 63.0);
+    EXPECT_GE(p.y, -3.0);
+    EXPECT_LE(p.y, 28.0);
+    EXPECT_DOUBLE_EQ(p.z, 0.0);
+  }
+}
+
+TEST(LayoutTest, TestbedBHasOneApPerFloor) {
+  const TestbedLayout layout = testbed_b();
+  EXPECT_DOUBLE_EQ(layout.positions[0].z, 0.0);
+  EXPECT_DOUBLE_EQ(layout.positions[1].z, 4.0);
+  int floor0 = 0;
+  int floor1 = 0;
+  for (const Position& p : layout.positions) {
+    (p.z < 2.0 ? floor0 : floor1)++;
+  }
+  EXPECT_EQ(floor0, 22);
+  EXPECT_EQ(floor1, 22);
+}
+
+TEST(LayoutTest, CoojaUsesOpenAreaExponent) {
+  EXPECT_DOUBLE_EQ(cooja_150().path_loss_exponent, 3.0);
+  EXPECT_DOUBLE_EQ(testbed_a().path_loss_exponent, 3.8);
+}
+
+TEST(LayoutTest, EnoughJammersForFigs4And5) {
+  EXPECT_GE(testbed_a().jammer_positions.size(), 4u);
+  EXPECT_GE(cooja_150().jammer_positions.size(), 5u);
+}
+
+// --- topology snapshot ---
+
+TEST(TopologySnapshotTest, SymmetricAndConnected) {
+  const TestbedLayout layout = testbed_a();
+  const TopologySnapshot topo = make_topology_snapshot(layout);
+  EXPECT_EQ(topo.num_nodes, 50);
+  for (std::uint16_t a = 0; a < topo.num_nodes; ++a) {
+    EXPECT_FALSE(topo.linked(a, a));
+    for (std::uint16_t b = 0; b < topo.num_nodes; ++b) {
+      EXPECT_DOUBLE_EQ(topo.etx[a][b], topo.etx[b][a]);
+      if (topo.linked(a, b)) {
+        EXPECT_GE(topo.etx[a][b], 1.0);
+        EXPECT_LE(topo.etx[a][b], 3.0);  // the paper's seeding range
+      }
+    }
+  }
+  const auto routes = compute_graph_routes(topo);
+  EXPECT_TRUE(routes.fully_connected());
+  EXPECT_TRUE(routes_are_dag(topo, routes));
+}
+
+TEST(TopologySnapshotTest, AllTestbedsAreMultiHop) {
+  for (const TestbedLayout& layout :
+       {testbed_a(), testbed_b(), cooja_150()}) {
+    const TopologySnapshot topo = make_topology_snapshot(layout);
+    const auto routes = compute_graph_routes(topo);
+    int max_depth = 0;
+    for (const GraphRoute& route : routes.routes) {
+      max_depth = std::max(max_depth, route.depth);
+    }
+    EXPECT_GE(max_depth, 2) << layout.name;
+  }
+}
+
+TEST(TopologySnapshotTest, MostDevicesHaveBackupParents) {
+  const TopologySnapshot topo = make_topology_snapshot(testbed_a());
+  const auto routes = compute_graph_routes(topo);
+  int with_backup = 0;
+  for (std::uint16_t v = 2; v < topo.num_nodes; ++v) {
+    if (routes.routes[v].second_best_parent.valid()) ++with_backup;
+  }
+  // WirelessHART requires two outgoing paths; the dense floor supports it
+  // for the overwhelming majority.
+  EXPECT_GE(with_backup, 44);
+}
+
+// --- experiment harness ---
+
+TEST(ExperimentTest, FlowsGetDistinctSourcesAndStaggeredStarts) {
+  ExperimentConfig config;
+  config.suite = ProtocolSuite::kDigs;
+  config.seed = 5;
+  config.num_flows = 8;
+  config.warmup = seconds(static_cast<std::int64_t>(1));
+  config.duration = seconds(static_cast<std::int64_t>(1));
+  config.stat_drain = seconds(static_cast<std::int64_t>(0));
+  ExperimentRunner runner(testbed_a(), config);
+  runner.run();
+  std::set<NodeId> sources;
+  for (const FlowRecord& flow : runner.network().stats().flows()) {
+    sources.insert(flow.source);
+  }
+  EXPECT_EQ(sources.size(), 8u);
+}
+
+TEST(ExperimentTest, JammersOnlyWhenRequested) {
+  ExperimentConfig config;
+  config.num_jammers = 0;
+  config.warmup = seconds(static_cast<std::int64_t>(1));
+  config.duration = seconds(static_cast<std::int64_t>(1));
+  config.stat_drain = seconds(static_cast<std::int64_t>(0));
+  ExperimentRunner no_jam(testbed_a(), config);
+  EXPECT_EQ(no_jam.network().medium().num_jammers(), 0u);
+
+  config.num_jammers = 3;
+  ExperimentRunner jam(testbed_a(), config);
+  EXPECT_EQ(jam.network().medium().num_jammers(), 3u);
+}
+
+TEST(ExperimentTest, PersistenceScalesWithSuite) {
+  ExperimentConfig config;
+  config.max_delivery_cycles = 8;
+  config.warmup = seconds(static_cast<std::int64_t>(1));
+  config.duration = seconds(static_cast<std::int64_t>(1));
+  config.stat_drain = seconds(static_cast<std::int64_t>(0));
+
+  config.suite = ProtocolSuite::kDigs;
+  ExperimentRunner digs_runner(testbed_a(), config);
+  EXPECT_EQ(digs_runner.network()
+                .node(NodeId{2})
+                .mac()
+                .config()
+                .max_data_transmissions,
+            24);  // 3 attempts x 8 cycles
+
+  config.suite = ProtocolSuite::kOrchestra;
+  ExperimentRunner orch_runner(testbed_a(), config);
+  EXPECT_EQ(orch_runner.network()
+                .node(NodeId{2})
+                .mac()
+                .config()
+                .max_data_transmissions,
+            8);  // Contiki TSCH retry default
+}
+
+TEST(ExperimentTest, LayoutRadioRegimeApplied) {
+  ExperimentConfig config;
+  config.warmup = seconds(static_cast<std::int64_t>(1));
+  config.duration = seconds(static_cast<std::int64_t>(1));
+  config.stat_drain = seconds(static_cast<std::int64_t>(0));
+  ExperimentRunner runner(cooja_150(), config);
+  EXPECT_DOUBLE_EQ(runner.network()
+                       .medium()
+                       .propagation()
+                       .config()
+                       .path_loss_exponent,
+                   3.0);
+  EXPECT_DOUBLE_EQ(
+      runner.network().node(NodeId{2}).mac().config().tx_power_dbm, 0.0);
+}
+
+TEST(ManagerModelTest, FitsOurActualTestbedDepths) {
+  // The Fig. 3 bench fits the reaction model on the paper's measured
+  // totals with depths from our layouts; the fit must stay within 35% of
+  // every anchor (it has 2 parameters for 4 points).
+  std::vector<ManagerAnchor> anchors;
+  const std::vector<std::pair<TestbedLayout, double>> cases{
+      {half_testbed_a(), 203.0},
+      {testbed_a(), 506.0},
+      {half_testbed_b(), 191.0},
+      {testbed_b(), 443.0},
+  };
+  for (const auto& [layout, measured] : cases) {
+    const auto topo = make_topology_snapshot(layout);
+    const auto routes = compute_graph_routes(topo);
+    anchors.push_back(ManagerAnchor{layout.num_nodes(),
+                                    total_depth(routes,
+                                                layout.num_access_points),
+                                    measured});
+  }
+  const auto model = ManagerReactionModel::fit(anchors);
+  for (const ManagerAnchor& anchor : anchors) {
+    const double predicted =
+        model.predict(anchor.num_nodes, anchor.total_depth).total_s();
+    EXPECT_NEAR(predicted, anchor.measured_total_s,
+                0.35 * anchor.measured_total_s);
+  }
+}
+
+}  // namespace
+}  // namespace digs

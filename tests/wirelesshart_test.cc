@@ -1,0 +1,155 @@
+// Tests for the live centralized WirelessHART suite: the Network Manager
+// computes and installs graph routes globally, reacts to dynamics only
+// after the Fig. 3 reaction time, and devices operate on stale routes in
+// between.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "routing/centralized_routing.h"
+#include "testbed/experiment.h"
+
+namespace digs {
+namespace {
+
+TestbedLayout small_layout() {
+  TestbedLayout layout;
+  layout.name = "wh-10";
+  layout.num_access_points = 2;
+  layout.positions = {
+      {12.0, 10.0, 0.0}, {24.0, 10.0, 0.0},  // APs
+      {10.0, 5.0, 0.0},  {10.0, 15.0, 0.0}, {17.0, 8.0, 0.0},
+      {17.0, 14.0, 0.0}, {24.0, 6.0, 0.0},  {30.0, 10.0, 0.0},
+      {14.0, 11.0, 0.0}, {27.0, 12.0, 0.0},
+  };
+  return layout;
+}
+
+NetworkConfig wh_config(std::uint64_t seed = 9) {
+  NetworkConfig config;
+  config.suite = ProtocolSuite::kWirelessHart;
+  config.seed = seed;
+  config.node = ExperimentRunner::default_node_config();
+  config.node.mac.tx_power_dbm = 0.0;
+  config.medium.propagation.path_loss_exponent = 3.8;
+  return config;
+}
+
+TEST(WirelessHartTest, ManagerInstallsRoutesAfterProvisioning) {
+  Network net(wh_config(), small_layout().positions);
+  net.start();
+  ASSERT_NE(net.manager(), nullptr);
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(30)));
+  EXPECT_EQ(net.manager()->installs(), 0u);  // still provisioning
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(90)));
+  EXPECT_EQ(net.manager()->installs(), 1u);
+  for (std::uint16_t i = 2; i < net.size(); ++i) {
+    EXPECT_TRUE(net.node(NodeId{i}).routing().joined()) << "node " << i;
+  }
+}
+
+TEST(WirelessHartTest, CentrallyRoutedNetworkDelivers) {
+  Network net(wh_config(), small_layout().positions);
+  FlowSpec flow;
+  flow.id = FlowId{0};
+  flow.source = NodeId{7};
+  flow.period = seconds(static_cast<std::int64_t>(2));
+  flow.start_offset = seconds(static_cast<std::int64_t>(150));
+  net.add_flow(flow);
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(300)));
+  EXPECT_GT(net.stats().pdr(FlowId{0},
+                            SimTime{0} + seconds(static_cast<std::int64_t>(155)),
+                            SimTime{0} + seconds(static_cast<std::int64_t>(280))),
+            0.95);
+}
+
+TEST(WirelessHartTest, ReactionTimeMatchesFig3Scale) {
+  Network net(wh_config(), testbed_a().positions);
+  net.start();
+  // 50 alive nodes: the fitted model predicts the paper's ~506 s.
+  const double reaction = net.manager()->reaction_time().seconds();
+  EXPECT_GT(reaction, 300.0);
+  EXPECT_LT(reaction, 900.0);
+}
+
+TEST(WirelessHartTest, DynamicsCoalesceIntoOnePendingUpdate) {
+  Network net(wh_config(), small_layout().positions);
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(90)));
+  ASSERT_EQ(net.manager()->installs(), 1u);
+  net.set_node_alive(NodeId{5}, false);
+  net.set_node_alive(NodeId{6}, false);  // second event coalesces
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(3000)));
+  EXPECT_EQ(net.manager()->installs(), 2u);
+}
+
+TEST(WirelessHartTest, StaleRoutesUntilManagerReacts) {
+  // Testbed A is genuinely multi-hop, so some device has a field-device
+  // parent to lose.
+  NetworkConfig config = wh_config();
+  config.node.mac.tx_power_dbm = testbed_a().tx_power_dbm;
+  Network net(config, testbed_a().positions);
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(90)));
+  // Find a device whose best parent is a field device and kill the parent.
+  NodeId child = kNoNode;
+  NodeId victim = kNoNode;
+  for (std::uint16_t i = 2; i < net.size(); ++i) {
+    const NodeId bp = net.node(NodeId{i}).routing().best_parent();
+    if (bp.valid() && bp.value >= 2) {
+      child = NodeId{i};
+      victim = bp;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  net.set_node_alive(victim, false);
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(120)));
+  // Long before the reaction time elapses: the stale assignment persists.
+  EXPECT_EQ(net.node(child).routing().best_parent(), victim);
+  EXPECT_EQ(net.manager()->installs(), 1u);
+}
+
+TEST(WirelessHartTest, IdealizedManagerReactsInstantly) {
+  NetworkConfig config = wh_config();
+  config.manager.model_reaction_time = false;  // ablation lower bound
+  Network net(config, small_layout().positions);
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(90)));
+  net.set_node_alive(NodeId{5}, false);
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(130)));
+  EXPECT_EQ(net.manager()->installs(), 2u);  // detection delay only
+}
+
+TEST(WirelessHartTest, CentralizedRoutingIsPassive) {
+  RoutingProtocol::Env env;
+  int sent = 0;
+  env.send_routing = [&sent](const Frame&) { ++sent; };
+  env.on_topology_changed = [](SimTime) {};
+  CentralizedRouting routing(NodeId{5}, false, env);
+  routing.start(SimTime{0});
+  EXPECT_FALSE(routing.joined());
+  routing.handle_frame(
+      make_frame(FrameType::kJoinIn, NodeId{0}, kNoNode, JoinInPayload{}),
+      -60.0, SimTime{0});
+  EXPECT_FALSE(routing.joined());  // ignores distributed signalling
+  EXPECT_EQ(sent, 0);              // and never transmits any
+
+  routing.set_assignment(NodeId{0}, NodeId{1}, 2,
+                         {ChildEntry{NodeId{9}, true, {}}}, SimTime{10});
+  EXPECT_TRUE(routing.joined());
+  EXPECT_EQ(routing.best_parent(), NodeId{0});
+  EXPECT_EQ(routing.second_best_parent(), NodeId{1});
+  EXPECT_EQ(routing.rank(), 2);
+  EXPECT_EQ(routing.children().size(), 1u);
+}
+
+TEST(WirelessHartTest, NoManagerForDistributedSuites) {
+  NetworkConfig config = wh_config();
+  config.suite = ProtocolSuite::kDigs;
+  Network net(config, small_layout().positions);
+  EXPECT_EQ(net.manager(), nullptr);
+}
+
+}  // namespace
+}  // namespace digs

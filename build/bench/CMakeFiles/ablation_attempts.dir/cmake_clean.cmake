@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_attempts.dir/ablation_attempts.cc.o"
+  "CMakeFiles/ablation_attempts.dir/ablation_attempts.cc.o.d"
+  "ablation_attempts"
+  "ablation_attempts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attempts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slotframe_conflicts.dir/ablation_slotframe_conflicts.cc.o"
+  "CMakeFiles/ablation_slotframe_conflicts.dir/ablation_slotframe_conflicts.cc.o.d"
+  "ablation_slotframe_conflicts"
+  "ablation_slotframe_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slotframe_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

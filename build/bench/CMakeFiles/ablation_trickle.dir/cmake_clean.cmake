@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trickle.dir/ablation_trickle.cc.o"
+  "CMakeFiles/ablation_trickle.dir/ablation_trickle.cc.o.d"
+  "ablation_trickle"
+  "ablation_trickle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trickle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weighted_etx.dir/ablation_weighted_etx.cc.o"
+  "CMakeFiles/ablation_weighted_etx.dir/ablation_weighted_etx.cc.o.d"
+  "ablation_weighted_etx"
+  "ablation_weighted_etx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weighted_etx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

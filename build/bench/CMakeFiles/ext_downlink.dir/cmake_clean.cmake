@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_downlink.dir/ext_downlink.cc.o"
+  "CMakeFiles/ext_downlink.dir/ext_downlink.cc.o.d"
+  "ext_downlink"
+  "ext_downlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_downlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

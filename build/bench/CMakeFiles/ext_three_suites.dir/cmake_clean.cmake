@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_three_suites.dir/ext_three_suites.cc.o"
+  "CMakeFiles/ext_three_suites.dir/ext_three_suites.cc.o.d"
+  "ext_three_suites"
+  "ext_three_suites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_three_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_manager_update.dir/fig03_manager_update.cc.o"
+  "CMakeFiles/fig03_manager_update.dir/fig03_manager_update.cc.o.d"
+  "fig03_manager_update"
+  "fig03_manager_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_manager_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

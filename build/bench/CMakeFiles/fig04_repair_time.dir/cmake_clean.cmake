@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_repair_time.dir/fig04_repair_time.cc.o"
+  "CMakeFiles/fig04_repair_time.dir/fig04_repair_time.cc.o.d"
+  "fig04_repair_time"
+  "fig04_repair_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_repair_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

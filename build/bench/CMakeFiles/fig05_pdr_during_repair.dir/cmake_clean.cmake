@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_pdr_during_repair.dir/fig05_pdr_during_repair.cc.o"
+  "CMakeFiles/fig05_pdr_during_repair.dir/fig05_pdr_during_repair.cc.o.d"
+  "fig05_pdr_during_repair"
+  "fig05_pdr_during_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_pdr_during_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

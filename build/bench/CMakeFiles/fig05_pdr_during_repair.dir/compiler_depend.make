@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_pdr_during_repair.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_pdr_during_repair.
+# This may be replaced when dependencies are built.

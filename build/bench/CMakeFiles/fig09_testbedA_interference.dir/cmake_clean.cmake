@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_testbedA_interference.dir/fig09_testbedA_interference.cc.o"
+  "CMakeFiles/fig09_testbedA_interference.dir/fig09_testbedA_interference.cc.o.d"
+  "fig09_testbedA_interference"
+  "fig09_testbedA_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_testbedA_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_testbedB_interference.dir/fig10_testbedB_interference.cc.o"
+  "CMakeFiles/fig10_testbedB_interference.dir/fig10_testbedB_interference.cc.o.d"
+  "fig10_testbedB_interference"
+  "fig10_testbedB_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_testbedB_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

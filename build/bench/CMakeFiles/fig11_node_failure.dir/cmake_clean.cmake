@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_node_failure.dir/fig11_node_failure.cc.o"
+  "CMakeFiles/fig11_node_failure.dir/fig11_node_failure.cc.o.d"
+  "fig11_node_failure"
+  "fig11_node_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_node_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cooja150.dir/fig12_cooja150.cc.o"
+  "CMakeFiles/fig12_cooja150.dir/fig12_cooja150.cc.o.d"
+  "fig12_cooja150"
+  "fig12_cooja150.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cooja150.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

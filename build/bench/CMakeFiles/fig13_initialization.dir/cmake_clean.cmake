@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_initialization.dir/fig13_initialization.cc.o"
+  "CMakeFiles/fig13_initialization.dir/fig13_initialization.cc.o.d"
+  "fig13_initialization"
+  "fig13_initialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_initialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

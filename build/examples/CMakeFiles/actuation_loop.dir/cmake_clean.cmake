@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actuation_loop.dir/actuation_loop.cpp.o"
+  "CMakeFiles/actuation_loop.dir/actuation_loop.cpp.o.d"
+  "actuation_loop"
+  "actuation_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actuation_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/factory_monitoring.cpp" "examples/CMakeFiles/factory_monitoring.dir/factory_monitoring.cpp.o" "gcc" "examples/CMakeFiles/factory_monitoring.dir/factory_monitoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/digs_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/digs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/digs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/digs_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/digs_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/digs_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/digs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/digs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/manager/CMakeFiles/digs_manager.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/digs_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/digs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/digs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_example.dir/routing_example.cpp.o"
+  "CMakeFiles/routing_example.dir/routing_example.cpp.o.d"
+  "routing_example"
+  "routing_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduling_example.dir/scheduling_example.cpp.o"
+  "CMakeFiles/scheduling_example.dir/scheduling_example.cpp.o.d"
+  "scheduling_example"
+  "scheduling_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduling_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

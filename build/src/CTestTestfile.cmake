@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("phy")
+subdirs("energy")
+subdirs("net")
+subdirs("mac")
+subdirs("routing")
+subdirs("sched")
+subdirs("manager")
+subdirs("stats")
+subdirs("core")
+subdirs("testbed")

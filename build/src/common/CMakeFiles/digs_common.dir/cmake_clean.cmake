@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digs_common.dir/log.cc.o"
+  "CMakeFiles/digs_common.dir/log.cc.o.d"
+  "CMakeFiles/digs_common.dir/rng.cc.o"
+  "CMakeFiles/digs_common.dir/rng.cc.o.d"
+  "CMakeFiles/digs_common.dir/stats.cc.o"
+  "CMakeFiles/digs_common.dir/stats.cc.o.d"
+  "libdigs_common.a"
+  "libdigs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

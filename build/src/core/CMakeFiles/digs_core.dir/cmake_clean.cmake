@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digs_core.dir/central_manager.cc.o"
+  "CMakeFiles/digs_core.dir/central_manager.cc.o.d"
+  "CMakeFiles/digs_core.dir/network.cc.o"
+  "CMakeFiles/digs_core.dir/network.cc.o.d"
+  "CMakeFiles/digs_core.dir/node.cc.o"
+  "CMakeFiles/digs_core.dir/node.cc.o.d"
+  "libdigs_core.a"
+  "libdigs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digs_energy.dir/energy_meter.cc.o"
+  "CMakeFiles/digs_energy.dir/energy_meter.cc.o.d"
+  "libdigs_energy.a"
+  "libdigs_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digs_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

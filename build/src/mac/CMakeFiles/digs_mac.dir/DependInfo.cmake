@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/schedule.cc" "src/mac/CMakeFiles/digs_mac.dir/schedule.cc.o" "gcc" "src/mac/CMakeFiles/digs_mac.dir/schedule.cc.o.d"
+  "/root/repo/src/mac/tsch_mac.cc" "src/mac/CMakeFiles/digs_mac.dir/tsch_mac.cc.o" "gcc" "src/mac/CMakeFiles/digs_mac.dir/tsch_mac.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/digs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/digs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/digs_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

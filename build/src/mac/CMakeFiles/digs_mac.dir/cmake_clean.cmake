@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digs_mac.dir/schedule.cc.o"
+  "CMakeFiles/digs_mac.dir/schedule.cc.o.d"
+  "CMakeFiles/digs_mac.dir/tsch_mac.cc.o"
+  "CMakeFiles/digs_mac.dir/tsch_mac.cc.o.d"
+  "libdigs_mac.a"
+  "libdigs_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digs_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

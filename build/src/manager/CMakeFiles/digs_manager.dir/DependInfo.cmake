@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/manager/central_scheduler.cc" "src/manager/CMakeFiles/digs_manager.dir/central_scheduler.cc.o" "gcc" "src/manager/CMakeFiles/digs_manager.dir/central_scheduler.cc.o.d"
+  "/root/repo/src/manager/graph_router.cc" "src/manager/CMakeFiles/digs_manager.dir/graph_router.cc.o" "gcc" "src/manager/CMakeFiles/digs_manager.dir/graph_router.cc.o.d"
+  "/root/repo/src/manager/manager_model.cc" "src/manager/CMakeFiles/digs_manager.dir/manager_model.cc.o" "gcc" "src/manager/CMakeFiles/digs_manager.dir/manager_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/digs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/digs_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digs_manager.dir/central_scheduler.cc.o"
+  "CMakeFiles/digs_manager.dir/central_scheduler.cc.o.d"
+  "CMakeFiles/digs_manager.dir/graph_router.cc.o"
+  "CMakeFiles/digs_manager.dir/graph_router.cc.o.d"
+  "CMakeFiles/digs_manager.dir/manager_model.cc.o"
+  "CMakeFiles/digs_manager.dir/manager_model.cc.o.d"
+  "libdigs_manager.a"
+  "libdigs_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digs_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

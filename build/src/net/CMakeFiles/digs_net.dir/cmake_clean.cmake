@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digs_net.dir/etx.cc.o"
+  "CMakeFiles/digs_net.dir/etx.cc.o.d"
+  "CMakeFiles/digs_net.dir/neighbor_table.cc.o"
+  "CMakeFiles/digs_net.dir/neighbor_table.cc.o.d"
+  "libdigs_net.a"
+  "libdigs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

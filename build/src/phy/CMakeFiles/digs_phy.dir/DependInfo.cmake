@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/jammer.cc" "src/phy/CMakeFiles/digs_phy.dir/jammer.cc.o" "gcc" "src/phy/CMakeFiles/digs_phy.dir/jammer.cc.o.d"
+  "/root/repo/src/phy/medium.cc" "src/phy/CMakeFiles/digs_phy.dir/medium.cc.o" "gcc" "src/phy/CMakeFiles/digs_phy.dir/medium.cc.o.d"
+  "/root/repo/src/phy/propagation.cc" "src/phy/CMakeFiles/digs_phy.dir/propagation.cc.o" "gcc" "src/phy/CMakeFiles/digs_phy.dir/propagation.cc.o.d"
+  "/root/repo/src/phy/prr.cc" "src/phy/CMakeFiles/digs_phy.dir/prr.cc.o" "gcc" "src/phy/CMakeFiles/digs_phy.dir/prr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/digs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

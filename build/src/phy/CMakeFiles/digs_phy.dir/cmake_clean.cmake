@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digs_phy.dir/jammer.cc.o"
+  "CMakeFiles/digs_phy.dir/jammer.cc.o.d"
+  "CMakeFiles/digs_phy.dir/medium.cc.o"
+  "CMakeFiles/digs_phy.dir/medium.cc.o.d"
+  "CMakeFiles/digs_phy.dir/propagation.cc.o"
+  "CMakeFiles/digs_phy.dir/propagation.cc.o.d"
+  "CMakeFiles/digs_phy.dir/prr.cc.o"
+  "CMakeFiles/digs_phy.dir/prr.cc.o.d"
+  "libdigs_phy.a"
+  "libdigs_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digs_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/digs_routing.cc" "src/routing/CMakeFiles/digs_routing.dir/digs_routing.cc.o" "gcc" "src/routing/CMakeFiles/digs_routing.dir/digs_routing.cc.o.d"
+  "/root/repo/src/routing/rpl_routing.cc" "src/routing/CMakeFiles/digs_routing.dir/rpl_routing.cc.o" "gcc" "src/routing/CMakeFiles/digs_routing.dir/rpl_routing.cc.o.d"
+  "/root/repo/src/routing/trickle.cc" "src/routing/CMakeFiles/digs_routing.dir/trickle.cc.o" "gcc" "src/routing/CMakeFiles/digs_routing.dir/trickle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/digs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/digs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/digs_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digs_routing.dir/digs_routing.cc.o"
+  "CMakeFiles/digs_routing.dir/digs_routing.cc.o.d"
+  "CMakeFiles/digs_routing.dir/rpl_routing.cc.o"
+  "CMakeFiles/digs_routing.dir/rpl_routing.cc.o.d"
+  "CMakeFiles/digs_routing.dir/trickle.cc.o"
+  "CMakeFiles/digs_routing.dir/trickle.cc.o.d"
+  "libdigs_routing.a"
+  "libdigs_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digs_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

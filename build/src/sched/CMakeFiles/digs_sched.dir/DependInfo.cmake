@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/conflict_analysis.cc" "src/sched/CMakeFiles/digs_sched.dir/conflict_analysis.cc.o" "gcc" "src/sched/CMakeFiles/digs_sched.dir/conflict_analysis.cc.o.d"
+  "/root/repo/src/sched/digs_scheduler.cc" "src/sched/CMakeFiles/digs_sched.dir/digs_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/digs_sched.dir/digs_scheduler.cc.o.d"
+  "/root/repo/src/sched/orchestra_scheduler.cc" "src/sched/CMakeFiles/digs_sched.dir/orchestra_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/digs_sched.dir/orchestra_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/digs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/digs_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/digs_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/digs_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/digs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/digs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

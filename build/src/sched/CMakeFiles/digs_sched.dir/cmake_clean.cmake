@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digs_sched.dir/conflict_analysis.cc.o"
+  "CMakeFiles/digs_sched.dir/conflict_analysis.cc.o.d"
+  "CMakeFiles/digs_sched.dir/digs_scheduler.cc.o"
+  "CMakeFiles/digs_sched.dir/digs_scheduler.cc.o.d"
+  "CMakeFiles/digs_sched.dir/orchestra_scheduler.cc.o"
+  "CMakeFiles/digs_sched.dir/orchestra_scheduler.cc.o.d"
+  "libdigs_sched.a"
+  "libdigs_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digs_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

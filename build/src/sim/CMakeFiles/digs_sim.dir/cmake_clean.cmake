@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digs_sim.dir/simulator.cc.o"
+  "CMakeFiles/digs_sim.dir/simulator.cc.o.d"
+  "libdigs_sim.a"
+  "libdigs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digs_stats.dir/flow_stats.cc.o"
+  "CMakeFiles/digs_stats.dir/flow_stats.cc.o.d"
+  "libdigs_stats.a"
+  "libdigs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

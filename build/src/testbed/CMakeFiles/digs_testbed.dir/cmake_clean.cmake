@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digs_testbed.dir/experiment.cc.o"
+  "CMakeFiles/digs_testbed.dir/experiment.cc.o.d"
+  "CMakeFiles/digs_testbed.dir/layouts.cc.o"
+  "CMakeFiles/digs_testbed.dir/layouts.cc.o.d"
+  "libdigs_testbed.a"
+  "libdigs_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digs_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

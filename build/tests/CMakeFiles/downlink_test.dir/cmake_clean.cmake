@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/downlink_test.dir/downlink_test.cc.o"
+  "CMakeFiles/downlink_test.dir/downlink_test.cc.o.d"
+  "downlink_test"
+  "downlink_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/downlink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

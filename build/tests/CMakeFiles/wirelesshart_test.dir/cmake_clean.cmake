@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wirelesshart_test.dir/wirelesshart_test.cc.o"
+  "CMakeFiles/wirelesshart_test.dir/wirelesshart_test.cc.o.d"
+  "wirelesshart_test"
+  "wirelesshart_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wirelesshart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

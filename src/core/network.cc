@@ -1,6 +1,8 @@
 #include "core/network.h"
 
 #include <algorithm>
+#include <iterator>
+#include <numeric>
 
 namespace digs {
 
@@ -43,6 +45,7 @@ Network::Network(const NetworkConfig& config, std::vector<Position> positions)
     if (best_freshness < 0) return false;
     return nodes_[best_ap]->inject_downlink(payload, now);
   };
+  hooks.on_wakeup_changed = [this](NodeId id) { on_node_wake_dirty(id); };
 
   nodes_.reserve(medium_.num_nodes());
   for (std::size_t i = 0; i < medium_.num_nodes(); ++i) {
@@ -67,18 +70,48 @@ void Network::start() {
   if (started_) return;
   started_ = true;
   const SimTime now = sim_.now();
+  start_ = now;
+
+  const std::size_t n = nodes_.size();
+  slots_charged_.assign(n, 0);
+  kinds_.assign(n, SlotPlan::Kind::kSleep);
+  channels_.assign(n, 0);
+  listen_time_.assign(n, SimDuration{0});
+  tx_time_.assign(n, SimDuration{0});
+  all_ids_.resize(n);
+  std::iota(all_ids_.begin(), all_ids_.end(), std::uint16_t{0});
+
   for (auto& node : nodes_) node->start(now);
   if (manager_) manager_->start();
 
-  // Slot loop.
-  sim_.schedule_after(kSlotDuration, [this] { slot_tick(); });
+  // Slot driver. The engine's wakeup table is built only now, after every
+  // node installed its initial slotframes (install notifications before this
+  // point are ignored because next_wake_ is empty).
+  if (config_.use_slot_engine) {
+    next_wake_.assign(n, kNeverOccupied);
+    scanning_.assign(n, 0);
+    scanners_.clear();
+    listen_buckets_.clear();
+    registered_.assign(n, {});
+    for (std::size_t i = 0; i < n; ++i) {
+      update_listen_registration(i);
+      refresh_wake(i, 0);
+    }
+    arm_engine();
+  } else {
+    sim_.schedule_after(kSlotDuration, [this] { slot_tick(); });
+  }
 
   // Flow generators.
-  (void)now;
   for (std::size_t i = 0; i < flows_.size(); ++i) {
     sim_.schedule_after(flows_[i].start_offset,
                         [this, i] { generate_flow_packet(i); });
   }
+}
+
+void Network::run_until(SimTime until) {
+  sim_.run_until(until);
+  if (started_) settle_all();
 }
 
 void Network::generate_flow_packet(std::size_t flow_index) {
@@ -97,7 +130,32 @@ void Network::generate_flow_packet(std::size_t flow_index) {
 }
 
 void Network::set_node_alive(NodeId id, bool alive) {
-  node(id).set_alive(alive, sim_.now());
+  const auto i = static_cast<std::size_t>(id.value);
+  const SimTime now = sim_.now();
+  if (started_ && nodes_[i]->alive() != alive) {
+    // The slot firing exactly at this instant runs after this injection
+    // event (it was scheduled later), so it excludes a dying node and
+    // includes a reviving one: account strictly-before in both directions.
+    if (!alive) {
+      settle_node_to(i, slots_before(now));
+    } else {
+      slots_charged_[i] = slots_before(now);
+    }
+  }
+  node(id).set_alive(alive, now);  // revival refreshes the wakeup via the
+                                   // MAC's unsynced notification
+  if (engine_active()) {
+    if (alive) {
+      // Not reachable through the MAC's notifications alone: a node that
+      // died while already unsynced revives without a sync transition.
+      on_node_wake_dirty(id);
+    } else {
+      set_scanner(i, false);
+      clear_listen_registration(i);
+      next_wake_[i] = kNeverOccupied;
+      arm_engine();
+    }
+  }
   if (manager_) manager_->notify_dynamics();
 }
 
@@ -110,6 +168,9 @@ std::size_t Network::joined_count() const {
 }
 
 double Network::total_energy_mj() const {
+  // Logical constness: settling only converts accrued-but-unrecorded sleep
+  // time into meter state; it never changes what a reading means.
+  const_cast<Network*>(this)->settle_all();
   double mj = 0.0;
   for (std::size_t i = config_.num_access_points; i < nodes_.size(); ++i) {
     mj += nodes_[i]->meter().energy_mj();
@@ -118,6 +179,7 @@ double Network::total_energy_mj() const {
 }
 
 double Network::mean_duty_cycle() const {
+  const_cast<Network*>(this)->settle_all();
   double sum = 0.0;
   std::size_t n = 0;
   for (std::size_t i = config_.num_access_points; i < nodes_.size(); ++i) {
@@ -128,13 +190,331 @@ double Network::mean_duty_cycle() const {
 }
 
 void Network::reset_energy() {
+  settle_all();  // pending sleep belongs to the window being discarded
   for (auto& node : nodes_) node->meter().reset();
 }
+
+std::uint64_t Network::current_asn() const {
+  if (!config_.use_slot_engine) return asn_;
+  if (!started_) return 0;
+  return slots_completed(sim_.now());
+}
+
+// --- slot engine ---
+
+std::uint64_t Network::slots_completed(SimTime t) const {
+  const std::int64_t d = t.us - start_.us;
+  return d <= 0 ? 0 : static_cast<std::uint64_t>(d / kSlotDuration.us);
+}
+
+std::uint64_t Network::slots_before(SimTime t) const {
+  const std::int64_t d = t.us - start_.us;
+  return d <= 0 ? 0 : static_cast<std::uint64_t>((d - 1) / kSlotDuration.us);
+}
+
+std::uint64_t Network::asn_floor(SimTime t) const {
+  const std::int64_t d = t.us - start_.us;
+  if (d <= kSlotDuration.us) return 0;
+  return static_cast<std::uint64_t>((d + kSlotDuration.us - 1) /
+                                        kSlotDuration.us -
+                                    1);
+}
+
+void Network::set_scanner(std::size_t i, bool scanning) {
+  if (scanning_.empty() || (scanning_[i] != 0) == scanning) return;
+  scanning_[i] = scanning ? 1 : 0;
+  const auto v = static_cast<std::uint16_t>(i);
+  const auto it = std::lower_bound(scanners_.begin(), scanners_.end(), v);
+  if (scanning) {
+    scanners_.insert(it, v);
+  } else if (it != scanners_.end() && *it == v) {
+    scanners_.erase(it);
+  }
+}
+
+void Network::update_listen_registration(std::size_t i) {
+  if (registered_.empty()) return;
+  const Schedule& sched = nodes_[i]->mac().schedule();
+  const auto v = static_cast<std::uint16_t>(i);
+  for (int t = 0; t < kNumTrafficClasses; ++t) {
+    const auto traffic = static_cast<TrafficClass>(t);
+    const std::uint16_t length = sched.frame_length(traffic);
+    const auto offsets = sched.listen_offsets(traffic);
+    RegisteredFrame& reg = registered_[i][t];
+    if (reg.length == length &&
+        std::equal(reg.offsets.begin(), reg.offsets.end(), offsets.begin(),
+                   offsets.end())) {
+      continue;  // unchanged pattern; buckets already match
+    }
+    // Remove the old membership, then insert the new one.
+    for (auto& bucket : listen_buckets_) {
+      if (bucket.traffic != traffic || bucket.length != reg.length) continue;
+      for (const std::uint16_t offset : reg.offsets) {
+        auto& slot = bucket.nodes[offset];
+        const auto it = std::lower_bound(slot.begin(), slot.end(), v);
+        if (it != slot.end() && *it == v) slot.erase(it);
+      }
+      break;
+    }
+    reg.length = length;
+    reg.offsets.assign(offsets.begin(), offsets.end());
+    if (length == 0 || reg.offsets.empty()) continue;
+    BucketFrame* frame = nullptr;
+    for (auto& bucket : listen_buckets_) {
+      if (bucket.traffic == traffic && bucket.length == length) {
+        frame = &bucket;
+        break;
+      }
+    }
+    if (frame == nullptr) {
+      listen_buckets_.push_back(BucketFrame{traffic, length, {}});
+      frame = &listen_buckets_.back();
+      frame->nodes.resize(length);
+    }
+    for (const std::uint16_t offset : reg.offsets) {
+      auto& slot = frame->nodes[offset];
+      slot.insert(std::lower_bound(slot.begin(), slot.end(), v), v);
+    }
+  }
+}
+
+void Network::clear_listen_registration(std::size_t i) {
+  if (registered_.empty()) return;
+  const auto v = static_cast<std::uint16_t>(i);
+  for (int t = 0; t < kNumTrafficClasses; ++t) {
+    RegisteredFrame& reg = registered_[i][t];
+    for (auto& bucket : listen_buckets_) {
+      if (bucket.traffic != static_cast<TrafficClass>(t) ||
+          bucket.length != reg.length) {
+        continue;
+      }
+      for (const std::uint16_t offset : reg.offsets) {
+        auto& slot = bucket.nodes[offset];
+        const auto it = std::lower_bound(slot.begin(), slot.end(), v);
+        if (it != slot.end() && *it == v) slot.erase(it);
+      }
+      break;
+    }
+    reg = RegisteredFrame{};
+  }
+}
+
+std::uint64_t Network::next_registered_listen(std::size_t i,
+                                              std::uint64_t from) const {
+  std::uint64_t next = kNeverOccupied;
+  for (const RegisteredFrame& reg : registered_[i]) {
+    next = std::min(next, Schedule::next_in(reg.offsets, reg.length, from));
+  }
+  return next;
+}
+
+void Network::apply_wake_change(std::size_t i, std::uint64_t settle_target,
+                                std::uint64_t refresh_from) {
+  // Settle with the *old* registered pattern: the slots up to the change
+  // used it. Only then mirror the new pattern into the buckets.
+  if (nodes_[i]->alive()) settle_node_to(i, settle_target);
+  update_listen_registration(i);
+  refresh_wake(i, refresh_from);
+}
+
+void Network::refresh_wake(std::size_t i, std::uint64_t from) {
+  const Node& nd = *nodes_[i];
+  if (!nd.alive()) {
+    set_scanner(i, false);
+    next_wake_[i] = kNeverOccupied;
+    return;
+  }
+  const TschMac& mac = nd.mac();
+  if (!mac.synced()) {
+    // Scanners carry no heap entry: they listen in exactly the slots the
+    // engine executes (a transmission requires some synced node's TX-capable
+    // cell, which is a scheduled wake) and are settled lazily over the rest.
+    set_scanner(i, true);
+    next_wake_[i] = kNeverOccupied;
+    return;
+  }
+  set_scanner(i, false);
+  std::uint64_t wake = mac.next_tx_capable_asn(from);
+  if (!nd.is_access_point()) {
+    // First slot whose end_slot() sees now >= sync_deadline: the node must
+    // wake there to execute the desync even if its schedule is idle.
+    // slot_end(k) = start_ + (k+2)*slot >= deadline.
+    const std::int64_t lead =
+        mac.sync_deadline().us - (start_.us + kSlotDuration.us);
+    const std::int64_t k =
+        lead <= 0 ? -1 : (lead + kSlotDuration.us - 1) / kSlotDuration.us - 1;
+    const std::uint64_t timeout_wake =
+        (k < 0 || static_cast<std::uint64_t>(k) < from)
+            ? from
+            : static_cast<std::uint64_t>(k);
+    wake = std::min(wake, timeout_wake);
+  }
+  next_wake_[i] = wake;
+  if (wake == kNeverOccupied) return;
+  wake_heap_.push(wake, static_cast<std::uint16_t>(i));
+}
+
+void Network::arm_engine() {
+  if (in_slot_ || engine_yielded_) return;  // re-armed after the slot runs
+  while (!wake_heap_.empty()) {
+    const WakeHeap::Entry& top = wake_heap_.top();
+    if (next_wake_[top.node] != top.asn || !nodes_[top.node]->alive()) {
+      wake_heap_.pop();  // stale
+      continue;
+    }
+    break;
+  }
+  if (wake_heap_.empty()) {
+    engine_event_.cancel();
+    armed_asn_ = kNeverOccupied;
+    return;
+  }
+  const std::uint64_t target = wake_heap_.top().asn;
+  if (engine_event_.pending() && armed_asn_ == target) return;
+  engine_event_.cancel();
+  armed_asn_ = target;
+  engine_event_ = sim_.schedule_at(slot_time(target), [this] { engine_tick(); });
+}
+
+void Network::engine_tick() {
+  if (!engine_yielded_ && sim_.has_pending_at(sim_.now())) {
+    // Yield once: re-scheduling at the same instant gives this event the
+    // newest sequence number, so anything else due now (flow generators on
+    // slot boundaries, failure injections, protocol timers) runs first —
+    // exactly the order the polled loop produces, whose tick is armed only
+    // one slot ahead and therefore always newest. When nothing else is due
+    // at this instant the yield would be a no-op, so it is skipped and the
+    // common case costs one simulator event per woken slot.
+    engine_yielded_ = true;
+    engine_event_ = sim_.schedule_at(sim_.now(), [this] { engine_tick(); });
+    return;
+  }
+  engine_yielded_ = false;
+  const std::uint64_t asn = armed_asn_;
+  armed_asn_ = kNeverOccupied;
+
+  participants_.clear();
+  while (!wake_heap_.empty() && wake_heap_.top().asn <= asn) {
+    const WakeHeap::Entry entry = wake_heap_.pop();
+    if (entry.asn != asn) continue;                  // stale (past)
+    if (next_wake_[entry.node] != entry.asn) continue;  // stale (moved)
+    if (!nodes_[entry.node]->alive()) continue;
+    participants_.push_back(entry.node);
+  }
+  std::sort(participants_.begin(), participants_.end());
+  participants_.erase(
+      std::unique(participants_.begin(), participants_.end()),
+      participants_.end());
+
+  // Full slot set: the TX-capable (heap-due) nodes, every node listening at
+  // this ASN per the reverse listen index, and all scanners (they might
+  // hear a frame in any executed slot).
+  slot_nodes_.assign(participants_.begin(), participants_.end());
+  for (const BucketFrame& bucket : listen_buckets_) {
+    const auto& at = bucket.nodes[asn % bucket.length];
+    slot_nodes_.insert(slot_nodes_.end(), at.begin(), at.end());
+  }
+  slot_nodes_.insert(slot_nodes_.end(), scanners_.begin(), scanners_.end());
+  std::sort(slot_nodes_.begin(), slot_nodes_.end());
+  slot_nodes_.erase(std::unique(slot_nodes_.begin(), slot_nodes_.end()),
+                    slot_nodes_.end());
+
+  // Settle before planning: a scanner that syncs *during* this slot must
+  // have its skipped slots charged as scan listening, not sleep.
+  for (const std::uint16_t i : slot_nodes_) {
+    if (nodes_[i]->alive()) settle_node_to(i, asn);
+  }
+
+  last_processed_asn_ = static_cast<std::int64_t>(asn);
+  in_slot_ = true;
+  dirty_.clear();
+  process_slot(asn, sim_.now(), slot_nodes_);
+  in_slot_ = false;
+
+  // Only the heap-due nodes need a recomputed TX wake: pure listeners'
+  // wakes are untouched (their sync deadline moving later on an EB heard
+  // here only makes the old heap entry conservatively early), and any node
+  // whose queues or slotframes changed this slot notified into dirty_.
+  for (const std::uint16_t i : participants_) refresh_wake(i, asn + 1);
+  for (const std::uint16_t i : dirty_) apply_wake_change(i, asn + 1, asn + 1);
+  arm_engine();
+}
+
+void Network::on_node_wake_dirty(NodeId id) {
+  if (!engine_active() || next_wake_.empty()) return;
+  if (in_slot_) {
+    dirty_.push_back(id.value);
+    return;
+  }
+  std::uint64_t from = asn_floor(sim_.now());
+  const auto floor_asn = static_cast<std::uint64_t>(last_processed_asn_ + 1);
+  if (from < floor_asn) from = floor_asn;
+  // Slots strictly before this instant used the old listen pattern; the
+  // slot whose tick is exactly now (if any) runs after this event and uses
+  // the new one — same order as the polled loop, whose tick is always the
+  // newest event at its instant.
+  apply_wake_change(id.value, slots_before(sim_.now()), from);
+  arm_engine();
+}
+
+void Network::settle_node_to(std::size_t i, std::uint64_t target) {
+  if (slots_charged_.empty()) return;  // not started
+  if (target <= slots_charged_[i]) return;
+  const std::uint64_t from = slots_charged_[i];
+  const std::uint64_t n = target - from;
+  Node& nd = *nodes_[i];
+  const SimDuration span{kSlotDuration.us * static_cast<std::int64_t>(n)};
+  if (!nd.mac().synced()) {
+    // Scanning the whole window: full-slot listens, and the scan-dwell
+    // counter advances exactly as if plan_slot had run in each slot. Sync
+    // state is constant across the window — it only changes inside executed
+    // slots, which settle first.
+    nd.mac().advance_scan(n);
+    nd.meter().charge(RadioState::kListen, span);
+  } else {
+    // Skipped slots where the registered pattern listens cost one RX guard
+    // each (nothing was on the air there — any transmitter would have made
+    // the slot TX-capable and hence executed); the rest of the window slept.
+    std::uint64_t listens = 0;
+    if (!registered_.empty()) {
+      for (std::uint64_t w = next_registered_listen(i, from); w < target;
+           w = next_registered_listen(i, w + 1)) {
+        ++listens;
+      }
+    }
+    if (listens > 0) {
+      const SimDuration guard{SlotTiming::rx_guard().us *
+                              static_cast<std::int64_t>(listens)};
+      nd.meter().charge(RadioState::kListen, guard);
+      nd.meter().charge(RadioState::kSleep, span - guard);
+    } else {
+      nd.meter().charge(RadioState::kSleep, span);
+    }
+  }
+  slots_charged_[i] = target;
+}
+
+void Network::settle_all() {
+  if (!started_) return;
+  const std::uint64_t target = slots_completed(sim_.now());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]->alive()) settle_node_to(i, target);
+  }
+}
+
+// --- polled driver ---
 
 void Network::slot_tick() {
   const SimTime slot_start = sim_.now();
   const std::uint64_t asn = asn_++;
+  process_slot(asn, slot_start, all_ids_);
+  sim_.schedule_after(kSlotDuration, [this] { slot_tick(); });
+}
 
+// --- shared per-slot arithmetic ---
+
+void Network::process_slot(std::uint64_t asn, SimTime slot_start,
+                           const std::vector<std::uint16_t>& participants) {
   struct PlannedTx {
     NodeId sender;
     SlotPlan plan;
@@ -146,15 +526,13 @@ void Network::slot_tick() {
 
   std::vector<PlannedTx> transmitters;
   std::vector<Listener> listeners;
-  std::vector<SlotPlan::Kind> kinds(nodes_.size(), SlotPlan::Kind::kSleep);
-  std::vector<PhysicalChannel> channels(nodes_.size(), 0);
 
-  for (auto& node_ptr : nodes_) {
-    Node& node = *node_ptr;
+  for (const std::uint16_t idx : participants) {
+    Node& node = *nodes_[idx];
     if (!node.alive()) continue;
     SlotPlan plan = node.mac().plan_slot(asn, slot_start);
-    kinds[node.id().value] = plan.kind;
-    channels[node.id().value] = plan.channel;
+    kinds_[idx] = plan.kind;
+    channels_[idx] = plan.channel;
     switch (plan.kind) {
       case SlotPlan::Kind::kTx:
         transmitters.push_back(PlannedTx{node.id(), std::move(plan)});
@@ -258,17 +636,18 @@ void Network::slot_tick() {
         .on_tx_outcome(frame_acked[t], asn, slot_done);
   }
 
-  // Energy accounting: every alive node accounts exactly one slot.
-  std::vector<SimDuration> listen_time(nodes_.size(), SimDuration{0});
-  std::vector<SimDuration> tx_time(nodes_.size(), SimDuration{0});
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  // Energy accounting: every participant accounts exactly one slot (absent
+  // nodes sleep the whole slot; their energy is settled lazily).
+  for (const std::uint16_t i : participants) {
     if (!nodes_[i]->alive()) continue;
-    switch (kinds[i]) {
+    listen_time_[i] = SimDuration{0};
+    tx_time_[i] = SimDuration{0};
+    switch (kinds_[i]) {
       case SlotPlan::Kind::kScan:
-        listen_time[i] = kSlotDuration;
+        listen_time_[i] = kSlotDuration;
         break;
       case SlotPlan::Kind::kRx:
-        listen_time[i] = SlotTiming::rx_guard();
+        listen_time_[i] = SlotTiming::rx_guard();
         break;
       default:
         break;
@@ -277,42 +656,42 @@ void Network::slot_tick() {
   for (std::size_t t = 0; t < transmitters.size(); ++t) {
     const PlannedTx& tx = transmitters[t];
     const auto i = static_cast<std::size_t>(tx.sender.value);
-    tx_time[i] =
-        tx_time[i] + SlotTiming::frame_duration(tx.plan.frame.length_bytes);
+    tx_time_[i] =
+        tx_time_[i] + SlotTiming::frame_duration(tx.plan.frame.length_bytes);
     if (tx.plan.expects_ack) {
-      listen_time[i] = listen_time[i] + SlotTiming::ack_wait() +
-                       SlotTiming::ack_duration();
+      listen_time_[i] = listen_time_[i] + SlotTiming::ack_wait() +
+                        SlotTiming::ack_duration();
     }
   }
   for (const Reception& rx : receptions) {
     const PlannedTx& tx = transmitters[rx.tx_index];
     const auto i = static_cast<std::size_t>(rx.receiver.value);
-    listen_time[i] =
-        listen_time[i] +
+    listen_time_[i] =
+        listen_time_[i] +
         SlotTiming::frame_duration(tx.plan.frame.length_bytes);
     if (tx.plan.expects_ack && tx.plan.frame.dst == rx.receiver) {
-      tx_time[i] = tx_time[i] + SlotTiming::ack_duration();
+      tx_time_[i] = tx_time_[i] + SlotTiming::ack_duration();
     }
   }
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  for (const std::uint16_t i : participants) {
     if (!nodes_[i]->alive()) continue;
+    settle_node_to(i, asn);  // sleep for any skipped slots before this one
     EnergyMeter& meter = nodes_[i]->meter();
-    SimDuration active = listen_time[i] + tx_time[i];
+    SimDuration active = listen_time_[i] + tx_time_[i];
     if (active > kSlotDuration) active = kSlotDuration;
-    if (tx_time[i].us > 0) meter.charge(RadioState::kTransmit, tx_time[i]);
-    if (listen_time[i].us > 0) {
-      meter.charge(RadioState::kListen, listen_time[i]);
+    if (tx_time_[i].us > 0) meter.charge(RadioState::kTransmit, tx_time_[i]);
+    if (listen_time_[i].us > 0) {
+      meter.charge(RadioState::kListen, listen_time_[i]);
     }
     meter.charge(RadioState::kSleep, kSlotDuration - active);
+    slots_charged_[i] = asn + 1;
   }
 
   // End-of-slot housekeeping.
   const SimTime slot_end = slot_start + kSlotDuration;
-  for (auto& node_ptr : nodes_) {
-    if (node_ptr->alive()) node_ptr->mac().end_slot(asn, slot_end);
+  for (const std::uint16_t i : participants) {
+    if (nodes_[i]->alive()) nodes_[i]->mac().end_slot(asn, slot_end);
   }
-
-  sim_.schedule_after(kSlotDuration, [this] { slot_tick(); });
 }
 
 }  // namespace digs

@@ -3,12 +3,24 @@
 // between nodes.
 //
 // The loop is slotted (TSCH is slot-synchronous): at every 10 ms boundary it
-// collects each alive node's SlotPlan, resolves transmissions on the medium
-// (SINR with co-channel transmitters and jammers), draws ACKs on the reverse
-// links, delivers frames, reports transmission outcomes, and meters radio
-// energy so each node accounts exactly one slot of radio time.
+// collects each participating node's SlotPlan, resolves transmissions on the
+// medium (SINR with co-channel transmitters and jammers), draws ACKs on the
+// reverse links, delivers frames, reports transmission outcomes, and meters
+// radio energy so each node accounts exactly one slot of radio time.
+//
+// Two drivers share that per-slot arithmetic (process_slot):
+//   - the schedule-driven slot engine (default): a min-heap of per-node
+//     next-active ASNs wakes only the nodes whose schedule, scan state, or
+//     sync timeout can make them act, and the simulation jumps over slots
+//     where every node sleeps. Sleep energy for the skipped slots is settled
+//     lazily in exact per-slot integer amounts, so results are bit-identical
+//     to polling.
+//   - the polled loop (use_slot_engine = false): one event per slot asking
+//     every alive node, kept as the reference implementation for the
+//     equivalence tests.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -16,6 +28,7 @@
 #include "common/rng.h"
 #include "core/central_manager.h"
 #include "core/node.h"
+#include "core/wake_heap.h"
 #include "phy/medium.h"
 #include "sim/simulator.h"
 #include "stats/flow_stats.h"
@@ -30,6 +43,10 @@ struct NetworkConfig {
   /// Manager behaviour for the kWirelessHart suite.
   CentralManagerConfig manager;
   std::uint64_t seed = 1;
+  /// Schedule-driven slot engine (default) vs. the reference polled loop
+  /// that visits every node every slot. Both produce bit-identical results;
+  /// the flag exists for the equivalence tests and for debugging.
+  bool use_slot_engine = true;
 };
 
 /// A periodic application flow from a field device towards the APs.
@@ -66,10 +83,8 @@ class Network {
   /// Starts all nodes and the slot loop at the current simulator time.
   void start();
 
-  void run_until(SimTime until) { sim_.run_until(until); }
-  void run_for(SimDuration duration) {
-    sim_.run_until(sim_.now() + duration);
-  }
+  void run_until(SimTime until);
+  void run_for(SimDuration duration) { run_until(sim_.now() + duration); }
 
   /// Failure injection.
   void set_node_alive(NodeId id, bool alive);
@@ -98,11 +113,81 @@ class Network {
   /// Resets energy meters (to scope energy to a measurement window).
   void reset_energy();
 
-  [[nodiscard]] std::uint64_t current_asn() const { return asn_; }
+  /// Slots completed since start. Identical in both drivers: the engine
+  /// derives it from simulated time, the polled loop counts ticks.
+  [[nodiscard]] std::uint64_t current_asn() const;
 
  private:
-  void slot_tick();
+  // --- shared per-slot arithmetic ---
+
+  /// Executes TSCH slot `asn` for `participants` (node indices in ascending
+  /// id order). The polled loop passes every node; the engine passes the
+  /// woken subset — since absent nodes are exactly the sleepers, plans,
+  /// medium resolution, RNG draws, deliveries, and energy are identical.
+  void process_slot(std::uint64_t asn, SimTime slot_start,
+                    const std::vector<std::uint16_t>& participants);
+
+  void slot_tick();  // polled driver
   void generate_flow_packet(std::size_t flow_index);
+
+  // --- slot engine ---
+
+  [[nodiscard]] bool engine_active() const {
+    return config_.use_slot_engine && started_;
+  }
+  [[nodiscard]] SimTime slot_time(std::uint64_t asn) const {
+    return SimTime{start_.us +
+                   kSlotDuration.us * static_cast<std::int64_t>(asn + 1)};
+  }
+  /// Slots whose tick instant is <= t (the polled loop's asn_ at time t).
+  [[nodiscard]] std::uint64_t slots_completed(SimTime t) const;
+  /// Slots whose tick instant is strictly before t (used at kill/revive
+  /// instants, where the tick at t fires after the injection event).
+  [[nodiscard]] std::uint64_t slots_before(SimTime t) const;
+  /// Smallest asn whose slot starts at or after t.
+  [[nodiscard]] std::uint64_t asn_floor(SimTime t) const;
+
+  /// Recomputes node i's next *transmission-capable* wakeup at or after
+  /// `from` (sync TX cells, queue-backed routing/app cells, and the desync
+  /// deadline) and feeds the heap. Pure-listen slots carry no heap entry:
+  /// nothing is on the air unless some node is TX-capable, so the engine
+  /// executes exactly the TX-capable slots, finds the listeners there via
+  /// the reverse listen index, and settles skipped listens arithmetically.
+  /// Unsynced alive nodes are tracked in `scanners_` instead of the heap.
+  void refresh_wake(std::size_t i, std::uint64_t from);
+  /// Adds/removes node i from the sorted scanner set.
+  void set_scanner(std::size_t i, bool scanning);
+
+  /// Mirrors node i's current per-class listen pattern (slotframe length +
+  /// listen offsets) into `registered_[i]` and the reverse listen buckets.
+  /// The registered copy is what settling steps over, so it must be updated
+  /// only *after* the slots that used the old pattern have been settled.
+  void update_listen_registration(std::size_t i);
+  /// Drops node i from the listen buckets (node death).
+  void clear_listen_registration(std::size_t i);
+  /// Smallest ASN >= `from` at which node i's *registered* pattern listens.
+  [[nodiscard]] std::uint64_t next_registered_listen(std::size_t i,
+                                                     std::uint64_t from) const;
+  /// Handles a deferred or immediate wakeup change for node i: settle the
+  /// old pattern up to `settle_target`, re-register, recompute the wake.
+  void apply_wake_change(std::size_t i, std::uint64_t settle_target,
+                         std::uint64_t refresh_from);
+  /// (Re)schedules the engine event for the heap minimum.
+  void arm_engine();
+  /// The engine event: yields once so same-instant events scheduled earlier
+  /// run first (matching the polled loop, whose tick is always the newest
+  /// event at its instant), then executes the slot.
+  void engine_tick();
+  /// Node state changed in a way that may move its wakeup earlier.
+  void on_node_wake_dirty(NodeId id);
+
+  /// Charges node i's uncharged slots up to `target` slots total: sleep for
+  /// synced nodes, full-slot scan listening (plus the scan-dwell advance)
+  /// for unsynced ones. Exact because the meter accumulates integer
+  /// microseconds per state.
+  void settle_node_to(std::size_t i, std::uint64_t target);
+  /// Settles every alive node up to slots_completed(now).
+  void settle_all();
 
   NetworkConfig config_;
   Simulator sim_;
@@ -115,8 +200,57 @@ class Network {
   FlowStatsCollector stats_;
   std::vector<SimTime> joined_at_;
   std::vector<SimTime> fully_joined_at_;
-  std::uint64_t asn_{0};
+  std::uint64_t asn_{0};  // polled driver's slot counter
   bool started_{false};
+
+  SimTime start_{};  // instant of Network::start(); slot k starts at
+                     // start_ + (k+1) * kSlotDuration
+  // Per-node next wakeup ASN (kNeverOccupied = none); heap entries that
+  // disagree with this array are stale.
+  std::vector<std::uint64_t> next_wake_;
+  WakeHeap wake_heap_;
+  EventHandle engine_event_;
+  std::uint64_t armed_asn_{kNeverOccupied};
+  std::int64_t last_processed_asn_{-1};
+  bool in_slot_{false};
+  bool engine_yielded_{false};
+  // Nodes whose wakeup went dirty while a slot was executing.
+  std::vector<std::uint16_t> dirty_;
+  std::vector<std::uint16_t> participants_;
+  std::vector<std::uint16_t> all_ids_;  // 0..N-1, for the polled driver
+  // Unsynced alive nodes (ascending ids). Appended to every executed slot
+  // (any potential transmitter implies a scheduled wake) and settled lazily
+  // across the provably-empty skipped slots.
+  std::vector<std::uint16_t> scanners_;
+  std::vector<char> scanning_;            // membership flag, by node index
+  std::vector<std::uint16_t> slot_nodes_;  // scratch: full participant set
+
+  // Reverse listen index: for each (class, slotframe length) in use, the
+  // sorted set of nodes with a listen offset at each slot of the frame. At
+  // an executed ASN the listeners are the union of the matching buckets —
+  // no per-node query. Registered patterns (the exact offsets mirrored into
+  // the buckets) also drive the arithmetic settling of skipped listens.
+  struct BucketFrame {
+    TrafficClass traffic;
+    std::uint16_t length;
+    std::vector<std::vector<std::uint16_t>> nodes;  // [offset] -> sorted ids
+  };
+  struct RegisteredFrame {
+    std::uint16_t length{0};
+    std::vector<std::uint16_t> offsets;
+  };
+  std::vector<BucketFrame> listen_buckets_;
+  std::vector<std::array<RegisteredFrame, kNumTrafficClasses>> registered_;
+
+  // Count of slots already charged to each node's energy meter; the gap to
+  // slots_completed(now) is pure sleep, settled lazily in exact amounts.
+  std::vector<std::uint64_t> slots_charged_;
+  // Per-slot scratch indexed by node id; only participant entries are
+  // written/read within one process_slot call.
+  std::vector<SlotPlan::Kind> kinds_;
+  std::vector<PhysicalChannel> channels_;
+  std::vector<SimDuration> listen_time_;
+  std::vector<SimDuration> tx_time_;
 };
 
 }  // namespace digs

@@ -36,6 +36,12 @@ Node::Node(Simulator& sim, NodeId id, bool is_access_point,
                        hooks_.on_data_lost(id_, payload, now);
                      }
                    },
+               .on_wakeup_changed =
+                   [this]() {
+                     if (hooks_.on_wakeup_changed) {
+                       hooks_.on_wakeup_changed(id_);
+                     }
+                   },
            }) {
   RoutingProtocol::Env env;
   env.send_routing = [this](const Frame& frame) {

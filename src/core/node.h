@@ -76,6 +76,10 @@ class Node {
     /// route to a destination, the backbone may hand the packet to the AP
     /// that owns the destination's subtree. Returns true if taken.
     std::function<bool(const DataPayload&, SimTime now)> gateway_route;
+    /// This node's next-active slot may have moved earlier (schedule
+    /// rebuilt, traffic queued, sync state flipped). The Network's slot
+    /// engine re-arms its wakeup heap from here.
+    std::function<void(NodeId node)> on_wakeup_changed;
   };
 
   Node(Simulator& sim, NodeId id, bool is_access_point, ProtocolSuite suite,

@@ -3,10 +3,21 @@
 // (Section VI, "Schedule Combination"): for a given ASN, the highest-priority
 // traffic class that has any cell at that slot wins the slot; lower-priority
 // cells are skipped.
+//
+// Because slot occupancy is statically derivable from the installed cells,
+// the schedule can answer "when is this node next possibly active?" — the
+// query the slot engine uses to skip idle slots entirely. Each slotframe
+// keeps two sorted offset tables: every offset holding any cell, and the
+// offsets holding at least one cell that listens unconditionally (RX or
+// shared). Dedicated TX cells only cause radio activity when a matching
+// packet is queued, so a query may exclude TX-only application offsets when
+// the caller knows the queue is empty.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <optional>
 #include <span>
 #include <vector>
@@ -14,6 +25,10 @@
 #include "mac/slotframe.h"
 
 namespace digs {
+
+/// Sentinel: no occupied slot exists (empty schedule).
+inline constexpr std::uint64_t kNeverOccupied =
+    std::numeric_limits<std::uint64_t>::max();
 
 class Schedule {
  public:
@@ -43,15 +58,76 @@ class Schedule {
   /// Total number of installed cells across classes.
   [[nodiscard]] std::size_t total_cells() const;
 
+  /// Smallest ASN >= `from` at which any installed slotframe has a cell that
+  /// can require radio activity, merging all three prioritized slotframes;
+  /// kNeverOccupied if the schedule is empty. When `app_tx_idle` is true the
+  /// caller asserts it has no queued application traffic, so application
+  /// slots holding only dedicated TX cells are exact sleeps and excluded;
+  /// RX/shared cells listen unconditionally and always count. Sync and
+  /// routing offsets are always included (EBs transmit unconditionally and
+  /// shared routing slots are listen-by-default).
+  [[nodiscard]] std::uint64_t next_occupied_asn(std::uint64_t from,
+                                                bool app_tx_idle) const;
+
+  /// Smallest ASN >= `from` at which this schedule can put a frame on the
+  /// air. Sync TX/shared offsets always count (EB cells transmit whenever
+  /// the node may beacon); routing and application offsets count only when
+  /// the caller says the corresponding queue is non-empty — with an empty
+  /// queue those slots are pure listens (or sleeps) network-invisible to
+  /// everyone else. Conservative: may name a slot where the node ends up
+  /// not transmitting (preempted cell, unroutable EB), never the reverse.
+  [[nodiscard]] std::uint64_t next_tx_asn(std::uint64_t from,
+                                          bool routing_pending,
+                                          bool app_pending) const;
+
+  /// Sorted slot offsets of `traffic` holding at least one cell that listens
+  /// when the node has nothing to send (kRx/kShared anywhere; for the
+  /// routing class every occupied offset, since plan_routing is
+  /// listen-by-default at any routing cell). Empty if the class is absent.
+  [[nodiscard]] std::span<const std::uint16_t> listen_offsets(
+      TrafficClass traffic) const;
+
+  /// Slotframe length of `traffic`, or 0 if absent.
+  [[nodiscard]] std::uint16_t frame_length(TrafficClass traffic) const;
+
+  /// Smallest asn >= `from` whose offset modulo `length` appears in the
+  /// sorted `offsets` table; kNeverOccupied if the table is empty. Public so
+  /// the slot engine can step over a saved copy of a node's listen pattern.
+  [[nodiscard]] static std::uint64_t next_in(
+      std::span<const std::uint16_t> offsets, std::uint16_t length,
+      std::uint64_t from);
+
+  /// Registers a listener invoked after every install/remove — i.e.
+  /// whenever the answer of next_occupied_asn may have changed. The slot
+  /// engine uses this to re-arm its wakeup heap when schedulers rebuild
+  /// slotframes outside the slot loop (Trickle events, manager installs).
+  void set_occupancy_listener(std::function<void()> listener) {
+    occupancy_listener_ = std::move(listener);
+  }
+
  private:
   struct Entry {
     bool present{false};
     Slotframe frame;
     // cells bucketed by slot offset for O(1) lookup.
     std::vector<std::vector<Cell>> by_offset;
+    // Sorted unique slot offsets holding any cell.
+    std::vector<std::uint16_t> occupied_offsets;
+    // Sorted unique slot offsets holding >= 1 cell that listens
+    // unconditionally (kRx or kShared; every occupied offset for the
+    // routing class, which is listen-by-default).
+    std::vector<std::uint16_t> listen_offsets;
+    // Sorted unique slot offsets holding >= 1 cell that can transmit
+    // (kTx or kShared; every occupied offset for the routing class).
+    std::vector<std::uint16_t> tx_offsets;
   };
 
+  void notify_occupancy_changed() {
+    if (occupancy_listener_) occupancy_listener_();
+  }
+
   std::array<Entry, kNumTrafficClasses> entries_{};
+  std::function<void()> occupancy_listener_;
 };
 
 }  // namespace digs

@@ -16,6 +16,8 @@ TschMac::TschMac(NodeId id, bool is_access_point, const MacConfig& config,
       synced_(is_access_point),  // APs are the time source
       backoff_exp_(config.backoff_min_exp) {
   scan_channel_start_ = static_cast<int>(rng_.uniform_int(kNumChannels));
+  // Slotframe installs/removals change when this node is next active.
+  schedule_.set_occupancy_listener([this] { notify_wakeup_changed(); });
 }
 
 bool TschMac::enqueue_data(const DataPayload& payload, SimTime now,
@@ -24,7 +26,11 @@ bool TschMac::enqueue_data(const DataPayload& payload, SimTime now,
     if (callbacks_.on_data_dropped) callbacks_.on_data_dropped(payload, now);
     return false;
   }
+  const bool was_idle = app_queue_.empty();
   app_queue_.push_back(AppPacket{payload, down_next_hop, 0, next_token_++});
+  // An empty queue lets the engine skip dedicated TX slots; the first queued
+  // packet re-activates them (e.g. a downlink injected into a sleeping AP).
+  if (was_idle) notify_wakeup_changed();
   return true;
 }
 
@@ -43,7 +49,11 @@ void TschMac::enqueue_routing(const Frame& frame) {
   if (routing_queue_.size() >= config_.routing_queue_capacity) {
     routing_queue_.pop_front();  // drop oldest; routing state is soft
   }
+  const bool was_idle = routing_queue_.empty();
   routing_queue_.push_back(RoutingPacket{frame, 0});
+  // An empty routing queue makes shared slots pure listens the engine can
+  // skip; the first queued frame re-activates them as TX-capable.
+  if (was_idle) notify_wakeup_changed();
 }
 
 SlotPlan TschMac::plan_slot(std::uint64_t asn, SimTime /*slot_start*/) {
@@ -196,6 +206,8 @@ void TschMac::on_receive(const Frame& frame, double rss_dbm, std::uint64_t asn,
     if (!synced_) {
       synced_ = true;
       scan_slots_ = 0;
+      sync_deadline_ = now + config_.sync_timeout;
+      notify_wakeup_changed();
       if (callbacks_.on_synced) callbacks_.on_synced(now);
     }
     sync_deadline_ = now + config_.sync_timeout;
@@ -297,7 +309,13 @@ void TschMac::reset_to_unsynced(SimTime now) {
   pending_tx_.reset();
   scan_slots_ = 0;
   scan_channel_start_ = static_cast<int>(rng_.uniform_int(kNumChannels));
-  if (was_synced && callbacks_.on_desynced) callbacks_.on_desynced(now);
+  if (was_synced) {
+    // Unsynced nodes scan every slot — the engine must start waking this
+    // node immediately, even when the reset came from outside the slot loop
+    // (experiment restarts a dead node).
+    notify_wakeup_changed();
+    if (callbacks_.on_desynced) callbacks_.on_desynced(now);
+  }
 }
 
 }  // namespace digs

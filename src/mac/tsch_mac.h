@@ -94,6 +94,13 @@ class TschMac {
     std::function<std::uint16_t()> rank_provider;
     /// A queued data packet exhausted its attempts or was evicted.
     std::function<void(const DataPayload&, SimTime now)> on_data_dropped;
+    /// The answer of next_active_asn() may have moved *earlier*: a slotframe
+    /// was (re)installed, the application queue went empty -> non-empty, or
+    /// the sync state flipped. The slot engine listens here to re-arm its
+    /// wakeup heap; events that can only move the wakeup later (queue
+    /// drained, sync deadline extended) are deliberately not reported — a
+    /// stale-early wakeup is a harmless no-op slot.
+    std::function<void()> on_wakeup_changed;
   };
 
   TschMac(NodeId id, bool is_access_point, const MacConfig& config, Rng rng,
@@ -148,6 +155,42 @@ class TschMac {
   /// Force-desynchronizes (used when a node is restarted in experiments).
   void reset_to_unsynced(SimTime now);
 
+  // --- Slot-engine interface ---
+
+  /// Smallest ASN >= `from` at which this MAC can do anything other than
+  /// sleep. Unsynced nodes scan in every slot, so the answer is `from`
+  /// itself; synced nodes defer to the schedule's occupancy merge (TX-only
+  /// application slots are skipped exactly when the queue is empty).
+  /// Conservative by construction: may return an ASN where the node turns
+  /// out to sleep (e.g. preempted cell), never later than real activity.
+  [[nodiscard]] std::uint64_t next_active_asn(std::uint64_t from) const {
+    if (!synced_) return from;
+    return schedule_.next_occupied_asn(from, app_queue_.empty());
+  }
+
+  /// Smallest ASN >= `from` at which this MAC can put a frame on the air:
+  /// sync TX cells always (EBs are unconditional when routed), routing and
+  /// application cells only while the matching queue holds something.
+  /// Unsynced nodes never transmit. Slots outside this set are pure listens
+  /// or sleeps — invisible to every other node — which is what lets the slot
+  /// engine execute only transmission-capable slots and settle the listening
+  /// in between arithmetically.
+  [[nodiscard]] std::uint64_t next_tx_capable_asn(std::uint64_t from) const {
+    if (!synced_) return kNeverOccupied;
+    return schedule_.next_tx_asn(from, !routing_queue_.empty(),
+                                 !app_queue_.empty());
+  }
+
+  /// Instant at which end_slot() would desynchronize this node (meaningful
+  /// while synced). The engine must wake the node for the slot containing
+  /// this deadline even if the schedule is idle there.
+  [[nodiscard]] SimTime sync_deadline() const { return sync_deadline_; }
+
+  /// Engine-only lazy settling of skipped scan slots: while unsynced, the
+  /// sole per-slot state change of plan_slot() is advancing the scan-dwell
+  /// counter, so `n` skipped slots are accounted by advancing it `n` times.
+  void advance_scan(std::uint64_t n) { scan_slots_ += n; }
+
   // Diagnostics
   [[nodiscard]] std::uint64_t data_tx_attempts() const {
     return data_tx_attempts_;
@@ -184,6 +227,9 @@ class TschMac {
   void drop_packet(std::size_t index, SimTime now);
   /// Queue index of the first packet the given TX cell can carry, or npos.
   [[nodiscard]] std::size_t match_packet(const Cell& cell) const;
+  void notify_wakeup_changed() {
+    if (callbacks_.on_wakeup_changed) callbacks_.on_wakeup_changed();
+  }
 
   NodeId id_;
   bool is_access_point_;

@@ -8,7 +8,7 @@ Medium::Medium(const MediumConfig& config, std::vector<Position> positions,
                std::uint64_t seed)
     : config_(config),
       positions_(std::move(positions)),
-      propagation_(config.propagation, seed),
+      propagation_(config.propagation, seed, positions_.size()),
       seed_(seed) {}
 
 void Medium::add_jammer(const JammerConfig& jammer_config) {

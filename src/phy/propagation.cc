@@ -16,6 +16,13 @@ double Propagation::mean_rss_dbm(double tx_power_dbm, NodeId a, NodeId b,
                                  const Position& tx_pos,
                                  const Position& rx_pos,
                                  PhysicalChannel channel) const {
+  MeanEntry* entry = nullptr;
+  if (cacheable(a, b, channel)) {
+    entry = &mean_cache_[cache_index(a, b, channel)];
+    for (int i = 0; i < entry->count; ++i) {
+      if (entry->power[i] == tx_power_dbm) return entry->mean[i];
+    }
+  }
   const double d =
       std::max(distance(tx_pos, rx_pos), config_.reference_distance_m);
   const double path_loss =
@@ -35,7 +42,14 @@ double Propagation::mean_rss_dbm(double tx_power_dbm, NodeId a, NodeId b,
       hashed_normal(hash_mix(key, kChannelTag, channel)) *
       config_.channel_offset_sigma_db;
 
-  return tx_power_dbm - path_loss - floors + shadowing + channel_offset;
+  const double mean =
+      tx_power_dbm - path_loss - floors + shadowing + channel_offset;
+  if (entry != nullptr && entry->count < 2) {
+    entry->power[entry->count] = tx_power_dbm;
+    entry->mean[entry->count] = mean;
+    ++entry->count;
+  }
+  return mean;
 }
 
 double Propagation::rss_dbm(double tx_power_dbm, NodeId a, NodeId b,
@@ -44,11 +58,22 @@ double Propagation::rss_dbm(double tx_power_dbm, NodeId a, NodeId b,
                             std::uint64_t slot) const {
   const std::uint64_t block = slot / std::max<std::uint64_t>(
                                          config_.coherence_slots, 1);
-  const std::uint64_t key = link_key(a, b);
   constexpr std::uint64_t kFadingTag = 0xFAD0;
-  const double fading =
-      hashed_normal(hash_mix(key, kFadingTag, channel, block)) *
-      config_.temporal_fading_sigma_db;
+  double fading;
+  if (cacheable(a, b, channel)) {
+    FadingEntry& entry = fading_cache_[cache_index(a, b, channel)];
+    if (entry.block != block) {
+      entry.block = block;
+      entry.value =
+          hashed_normal(hash_mix(link_key(a, b), kFadingTag, channel, block)) *
+          config_.temporal_fading_sigma_db;
+    }
+    fading = entry.value;
+  } else {
+    fading = hashed_normal(hash_mix(link_key(a, b), kFadingTag, channel,
+                                    block)) *
+             config_.temporal_fading_sigma_db;
+  }
   return mean_rss_dbm(tx_power_dbm, a, b, tx_pos, rx_pos, channel) + fading;
 }
 

@@ -7,9 +7,18 @@
 // Links are symmetric in the static components; temporal fading is symmetric
 // too (same coherence block draw both directions), which matches the
 // reciprocity of narrowband channels on the timescale of a slot.
+//
+// Because every component is a pure function of its inputs and node
+// positions never move, results are memoized: the static per-(link, channel,
+// power) mean and the per-(link, channel) fading draw of the current
+// coherence block. The caches return the exact double computed on first
+// evaluation, so memoization cannot change any result bit.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -42,8 +51,17 @@ struct PropagationConfig {
 /// Computes received signal strength for a (tx, rx, channel, slot) tuple.
 class Propagation {
  public:
-  Propagation(const PropagationConfig& config, std::uint64_t seed)
-      : config_(config), seed_(seed) {}
+  /// `num_nodes` enables the memoization caches (ids are dense 0..n-1 and
+  /// positions are static); 0 disables caching.
+  Propagation(const PropagationConfig& config, std::uint64_t seed,
+              std::size_t num_nodes = 0)
+      : config_(config), seed_(seed), num_nodes_(num_nodes) {
+    if (num_nodes_ > 0) {
+      const std::size_t pairs = num_nodes_ * (num_nodes_ + 1) / 2;
+      mean_cache_.resize(pairs * kNumChannels);
+      fading_cache_.resize(pairs * kNumChannels);
+    }
+  }
 
   /// RSS in dBm at `rx_pos` for a transmission from `tx_pos` at
   /// `tx_power_dbm`. `a`/`b` identify the link endpoints for the hash-derived
@@ -65,8 +83,44 @@ class Propagation {
  private:
   [[nodiscard]] std::uint64_t link_key(NodeId a, NodeId b) const;
 
+  /// True when (a, b, channel) falls inside the flat caches.
+  [[nodiscard]] bool cacheable(NodeId a, NodeId b,
+                               PhysicalChannel channel) const {
+    return a.value < num_nodes_ && b.value < num_nodes_ &&
+           channel < kNumChannels;
+  }
+
+  /// Flat index of the unordered pair (a, b) and channel: links are
+  /// symmetric, so the pair space is triangular (lo <= hi).
+  [[nodiscard]] std::size_t cache_index(NodeId a, NodeId b,
+                                        PhysicalChannel channel) const {
+    const std::size_t lo = std::min(a.value, b.value);
+    const std::size_t hi = std::max(a.value, b.value);
+    const std::size_t pair = lo * num_nodes_ - lo * (lo - 1) / 2 + (hi - lo);
+    return pair * kNumChannels + channel;
+  }
+
   PropagationConfig config_;
   std::uint64_t seed_;
+  std::size_t num_nodes_{0};
+
+  // Static means per (link, channel); a link is only ever evaluated at a
+  // couple of distinct tx powers (the network-wide power and the 0 dBm
+  // default used by tools), so two inline slots suffice — anything beyond
+  // is computed uncached.
+  struct MeanEntry {
+    int count{0};
+    double power[2];
+    double mean[2];
+  };
+  // Fading draw of one coherence block per (link, channel); replaced when
+  // the block advances.
+  struct FadingEntry {
+    std::uint64_t block{~std::uint64_t{0}};
+    double value{0};
+  };
+  mutable std::vector<MeanEntry> mean_cache_;
+  mutable std::vector<FadingEntry> fading_cache_;
 };
 
 }  // namespace digs

@@ -1,0 +1,110 @@
+// Small-buffer move-only callable for simulator events.
+//
+// The simulator fires millions of events per run; storing each callback in a
+// std::function costs a heap allocation whenever the capture exceeds the
+// implementation's tiny inline buffer (16 bytes on libstdc++ — two captured
+// pointers already spill). EventFn keeps captures up to kInlineCapacity bytes
+// inline in the event record itself and only boxes larger callables, so the
+// recurring slot-engine and timer events never touch the allocator.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace digs {
+
+class EventFn {
+ public:
+  /// Captures up to this many bytes live inline; larger callables are boxed
+  /// on the heap. 48 bytes fit every capture list in the simulator (the
+  /// common ones are one or two pointers plus a small index).
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor): drop-in for
+                     // std::function at every schedule_* call site.
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (storage_) Fn(std::forward<F>(fn));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (storage_) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &boxed_ops<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(std::move(other)); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs into dst from src, then destroys src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops{
+      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr Ops boxed_ops{
+      [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* s) { delete *std::launder(reinterpret_cast<Fn**>(s)); }};
+
+  void move_from(EventFn&& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_{nullptr};
+};
+
+}  // namespace digs

@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <utility>
+
 namespace digs {
 
 bool EventHandle::pending() const {
@@ -12,20 +14,56 @@ void EventHandle::cancel() {
   id_ = 0;
 }
 
-EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+EventHandle Simulator::schedule_at(SimTime at, EventFn fn) {
   if (at < now_) at = now_;
   const std::uint64_t id = next_id_++;
-  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  heap_.push_back(Event{at, next_seq_++, id, std::move(fn)});
+  sift_up(heap_.size() - 1);
   live_.insert(id);
   return EventHandle{this, id};
 }
 
+void Simulator::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!fires_before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    std::size_t best = left;
+    const std::size_t right = left + 1;
+    if (right < n && fires_before(heap_[right], heap_[left])) best = right;
+    if (!fires_before(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+Simulator::Event Simulator::pop_min() {
+  Event min = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return min;
+}
+
+bool Simulator::has_pending_at(SimTime t) {
+  while (!heap_.empty() && !live_.contains(heap_.front().id)) {
+    (void)pop_min();
+  }
+  return !heap_.empty() && heap_.front().at == t;
+}
+
 void Simulator::run_until(SimTime until) {
-  while (!queue_.empty() && queue_.top().at <= until) {
-    // priority_queue::top() is const; moving out is safe because we pop
-    // immediately and never touch the moved-from element.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (!heap_.empty() && heap_.front().at <= until) {
+    Event ev = pop_min();
     if (live_.erase(ev.id) == 0) continue;  // was cancelled
     now_ = ev.at;
     ++events_executed_;
@@ -35,8 +73,8 @@ void Simulator::run_until(SimTime until) {
 }
 
 void Simulator::run() {
-  while (!queue_.empty()) {
-    run_until(queue_.top().at);
+  while (!heap_.empty()) {
+    run_until(heap_.front().at);
   }
 }
 

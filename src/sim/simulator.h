@@ -1,18 +1,23 @@
 // Discrete-event simulation kernel.
 //
-// A Simulator owns a priority queue of timestamped events. Events scheduled
+// A Simulator owns a binary min-heap of timestamped events. Events scheduled
 // for the same instant fire in scheduling order (FIFO via a sequence number),
 // which keeps runs deterministic. Events can be cancelled through the handle
 // returned at scheduling time.
+//
+// The heap is owned directly (not a std::priority_queue) so the executing
+// event can be moved out of the structure safely — priority_queue::top() is
+// const and forcing a move out of it is undefined-behaviour-adjacent.
+// Callbacks are EventFn (small-buffer, move-only), so recurring events — the
+// slot engine, periodic timers, flow generators — pay no heap allocation.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
 #include "common/time.h"
+#include "sim/event_fn.h"
 
 namespace digs {
 
@@ -51,10 +56,10 @@ class Simulator {
 
   /// Schedules `fn` at absolute time `at`; times in the past are clamped to
   /// now (fires immediately on the next run step).
-  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+  EventHandle schedule_at(SimTime at, EventFn fn);
 
   /// Schedules `fn` after the given delay (>= 0).
-  EventHandle schedule_after(SimDuration delay, std::function<void()> fn) {
+  EventHandle schedule_after(SimDuration delay, EventFn fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
@@ -74,6 +79,13 @@ class Simulator {
   /// cancelled).
   [[nodiscard]] std::size_t pending_events() const { return live_.size(); }
 
+  /// True if a live event is queued for exactly time `t`. Used by the slot
+  /// engine to decide whether it must yield to same-instant events to keep
+  /// FIFO order identical to the polled loop. Lazily discards cancelled
+  /// tombstones from the top of the heap (observable behaviour unchanged —
+  /// run_until skips them anyway).
+  [[nodiscard]] bool has_pending_at(SimTime t);
+
  private:
   friend class EventHandle;
 
@@ -81,20 +93,26 @@ class Simulator {
     SimTime at;
     std::uint64_t seq;
     std::uint64_t id;
-    std::function<void()> fn;
+    EventFn fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+
+  /// True if `a` fires strictly before `b`.
+  static bool fires_before(const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Removes and returns the earliest event (heap must be non-empty).
+  Event pop_min();
 
   SimTime now_{};
   std::uint64_t next_seq_{0};
   std::uint64_t next_id_{1};
   std::uint64_t events_executed_{0};
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Binary min-heap ordered by fires_before.
+  std::vector<Event> heap_;
   // Ids of events that are queued and neither fired nor cancelled.
   std::unordered_set<std::uint64_t> live_;
 };
@@ -103,7 +121,7 @@ class Simulator {
 /// stopped. Restartable. Non-copyable (the callback captures `this`).
 class PeriodicTimer {
  public:
-  PeriodicTimer(Simulator& sim, SimDuration period, std::function<void()> fn)
+  PeriodicTimer(Simulator& sim, SimDuration period, EventFn fn)
       : sim_(sim), period_(period), fn_(std::move(fn)) {}
   ~PeriodicTimer() { stop(); }
   PeriodicTimer(const PeriodicTimer&) = delete;
@@ -122,7 +140,7 @@ class PeriodicTimer {
 
   Simulator& sim_;
   SimDuration period_;
-  std::function<void()> fn_;
+  EventFn fn_;
   EventHandle handle_;
 };
 

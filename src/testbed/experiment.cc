@@ -46,6 +46,7 @@ ExperimentRunner::ExperimentRunner(const TestbedLayout& layout,
   net.medium = default_medium_config();
   net.medium.propagation.path_loss_exponent = layout.path_loss_exponent;
   net.node.etx.admission_rss_dbm = layout.admission_rss_dbm;
+  net.use_slot_engine = config.use_slot_engine;
 
   network_ = std::make_unique<Network>(net, layout.positions);
 

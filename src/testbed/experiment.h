@@ -70,6 +70,9 @@ struct ExperimentConfig {
   bool orchestra_sender_based = true;
   /// Ablation: disable the paper's weighted-ETX advertisement (Eq. 1-3).
   bool use_weighted_etx = true;
+  /// Slot driver selection (see NetworkConfig::use_slot_engine); the
+  /// equivalence tests run the same experiment under both drivers.
+  bool use_slot_engine = true;
 };
 
 struct ExperimentResult {

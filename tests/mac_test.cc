@@ -35,7 +35,7 @@ TEST(HoppingTest, WrapsAtSixteen) {
   EXPECT_EQ(hop_channel(5, 15), hop_channel(5 + 16, 15));
 }
 
-// --- schedule combination ---
+// --- schedule combination & occupancy ---
 
 Slotframe make_slotframe(TrafficClass traffic, std::uint16_t length,
                          std::vector<std::uint16_t> tx_slots) {
@@ -115,6 +115,92 @@ TEST(ScheduleTest, NoTrafficConstantlyBlocked) {
   }
   EXPECT_GT(app_unskipped, 0);
   EXPECT_GT(routing_unskipped, 0);
+}
+
+Slotframe make_rx_slotframe(TrafficClass traffic, std::uint16_t length,
+                            std::vector<std::uint16_t> rx_slots) {
+  Slotframe frame;
+  frame.traffic = traffic;
+  frame.length = length;
+  for (const auto slot : rx_slots) {
+    Cell cell;
+    cell.slot_offset = slot;
+    cell.option = CellOption::kRx;
+    cell.traffic = traffic;
+    frame.cells.push_back(cell);
+  }
+  return frame;
+}
+
+TEST(ScheduleOccupancyTest, EmptyScheduleNeverOccupied) {
+  Schedule schedule;
+  EXPECT_EQ(schedule.next_occupied_asn(0, false), kNeverOccupied);
+  EXPECT_EQ(schedule.next_occupied_asn(12345, true), kNeverOccupied);
+}
+
+TEST(ScheduleOccupancyTest, SingleCellAdvancesAndWraps) {
+  Schedule schedule;
+  schedule.install(make_slotframe(TrafficClass::kSync, 7, {3}));
+  EXPECT_EQ(schedule.next_occupied_asn(0, false), 3u);
+  EXPECT_EQ(schedule.next_occupied_asn(3, false), 3u);  // inclusive
+  EXPECT_EQ(schedule.next_occupied_asn(4, false), 10u);  // wraps
+  EXPECT_EQ(schedule.next_occupied_asn(700, false), 703u);
+}
+
+TEST(ScheduleOccupancyTest, MergesAllSlotframes) {
+  Schedule schedule;
+  schedule.install(make_slotframe(TrafficClass::kSync, 61, {50}));
+  schedule.install(make_slotframe(TrafficClass::kRouting, 11, {4}));
+  // From 0: routing offset 4 comes before sync offset 50.
+  EXPECT_EQ(schedule.next_occupied_asn(0, false), 4u);
+  EXPECT_EQ(schedule.next_occupied_asn(5, false), 15u);  // next routing hit
+  // Exhaustive cross-check over a hyperperiod: the query must equal the
+  // first asn with non-empty active_cells.
+  std::uint64_t asn = 0;
+  for (int hops = 0; hops < 100; ++hops) {
+    const std::uint64_t next = schedule.next_occupied_asn(asn, false);
+    for (std::uint64_t a = asn; a < next; ++a) {
+      EXPECT_TRUE(schedule.active_cells(a).empty()) << "asn " << a;
+    }
+    EXPECT_FALSE(schedule.active_cells(next).empty()) << "asn " << next;
+    asn = next + 1;
+  }
+}
+
+TEST(ScheduleOccupancyTest, AppTxOnlySlotsSkippedWhenQueueIdle) {
+  Schedule schedule;
+  schedule.install(make_slotframe(TrafficClass::kApplication, 7, {2}));
+  schedule.install(make_rx_slotframe(TrafficClass::kSync, 61, {9}));
+  // Queue idle: the dedicated TX cell at offset 2 cannot cause activity.
+  EXPECT_EQ(schedule.next_occupied_asn(0, true), 9u);
+  // Queue non-empty: the TX cell counts again.
+  EXPECT_EQ(schedule.next_occupied_asn(0, false), 2u);
+  // RX cells listen unconditionally and are never skipped.
+  Slotframe app_rx = make_rx_slotframe(TrafficClass::kApplication, 7, {5});
+  app_rx.cells.front().option = CellOption::kRx;
+  schedule.install(app_rx);  // replaces the TX-only app frame
+  EXPECT_EQ(schedule.next_occupied_asn(0, true), 5u);
+}
+
+TEST(ScheduleOccupancyTest, SyncTxCellsNeverSkipped) {
+  // EB transmissions do not depend on any queue; sync TX offsets count
+  // even when the caller reports an idle application queue.
+  Schedule schedule;
+  schedule.install(make_slotframe(TrafficClass::kSync, 61, {8}));
+  EXPECT_EQ(schedule.next_occupied_asn(0, true), 8u);
+}
+
+TEST(ScheduleOccupancyTest, ListenerFiresOnInstallAndRemove) {
+  Schedule schedule;
+  int notified = 0;
+  schedule.set_occupancy_listener([&] { ++notified; });
+  schedule.install(make_slotframe(TrafficClass::kSync, 61, {8}));
+  EXPECT_EQ(notified, 1);
+  schedule.install(make_slotframe(TrafficClass::kRouting, 11, {4}));
+  EXPECT_EQ(notified, 2);
+  schedule.remove(TrafficClass::kSync);
+  EXPECT_EQ(notified, 3);
+  EXPECT_EQ(schedule.next_occupied_asn(0, false), 4u);
 }
 
 TEST(ScheduleTest, ReinstallReplaces) {

@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event simulation kernel.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -139,6 +140,82 @@ TEST(SimulatorTest, PastScheduleClampsToNow) {
   sim.run();
   EXPECT_TRUE(fired);
   EXPECT_EQ(sim.now().us, 100);
+}
+
+// Regression: the pre-heap implementation moved the executing event out of
+// priority_queue::top() via const_cast; these pin the behaviours that made
+// that rewrite risky — cancellation seen only at pop time, and same-instant
+// FIFO across a mix of live, cancelled, and nested schedules.
+TEST(SimulatorTest, CancelledEventAmongSameInstantPeersIsSkipped) {
+  Simulator sim;
+  std::vector<int> order;
+  auto h0 = sim.schedule_at(SimTime{100}, [&] { order.push_back(0); });
+  sim.schedule_at(SimTime{100}, [&] { order.push_back(1); });
+  auto h2 = sim.schedule_at(SimTime{100}, [&] { order.push_back(2); });
+  sim.schedule_at(SimTime{100}, [&] { order.push_back(3); });
+  h0.cancel();
+  h2.cancel();
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(sim.events_executed(), 2u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelFromInsideSameInstantEvent) {
+  Simulator sim;
+  std::vector<int> order;
+  EventHandle later;
+  sim.schedule_at(SimTime{100}, [&] {
+    order.push_back(0);
+    later.cancel();  // cancels a peer already in the heap for this instant
+  });
+  later = sim.schedule_at(SimTime{100}, [&] { order.push_back(1); });
+  sim.schedule_at(SimTime{100}, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(SimulatorTest, SameInstantFifoWithNestedSchedules) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime{100}, [&] {
+    order.push_back(0);
+    // Scheduled during execution at the same instant: runs after every
+    // event that was already queued for t=100.
+    sim.schedule_at(SimTime{100}, [&] { order.push_back(3); });
+  });
+  sim.schedule_at(SimTime{100}, [&] { order.push_back(1); });
+  sim.schedule_at(SimTime{100}, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SimulatorTest, FifoSurvivesInterleavedCancellations) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  handles.reserve(50);
+  for (int i = 0; i < 50; ++i) {
+    handles.push_back(
+        sim.schedule_at(SimTime{100}, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 50; i += 3) handles[static_cast<std::size_t>(i)].cancel();
+  sim.run();
+  std::vector<int> expected;
+  for (int i = 0; i < 50; ++i) {
+    if (i % 3 != 0) expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(SimulatorTest, MoveOnlyCaptureInEvent) {
+  Simulator sim;
+  auto payload = std::make_unique<int>(42);
+  int seen = 0;
+  sim.schedule_at(SimTime{10},
+                  [&seen, p = std::move(payload)] { seen = *p; });
+  sim.run();
+  EXPECT_EQ(seen, 42);
 }
 
 TEST(PeriodicTimerTest, FiresEveryPeriod) {

@@ -10,6 +10,7 @@ void Schedule::install(Slotframe frame) {
   entry.by_offset.assign(frame.length, {});
   entry.occupied_offsets.clear();
   entry.listen_offsets.clear();
+  entry.tx_offsets.clear();
   for (const Cell& cell : frame.cells) {
     const auto offset =
         static_cast<std::uint16_t>(cell.slot_offset % frame.length);

@@ -64,11 +64,10 @@ void expect_identical(const RunSnapshot& engine, const RunSnapshot& polled) {
   EXPECT_EQ(engine.data_tx_attempts, polled.data_tx_attempts);
   EXPECT_EQ(engine.eb_sent, polled.eb_sent);
   EXPECT_EQ(engine.join_times_s, polled.join_times_s);
-  ASSERT_EQ(engine.energy_mj.size(), polled.energy_mj.size());
-  for (std::size_t i = 0; i < engine.energy_mj.size(); ++i) {
-    EXPECT_DOUBLE_EQ(engine.energy_mj[i], polled.energy_mj[i]) << "node " << i;
-  }
-  EXPECT_DOUBLE_EQ(engine.result.duty_cycle, polled.result.duty_cycle);
+  // Bit-identical means exactly equal — EXPECT_DOUBLE_EQ's 4-ULP tolerance
+  // would mask drift in the accumulation order.
+  EXPECT_EQ(engine.energy_mj, polled.energy_mj);
+  EXPECT_EQ(engine.result.duty_cycle, polled.result.duty_cycle);
 }
 
 class EngineEquivalence
@@ -170,10 +169,7 @@ TEST(EngineEquivalenceDownlink, GatewayInjectionBitIdentical) {
   EXPECT_EQ(engine.final_asn, polled.final_asn);
   EXPECT_EQ(engine.pdr, polled.pdr);
   EXPECT_EQ(engine.data_tx_attempts, polled.data_tx_attempts);
-  ASSERT_EQ(engine.energy_mj.size(), polled.energy_mj.size());
-  for (std::size_t i = 0; i < engine.energy_mj.size(); ++i) {
-    EXPECT_DOUBLE_EQ(engine.energy_mj[i], polled.energy_mj[i]) << "node " << i;
-  }
+  EXPECT_EQ(engine.energy_mj, polled.energy_mj);
   EXPECT_GT(engine.pdr, 0.5);  // the scenario actually delivers traffic
 }
 

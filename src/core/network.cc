@@ -576,15 +576,11 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
       const TransmissionAttempt& attempt = on_air[t];
       if (attempt.channel != listener.channel) continue;
       if (attempt.sender == listener.id) continue;
-      if (!medium_.try_receive(attempt, listener.id, asn, slot_start, on_air,
-                               draw_rng)) {
-        continue;
-      }
-      const double rss = medium_.rss_dbm(attempt.sender, listener.id,
-                                         attempt.channel, asn,
-                                         attempt.tx_power_dbm);
-      if (rss > best_rss) {
-        best_rss = rss;
+      const Medium::ReceptionCheck check = medium_.check_reception(
+          attempt, listener.id, asn, slot_start, on_air);
+      if (!draw_rng.chance(check.probability)) continue;
+      if (check.rss_dbm > best_rss) {
+        best_rss = check.rss_dbm;
         best_tx = static_cast<int>(t);
       }
     }

@@ -58,21 +58,28 @@ const PrrTable& Medium::table_for(int frame_bytes) const {
   return it->second;
 }
 
-double Medium::reception_probability(
+Medium::ReceptionCheck Medium::check_reception(
     const TransmissionAttempt& tx, NodeId rx, std::uint64_t slot,
     SimTime slot_start,
     std::span<const TransmissionAttempt> concurrent) const {
-  if (tx.sender == rx) return 0.0;
+  if (tx.sender == rx) return {};
   const double signal_dbm =
       rss_dbm(tx.sender, rx, tx.channel, slot, tx.tx_power_dbm);
-  if (signal_dbm < config_.sensitivity_dbm) return 0.0;
+  if (signal_dbm < config_.sensitivity_dbm) return {0.0, signal_dbm};
 
   const double noise_mw = std::pow(10.0, config_.noise_floor_dbm / 10.0);
   const double interf_mw = interference_mw(rx, tx.channel, slot, slot_start,
                                            concurrent, tx.sender);
   const double signal_mw = std::pow(10.0, signal_dbm / 10.0);
   const double sinr_db = 10.0 * std::log10(signal_mw / (noise_mw + interf_mw));
-  return table_for(tx.frame_bytes).prr(sinr_db);
+  return {table_for(tx.frame_bytes).prr(sinr_db), signal_dbm};
+}
+
+double Medium::reception_probability(
+    const TransmissionAttempt& tx, NodeId rx, std::uint64_t slot,
+    SimTime slot_start,
+    std::span<const TransmissionAttempt> concurrent) const {
+  return check_reception(tx, rx, slot, slot_start, concurrent).probability;
 }
 
 bool Medium::try_receive(const TransmissionAttempt& tx, NodeId rx,

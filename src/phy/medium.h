@@ -72,6 +72,21 @@ class Medium {
       SimTime slot_start, std::span<const TransmissionAttempt> concurrent,
       NodeId wanted) const;
 
+  /// Outcome of a decode check: the Bernoulli success probability and the
+  /// instantaneous signal RSS it was computed from. Returning the RSS keeps
+  /// callers (capture resolution, neighbor tables) from re-deriving it.
+  struct ReceptionCheck {
+    double probability{0.0};
+    double rss_dbm{-1e9};
+  };
+
+  /// Probability that `rx`, listening on `tx.channel`, decodes `tx`, plus
+  /// the signal RSS used for the SINR.
+  [[nodiscard]] ReceptionCheck check_reception(
+      const TransmissionAttempt& tx, NodeId rx, std::uint64_t slot,
+      SimTime slot_start,
+      std::span<const TransmissionAttempt> concurrent) const;
+
   /// Probability that `rx`, listening on `tx.channel`, decodes `tx`.
   [[nodiscard]] double reception_probability(
       const TransmissionAttempt& tx, NodeId rx, std::uint64_t slot,

@@ -28,10 +28,19 @@ namespace digs {
 [[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t a) {
   return splitmix64(a);
 }
+
+/// hash_mix(a, rest...) with the `rest...` suffix already mixed: when
+/// `tail == hash_mix(rest...)`, this returns exactly hash_mix(a, rest...).
+/// Lets per-pair loops hoist a loop-invariant suffix (e.g. the fading
+/// (tag, channel, block) triple) down to a single splitmix64 per element.
+[[nodiscard]] constexpr std::uint64_t hash_mix_tail(std::uint64_t a,
+                                                    std::uint64_t tail) {
+  return splitmix64(a ^ (tail * 0x9e3779b97f4a7c15ULL));
+}
+
 template <typename... Rest>
 [[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t a, Rest... rest) {
-  return splitmix64(a ^ (hash_mix(static_cast<std::uint64_t>(rest)...) *
-                         0x9e3779b97f4a7c15ULL));
+  return hash_mix_tail(a, hash_mix(static_cast<std::uint64_t>(rest)...));
 }
 
 /// Deterministic xoshiro256** PRNG with distribution helpers.
@@ -140,5 +149,27 @@ class Rng {
 /// Stateless standard-normal sample derived from a hash; used for per-slot
 /// fading so the channel needs no per-link temporal state.
 [[nodiscard]] double hashed_normal(std::uint64_t h);
+
+/// Stateless uniform in [0, 1) derived from a hash. Used for per-(slot,
+/// listener, sender) reception draws: keying each Bernoulli draw by its pair
+/// makes the draw independent of visit order, so a resolver may skip
+/// provably-impossible pairs without shifting any other draw.
+[[nodiscard]] inline double hashed_uniform(std::uint64_t h) {
+  return static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53;
+}
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// relative error < 1.2e-9 — far below the resolution of any simulated
+/// physical effect). ~4x faster than a Box-Muller draw: the central 95% of
+/// inputs needs no transcendental call at all.
+[[nodiscard]] double inverse_normal_cdf(double p);
+
+/// Stateless standard-normal sample from a hash via one uniform and
+/// inverse_normal_cdf(). Used on the per-slot fading path, where the draw
+/// count scales with listeners x transmitters; hashed_normal() (Box-Muller)
+/// remains for the one-time static draws.
+[[nodiscard]] inline double hashed_normal_fast(std::uint64_t h) {
+  return inverse_normal_cdf(hashed_uniform(h));
+}
 
 }  // namespace digs

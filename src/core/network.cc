@@ -10,8 +10,12 @@ Network::Network(const NetworkConfig& config, std::vector<Position> positions)
     : config_(config),
       medium_(config.medium, std::move(positions), config.seed),
       rng_(hash_mix(config.seed, 0xAE7)),
+      draw_seed_(hash_mix(config.seed, 0xD0A1)),
+      ack_seed_(hash_mix(config.seed, 0xACC5)),
       joined_at_(medium_.num_nodes(), SimTime{-1}),
-      fully_joined_at_(medium_.num_nodes(), SimTime{-1}) {
+      fully_joined_at_(medium_.num_nodes(), SimTime{-1}),
+      reception_(medium_) {
+  medium_.build_reachability(config.node.mac.tx_power_dbm);
   Node::Hooks hooks;
   hooks.on_data_delivered = [this](NodeId /*ap*/, const DataPayload& payload,
                                    SimTime now) {
@@ -515,17 +519,8 @@ void Network::slot_tick() {
 
 void Network::process_slot(std::uint64_t asn, SimTime slot_start,
                            const std::vector<std::uint16_t>& participants) {
-  struct PlannedTx {
-    NodeId sender;
-    SlotPlan plan;
-  };
-  struct Listener {
-    NodeId id;
-    PhysicalChannel channel;
-  };
-
-  std::vector<PlannedTx> transmitters;
-  std::vector<Listener> listeners;
+  transmitters_.clear();
+  listeners_.clear();
 
   for (const std::uint16_t idx : participants) {
     Node& node = *nodes_[idx];
@@ -535,11 +530,11 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
     channels_[idx] = plan.channel;
     switch (plan.kind) {
       case SlotPlan::Kind::kTx:
-        transmitters.push_back(PlannedTx{node.id(), std::move(plan)});
+        transmitters_.push_back(PlannedTx{node.id(), std::move(plan)});
         break;
       case SlotPlan::Kind::kRx:
       case SlotPlan::Kind::kScan:
-        listeners.push_back(Listener{node.id(), plan.channel});
+        listeners_.push_back(SlotListener{node.id(), plan.channel});
         break;
       case SlotPlan::Kind::kSleep:
         break;
@@ -547,89 +542,111 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
   }
 
   // All frames on the air this slot (for SINR interference terms).
-  std::vector<TransmissionAttempt> on_air;
-  on_air.reserve(transmitters.size());
-  for (const PlannedTx& tx : transmitters) {
+  on_air_.clear();
+  on_air_.reserve(transmitters_.size());
+  for (const PlannedTx& tx : transmitters_) {
     TransmissionAttempt attempt;
     attempt.sender = tx.sender;
     attempt.channel = tx.plan.channel;
     attempt.frame_bytes = tx.plan.frame.length_bytes;
     attempt.tx_power_dbm = config_.node.mac.tx_power_dbm;
-    on_air.push_back(attempt);
+    on_air_.push_back(attempt);
   }
 
-  // Reception resolution. A listener can decode at most one frame per slot;
-  // if several pass the SINR draw (rare near/far capture), the strongest
-  // wins.
-  struct Reception {
-    NodeId receiver;
-    std::size_t tx_index;
-    double rss_dbm;
-  };
-  std::vector<Reception> receptions;
-  Rng draw_rng = rng_.fork(hash_mix(0xD0A1, asn));
-
-  for (const Listener& listener : listeners) {
+  // Reception resolution through the O(L*T) per-slot resolver: each
+  // attempt's received power at a listener is computed once, and per-pair
+  // interference falls out of the listener's total-power accumulator. A
+  // listener can decode at most one frame per slot; if several pass the SINR
+  // draw (rare near/far capture), the strongest wins. Draws are keyed by
+  // (asn, listener, sender), so skipping a pruned pair — its mean RSS is
+  // provably too far below sensitivity for any fading excursion to decode —
+  // affects no other pair's outcome (and its own draw would fail anyway:
+  // probability is exactly 0).
+  receptions_.clear();
+  if (!transmitters_.empty() && !listeners_.empty()) {
+    reception_.begin_slot(asn, slot_start, on_air_);
+  }
+  const std::uint64_t slot_draw_seed = hash_mix(draw_seed_, asn);
+  for (const SlotListener& listener : listeners_) {
     int best_tx = -1;
     double best_rss = -1e9;
-    for (std::size_t t = 0; t < transmitters.size(); ++t) {
-      const TransmissionAttempt& attempt = on_air[t];
+    bool listener_begun = false;
+    for (std::size_t t = 0; t < transmitters_.size(); ++t) {
+      const TransmissionAttempt& attempt = on_air_[t];
       if (attempt.channel != listener.channel) continue;
       if (attempt.sender == listener.id) continue;
-      const Medium::ReceptionCheck check = medium_.check_reception(
-          attempt, listener.id, asn, slot_start, on_air);
-      if (!draw_rng.chance(check.probability)) continue;
+      if (!medium_.maybe_reachable(attempt.sender, listener.id)) continue;
+      if (!listener_begun) {
+        reception_.begin_listener(listener.id, listener.channel);
+        listener_begun = true;
+      }
+      const Medium::ReceptionCheck check = reception_.decode(t);
+      // Draw only for decodable pairs: a zero-probability check can never
+      // pass (chance(0) is false in any keying), so skipping the hash for
+      // the common below-threshold case changes no outcome.
+      if (!(check.probability > 0.0)) continue;
+      const double draw = hashed_uniform(
+          hash_mix(slot_draw_seed, listener.id.value, attempt.sender.value));
+      if (!(draw < check.probability)) continue;
       if (check.rss_dbm > best_rss) {
         best_rss = check.rss_dbm;
         best_tx = static_cast<int>(t);
       }
     }
     if (best_tx >= 0) {
-      receptions.push_back(
-          Reception{listener.id, static_cast<std::size_t>(best_tx), best_rss});
+      receptions_.push_back(
+          SlotRx{listener.id, static_cast<std::size_t>(best_tx), best_rss});
     }
   }
 
   // ACK resolution: a unicast frame decoded by its destination triggers an
   // ACK on the reverse link. ACKs occupy the tail of the slot; concurrent
   // ACKs on the same channel interfere with each other and jammers apply.
-  std::vector<bool> frame_acked(transmitters.size(), false);
-  std::vector<bool> dst_received(transmitters.size(), false);
-  std::vector<TransmissionAttempt> ack_on_air;
-  for (const Reception& rx : receptions) {
-    const PlannedTx& tx = transmitters[rx.tx_index];
+  // ACK draws use their own key space so they can never collide with a data
+  // draw of the same (asn, listener, sender).
+  frame_acked_.assign(transmitters_.size(), 0);
+  dst_received_.assign(transmitters_.size(), 0);
+  ack_on_air_.clear();
+  for (const SlotRx& rx : receptions_) {
+    const PlannedTx& tx = transmitters_[rx.tx_index];
     if (tx.plan.expects_ack && tx.plan.frame.dst == rx.receiver) {
-      dst_received[rx.tx_index] = true;
+      dst_received_[rx.tx_index] = 1;
       TransmissionAttempt ack;
       ack.sender = rx.receiver;
       ack.channel = tx.plan.channel;
       ack.frame_bytes = FrameSizes::kAck;
       ack.tx_power_dbm = config_.node.mac.tx_power_dbm;
-      ack_on_air.push_back(ack);
+      ack_on_air_.push_back(ack);
     }
   }
   {
     std::size_t ack_index = 0;
-    for (std::size_t t = 0; t < transmitters.size(); ++t) {
-      if (!dst_received[t]) continue;
-      const TransmissionAttempt& ack = ack_on_air[ack_index++];
-      frame_acked[t] = medium_.try_receive(ack, transmitters[t].sender, asn,
-                                           slot_start, ack_on_air, draw_rng);
+    for (std::size_t t = 0; t < transmitters_.size(); ++t) {
+      if (!dst_received_[t]) continue;
+      const TransmissionAttempt& ack = ack_on_air_[ack_index++];
+      const NodeId ack_rx = transmitters_[t].sender;
+      if (!medium_.maybe_reachable(ack.sender, ack_rx)) continue;
+      const double p = medium_.reception_probability(ack, ack_rx, asn,
+                                                     slot_start, ack_on_air_);
+      if (!(p > 0.0)) continue;
+      const double draw = hashed_uniform(
+          hash_mix(ack_seed_, asn, ack_rx.value, ack.sender.value));
+      frame_acked_[t] = draw < p ? 1 : 0;
     }
   }
 
   // Deliver frames, then report TX outcomes. Completion is credited at the
   // end of the slot: the frame and its ACK occupy the slot body.
   const SimTime slot_done = slot_start + kSlotDuration;
-  for (const Reception& rx : receptions) {
-    const PlannedTx& tx = transmitters[rx.tx_index];
+  for (const SlotRx& rx : receptions_) {
+    const PlannedTx& tx = transmitters_[rx.tx_index];
     node(rx.receiver).mac().on_receive(tx.plan.frame, rx.rss_dbm, asn,
                                        slot_done);
   }
-  for (std::size_t t = 0; t < transmitters.size(); ++t) {
-    node(transmitters[t].sender)
+  for (std::size_t t = 0; t < transmitters_.size(); ++t) {
+    node(transmitters_[t].sender)
         .mac()
-        .on_tx_outcome(frame_acked[t], asn, slot_done);
+        .on_tx_outcome(frame_acked_[t] != 0, asn, slot_done);
   }
 
   // Energy accounting: every participant accounts exactly one slot (absent
@@ -649,8 +666,8 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
         break;
     }
   }
-  for (std::size_t t = 0; t < transmitters.size(); ++t) {
-    const PlannedTx& tx = transmitters[t];
+  for (std::size_t t = 0; t < transmitters_.size(); ++t) {
+    const PlannedTx& tx = transmitters_[t];
     const auto i = static_cast<std::size_t>(tx.sender.value);
     tx_time_[i] =
         tx_time_[i] + SlotTiming::frame_duration(tx.plan.frame.length_bytes);
@@ -659,8 +676,8 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
                         SlotTiming::ack_duration();
     }
   }
-  for (const Reception& rx : receptions) {
-    const PlannedTx& tx = transmitters[rx.tx_index];
+  for (const SlotRx& rx : receptions_) {
+    const PlannedTx& tx = transmitters_[rx.tx_index];
     const auto i = static_cast<std::size_t>(rx.receiver.value);
     listen_time_[i] =
         listen_time_[i] +

@@ -30,6 +30,7 @@
 #include "core/node.h"
 #include "core/wake_heap.h"
 #include "phy/medium.h"
+#include "phy/reception.h"
 #include "sim/simulator.h"
 #include "stats/flow_stats.h"
 
@@ -193,6 +194,12 @@ class Network {
   Simulator sim_;
   Medium medium_;
   Rng rng_;
+  // Base keys for the per-pair reception and ACK draws: each Bernoulli draw
+  // is hashed from (seed tag, asn, listener, sender) instead of consuming a
+  // sequential stream, so skipping a provably-impossible pair (reachability
+  // pruning) cannot shift any other pair's draw.
+  std::uint64_t draw_seed_;
+  std::uint64_t ack_seed_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<CentralManager> manager_;
   std::vector<FlowSpec> flows_;
@@ -251,6 +258,31 @@ class Network {
   std::vector<PhysicalChannel> channels_;
   std::vector<SimDuration> listen_time_;
   std::vector<SimDuration> tx_time_;
+
+  // Per-slot reception scratch, reused across slots to avoid the per-slot
+  // allocation churn of the busy path.
+  struct PlannedTx {
+    NodeId sender;
+    SlotPlan plan;
+  };
+  struct SlotListener {
+    NodeId id;
+    PhysicalChannel channel;
+  };
+  struct SlotRx {
+    NodeId receiver;
+    std::size_t tx_index;
+    double rss_dbm;
+  };
+  std::vector<PlannedTx> transmitters_;
+  std::vector<SlotListener> listeners_;
+  std::vector<TransmissionAttempt> on_air_;
+  std::vector<SlotRx> receptions_;
+  std::vector<std::uint8_t> frame_acked_;
+  std::vector<std::uint8_t> dst_received_;
+  std::vector<TransmissionAttempt> ack_on_air_;
+  // O(L*T) per-slot reception resolver over medium_.
+  SlotReception reception_;
 };
 
 }  // namespace digs

@@ -7,7 +7,20 @@ namespace digs {
 void Schedule::install(Slotframe frame) {
   Entry& entry = entries_[static_cast<int>(frame.traffic)];
   entry.present = true;
-  entry.by_offset.assign(frame.length, {});
+  // DiGS reinstalls slotframes on every schedule update, so the per-offset
+  // buffers are cleared in place rather than assign()ed: clear() keeps each
+  // inner vector's capacity, sparing a free+realloc of every occupied
+  // offset on each reinstall.
+  if (entry.by_offset.size() == frame.length) {
+    // Only the previously occupied offsets hold cells; the rest are
+    // already empty.
+    for (const std::uint16_t offset : entry.occupied_offsets) {
+      entry.by_offset[offset].clear();
+    }
+  } else {
+    for (auto& cells : entry.by_offset) cells.clear();
+    entry.by_offset.resize(frame.length);
+  }
   entry.occupied_offsets.clear();
   entry.listen_offsets.clear();
   entry.tx_offsets.clear();

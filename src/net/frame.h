@@ -13,6 +13,7 @@
 
 #include "common/time.h"
 #include "common/types.h"
+#include "phy/prr.h"
 
 namespace digs {
 
@@ -130,6 +131,20 @@ struct FrameSizes {
   static constexpr int kMgmtUpdate = 90;
   static constexpr int kAck = 26;
 };
+
+// Medium builds PRR tables for kPrebuiltPrrFrameBytes eagerly; any frame
+// length outside that list falls onto a lock-guarded cold path. Keep the two
+// lists in sync.
+static_assert(is_prebuilt_prr_size(FrameSizes::kEnhancedBeacon) &&
+              is_prebuilt_prr_size(FrameSizes::kJoinIn) &&
+              is_prebuilt_prr_size(FrameSizes::kJoinSolicit) &&
+              is_prebuilt_prr_size(FrameSizes::kJoinedCallback) &&
+              is_prebuilt_prr_size(FrameSizes::kDestAdvert) &&
+              is_prebuilt_prr_size(FrameSizes::kData) &&
+              is_prebuilt_prr_size(FrameSizes::kTopologyReport) &&
+              is_prebuilt_prr_size(FrameSizes::kMgmtUpdate) &&
+              is_prebuilt_prr_size(FrameSizes::kAck),
+              "every FrameSizes length must have an eagerly built PRR table");
 
 [[nodiscard]] constexpr int default_frame_bytes(FrameType t) {
   switch (t) {

@@ -9,7 +9,13 @@ Medium::Medium(const MediumConfig& config, std::vector<Position> positions,
     : config_(config),
       positions_(std::move(positions)),
       propagation_(config.propagation, seed, positions_.size()),
-      seed_(seed) {}
+      seed_(seed),
+      noise_floor_mw_(std::pow(10.0, config.noise_floor_dbm / 10.0)) {
+  prr_tables_.reserve(kPrebuiltPrrFrameBytes.size());
+  for (const int bytes : kPrebuiltPrrFrameBytes) {
+    prr_tables_.emplace_back(bytes);
+  }
+}
 
 void Medium::add_jammer(const JammerConfig& jammer_config) {
   jammers_.emplace_back(jammer_config,
@@ -18,6 +24,17 @@ void Medium::add_jammer(const JammerConfig& jammer_config) {
 
 double Medium::rss_dbm(NodeId tx, NodeId rx, PhysicalChannel channel,
                        std::uint64_t slot, double tx_power_dbm) const {
+  // Fast path: at the primed TX power the static mean comes from the flat
+  // table (same double mean_rss_dbm() returns), leaving only the temporal
+  // fading draw. Any other power falls back to the full propagation path.
+  if (!mean_table_.empty() && tx_power_dbm == primed_power_dbm_ &&
+      channel < kNumChannels) {
+    const std::size_t n = positions_.size();
+    if (tx.value < n && rx.value < n) {
+      return mean_table_[(rx.value * kNumChannels + channel) * n + tx.value] +
+             propagation_.fading_db(tx, rx, channel, slot);
+    }
+  }
   return propagation_.rss_dbm(tx_power_dbm, tx, rx, positions_[tx.value],
                               positions_[rx.value], channel, slot);
 }
@@ -32,14 +49,29 @@ double Medium::interference_mw(NodeId rx, PhysicalChannel channel,
                                std::uint64_t slot, SimTime slot_start,
                                std::span<const TransmissionAttempt> concurrent,
                                NodeId wanted) const {
+  // Reference O(T) evaluation with the accumulate-then-subtract structure:
+  // the per-slot resolver computes the same total once per (listener,
+  // channel) and derives every pair by the same subtraction, so the two
+  // paths agree bit-for-bit (see reception_pipeline_test).
   double total_mw = 0.0;
+  double wanted_mw = 0.0;
   for (const auto& other : concurrent) {
-    if (other.sender == wanted || other.sender == rx) continue;
+    if (other.sender == rx) continue;
     if (other.channel != channel) continue;
     const double rss =
         rss_dbm(other.sender, rx, channel, slot, other.tx_power_dbm);
-    total_mw += std::pow(10.0, rss / 10.0);
+    const double mw = dbm_to_mw(rss);
+    total_mw += mw;
+    if (other.sender == wanted) wanted_mw = mw;
   }
+  double interf_mw = total_mw - wanted_mw;
+  if (interf_mw < 0.0) interf_mw = 0.0;  // FP guard for the subtraction
+  return interf_mw + jammer_mw(rx, channel, slot, slot_start);
+}
+
+double Medium::jammer_mw(NodeId rx, PhysicalChannel channel,
+                         std::uint64_t slot, SimTime slot_start) const {
+  double total_mw = 0.0;
   const auto& prop = config_.propagation;
   for (const auto& jammer : jammers_) {
     if (!jammer.active(channel, slot, slot_start)) continue;
@@ -50,10 +82,45 @@ double Medium::interference_mw(NodeId rx, PhysicalChannel channel,
   return total_mw;
 }
 
+void Medium::build_reachability(double tx_power_dbm) {
+  const std::size_t n = positions_.size();
+  reachable_.assign(n * n, 0);
+  primed_power_dbm_ = tx_power_dbm;
+  mean_table_.assign(n * kNumChannels * n, -1e9);
+  // A pair is prunable only if EVERY channel's mean RSS sits more than the
+  // provable fading excursion below the sensitivity; channels differ by the
+  // static frequency-selective offsets, so each must be checked. The same
+  // sweep fills the flat mean table used by the rss_dbm() fast path.
+  const double margin_db = propagation_.max_fading_db();
+  const double floor_dbm = config_.sensitivity_dbm - margin_db;
+  for (std::uint16_t a = 0; a < n; ++a) {
+    for (std::uint16_t b = a + 1; b < n; ++b) {
+      bool candidate = false;
+      for (PhysicalChannel ch = 0; ch < kNumChannels; ++ch) {
+        const double mean = mean_rss_dbm(NodeId{a}, NodeId{b}, ch,
+                                         tx_power_dbm);
+        // Static components are symmetric: both directions share the mean.
+        mean_table_[(a * kNumChannels + ch) * n + b] = mean;
+        mean_table_[(b * kNumChannels + ch) * n + a] = mean;
+        if (mean >= floor_dbm) candidate = true;
+      }
+      // Links are symmetric in all static components.
+      reachable_[a * n + b] = candidate ? 1 : 0;
+      reachable_[b * n + a] = candidate ? 1 : 0;
+    }
+  }
+}
+
 const PrrTable& Medium::table_for(int frame_bytes) const {
-  auto it = prr_tables_.find(frame_bytes);
-  if (it == prr_tables_.end()) {
-    it = prr_tables_.emplace(frame_bytes, PrrTable{frame_bytes}).first;
+  // prr_tables_ is built in kPrebuiltPrrFrameBytes order, so the scan runs
+  // over the small constexpr array instead of striding through the tables.
+  for (std::size_t i = 0; i < kPrebuiltPrrFrameBytes.size(); ++i) {
+    if (kPrebuiltPrrFrameBytes[i] == frame_bytes) return prr_tables_[i];
+  }
+  const std::lock_guard<std::mutex> lock(extra_prr_mutex_);
+  auto it = extra_prr_tables_.find(frame_bytes);
+  if (it == extra_prr_tables_.end()) {
+    it = extra_prr_tables_.emplace(frame_bytes, PrrTable{frame_bytes}).first;
   }
   return it->second;
 }
@@ -67,11 +134,11 @@ Medium::ReceptionCheck Medium::check_reception(
       rss_dbm(tx.sender, rx, tx.channel, slot, tx.tx_power_dbm);
   if (signal_dbm < config_.sensitivity_dbm) return {0.0, signal_dbm};
 
-  const double noise_mw = std::pow(10.0, config_.noise_floor_dbm / 10.0);
   const double interf_mw = interference_mw(rx, tx.channel, slot, slot_start,
                                            concurrent, tx.sender);
-  const double signal_mw = std::pow(10.0, signal_dbm / 10.0);
-  const double sinr_db = 10.0 * std::log10(signal_mw / (noise_mw + interf_mw));
+  const double signal_mw = dbm_to_mw(signal_dbm);
+  const double sinr_db =
+      10.0 * std::log10(signal_mw / (noise_floor_mw_ + interf_mw));
   return {table_for(tx.frame_bytes).prr(sinr_db), signal_dbm};
 }
 

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -67,10 +69,39 @@ class Medium {
 
   /// Total interference power at `rx` on `channel` during `slot` from
   /// jammers and from concurrent transmitters other than `wanted` (mW).
+  /// Computed as (sum over ALL concurrent co-channel transmitters) minus the
+  /// wanted sender's own contribution, clamped at zero, plus the jammer sum
+  /// — exactly the arithmetic the O(L*T) per-slot resolver derives from its
+  /// cached accumulators, so both paths produce identical doubles.
   [[nodiscard]] double interference_mw(
       NodeId rx, PhysicalChannel channel, std::uint64_t slot,
       SimTime slot_start, std::span<const TransmissionAttempt> concurrent,
       NodeId wanted) const;
+
+  /// Interference power from active jammers alone at `rx` on `channel` (mW).
+  [[nodiscard]] double jammer_mw(NodeId rx, PhysicalChannel channel,
+                                 std::uint64_t slot, SimTime slot_start) const;
+
+  /// Noise floor in mW (precomputed from config().noise_floor_dbm).
+  [[nodiscard]] double noise_floor_mw() const { return noise_floor_mw_; }
+
+  /// Builds the static reachability index for transmissions at
+  /// `tx_power_dbm`: pair (a, b) is a candidate iff some channel's mean RSS
+  /// is within the provable fading margin of the sensitivity. Pairs outside
+  /// the index have reception_probability == 0 on every channel and slot, so
+  /// reception resolution never needs to visit them (their interference
+  /// contribution is still accounted). Safe to rebuild; O(N^2 * channels).
+  void build_reachability(double tx_power_dbm);
+
+  /// True if (tx -> rx) could ever be decoded at the reachability index's
+  /// TX power. Conservatively true when the index was never built or the
+  /// pair is out of range.
+  [[nodiscard]] bool maybe_reachable(NodeId tx, NodeId rx) const {
+    if (reachable_.empty()) return true;
+    const std::size_t n = positions_.size();
+    if (tx.value >= n || rx.value >= n) return true;
+    return reachable_[tx.value * n + rx.value] != 0;
+  }
 
   /// Outcome of a decode check: the Bernoulli success probability and the
   /// instantaneous signal RSS it was computed from. Returning the RSS keeps
@@ -93,6 +124,29 @@ class Medium {
       SimTime slot_start,
       std::span<const TransmissionAttempt> concurrent) const;
 
+  /// Table-based PRR for a frame of `frame_bytes` at `sinr_db`.
+  [[nodiscard]] double prr(int frame_bytes, double sinr_db) const {
+    return table_for(frame_bytes).prr(sinr_db);
+  }
+
+  /// Contiguous per-transmitter mean-RSS row for (`rx`, `channel`) at the
+  /// primed TX power (`row[tx] == mean_rss_dbm(tx, rx, channel, power)`), or
+  /// nullptr when `power` differs from the primed power or no reachability
+  /// index was built. Lets the per-slot resolver walk one short row instead
+  /// of calling rss_dbm() per pair.
+  [[nodiscard]] const double* mean_row(NodeId rx, PhysicalChannel channel,
+                                       double power) const {
+    if (mean_table_.empty() || power != primed_power_dbm_ ||
+        channel >= kNumChannels || rx.value >= positions_.size()) {
+      return nullptr;
+    }
+    return mean_table_.data() +
+           (rx.value * kNumChannels + channel) * positions_.size();
+  }
+
+  /// The TX power the reachability index and mean table were built for.
+  [[nodiscard]] double primed_power_dbm() const { return primed_power_dbm_; }
+
   /// Bernoulli reception draw.
   [[nodiscard]] bool try_receive(
       const TransmissionAttempt& tx, NodeId rx, std::uint64_t slot,
@@ -111,8 +165,27 @@ class Medium {
   Propagation propagation_;
   std::uint64_t seed_;
   std::vector<Jammer> jammers_;
-  // PRR lookup tables keyed by frame length, built on demand.
-  mutable std::map<int, PrrTable> prr_tables_;
+  /// Noise floor converted to mW once; used in every SINR evaluation.
+  double noise_floor_mw_;
+  // PRR lookup tables for every frame length in FrameSizes, built eagerly at
+  // construction so the hot path is a lock-free flat scan and const Medium
+  // methods are safe to call from concurrent trials. Frame lengths outside
+  // the standard set (tool/test inputs) fall back to a mutex-guarded
+  // overflow map; std::map nodes are stable, so returned references stay
+  // valid.
+  std::vector<PrrTable> prr_tables_;
+  mutable std::mutex extra_prr_mutex_;
+  mutable std::map<int, PrrTable> extra_prr_tables_;
+  // Static candidate matrix [tx * N + rx]; empty until build_reachability().
+  std::vector<std::uint8_t> reachable_;
+  // Flat mean-RSS table at the reachability index's TX power, indexed
+  // [(rx * kNumChannels + channel) * N + tx]: for a fixed listener and
+  // channel the per-transmitter means are contiguous, so the per-slot
+  // interference walk touches one short row instead of hashing into the
+  // triangular propagation cache per pair. Values are the exact doubles
+  // mean_rss_dbm() returns. Empty until build_reachability().
+  std::vector<double> mean_table_;
+  double primed_power_dbm_{0.0};
 };
 
 }  // namespace digs

@@ -52,29 +52,26 @@ double Propagation::mean_rss_dbm(double tx_power_dbm, NodeId a, NodeId b,
   return mean;
 }
 
+double Propagation::fading_db(NodeId a, NodeId b, PhysicalChannel channel,
+                              std::uint64_t slot) const {
+  // Stateless recompute, no memo: beacon/routing traffic revisits a given
+  // (link, channel) on slotframe cadences longer than the coherence block,
+  // so a per-(link, channel) block cache misses nearly always and costs a
+  // multi-MB random probe per call. The draw itself is one small-table load,
+  // one hash, and an inverse-CDF normal.
+  const std::uint64_t key =
+      link_keys_.empty() || a.value >= num_nodes_ || b.value >= num_nodes_
+          ? link_key(a, b)
+          : link_keys_[a.value * num_nodes_ + b.value];
+  return fading_from_key(key, channel, fading_block(slot));
+}
+
 double Propagation::rss_dbm(double tx_power_dbm, NodeId a, NodeId b,
                             const Position& tx_pos, const Position& rx_pos,
                             PhysicalChannel channel,
                             std::uint64_t slot) const {
-  const std::uint64_t block = slot / std::max<std::uint64_t>(
-                                         config_.coherence_slots, 1);
-  constexpr std::uint64_t kFadingTag = 0xFAD0;
-  double fading;
-  if (cacheable(a, b, channel)) {
-    FadingEntry& entry = fading_cache_[cache_index(a, b, channel)];
-    if (entry.block != block) {
-      entry.block = block;
-      entry.value =
-          hashed_normal(hash_mix(link_key(a, b), kFadingTag, channel, block)) *
-          config_.temporal_fading_sigma_db;
-    }
-    fading = entry.value;
-  } else {
-    fading = hashed_normal(hash_mix(link_key(a, b), kFadingTag, channel,
-                                    block)) *
-             config_.temporal_fading_sigma_db;
-  }
-  return mean_rss_dbm(tx_power_dbm, a, b, tx_pos, rx_pos, channel) + fading;
+  return mean_rss_dbm(tx_power_dbm, a, b, tx_pos, rx_pos, channel) +
+         fading_db(a, b, channel, slot);
 }
 
 }  // namespace digs

@@ -9,13 +9,16 @@
 // reciprocity of narrowband channels on the timescale of a slot.
 //
 // Because every component is a pure function of its inputs and node
-// positions never move, results are memoized: the static per-(link, channel,
-// power) mean and the per-(link, channel) fading draw of the current
-// coherence block. The caches return the exact double computed on first
-// evaluation, so memoization cannot change any result bit.
+// positions never move, the static per-(link, channel, power) mean is
+// memoized (the cache returns the exact double computed on first evaluation,
+// so memoization cannot change any result bit). The temporal fading draw is
+// recomputed statelessly per call: it is one table load, one hash, and an
+// inverse-CDF normal — cheaper than the multi-MB cache probe a per-(link,
+// channel) block memo costs at realistic revisit cadences.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -25,6 +28,15 @@
 #include "phy/geometry.h"
 
 namespace digs {
+
+/// dBm -> mW. The exp2 form of 10^(dbm/10) is several times faster than
+/// pow(10, x) on glibc. Every SINR power-summing path converts through this
+/// one helper, so the cached per-slot resolver and the reference
+/// per-pair evaluation produce identical doubles by construction.
+[[nodiscard]] inline double dbm_to_mw(double dbm) {
+  constexpr double kLog2Of10Over10 = 0.33219280948873623;  // log2(10)/10
+  return std::exp2(dbm * kLog2Of10Over10);
+}
 
 struct PropagationConfig {
   /// Path loss at the reference distance (dB). ~40 dB at 1 m for 2.4 GHz.
@@ -48,6 +60,15 @@ struct PropagationConfig {
   std::uint64_t coherence_slots = 100;
 };
 
+/// Temporal fading draws are truncated at this many standard deviations
+/// (|N| <= 6, P(|N| > 6) ~ 2e-9 for the untruncated normal — beyond any
+/// physical multipath gain). The bound is what makes reachability pruning
+/// *provable*: instantaneous RSS never exceeds
+///   mean_rss_dbm + kFadingNormalBound * temporal_fading_sigma_db,
+/// so a pair whose best-channel mean RSS sits below the sensitivity minus
+/// that margin can never be decoded.
+inline constexpr double kFadingNormalBound = 6.0;
+
 /// Computes received signal strength for a (tx, rx, channel, slot) tuple.
 class Propagation {
  public:
@@ -59,7 +80,16 @@ class Propagation {
     if (num_nodes_ > 0) {
       const std::size_t pairs = num_nodes_ * (num_nodes_ + 1) / 2;
       mean_cache_.resize(pairs * kNumChannels);
-      fading_cache_.resize(pairs * kNumChannels);
+      // Dense link-key table: the busy-slot path evaluates fading for every
+      // (listener, transmitter) pair each slot, so the per-call hash chain
+      // of link_key() is replaced by one small-table load (the keys are the
+      // exact values link_key() computes).
+      link_keys_.resize(num_nodes_ * num_nodes_);
+      for (std::uint16_t a = 0; a < num_nodes_; ++a) {
+        for (std::uint16_t b = 0; b < num_nodes_; ++b) {
+          link_keys_[a * num_nodes_ + b] = link_key(NodeId{a}, NodeId{b});
+        }
+      }
     }
   }
 
@@ -71,6 +101,54 @@ class Propagation {
                                PhysicalChannel channel,
                                std::uint64_t slot) const;
 
+  /// The temporal-fading component alone (dB) for (link, channel, slot):
+  /// the exact value rss_dbm() adds on top of mean_rss_dbm(). Exposed so
+  /// callers holding a precomputed mean (Medium's flat mean table) can
+  /// reconstruct rss_dbm() = mean + fading without the mean-cache probe.
+  [[nodiscard]] double fading_db(NodeId a, NodeId b, PhysicalChannel channel,
+                                 std::uint64_t slot) const;
+
+  /// Coherence block index of `slot` (the temporal unit of fading redraws).
+  [[nodiscard]] std::uint64_t fading_block(std::uint64_t slot) const {
+    return slot / std::max<std::uint64_t>(config_.coherence_slots, 1);
+  }
+
+  /// Contiguous row of precomputed link keys for node `a`
+  /// (`row[b] == link_key(a, b)`), or nullptr when ids are not dense.
+  /// Lets a per-listener loop hoist the row lookup out of its pair walk.
+  [[nodiscard]] const std::uint64_t* link_key_row(NodeId a) const {
+    return !link_keys_.empty() && a.value < num_nodes_
+               ? link_keys_.data() + a.value * num_nodes_
+               : nullptr;
+  }
+
+  /// Pre-mixed (tag, channel, block) suffix of the fading hash; constant
+  /// across a listener's pair walk.
+  [[nodiscard]] std::uint64_t fading_tail(PhysicalChannel channel,
+                                          std::uint64_t block) const {
+    constexpr std::uint64_t kFadingTag = 0xFAD0;
+    return hash_mix(kFadingTag, channel, block);
+  }
+
+  /// The fading draw from a link key and a pre-mixed fading_tail(): exactly
+  /// fading_db()'s value at one splitmix64 per call.
+  [[nodiscard]] double fading_from_tail(std::uint64_t key,
+                                        std::uint64_t tail) const {
+    // Truncated at kFadingNormalBound sigma so the margin in
+    // max_fading_db() is a hard guarantee (see the constant's comment).
+    const double n = hashed_normal_fast(hash_mix_tail(key, tail));
+    return std::clamp(n, -kFadingNormalBound, kFadingNormalBound) *
+           config_.temporal_fading_sigma_db;
+  }
+
+  /// fading_db() with the link key and coherence block already resolved:
+  /// the exact same draw, for callers that hoisted both invariants.
+  [[nodiscard]] double fading_from_key(std::uint64_t key,
+                                       PhysicalChannel channel,
+                                       std::uint64_t block) const {
+    return fading_from_tail(key, fading_tail(channel, block));
+  }
+
   /// Deterministic (static-only) RSS with no temporal fading; used for
   /// expected-topology computations and tests.
   [[nodiscard]] double mean_rss_dbm(double tx_power_dbm, NodeId a, NodeId b,
@@ -79,6 +157,12 @@ class Propagation {
                                     PhysicalChannel channel) const;
 
   [[nodiscard]] const PropagationConfig& config() const { return config_; }
+
+  /// Largest fading excursion any rss_dbm() call can add on top of
+  /// mean_rss_dbm() (dB); see kFadingNormalBound.
+  [[nodiscard]] double max_fading_db() const {
+    return kFadingNormalBound * config_.temporal_fading_sigma_db;
+  }
 
  private:
   [[nodiscard]] std::uint64_t link_key(NodeId a, NodeId b) const;
@@ -113,14 +197,9 @@ class Propagation {
     double power[2];
     double mean[2];
   };
-  // Fading draw of one coherence block per (link, channel); replaced when
-  // the block advances.
-  struct FadingEntry {
-    std::uint64_t block{~std::uint64_t{0}};
-    double value{0};
-  };
   mutable std::vector<MeanEntry> mean_cache_;
-  mutable std::vector<FadingEntry> fading_cache_;
+  // Precomputed link_key(a, b) for dense ids, indexed [a * N + b].
+  std::vector<std::uint64_t> link_keys_;
 };
 
 }  // namespace digs

@@ -11,6 +11,21 @@
 
 namespace digs {
 
+/// Frame lengths (bytes, over-the-air) whose PRR tables Medium builds
+/// eagerly at construction, ascending. Must cover every length the
+/// simulated stack transmits — net/frame.h static-asserts that each
+/// FrameSizes constant appears here — so the per-slot hot path never takes
+/// the overflow-table lock.
+inline constexpr std::array<int, 9> kPrebuiltPrrFrameBytes = {
+    20, 26, 30, 40, 50, 60, 80, 90, 110};
+
+[[nodiscard]] constexpr bool is_prebuilt_prr_size(int frame_bytes) {
+  for (const int bytes : kPrebuiltPrrFrameBytes) {
+    if (bytes == frame_bytes) return true;
+  }
+  return false;
+}
+
 /// Raw bit error rate for a linear SINR value.
 [[nodiscard]] double ieee802154_ber(double sinr_linear);
 

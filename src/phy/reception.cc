@@ -1,0 +1,71 @@
+#include "phy/reception.h"
+
+#include <cmath>
+
+namespace digs {
+
+void SlotReception::begin_slot(std::uint64_t slot, SimTime slot_start,
+                               std::span<const TransmissionAttempt> attempts) {
+  slot_ = slot;
+  slot_start_ = slot_start;
+  attempts_ = attempts;
+  rss_dbm_.resize(attempts.size());
+  mw_.resize(attempts.size());
+}
+
+void SlotReception::begin_listener(NodeId rx, PhysicalChannel channel) {
+  rx_ = rx;
+  channel_ = channel;
+  // Same accumulation order and per-term arithmetic as
+  // Medium::interference_mw(); the totals (and therefore every decode()'s
+  // subtraction result) match it bit-for-bit. The mean row (when the
+  // attempts are at the primed power) is the same flat table rss_dbm()'s
+  // fast path reads, so mean + fading reproduces its exact doubles.
+  const Propagation& prop = medium_->propagation();
+  // Loop invariants, hoisted: the listener's mean-RSS row and link-key row
+  // and the fading coherence block are the same for every attempt.
+  const std::size_t n = medium_->num_nodes();
+  const double primed = medium_->primed_power_dbm();
+  const double* row = medium_->mean_row(rx, channel, primed);
+  const std::uint64_t* keys = prop.link_key_row(rx);
+  const std::uint64_t ftail =
+      prop.fading_tail(channel, prop.fading_block(slot_));
+  const bool fast = row != nullptr && keys != nullptr;
+  double total_mw = 0.0;
+  for (std::size_t t = 0; t < attempts_.size(); ++t) {
+    const TransmissionAttempt& other = attempts_[t];
+    if (other.sender == rx || other.channel != channel) {
+      mw_[t] = 0.0;
+      continue;
+    }
+    const double rss =
+        fast && other.sender.value < n && other.tx_power_dbm == primed
+            ? row[other.sender.value] +
+                  prop.fading_from_tail(keys[other.sender.value], ftail)
+            : medium_->rss_dbm(other.sender, rx, channel, slot_,
+                               other.tx_power_dbm);
+    const double mw = dbm_to_mw(rss);
+    rss_dbm_[t] = rss;
+    mw_[t] = mw;
+    total_mw += mw;
+  }
+  total_mw_ = total_mw;
+  jammer_mw_ = medium_->jammer_mw(rx, channel, slot_, slot_start_);
+}
+
+Medium::ReceptionCheck SlotReception::decode(std::size_t t) const {
+  const TransmissionAttempt& tx = attempts_[t];
+  if (tx.sender == rx_) return {};
+  const double signal_dbm = rss_dbm_[t];
+  if (signal_dbm < medium_->config().sensitivity_dbm) return {0.0, signal_dbm};
+
+  double interf_mw = total_mw_ - mw_[t];
+  if (interf_mw < 0.0) interf_mw = 0.0;  // FP guard for the subtraction
+  interf_mw += jammer_mw_;
+  const double signal_mw = mw_[t];
+  const double sinr_db =
+      10.0 * std::log10(signal_mw / (medium_->noise_floor_mw() + interf_mw));
+  return {medium_->prr(tx.frame_bytes, sinr_db), signal_dbm};
+}
+
+}  // namespace digs

@@ -1,0 +1,62 @@
+// Per-slot reception resolver: the O(L*T) busy-slot pipeline.
+//
+// Medium::check_reception() is the per-pair reference: every call re-sums
+// interference over all T concurrent transmitters, so resolving one slot
+// with L listeners costs O(L*T^2) with a dBm->mW pow() per term. This
+// resolver computes each attempt's RSS and mW at a listener exactly once,
+// keeps a per-(listener, channel) total-power accumulator, and derives each
+// pair's interference by subtracting the wanted sender's own contribution —
+// O(T) per listener, O(L*T) per slot.
+//
+// The arithmetic is ordered to match Medium::check_reception() term for
+// term (same accumulation order, same subtract-then-clamp, same jammer sum
+// appended last), so the two paths return IDENTICAL doubles; the
+// reception_pipeline_test pins this over randomized busy slots.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/time.h"
+#include "phy/medium.h"
+
+namespace digs {
+
+/// Resolves all receptions of one TSCH slot against a Medium. Reusable
+/// scratch: construct once, call begin_slot() per slot, begin_listener()
+/// per listener, then decode() per candidate attempt.
+class SlotReception {
+ public:
+  explicit SlotReception(const Medium& medium) : medium_(&medium) {}
+
+  /// Starts a new slot over `attempts` (all frames on the air). The span
+  /// must stay valid until the next begin_slot().
+  void begin_slot(std::uint64_t slot, SimTime slot_start,
+                  std::span<const TransmissionAttempt> attempts);
+
+  /// Computes the per-attempt RSS/mW at `rx` on `channel` and the listener's
+  /// interference accumulators (one pass over the attempts).
+  void begin_listener(NodeId rx, PhysicalChannel channel);
+
+  /// Decode check of attempts[t] for the current listener. Identical doubles
+  /// to Medium::check_reception(attempts[t], rx, ...). attempts[t] must be
+  /// on the listener's channel and not sent by the listener itself.
+  [[nodiscard]] Medium::ReceptionCheck decode(std::size_t t) const;
+
+ private:
+  const Medium* medium_;
+  std::uint64_t slot_{0};
+  SimTime slot_start_{};
+  std::span<const TransmissionAttempt> attempts_;
+
+  // Current listener's state.
+  NodeId rx_;
+  PhysicalChannel channel_{0};
+  std::vector<double> rss_dbm_;  // per attempt; only co-channel entries valid
+  std::vector<double> mw_;       // per attempt; 0 for skipped entries
+  double total_mw_{0.0};         // sum of mw_ (co-channel, non-self)
+  double jammer_mw_{0.0};
+};
+
+}  // namespace digs

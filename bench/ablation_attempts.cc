@@ -18,6 +18,7 @@ int main() {
     Cdf pdr;
     Cdf latency;
     Cdf energy;
+    std::vector<TrialSpec> trials;
     for (int run = 0; run < runs; ++run) {
       ExperimentConfig config;
       config.suite = ProtocolSuite::kDigs;
@@ -29,8 +30,9 @@ int main() {
       config.jammer_start_after = seconds(static_cast<std::int64_t>(0));
       config.scheduler = ExperimentRunner::default_node_config().scheduler;
       config.scheduler.attempts = attempts;
-      ExperimentRunner runner(testbed_a(), config);
-      const ExperimentResult result = runner.run();
+      trials.push_back(TrialSpec{testbed_a(), config});
+    }
+    for (const ExperimentResult& result : run_trials(trials)) {
       pdr.add(result.overall_pdr);
       for (const double ms : result.latencies_ms) latency.add(ms);
       energy.add(result.energy_per_delivered_mj);

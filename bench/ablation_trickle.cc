@@ -18,6 +18,7 @@ int main() {
   for (const double imin_s : {0.5, 1.0, 2.0, 4.0}) {
     Cdf pdr;
     Cdf repair_s;
+    std::vector<TrialSpec> trials;
     for (int run = 0; run < runs; ++run) {
       ExperimentConfig config;
       config.suite = ProtocolSuite::kOrchestra;  // repair-bound baseline
@@ -31,8 +32,9 @@ int main() {
       trickle.imin = SimDuration{static_cast<std::int64_t>(imin_s * 1e6)};
       trickle.doublings = 6;
       config.trickle = trickle;
-      ExperimentRunner runner(testbed_a(), config);
-      const ExperimentResult result = runner.run();
+      trials.push_back(TrialSpec{testbed_a(), config});
+    }
+    for (const ExperimentResult& result : run_trials(trials)) {
       pdr.add(result.overall_pdr);
       for (const double t : result.repair_times_s) repair_s.add(t);
     }

@@ -18,6 +18,7 @@ int main() {
   for (const bool weighted : {true, false}) {
     Cdf pdr;
     Cdf latency;
+    std::vector<TrialSpec> trials;
     for (int run = 0; run < runs; ++run) {
       ExperimentConfig config;
       config.suite = ProtocolSuite::kDigs;
@@ -28,8 +29,9 @@ int main() {
       config.num_jammers = 3;
       config.jammer_start_after = seconds(static_cast<std::int64_t>(0));
       config.use_weighted_etx = weighted;
-      ExperimentRunner runner(testbed_a(), config);
-      const ExperimentResult result = runner.run();
+      trials.push_back(TrialSpec{testbed_a(), config});
+    }
+    for (const ExperimentResult& result : run_trials(trials)) {
       pdr.add(result.overall_pdr);
       for (const double ms : result.latencies_ms) latency.add(ms);
     }

@@ -4,14 +4,53 @@
 // runs a representative number and prints how many).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "common/stats.h"
 #include "core/node.h"
+#include "testbed/experiment.h"
 
 namespace digs::bench {
+
+/// Runs `fn(0..count-1)` on trial_threads() workers (override with
+/// `threads`; DIGS_THREADS=1 disables threading) and returns the results
+/// indexed by input — identical to the sequential loop regardless of the
+/// worker count. For benches whose per-run product is not an
+/// ExperimentResult (suite aggregates, repair traces); plain experiment
+/// sweeps should use run_trials().
+template <typename Fn>
+std::vector<std::invoke_result_t<Fn, int>> parallel_map(int count, Fn fn,
+                                                        std::size_t threads =
+                                                            0) {
+  if (threads == 0) threads = trial_threads();
+  std::vector<std::invoke_result_t<Fn, int>> results(
+      static_cast<std::size_t>(count));
+  const std::size_t workers =
+      std::min(threads, static_cast<std::size_t>(count));
+  if (workers <= 1) {
+    for (int i = 0; i < count; ++i) results[i] = fn(i);
+    return results;
+  }
+  std::atomic<int> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (int i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+        results[i] = fn(i);
+      }
+    });
+  }
+  for (auto& worker : pool) worker.join();
+  return results;
+}
 
 inline void header(const std::string& title, const std::string& paper_ref) {
   std::printf("==============================================================\n");

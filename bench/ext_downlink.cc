@@ -18,61 +18,76 @@ struct Result {
   Cdf energy_mj;
 };
 
-Result run(std::size_t num_jammers, int runs) {
-  Result result;
-  for (int r = 0; r < runs; ++r) {
-    const TestbedLayout layout = testbed_a();
-    NetworkConfig config;
-    config.suite = ProtocolSuite::kDigs;
-    config.seed = 17'000 + r;
-    config.node = ExperimentRunner::default_node_config();
-    config.node.enable_downlink = true;
-    config.node.mac.tx_power_dbm = layout.tx_power_dbm;
-    config.medium.propagation.path_loss_exponent =
-        layout.path_loss_exponent;
-    Network net(config, layout.positions);
+/// One run's samples, merged into Result in submission order.
+struct RunProduct {
+  std::vector<double> pdrs;
+  std::vector<double> latencies_ms;
+  double energy_mj = -1.0;  // <0: no packet delivered this run
+};
 
-    for (std::size_t j = 0; j < num_jammers; ++j) {
-      JammerConfig jammer;
-      jammer.position = layout.jammer_positions[j];
-      jammer.tx_power_dbm = -4.0;
-      jammer.wifi_block_start = static_cast<int>((j * 4) % 13);
-      net.add_jammer(jammer);
-    }
+RunProduct run_one(std::size_t num_jammers, int r) {
+  const TestbedLayout layout = testbed_a();
+  NetworkConfig config;
+  config.suite = ProtocolSuite::kDigs;
+  config.seed = 17'000 + r;
+  config.node = ExperimentRunner::default_node_config();
+  config.node.enable_downlink = true;
+  config.node.mac.tx_power_dbm = layout.tx_power_dbm;
+  config.medium.propagation.path_loss_exponent = layout.path_loss_exponent;
+  Network net(config, layout.positions);
 
-    // 8 downlink command flows from the gateway to spread devices.
-    const auto targets = pick_sources(layout, 8, 900 + r);
-    for (std::size_t f = 0; f < targets.size(); ++f) {
-      FlowSpec flow;
-      flow.id = FlowId{static_cast<std::uint16_t>(f)};
-      flow.source = NodeId{static_cast<std::uint16_t>(f % 2)};  // either AP
-      flow.downlink_dest = targets[f];
-      flow.period = seconds(static_cast<std::int64_t>(5));
-      flow.start_offset = seconds(static_cast<std::int64_t>(300));
-      net.add_flow(flow);
-    }
-    net.start();
-    net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(300)));
-    net.reset_energy();
-    net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(620)));
+  for (std::size_t j = 0; j < num_jammers; ++j) {
+    JammerConfig jammer;
+    jammer.position = layout.jammer_positions[j];
+    jammer.tx_power_dbm = -4.0;
+    jammer.wifi_block_start = static_cast<int>((j * 4) % 13);
+    net.add_jammer(jammer);
+  }
 
-    const SimTime measure =
-        SimTime{0} + seconds(static_cast<std::int64_t>(305));
-    const SimTime end = SimTime{0} + seconds(static_cast<std::int64_t>(600));
-    std::uint64_t delivered = 0;
-    for (const FlowRecord& flow : net.stats().flows()) {
-      result.pdr.add(net.stats().pdr(flow.id, measure, end));
-      for (const PacketRecord& packet : flow.packets) {
-        if (packet.generated >= measure && packet.received()) {
-          result.latency_ms.add(packet.latency().millis());
-          ++delivered;
-        }
+  // 8 downlink command flows from the gateway to spread devices.
+  const auto targets = pick_sources(layout, 8, 900 + r);
+  for (std::size_t f = 0; f < targets.size(); ++f) {
+    FlowSpec flow;
+    flow.id = FlowId{static_cast<std::uint16_t>(f)};
+    flow.source = NodeId{static_cast<std::uint16_t>(f % 2)};  // either AP
+    flow.downlink_dest = targets[f];
+    flow.period = seconds(static_cast<std::int64_t>(5));
+    flow.start_offset = seconds(static_cast<std::int64_t>(300));
+    net.add_flow(flow);
+  }
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(300)));
+  net.reset_energy();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(620)));
+
+  const SimTime measure =
+      SimTime{0} + seconds(static_cast<std::int64_t>(305));
+  const SimTime end = SimTime{0} + seconds(static_cast<std::int64_t>(600));
+  RunProduct product;
+  std::uint64_t delivered = 0;
+  for (const FlowRecord& flow : net.stats().flows()) {
+    product.pdrs.push_back(net.stats().pdr(flow.id, measure, end));
+    for (const PacketRecord& packet : flow.packets) {
+      if (packet.generated >= measure && packet.received()) {
+        product.latencies_ms.push_back(packet.latency().millis());
+        ++delivered;
       }
     }
-    if (delivered > 0) {
-      result.energy_mj.add(net.total_energy_mj() /
-                           static_cast<double>(delivered));
-    }
+  }
+  if (delivered > 0) {
+    product.energy_mj =
+        net.total_energy_mj() / static_cast<double>(delivered);
+  }
+  return product;
+}
+
+Result run(std::size_t num_jammers, int runs) {
+  Result result;
+  for (const RunProduct& product : bench::parallel_map(
+           runs, [num_jammers](int r) { return run_one(num_jammers, r); })) {
+    for (const double pdr : product.pdrs) result.pdr.add(pdr);
+    for (const double ms : product.latencies_ms) result.latency_ms.add(ms);
+    if (product.energy_mj >= 0.0) result.energy_mj.add(product.energy_mj);
   }
   return result;
 }

@@ -48,6 +48,7 @@ int main() {
       Cdf pdr;
       Cdf latency;
       Cdf join;
+      std::vector<TrialSpec> trials;
       for (int run = 0; run < runs; ++run) {
         ExperimentConfig config;
         config.suite = suite;
@@ -57,8 +58,9 @@ int main() {
         config.warmup = seconds(static_cast<std::int64_t>(300));
         config.duration = seconds(static_cast<std::int64_t>(240));
         config.num_jammers = 0;
-        ExperimentRunner runner(scaled_floor(devices, 40 + run), config);
-        const ExperimentResult result = runner.run();
+        trials.push_back(TrialSpec{scaled_floor(devices, 40 + run), config});
+      }
+      for (const ExperimentResult& result : run_trials(trials)) {
         pdr.add(result.overall_pdr);
         for (const double ms : result.latencies_ms) latency.add(ms);
         for (const double t : result.join_times_s) join.add(t);

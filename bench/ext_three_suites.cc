@@ -5,6 +5,7 @@
 // manager leaves flows on stale routes for minutes, RPL repairs in tens of
 // seconds, and DiGS fails over within a slotframe cycle.
 #include <algorithm>
+#include <array>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -24,88 +25,109 @@ struct Result {
   int runs_counted = 0;
 };
 
+/// One run's samples; a run with AP-parented sources contributes nothing
+/// (counted == false), exactly like the sequential loop's `continue`.
+struct RunProduct {
+  bool counted = false;
+  std::array<std::vector<double>, 3> stranded_minute;
+  std::vector<double> collateral;
+};
+
+RunProduct run_one(ProtocolSuite suite, int r) {
+  RunProduct product;
+  const TestbedLayout layout = testbed_a();
+  NetworkConfig config;
+  config.suite = suite;
+  config.seed = 18'000 + r;
+  config.node = ExperimentRunner::default_node_config();
+  config.node.mac.tx_power_dbm = layout.tx_power_dbm;
+  config.medium.propagation.path_loss_exponent = layout.path_loss_exponent;
+  Network net(config, layout.positions);
+  // Sources: the 8 devices farthest from the access points, so their
+  // routes are genuinely multi-hop under every suite.
+  std::vector<std::pair<double, NodeId>> by_distance;
+  for (std::uint16_t i = 2; i < layout.num_nodes(); ++i) {
+    const double d = std::min(distance(layout.positions[i],
+                                       layout.positions[0]),
+                              distance(layout.positions[i],
+                                       layout.positions[1]));
+    by_distance.emplace_back(-d, NodeId{i});
+  }
+  std::sort(by_distance.begin(), by_distance.end());
+  std::vector<NodeId> sources;
+  for (int f = 0; f < 8; ++f) sources.push_back(by_distance[f].second);
+  for (std::size_t f = 0; f < sources.size(); ++f) {
+    FlowSpec flow;
+    flow.id = FlowId{static_cast<std::uint16_t>(f)};
+    flow.source = sources[f];
+    flow.period = seconds(static_cast<std::int64_t>(5));
+    flow.start_offset = seconds(static_cast<std::int64_t>(250));
+    net.add_flow(flow);
+  }
+  net.start();
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(330)));
+
+  // A single relay failure is cushioned by the pre-provisioned backup
+  // parent under EVERY suite (that is graph routing working as designed;
+  // see bench/fig11). The suites differ when a failure exceeds the
+  // backup's coverage: kill BOTH current parents of the sources, so new
+  // routes must be acquired — locally (DiGS, Orchestra) or from the
+  // manager (WirelessHART, after the Fig. 3 reaction time).
+  std::vector<NodeId> victims;
+  for (const NodeId source : sources) {
+    const NodeId bp = net.node(source).routing().best_parent();
+    const NodeId sbp = net.node(source).routing().second_best_parent();
+    if (bp.valid() && bp.value >= 2 &&
+        (!sbp.valid() || sbp.value >= 2)) {
+      victims.push_back(bp);
+      if (sbp.valid()) victims.push_back(sbp);
+      break;  // strand one far source completely
+    }
+  }
+  if (victims.empty()) return product;  // AP-parented sources this run
+
+  const NodeId stranded = sources.front();
+  const SimTime kill_at =
+      SimTime{0} + seconds(static_cast<std::int64_t>(360));
+  net.run_until(kill_at);
+  for (const NodeId victim : victims) net.set_node_alive(victim, false);
+  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(560)));
+  product.counted = true;
+
+  for (const FlowRecord& flow : net.stats().flows()) {
+    bool source_killed = false;
+    for (const NodeId victim : victims) {
+      if (victim == flow.source) source_killed = true;
+    }
+    if (source_killed) continue;
+    if (flow.source == stranded) {
+      for (int w = 0; w < 3; ++w) {
+        const SimTime from =
+            kill_at + seconds(static_cast<std::int64_t>(60 * w));
+        product.stranded_minute[w].push_back(net.stats().pdr(
+            flow.id, from, from + seconds(static_cast<std::int64_t>(60))));
+      }
+    } else {
+      product.collateral.push_back(net.stats().pdr(
+          flow.id, kill_at,
+          kill_at + seconds(static_cast<std::int64_t>(180))));
+    }
+  }
+  return product;
+}
+
 Result run(ProtocolSuite suite, int runs) {
   Result result;
-  for (int r = 0; r < runs; ++r) {
-    const TestbedLayout layout = testbed_a();
-    NetworkConfig config;
-    config.suite = suite;
-    config.seed = 18'000 + r;
-    config.node = ExperimentRunner::default_node_config();
-    config.node.mac.tx_power_dbm = layout.tx_power_dbm;
-    config.medium.propagation.path_loss_exponent =
-        layout.path_loss_exponent;
-    Network net(config, layout.positions);
-    // Sources: the 8 devices farthest from the access points, so their
-    // routes are genuinely multi-hop under every suite.
-    std::vector<std::pair<double, NodeId>> by_distance;
-    for (std::uint16_t i = 2; i < layout.num_nodes(); ++i) {
-      const double d = std::min(distance(layout.positions[i],
-                                         layout.positions[0]),
-                                distance(layout.positions[i],
-                                         layout.positions[1]));
-      by_distance.emplace_back(-d, NodeId{i});
-    }
-    std::sort(by_distance.begin(), by_distance.end());
-    std::vector<NodeId> sources;
-    for (int f = 0; f < 8; ++f) sources.push_back(by_distance[f].second);
-    for (std::size_t f = 0; f < sources.size(); ++f) {
-      FlowSpec flow;
-      flow.id = FlowId{static_cast<std::uint16_t>(f)};
-      flow.source = sources[f];
-      flow.period = seconds(static_cast<std::int64_t>(5));
-      flow.start_offset = seconds(static_cast<std::int64_t>(250));
-      net.add_flow(flow);
-    }
-    net.start();
-    net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(330)));
-
-    // A single relay failure is cushioned by the pre-provisioned backup
-    // parent under EVERY suite (that is graph routing working as designed;
-    // see bench/fig11). The suites differ when a failure exceeds the
-    // backup's coverage: kill BOTH current parents of the sources, so new
-    // routes must be acquired — locally (DiGS, Orchestra) or from the
-    // manager (WirelessHART, after the Fig. 3 reaction time).
-    std::vector<NodeId> victims;
-    for (const NodeId source : sources) {
-      const NodeId bp = net.node(source).routing().best_parent();
-      const NodeId sbp = net.node(source).routing().second_best_parent();
-      if (bp.valid() && bp.value >= 2 &&
-          (!sbp.valid() || sbp.value >= 2)) {
-        victims.push_back(bp);
-        if (sbp.valid()) victims.push_back(sbp);
-        break;  // strand one far source completely
-      }
-    }
-    if (victims.empty()) continue;  // AP-parented sources this run
-
-    const NodeId stranded = sources.front();
-    const SimTime kill_at =
-        SimTime{0} + seconds(static_cast<std::int64_t>(360));
-    net.run_until(kill_at);
-    for (const NodeId victim : victims) net.set_node_alive(victim, false);
-    net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(560)));
+  for (const RunProduct& product : bench::parallel_map(
+           runs, [suite](int r) { return run_one(suite, r); })) {
+    if (!product.counted) continue;
     ++result.runs_counted;
-
-    for (const FlowRecord& flow : net.stats().flows()) {
-      bool source_killed = false;
-      for (const NodeId victim : victims) {
-        if (victim == flow.source) source_killed = true;
-      }
-      if (source_killed) continue;
-      if (flow.source == stranded) {
-        for (int w = 0; w < 3; ++w) {
-          const SimTime from =
-              kill_at + seconds(static_cast<std::int64_t>(60 * w));
-          result.stranded_minute[w].add(net.stats().pdr(
-              flow.id, from, from + seconds(static_cast<std::int64_t>(60))));
-        }
-      } else {
-        result.collateral.add(net.stats().pdr(
-            flow.id, kill_at,
-            kill_at + seconds(static_cast<std::int64_t>(180))));
+    for (int w = 0; w < 3; ++w) {
+      for (const double pdr : product.stranded_minute[w]) {
+        result.stranded_minute[w].add(pdr);
       }
     }
+    for (const double pdr : product.collateral) result.collateral.add(pdr);
   }
   return result;
 }

@@ -38,10 +38,12 @@ ExperimentConfig base_config(ProtocolSuite suite, int run) {
 }
 
 SuiteResults run_suite(ProtocolSuite suite, int runs) {
-  SuiteResults results;
+  std::vector<TrialSpec> trials;
   for (int run = 0; run < runs; ++run) {
-    ExperimentRunner runner(testbed_a(), base_config(suite, run));
-    const ExperimentResult result = runner.run();
+    trials.push_back(TrialSpec{testbed_a(), base_config(suite, run)});
+  }
+  SuiteResults results;
+  for (const ExperimentResult& result : run_trials(trials)) {
     results.set_pdr.add(result.overall_pdr);
     for (const double pdr : result.flow_pdrs) results.flow_pdr.add(pdr);
     for (const double ms : result.latencies_ms) results.latency_ms.add(ms);

@@ -18,7 +18,7 @@ struct SuiteResults {
 };
 
 SuiteResults run_suite(ProtocolSuite suite, int runs) {
-  SuiteResults results;
+  std::vector<TrialSpec> trials;
   for (int run = 0; run < runs; ++run) {
     ExperimentConfig config;
     config.suite = suite;
@@ -32,8 +32,10 @@ SuiteResults run_suite(ProtocolSuite suite, int runs) {
     // The slab shields half the two-floor mesh from any one jammer, so
     // Testbed B's jammers run hotter to bite the cross-floor funnels.
     config.jammer_tx_power_dbm = 4.0;
-    ExperimentRunner runner(testbed_b(), config);
-    const ExperimentResult result = runner.run();
+    trials.push_back(TrialSpec{testbed_b(), config});
+  }
+  SuiteResults results;
+  for (const ExperimentResult& result : run_trials(trials)) {
     results.set_pdr.add(result.overall_pdr);
     for (const double ms : result.latencies_ms) results.latency_ms.add(ms);
     results.energy_mj.add(result.energy_per_delivered_mj);

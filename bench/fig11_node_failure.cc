@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -54,6 +56,72 @@ std::vector<NodeId> find_relays(ProtocolSuite suite, int count,
   return relays;
 }
 
+/// Everything one repetition contributes to the figure: aggregate samples
+/// plus the per-flow delivery pattern for the (b) micro-benchmark (only the
+/// last repetition's pattern is printed, matching the sequential loop).
+struct RunProduct {
+  std::vector<double> window_pdrs;  // one per (flow, failure) window
+  int disconnected = 0;
+  double energy_mj = 0.0;
+  std::vector<std::pair<std::uint16_t, std::string>> delivery_30_45;
+};
+
+RunProduct run_one(ProtocolSuite suite, int run) {
+  const std::uint64_t seed = 11'000 + run;
+  // "4 nodes on the routing graph": relays on the current protocol's
+  // own routes, found by a probe run.
+  const auto relays = find_relays(suite, 4, seed);
+
+  ExperimentConfig config;
+  config.suite = suite;
+  config.seed = seed;
+  config.num_flows = 8;
+  config.flow_period = seconds(static_cast<std::int64_t>(5));
+  config.warmup = seconds(static_cast<std::int64_t>(240));
+  config.duration = seconds(static_cast<std::int64_t>(400));
+  config.num_jammers = 0;
+  // Turn the 4 relays off in turn, 25 s apart (faster than a repair
+  // completes, so the damage compounds as in the paper), starting
+  // 100 s into the measurement window.
+  for (std::size_t k = 0; k < relays.size(); ++k) {
+    config.failures.push_back(FailureEvent{
+        config.warmup + seconds(static_cast<std::int64_t>(100 + 25 * k)),
+        relays[k], false});
+  }
+  ExperimentRunner runner(testbed_a(), config);
+  const ExperimentResult result = runner.run();
+
+  RunProduct product;
+  product.energy_mj = result.energy_per_delivered_mj;
+  const auto& stats = runner.network().stats();
+  for (const FlowRecord& flow : stats.flows()) {
+    // Flows sourced at a killed node are excluded (their loss is
+    // trivial, not a routing property).
+    bool source_killed = false;
+    for (const FailureEvent& failure : config.failures) {
+      if (failure.node == flow.source) source_killed = true;
+    }
+    if (source_killed) continue;
+    // The paper measures delivery while the network absorbs each
+    // failure: per-flow PDR over the minute following every kill.
+    for (const FailureEvent& failure : config.failures) {
+      const SimTime at = SimTime{0} + failure.at;
+      const double pdr =
+          stats.pdr(flow.id, at, at + seconds(static_cast<std::int64_t>(60)));
+      product.window_pdrs.push_back(pdr);
+      if (pdr < 0.999) ++product.disconnected;
+    }
+  }
+  for (const FlowRecord& flow : stats.flows()) {
+    std::string pattern;
+    for (std::uint32_t seq = 30; seq <= 45; ++seq) {
+      pattern.push_back(stats.was_delivered(flow.id, seq) ? '.' : 'X');
+    }
+    product.delivery_30_45.emplace_back(flow.id.value, pattern);
+  }
+  return product;
+}
+
 }  // namespace
 
 int main() {
@@ -68,58 +136,14 @@ int main() {
     Cdf energy_mj;
     int disconnected_flows = 0;
     int total_flows = 0;
-    ExperimentResult last_result;
-    std::unique_ptr<ExperimentRunner> last_runner;
 
-    for (int run = 0; run < runs; ++run) {
-      const std::uint64_t seed = 11'000 + run;
-      // "4 nodes on the routing graph": relays on the current protocol's
-      // own routes, found by a probe run.
-      const auto relays = find_relays(suite, 4, seed);
-
-      ExperimentConfig config;
-      config.suite = suite;
-      config.seed = seed;
-      config.num_flows = 8;
-      config.flow_period = seconds(static_cast<std::int64_t>(5));
-      config.warmup = seconds(static_cast<std::int64_t>(240));
-      config.duration = seconds(static_cast<std::int64_t>(400));
-      config.num_jammers = 0;
-      // Turn the 4 relays off in turn, 25 s apart (faster than a repair
-      // completes, so the damage compounds as in the paper), starting
-      // 100 s into the measurement window.
-      for (std::size_t k = 0; k < relays.size(); ++k) {
-        config.failures.push_back(FailureEvent{
-            config.warmup +
-                seconds(static_cast<std::int64_t>(100 + 25 * k)),
-            relays[k], false});
-      }
-      auto runner = std::make_unique<ExperimentRunner>(testbed_a(), config);
-      const ExperimentResult result = runner->run();
-
-      const auto& stats = runner->network().stats();
-      for (const FlowRecord& flow : stats.flows()) {
-        // Flows sourced at a killed node are excluded (their loss is
-        // trivial, not a routing property).
-        bool source_killed = false;
-        for (const FailureEvent& failure : config.failures) {
-          if (failure.node == flow.source) source_killed = true;
-        }
-        if (source_killed) continue;
-        // The paper measures delivery while the network absorbs each
-        // failure: per-flow PDR over the minute following every kill.
-        for (const FailureEvent& failure : config.failures) {
-          const SimTime at = SimTime{0} + failure.at;
-          const double pdr = stats.pdr(
-              flow.id, at, at + seconds(static_cast<std::int64_t>(60)));
-          flow_pdr.add(pdr);
-          ++total_flows;
-          if (pdr < 0.999) ++disconnected_flows;
-        }
-      }
-      energy_mj.add(result.energy_per_delivered_mj);
-      last_result = result;
-      last_runner = std::move(runner);
+    const std::vector<RunProduct> products = bench::parallel_map(
+        runs, [suite](int run) { return run_one(suite, run); });
+    for (const RunProduct& product : products) {
+      for (const double pdr : product.window_pdrs) flow_pdr.add(pdr);
+      total_flows += static_cast<int>(product.window_pdrs.size());
+      disconnected_flows += product.disconnected;
+      energy_mj.add(product.energy_mj);
     }
 
     bench::section(std::string("suite: ") + to_string(suite));
@@ -134,13 +158,8 @@ int main() {
     // (b) micro-benchmark around the first failure (packet ~34 at 5 s
     // period with failure 100+240 s after start).
     std::printf("(b) micro-benchmark: packets 30-45 of the last run\n");
-    const auto& stats = last_runner->network().stats();
-    for (const FlowRecord& flow : stats.flows()) {
-      std::printf("    flow %2u: ", flow.id.value);
-      for (std::uint32_t seq = 30; seq <= 45; ++seq) {
-        std::printf("%c", stats.was_delivered(flow.id, seq) ? '.' : 'X');
-      }
-      std::printf("\n");
+    for (const auto& [flow_id, pattern] : products.back().delivery_30_45) {
+      std::printf("    flow %2u: %s\n", flow_id, pattern.c_str());
     }
   }
 

@@ -19,7 +19,7 @@ struct SuiteResults {
 };
 
 SuiteResults run_suite(ProtocolSuite suite, int runs) {
-  SuiteResults results;
+  std::vector<TrialSpec> trials;
   for (int run = 0; run < runs; ++run) {
     ExperimentConfig config;
     config.suite = suite;
@@ -37,8 +37,10 @@ SuiteResults run_suite(ProtocolSuite suite, int runs) {
     // damage matches the paper's "interfere nearby links".
     config.jammer_pattern = JammerPattern::kConstant;
     config.jammer_tx_power_dbm = -14.0;
-    ExperimentRunner runner(cooja_150(), config);
-    const ExperimentResult result = runner.run();
+    trials.push_back(TrialSpec{cooja_150(), config});
+  }
+  SuiteResults results;
+  for (const ExperimentResult& result : run_trials(trials)) {
     results.set_pdr.add(result.overall_pdr);
     for (const double ms : result.latencies_ms) results.latency_ms.add(ms);
     results.duty_per_packet.add(result.duty_cycle_per_delivered);

@@ -20,6 +20,7 @@ int main() {
     Cdf join_cdf;
     Cdf full_join_cdf;
     int never_joined = 0;
+    std::vector<TrialSpec> trials;
     for (int run = 0; run < runs; ++run) {
       ExperimentConfig config;
       config.suite = suite;
@@ -28,8 +29,9 @@ int main() {
       config.warmup = seconds(static_cast<std::int64_t>(300));
       config.duration = seconds(static_cast<std::int64_t>(1));
       config.num_jammers = 0;
-      ExperimentRunner runner(testbed_a(), config);
-      const ExperimentResult result = runner.run();
+      trials.push_back(TrialSpec{testbed_a(), config});
+    }
+    for (const ExperimentResult& result : run_trials(trials)) {
       for (const double t : result.join_times_s) join_cdf.add(t);
       for (const double t : result.full_join_times_s) full_join_cdf.add(t);
       never_joined +=

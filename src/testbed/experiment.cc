@@ -1,6 +1,9 @@
 #include "testbed/experiment.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
 
 namespace digs {
 
@@ -167,6 +170,48 @@ ExperimentResult ExperimentRunner::run() {
     if (full.us >= 0) result.full_join_times_s.push_back(full.seconds());
   }
   return result;
+}
+
+std::size_t trial_threads() {
+  if (const char* env = std::getenv("DIGS_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::vector<ExperimentResult> run_trials(const std::vector<TrialSpec>& trials,
+                                         std::size_t threads) {
+  if (threads == 0) threads = trial_threads();
+  std::vector<ExperimentResult> results(trials.size());
+  const auto run_one = [&](std::size_t i) {
+    ExperimentRunner runner(trials[i].layout, trials[i].config);
+    results[i] = runner.run();
+  };
+  const std::size_t workers = std::min(threads, trials.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < trials.size(); ++i) run_one(i);
+    return results;
+  }
+  // Dynamic work stealing off one atomic counter: trials vary widely in
+  // cost (warmup + duration differ per config), so static striping would
+  // leave workers idle. Every worker writes only results[i] for the
+  // indices it claimed, so no synchronization beyond the counter and the
+  // joins is needed.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < trials.size();
+           i = next.fetch_add(1)) {
+        run_one(i);
+      }
+    });
+  }
+  for (auto& worker : pool) worker.join();
+  return results;
 }
 
 }  // namespace digs

@@ -128,4 +128,23 @@ class ExperimentRunner {
   SimTime measure_start_{};
 };
 
+/// One independent experiment for run_trials().
+struct TrialSpec {
+  TestbedLayout layout;
+  ExperimentConfig config;
+};
+
+/// Worker count for run_trials() and the bench parallel_map(): the
+/// DIGS_THREADS environment variable when set (>0), otherwise the
+/// hardware concurrency (min 1).
+[[nodiscard]] std::size_t trial_threads();
+
+/// Runs every trial on a small thread pool and returns the results in
+/// submission order. Each trial is an independent ExperimentRunner — a pure
+/// function of its spec — so the result vector is bit-identical to running
+/// the trials sequentially, whatever `threads` is. `threads == 0` means
+/// trial_threads(); `1` runs inline without spawning.
+[[nodiscard]] std::vector<ExperimentResult> run_trials(
+    const std::vector<TrialSpec>& trials, std::size_t threads = 0);
+
 }  // namespace digs

@@ -1,0 +1,184 @@
+// Property tests for the O(L*T) busy-slot reception pipeline:
+//  - SlotReception::decode() returns the SAME doubles (bit-identical, no
+//    tolerance) as the O(L*T^2) reference Medium::check_reception(), over
+//    randomized busy slots, listeners, channels and TX powers;
+//  - the reachability index never prunes a pair that has a nonzero
+//    reception probability on any (channel, slot) — the ±6σ truncated
+//    fading makes the margin a hard guarantee, not a heuristic.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "phy/medium.h"
+#include "phy/propagation.h"
+#include "phy/reception.h"
+
+namespace digs {
+namespace {
+
+/// A scattered 60 m x 25 m floor (Testbed-A-like densities) plus two far
+/// outliers so the reachability index has genuinely unreachable pairs.
+std::vector<Position> scattered_positions(std::size_t devices,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Position> positions;
+  for (std::size_t i = 0; i < devices; ++i) {
+    positions.push_back(
+        Position{rng.uniform(0.0, 60.0), rng.uniform(0.0, 25.0), 0.0});
+  }
+  positions.push_back(Position{900.0, 0.0, 0.0});
+  positions.push_back(Position{0.0, 900.0, 0.0});
+  return positions;
+}
+
+std::unique_ptr<Medium> make_medium(std::uint64_t seed, bool with_jammer) {
+  MediumConfig config;
+  config.propagation.path_loss_exponent = 3.8;
+  auto medium = std::make_unique<Medium>(
+      config, scattered_positions(14, hash_mix(seed, 0x10CA)), seed);
+  if (with_jammer) {
+    JammerConfig jammer;
+    jammer.position = Position{30.0, 12.0, 0.0};
+    jammer.tx_power_dbm = -4.0;
+    medium->add_jammer(jammer);
+  }
+  return medium;
+}
+
+/// Builds a random busy slot: `count` co- and cross-channel transmitters
+/// with standard frame sizes, most at the primed power, some hotter.
+/// Senders are distinct, as in any physical slot (a radio transmits at most
+/// once per slot) — with duplicate senders at different powers the two
+/// paths would legitimately disagree on which copy to subtract.
+std::vector<TransmissionAttempt> random_attempts(const Medium& medium,
+                                                 std::size_t count,
+                                                 Rng& rng) {
+  std::vector<std::uint16_t> senders(medium.num_nodes());
+  for (std::uint16_t i = 0; i < senders.size(); ++i) senders[i] = i;
+  std::vector<TransmissionAttempt> attempts;
+  for (std::size_t t = 0; t < count && !senders.empty(); ++t) {
+    const std::size_t pick = rng.next() % senders.size();
+    TransmissionAttempt attempt;
+    attempt.sender = NodeId{senders[pick]};
+    senders.erase(senders.begin() + static_cast<std::ptrdiff_t>(pick));
+    attempt.channel = static_cast<PhysicalChannel>(rng.next() % 3);
+    attempt.frame_bytes =
+        kPrebuiltPrrFrameBytes[rng.next() % kPrebuiltPrrFrameBytes.size()];
+    // 1 in 4 attempts transmits off the primed power, forcing decode()
+    // through the generic rss_dbm() path; equality must hold there too.
+    attempt.tx_power_dbm = (rng.next() % 4 == 0) ? 4.0 : 0.0;
+    attempts.push_back(attempt);
+  }
+  return attempts;
+}
+
+TEST(ReceptionPipelineTest, CachedPathMatchesReferenceExactly) {
+  for (const bool with_jammer : {false, true}) {
+    const auto medium_ptr = make_medium(0xBEEF + with_jammer, with_jammer);
+    Medium& medium = *medium_ptr;
+    medium.build_reachability(0.0);
+    SlotReception reception(medium);
+    Rng rng(0x5107);
+
+    std::size_t pairs_checked = 0;
+    for (std::uint64_t slot = 1; slot <= 40; ++slot) {
+      const SimTime slot_start =
+          SimTime{0} + static_cast<std::int64_t>(slot) * kSlotDuration;
+      const auto attempts =
+          random_attempts(medium, 2 + rng.next() % 6, rng);
+      reception.begin_slot(slot, slot_start, attempts);
+
+      for (std::uint16_t r = 0; r < medium.num_nodes(); ++r) {
+        const NodeId rx{r};
+        for (std::size_t t = 0; t < attempts.size(); ++t) {
+          if (attempts[t].sender == rx) continue;
+          reception.begin_listener(rx, attempts[t].channel);
+          const Medium::ReceptionCheck cached = reception.decode(t);
+          const Medium::ReceptionCheck reference = medium.check_reception(
+              attempts[t], rx, slot, slot_start, attempts);
+          // Exact: the pipeline must be a reordering-free refactoring of
+          // the reference arithmetic, not an approximation of it.
+          ASSERT_EQ(cached.probability, reference.probability)
+              << "slot " << slot << " rx " << r << " attempt " << t;
+          ASSERT_EQ(cached.rss_dbm, reference.rss_dbm)
+              << "slot " << slot << " rx " << r << " attempt " << t;
+          ++pairs_checked;
+        }
+      }
+    }
+    EXPECT_GT(pairs_checked, 1000u);
+  }
+}
+
+TEST(ReceptionPipelineTest, PruningNeverSkipsReceivablePair) {
+  const auto medium_ptr = make_medium(0xCAFE, /*with_jammer=*/false);
+  Medium& medium = *medium_ptr;
+  medium.build_reachability(0.0);
+
+  // The index must be doing real work on this layout: the outliers are
+  // unreachable from the main floor, the floor is internally connected.
+  std::size_t pruned = 0;
+  std::size_t kept = 0;
+  for (std::uint16_t a = 0; a < medium.num_nodes(); ++a) {
+    for (std::uint16_t b = 0; b < medium.num_nodes(); ++b) {
+      if (a == b) continue;
+      (medium.maybe_reachable(NodeId{a}, NodeId{b}) ? kept : pruned) += 1;
+    }
+  }
+  ASSERT_GT(pruned, 0u);
+  ASSERT_GT(kept, 0u);
+
+  // Every pruned pair must have exactly zero reception probability on
+  // every channel and slot we throw at it — even alone on the air (no
+  // interference), which is the most favorable case for the receiver.
+  for (std::uint16_t a = 0; a < medium.num_nodes(); ++a) {
+    for (std::uint16_t b = 0; b < medium.num_nodes(); ++b) {
+      if (a == b || medium.maybe_reachable(NodeId{a}, NodeId{b})) continue;
+      TransmissionAttempt attempt;
+      attempt.sender = NodeId{a};
+      for (PhysicalChannel channel = 0; channel < 16; ++channel) {
+        attempt.channel = channel;
+        for (std::uint64_t slot = 1; slot <= 32; ++slot) {
+          const SimTime slot_start =
+              SimTime{0} + static_cast<std::int64_t>(slot) * kSlotDuration;
+          const std::span<const TransmissionAttempt> alone(&attempt, 1);
+          ASSERT_EQ(medium
+                        .check_reception(attempt, NodeId{b}, slot,
+                                         slot_start, alone)
+                        .probability,
+                    0.0)
+              << "pruned pair " << a << "->" << b << " decodable on channel "
+              << static_cast<int>(channel) << " slot " << slot;
+        }
+      }
+    }
+  }
+}
+
+TEST(ReceptionPipelineTest, FadingNeverExceedsProvableMargin) {
+  // The pruning margin is sensitivity - max_fading_db(); it is only sound
+  // if no fading draw ever adds more than max_fading_db() to the mean RSS.
+  PropagationConfig config;
+  Propagation prop(config, 0x7E57);
+  const double bound = prop.max_fading_db();
+  EXPECT_EQ(bound, kFadingNormalBound * config.temporal_fading_sigma_db);
+  double worst = 0.0;
+  for (std::uint64_t slot = 0; slot < 5000; ++slot) {
+    for (PhysicalChannel channel = 0; channel < 16; ++channel) {
+      const double fade =
+          prop.fading_db(NodeId{1}, NodeId{2}, channel, slot);
+      ASSERT_LE(fade, bound);
+      ASSERT_GE(fade, -bound);
+      if (fade > worst) worst = fade;
+    }
+  }
+  // The bound is tight enough to be exercised: deep fades approach it.
+  EXPECT_GT(worst, 0.5 * bound);
+}
+
+}  // namespace
+}  // namespace digs

@@ -32,13 +32,12 @@ int main() {
 
       // PDR during the repair window: the first minute after the jammers
       // switch on, while routes and schedules are being repaired.
-      Network& net = runner.network();
       const SimTime jam_start = runner.measure_start() +
                                 seconds(static_cast<std::int64_t>(60));
-      const SimTime window_end =
-          jam_start + seconds(static_cast<std::int64_t>(60));
-      for (const FlowRecord& flow : net.stats().flows()) {
-        pdr.add(net.stats().pdr(flow.id, jam_start, window_end));
+      for (const double flow_pdr :
+           repair_window_pdrs(runner.network().stats(), jam_start,
+                              seconds(static_cast<std::int64_t>(60)))) {
+        pdr.add(flow_pdr);
       }
     }
     bench::print_boxplot(pdr, std::to_string(jammers) + " jammer(s)");

@@ -6,6 +6,7 @@
 // ids start right after the access points.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -43,6 +44,37 @@ inline constexpr int kNumChannels = 16;
 
 /// Rank advertised by nodes with no route (RPL INFINITE_RANK analogue).
 inline constexpr std::uint16_t kInfiniteRank = 0xffff;
+
+/// Why a data packet was abandoned before delivery. Threaded from the drop
+/// site (MAC queue, forwarding path, or failure injection) into the flow
+/// statistics so recovery experiments can attribute losses — in particular
+/// packets blackholed by stale routes after a fault.
+enum class DropReason : std::uint8_t {
+  kQueueOverflow,      // MAC application queue was full
+  kAttemptsExhausted,  // retransmission budget spent
+  kHopLimit,           // exceeded max_hops (routing-loop protection)
+  kNoRoute,            // no usable route at an access point / gateway
+  kStaleRoute,         // descended into a stale branch and had to be cut
+  kSourceDead,         // generated at a powered-off source
+  kPowerLoss,          // queued at a node when its power was cut
+  kOther,
+};
+inline constexpr std::size_t kNumDropReasons =
+    static_cast<std::size_t>(DropReason::kOther) + 1;
+
+[[nodiscard]] constexpr const char* to_string(DropReason reason) {
+  switch (reason) {
+    case DropReason::kQueueOverflow: return "queue_overflow";
+    case DropReason::kAttemptsExhausted: return "attempts_exhausted";
+    case DropReason::kHopLimit: return "hop_limit";
+    case DropReason::kNoRoute: return "no_route";
+    case DropReason::kStaleRoute: return "stale_route";
+    case DropReason::kSourceDead: return "source_dead";
+    case DropReason::kPowerLoss: return "power_loss";
+    case DropReason::kOther: return "other";
+  }
+  return "?";
+}
 
 /// Identifier of an end-to-end data flow.
 struct FlowId {

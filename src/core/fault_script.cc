@@ -1,0 +1,56 @@
+#include "core/fault_script.h"
+
+#include "core/network.h"
+#include "phy/jammer.h"
+
+namespace digs {
+
+std::vector<SimDuration> FaultScript::disturbance_offsets() const {
+  std::vector<SimDuration> out;
+  for (const FaultEvent& e : events_) {
+    if (e.kind != FaultEvent::Kind::kRecover) out.push_back(e.at);
+  }
+  return out;
+}
+
+void FaultScript::install(Network& net) const {
+  for (const FaultEvent& event : events_) {
+    switch (event.kind) {
+      case FaultEvent::Kind::kCrash:
+        net.sim().schedule_after(event.at, [&net, node = event.node] {
+          net.set_node_alive(node, false);
+        });
+        break;
+      case FaultEvent::Kind::kRecover:
+        net.sim().schedule_after(event.at, [&net, node = event.node] {
+          net.set_node_alive(node, true);
+        });
+        break;
+      case FaultEvent::Kind::kBlackout:
+        net.sim().schedule_after(
+            event.at, [&net, a = event.link_a, b = event.link_b] {
+              net.medium().set_link_blackout(a, b, true);
+            });
+        net.sim().schedule_after(
+            event.at + event.duration,
+            [&net, a = event.link_a, b = event.link_b] {
+              net.medium().set_link_blackout(a, b, false);
+            });
+        break;
+      case FaultEvent::Kind::kBurst: {
+        JammerConfig jam;
+        jam.position = event.position;
+        jam.tx_power_dbm = event.power_dbm;
+        jam.pattern = JammerPattern::kConstant;
+        jam.start = net.sim().now() + event.at;
+        jam.on_duration = event.duration;
+        // One-shot: park the off-phase far beyond any experiment horizon.
+        jam.off_duration = seconds(static_cast<std::int64_t>(1) << 40);
+        net.add_jammer(jam);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace digs

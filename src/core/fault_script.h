@@ -1,0 +1,119 @@
+// Declarative fault timeline for robustness experiments: node crashes AND
+// recoveries, transient link blackouts (a pair's PRR forced to zero for a
+// window), access-point failover (crash an AP; traffic re-homes to the
+// survivor through the same crash/recover events), and burst-interference
+// windows. A script is built fluently, stored in an ExperimentConfig, and
+// installed onto a running Network, where each event becomes a simulator
+// event at its offset. All offsets are relative to install time (the
+// experiment runner installs at warmup end, matching the paper's
+// disturbance-after-convergence methodology).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "phy/geometry.h"
+
+namespace digs {
+
+class Network;
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kCrash,     // node loses power (cold restart on recovery)
+    kRecover,   // node powers back up, rejoins from scratch
+    kBlackout,  // link (a, b) receives nothing for `duration`
+    kBurst,     // constant interferer at `position` for `duration`
+  };
+  Kind kind;
+  SimDuration at{};  // offset from install()
+  NodeId node;       // kCrash / kRecover
+  NodeId link_a;     // kBlackout endpoints
+  NodeId link_b;
+  SimDuration duration{};  // kBlackout / kBurst window length
+  Position position;       // kBurst interferer location
+  double power_dbm{10.0};  // kBurst interferer TX power
+};
+
+class FaultScript {
+ public:
+  FaultScript& crash(SimDuration at, NodeId node) {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kCrash;
+    e.at = at;
+    e.node = node;
+    events_.push_back(e);
+    return *this;
+  }
+
+  FaultScript& recover(SimDuration at, NodeId node) {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kRecover;
+    e.at = at;
+    e.node = node;
+    events_.push_back(e);
+    return *this;
+  }
+
+  /// `cycles` crash/recover pairs: crash at `first_crash`, recover after
+  /// `downtime`, next crash after a further `uptime`, and so on.
+  FaultScript& crash_cycle(SimDuration first_crash, NodeId node,
+                           SimDuration downtime, SimDuration uptime,
+                           int cycles) {
+    SimDuration t = first_crash;
+    for (int i = 0; i < cycles; ++i) {
+      crash(t, node);
+      recover(t + downtime, node);
+      t = t + downtime + uptime;
+    }
+    return *this;
+  }
+
+  /// Forces the (a, b) link PRR to zero in both directions for `duration`.
+  FaultScript& blackout(SimDuration at, NodeId a, NodeId b,
+                        SimDuration duration) {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kBlackout;
+    e.at = at;
+    e.link_a = a;
+    e.link_b = b;
+    e.duration = duration;
+    events_.push_back(e);
+    return *this;
+  }
+
+  /// Constant carrier at `where` for `duration` (JamLab-style burst).
+  FaultScript& burst(SimDuration at, Position where, double power_dbm,
+                     SimDuration duration) {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kBurst;
+    e.at = at;
+    e.duration = duration;
+    e.position = where;
+    e.power_dbm = power_dbm;
+    events_.push_back(e);
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Offsets at which something starts going wrong (crashes, blackout and
+  /// burst starts — not recoveries). Repair-time measurement anchors here.
+  [[nodiscard]] std::vector<SimDuration> disturbance_offsets() const;
+
+  /// Schedules every event on the network's simulator, offsets relative to
+  /// the current simulated time. Burst events register their jammer
+  /// immediately (jammers are stateless; the macro on/off window gates
+  /// them), everything else becomes a timed simulator event.
+  void install(Network& net) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace digs

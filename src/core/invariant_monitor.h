@@ -1,0 +1,155 @@
+// Runtime network-invariant monitor: audits the routing graph and the
+// installed TSCH schedules after every topology change and on a periodic
+// sweep, recording violations instead of asserting — faults are injected on
+// purpose, and the interesting question is whether the protocols converge
+// back to a consistent state, not whether they pass through inconsistent
+// ones (distance-vector routing legitimately does, briefly).
+//
+// Checks:
+//   - Rank rule / DAG-ness: no node routes through an alive parent of equal
+//     or higher rank, and following best parents never returns to the start.
+//     Both are transiently violated during repair (a parent's rank can rise
+//     before the child hears about it), so they only count as violations
+//     when they PERSIST for kTransientGrace. Dead parents are exempt:
+//     failure detection is traffic-driven by design, and routing towards a
+//     crashed node shows up in the recovery metrics (repair time,
+//     stale-route drops), not as a graph inconsistency.
+//   - Child / descendant staleness: no child-table entry older than the
+//     protocol's child timeout plus one prune period, and no downlink
+//     descendant entry whose via-child left the child table more than one
+//     prune period ago. These catch eviction bugs (the prune timers should
+//     make such entries impossible).
+//   - Schedule conflicts: within one node, two dedicated TX cells of the
+//     same (class, direction) towards different peers on the same slot
+//     offset; across nodes, two field devices sharing an uplink TX slot
+//     offset where paper Eq. 4 guarantees injectivity (only checked while
+//     attempts * num_field_devices < app_slotframe_len, the regime the
+//     guarantee covers — and only for the DiGS cell layout; Orchestra's
+//     47-slot shared frame collides by design).
+//
+// Zero-cost when disabled: the Network only constructs the monitor (and
+// sets the per-node audit hook) when NetworkConfig::monitor_invariants is
+// true; otherwise the per-topology-change cost is one unset-std::function
+// branch.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace digs {
+
+class Network;
+
+enum class InvariantKind : std::uint8_t {
+  kRankRule,          // routes through an equal-or-higher-rank parent
+  kParentCycle,       // best-parent chain returns to the node
+  kStaleChild,        // child entry outlived timeout + prune period
+  kStaleDescendant,   // descendant entry stale or via a departed child
+  kScheduleConflict,  // dedicated TX cells collide on a slot offset
+};
+
+[[nodiscard]] constexpr const char* to_string(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kRankRule: return "rank_rule";
+    case InvariantKind::kParentCycle: return "parent_cycle";
+    case InvariantKind::kStaleChild: return "stale_child";
+    case InvariantKind::kStaleDescendant: return "stale_descendant";
+    case InvariantKind::kScheduleConflict: return "schedule_conflict";
+  }
+  return "?";
+}
+
+struct InvariantViolation {
+  InvariantKind kind;
+  /// The node whose state violates the invariant.
+  NodeId node;
+  /// The offending counterpart (parent, child, descendant destination, or
+  /// conflicting peer); kNoNode when the violation has no counterpart.
+  NodeId other;
+  std::uint64_t asn{0};
+  SimTime at;
+};
+
+class NetworkInvariantMonitor {
+ public:
+  /// Persistence grace for conditions that are legal transients of
+  /// distance-vector repair (rank inversions, momentary parent cycles).
+  static constexpr SimDuration kTransientGrace =
+      seconds(static_cast<std::int64_t>(60));
+  /// Slack covering one 30 s prune-timer period (plus the ordering of
+  /// prune_children before prune_descendants within one firing).
+  static constexpr SimDuration kPruneGrace =
+      seconds(static_cast<std::int64_t>(31));
+  /// Period of the full-network sweep that matures pending suspicions even
+  /// when no further topology change fires.
+  static constexpr SimDuration kSweepPeriod =
+      seconds(static_cast<std::int64_t>(5));
+
+  explicit NetworkInvariantMonitor(Network& net);
+
+  /// Starts the periodic sweep (call once the network is started).
+  void start();
+
+  /// Audits one node right after its routing/schedule state changed.
+  void on_topology_changed(NodeId node, SimTime now);
+
+  /// Audits every alive node plus the cross-node schedule check now
+  /// (also what the periodic sweep runs).
+  void audit_network(SimTime now);
+
+  /// Every violation recorded so far, in detection order. Each
+  /// (kind, node, other) triple is recorded at most once.
+  [[nodiscard]] const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::size_t count(InvariantKind kind) const;
+
+ private:
+  [[nodiscard]] static std::uint64_t key(InvariantKind kind, NodeId node,
+                                         NodeId other) {
+    return (static_cast<std::uint64_t>(kind) << 32) |
+           (static_cast<std::uint64_t>(node.value) << 16) |
+           static_cast<std::uint64_t>(other.value);
+  }
+  [[nodiscard]] static NodeId key_node(std::uint64_t k) {
+    return NodeId{static_cast<std::uint16_t>((k >> 16) & 0xFFFF)};
+  }
+
+  void audit_node(std::size_t i, SimTime now);
+  void audit_uplink_slot_uniqueness(SimTime now);
+  void record(InvariantKind kind, NodeId node, NodeId other, SimTime now);
+
+  /// A condition that must persist for `grace` before counting.
+  struct GracedCondition {
+    std::uint64_t key;
+    SimDuration grace;
+  };
+
+  /// Collect the conditions currently true for node i.
+  void collect_rank_and_cycle(std::size_t i,
+                              std::vector<GracedCondition>& graced) const;
+  void collect_staleness(std::size_t i, SimTime now,
+                         std::vector<GracedCondition>& graced,
+                         std::vector<std::uint64_t>& immediate) const;
+  void collect_schedule_conflicts(
+      std::size_t i, std::vector<std::uint64_t>& immediate) const;
+
+  Network& net_;
+  PeriodicTimer sweep_;
+  std::vector<InvariantViolation> violations_;
+  /// Graced conditions currently observed -> first time they were seen.
+  std::unordered_map<std::uint64_t, SimTime> suspects_;
+  /// (kind, node, other) triples already recorded (dedup).
+  std::unordered_set<std::uint64_t> recorded_;
+  // Per-audit scratch.
+  std::vector<GracedCondition> graced_scratch_;
+  std::vector<std::uint64_t> immediate_scratch_;
+};
+
+}  // namespace digs

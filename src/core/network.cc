@@ -4,7 +4,11 @@
 #include <iterator>
 #include <numeric>
 
+#include "core/invariant_monitor.h"
+
 namespace digs {
+
+Network::~Network() = default;
 
 Network::Network(const NetworkConfig& config, std::vector<Position> positions)
     : config_(config),
@@ -22,11 +26,17 @@ Network::Network(const NetworkConfig& config, std::vector<Position> positions)
     stats_.on_delivered(payload.flow, payload.seq, now);
   };
   hooks.on_data_lost = [this](NodeId /*node*/, const DataPayload& payload,
-                              SimTime now) {
-    stats_.on_dropped(payload.flow, payload.seq, now);
+                              DropReason reason, SimTime now) {
+    stats_.on_dropped(payload.flow, payload.seq, now, reason);
   };
   hooks.on_joined = [this](NodeId id, SimTime now) {
     joined_at_[id.value] = now;
+  };
+  hooks.on_became_joined = [this](NodeId id, SimTime now) {
+    const std::int32_t pending = pending_revive_[id.value];
+    if (pending < 0) return;  // a first join, not a post-revival rejoin
+    revivals_[static_cast<std::size_t>(pending)].rejoined_at = now;
+    pending_revive_[id.value] = -1;
   };
   hooks.on_fully_joined = [this](NodeId id, SimTime now) {
     fully_joined_at_[id.value] = now;
@@ -50,7 +60,13 @@ Network::Network(const NetworkConfig& config, std::vector<Position> positions)
     return nodes_[best_ap]->inject_downlink(payload, now);
   };
   hooks.on_wakeup_changed = [this](NodeId id) { on_node_wake_dirty(id); };
+  if (config_.monitor_invariants) {
+    hooks.on_topology_audit = [this](NodeId id, SimTime now) {
+      if (monitor_) monitor_->on_topology_changed(id, now);
+    };
+  }
 
+  pending_revive_.assign(medium_.num_nodes(), -1);
   nodes_.reserve(medium_.num_nodes());
   for (std::size_t i = 0; i < medium_.num_nodes(); ++i) {
     const NodeId id{static_cast<std::uint16_t>(i)};
@@ -61,6 +77,9 @@ Network::Network(const NetworkConfig& config, std::vector<Position> positions)
   }
   if (config_.suite == ProtocolSuite::kWirelessHart) {
     manager_ = std::make_unique<CentralManager>(*this, config_.manager);
+  }
+  if (config_.monitor_invariants) {
+    monitor_ = std::make_unique<NetworkInvariantMonitor>(*this);
   }
 }
 
@@ -87,6 +106,7 @@ void Network::start() {
 
   for (auto& node : nodes_) node->start(now);
   if (manager_) manager_->start();
+  if (monitor_) monitor_->start();
 
   // Slot driver. The engine's wakeup table is built only now, after every
   // node installed its initial slotframes (install notifications before this
@@ -127,7 +147,7 @@ void Network::generate_flow_packet(std::size_t flow_index) {
   if (source.alive()) {
     source.generate_packet(flow.id, seq, now, flow.downlink_dest);
   } else {
-    stats_.on_dropped(flow.id, seq, now);
+    stats_.on_dropped(flow.id, seq, now, DropReason::kSourceDead);
   }
   sim_.schedule_after(flow.period,
                       [this, flow_index] { generate_flow_packet(flow_index); });
@@ -144,6 +164,16 @@ void Network::set_node_alive(NodeId id, bool alive) {
       settle_node_to(i, slots_before(now));
     } else {
       slots_charged_[i] = slots_before(now);
+    }
+  }
+  if (nodes_[i]->alive() != alive) {
+    if (alive) {
+      // Open the rejoin measurement BEFORE restarting the node: a revived
+      // access point rejoins instantly inside set_alive.
+      pending_revive_[i] = static_cast<std::int32_t>(revivals_.size());
+      revivals_.push_back(ReviveRecord{id, now, SimTime{-1}});
+    } else {
+      pending_revive_[i] = -1;  // an open record stays never-rejoined
     }
   }
   node(id).set_alive(alive, now);  // revival refreshes the wakeup via the

@@ -48,6 +48,11 @@ struct NetworkConfig {
   /// that visits every node every slot. Both produce bit-identical results;
   /// the flag exists for the equivalence tests and for debugging.
   bool use_slot_engine = true;
+  /// Runs the NetworkInvariantMonitor: audits DAG-ness, table consistency
+  /// and schedule conflict-freedom after every topology change and on a
+  /// periodic sweep. Off by default — when off, no monitor is constructed
+  /// and the per-change cost is one unset-hook branch.
+  bool monitor_invariants = false;
 };
 
 /// A periodic application flow from a field device towards the APs.
@@ -62,11 +67,23 @@ struct FlowSpec {
   NodeId downlink_dest;
 };
 
+class NetworkInvariantMonitor;
+
+/// One node revival and when (whether) the revived node rejoined the
+/// routing graph. A record whose node crashes again before rejoining stays
+/// open forever (it never rejoined within that up-window).
+struct ReviveRecord {
+  NodeId node;
+  SimTime revived_at;
+  SimTime rejoined_at{-1};  // < 0: not (yet) rejoined
+};
+
 class Network {
  public:
   /// `positions[i]` is the position of node i; nodes
   /// [0, num_access_points) are the access points.
   Network(const NetworkConfig& config, std::vector<Position> positions);
+  ~Network();
 
   [[nodiscard]] Simulator& sim() { return sim_; }
   [[nodiscard]] Medium& medium() { return medium_; }
@@ -92,6 +109,21 @@ class Network {
 
   /// The Network Manager (kWirelessHart suite only; nullptr otherwise).
   [[nodiscard]] CentralManager* manager() { return manager_.get(); }
+
+  /// The invariant monitor (only when config.monitor_invariants).
+  [[nodiscard]] NetworkInvariantMonitor* invariant_monitor() {
+    return monitor_.get();
+  }
+  [[nodiscard]] const NetworkInvariantMonitor* invariant_monitor() const {
+    return monitor_.get();
+  }
+
+  /// Every revival injected via set_node_alive(id, true), in order, with
+  /// the rejoin instant filled in once the revived node selects a parent
+  /// again (time-to-rejoin = rejoined_at - revived_at).
+  [[nodiscard]] const std::vector<ReviveRecord>& revivals() const {
+    return revivals_;
+  }
 
   [[nodiscard]] FlowStatsCollector& stats() { return stats_; }
   [[nodiscard]] const FlowStatsCollector& stats() const { return stats_; }
@@ -202,6 +234,11 @@ class Network {
   std::uint64_t ack_seed_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<CentralManager> manager_;
+  std::unique_ptr<NetworkInvariantMonitor> monitor_;
+  std::vector<ReviveRecord> revivals_;
+  // Per node: index into revivals_ of its open record (-1 = none). Cleared
+  // on death — a revival interrupted by another crash never rejoined.
+  std::vector<std::int32_t> pending_revive_;
   std::vector<FlowSpec> flows_;
   std::vector<std::uint32_t> flow_seq_;
   FlowStatsCollector stats_;

@@ -31,9 +31,10 @@ Node::Node(Simulator& sim, NodeId id, bool is_access_point,
                                      : NeighborInfo::kInfiniteRank;
                    },
                .on_data_dropped =
-                   [this](const DataPayload& payload, SimTime now) {
+                   [this](const DataPayload& payload, DropReason reason,
+                          SimTime now) {
                      if (hooks_.on_data_lost) {
-                       hooks_.on_data_lost(id_, payload, now);
+                       hooks_.on_data_lost(id_, payload, reason, now);
                      }
                    },
                .on_wakeup_changed =
@@ -90,10 +91,29 @@ void Node::start(SimTime now) {
 void Node::set_alive(bool alive, SimTime now) {
   if (alive == alive_) return;
   alive_ = alive;
-  if (!alive) return;
+  if (!alive) {
+    // Power down: every layer's volatile state dies with the node, so a
+    // later revival restarts cold — infinite rank, no parents, children,
+    // descendants, or neighbors — instead of resuming pre-crash routes.
+    mac_.power_down(now);
+    routing_->power_down(now);
+    neighbors_.clear();
+    rebuild_schedule();
+    // An access point keeps joined() == true through power_down (its rank
+    // is constitutive); force the tracker down so revival re-reports the
+    // join transition like any other reboot.
+    was_joined_ = false;
+    return;
+  }
   // Restart: a repowered device rejoins from scratch.
   mac_.reset_to_unsynced(now);
   rebuild_schedule();
+  if (is_access_point_) {
+    // reset_to_unsynced is a no-op for access points (they are the time
+    // source); restart their routing directly so they resume beaconing
+    // and advertising immediately.
+    routing_->start(now);
+  }
 }
 
 void Node::generate_packet(FlowId flow, std::uint32_t seq, SimTime now,
@@ -111,7 +131,9 @@ void Node::generate_packet(FlowId flow, std::uint32_t seq, SimTime now,
       // Gateway-originated command: the backbone injects it at whichever
       // access point holds the freshest route to the destination.
       if (hooks_.gateway_route && hooks_.gateway_route(payload, now)) return;
-      if (hooks_.on_data_lost) hooks_.on_data_lost(id_, payload, now);
+      if (hooks_.on_data_lost) {
+        hooks_.on_data_lost(id_, payload, DropReason::kNoRoute, now);
+      }
       return;
     }
     down = routing_->next_hop_down(final_dst);
@@ -167,7 +189,9 @@ void Node::on_frame(const Frame& frame, double rss_dbm, SimTime now) {
       }
       ++payload.hops;
       if (payload.hops > config_.mac.max_hops) {
-        if (hooks_.on_data_lost) hooks_.on_data_lost(id_, payload, now);
+        if (hooks_.on_data_lost) {
+          hooks_.on_data_lost(id_, payload, DropReason::kHopLimit, now);
+        }
         break;
       }
       // Common-ancestor forwarding: descend as soon as the destination is
@@ -182,7 +206,9 @@ void Node::on_frame(const Frame& frame, double rss_dbm, SimTime now) {
             if (hooks_.gateway_route && hooks_.gateway_route(payload, now)) {
               break;
             }
-            if (hooks_.on_data_lost) hooks_.on_data_lost(id_, payload, now);
+            if (hooks_.on_data_lost) {
+              hooks_.on_data_lost(id_, payload, DropReason::kNoRoute, now);
+            }
             break;
           }
           // A packet that was DESCENDING reached us through a stale table
@@ -193,7 +219,9 @@ void Node::on_frame(const Frame& frame, double rss_dbm, SimTime now) {
               frame.src == routing_->best_parent() ||
               frame.src == routing_->second_best_parent();
           if (descending) {
-            if (hooks_.on_data_lost) hooks_.on_data_lost(id_, payload, now);
+            if (hooks_.on_data_lost) {
+              hooks_.on_data_lost(id_, payload, DropReason::kStaleRoute, now);
+            }
             break;
           }
           // Ascending with no route yet: keep climbing (down stays
@@ -231,7 +259,8 @@ void Node::on_topology_changed(SimTime now) {
   rebuild_schedule();
   mac_.set_time_source(routing_->best_parent());
 
-  if (!joined_reported_ && routing_->joined()) {
+  const bool now_joined = routing_->joined();
+  if (!joined_reported_ && now_joined) {
     joined_reported_ = true;
     if (hooks_.on_joined) hooks_.on_joined(id_, now);
   }
@@ -239,6 +268,11 @@ void Node::on_topology_changed(SimTime now) {
     fully_joined_reported_ = true;
     if (hooks_.on_fully_joined) hooks_.on_fully_joined(id_, now);
   }
+  if (now_joined && !was_joined_ && hooks_.on_became_joined) {
+    hooks_.on_became_joined(id_, now);
+  }
+  was_joined_ = now_joined;
+  if (hooks_.on_topology_audit) hooks_.on_topology_audit(id_, now);
 }
 
 void Node::rebuild_schedule() {

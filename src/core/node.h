@@ -64,11 +64,22 @@ class Node {
     std::function<void(NodeId ap, const DataPayload&, SimTime now)>
         on_data_delivered;
     /// A data packet was lost at this node (attempts exhausted, queue
-    /// overflow, or hop limit).
-    std::function<void(NodeId node, const DataPayload&, SimTime now)>
+    /// overflow, hop limit, stale route, or power loss).
+    std::function<void(NodeId node, const DataPayload&, DropReason,
+                       SimTime now)>
         on_data_lost;
     /// First time the node selected a best parent (joined).
     std::function<void(NodeId node, SimTime now)> on_joined;
+    /// Every false -> true transition of routing().joined(), including the
+    /// first. The Network matches these against pending revivals to measure
+    /// time-to-rejoin; the one-shot on_joined above stays first-join-only
+    /// (Fig. 13 semantics survive crash/recover cycles).
+    std::function<void(NodeId node, SimTime now)> on_became_joined;
+    /// Fired after every routing/schedule change was applied (parents,
+    /// rank, children, or confirmed roles moved and the slotframes were
+    /// rebuilt). The invariant monitor audits from here; unset when
+    /// monitoring is disabled, so the hook costs one branch.
+    std::function<void(NodeId node, SimTime now)> on_topology_audit;
     /// First time the node holds every parent its protocol wants
     /// (bp+sbp for DiGS, bp for Orchestra) — the Fig. 13 join criterion.
     std::function<void(NodeId node, SimTime now)> on_fully_joined;
@@ -153,6 +164,10 @@ class Node {
   bool alive_{true};
   bool joined_reported_{false};
   bool fully_joined_reported_{false};
+  /// Tracks routing().joined() across topology changes so on_became_joined
+  /// fires exactly on false -> true transitions (reset on power-down, so a
+  /// revived access point re-reports when it restarts its routing).
+  bool was_joined_{false};
 };
 
 }  // namespace digs

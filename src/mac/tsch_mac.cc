@@ -23,7 +23,9 @@ TschMac::TschMac(NodeId id, bool is_access_point, const MacConfig& config,
 bool TschMac::enqueue_data(const DataPayload& payload, SimTime now,
                            NodeId down_next_hop) {
   if (app_queue_.size() >= config_.app_queue_capacity) {
-    if (callbacks_.on_data_dropped) callbacks_.on_data_dropped(payload, now);
+    if (callbacks_.on_data_dropped) {
+      callbacks_.on_data_dropped(payload, DropReason::kQueueOverflow, now);
+    }
     return false;
   }
   const bool was_idle = app_queue_.empty();
@@ -266,9 +268,9 @@ void TschMac::handle_routing_tx_result(bool acked, SimTime /*now*/) {
       static_cast<int>(rng_.uniform_int(std::uint64_t{1} << backoff_exp_));
 }
 
-void TschMac::drop_packet(std::size_t index, SimTime now) {
+void TschMac::drop_packet(std::size_t index, DropReason reason, SimTime now) {
   if (callbacks_.on_data_dropped) {
-    callbacks_.on_data_dropped(app_queue_[index].payload, now);
+    callbacks_.on_data_dropped(app_queue_[index].payload, reason, now);
   }
   app_queue_.erase(app_queue_.begin() +
                    static_cast<std::ptrdiff_t>(index));
@@ -286,7 +288,7 @@ void TschMac::handle_data_tx_result(bool acked, SimTime now) {
     AppPacket& packet = app_queue_[i];
     ++packet.attempts;
     if (packet.attempts >= config_.max_data_transmissions) {
-      drop_packet(i, now);
+      drop_packet(i, DropReason::kAttemptsExhausted, now);
     }
     return;
   }
@@ -315,6 +317,19 @@ void TschMac::reset_to_unsynced(SimTime now) {
     // (experiment restarts a dead node).
     notify_wakeup_changed();
     if (callbacks_.on_desynced) callbacks_.on_desynced(now);
+  }
+}
+
+void TschMac::power_down(SimTime now) {
+  while (!app_queue_.empty()) drop_packet(0, DropReason::kPowerLoss, now);
+  routing_queue_.clear();
+  backoff_counter_ = 0;
+  backoff_exp_ = config_.backoff_min_exp;
+  pending_tx_.reset();
+  scan_slots_ = 0;
+  if (!is_access_point_) {
+    synced_ = false;
+    time_source_ = kNoNode;
   }
 }
 

@@ -93,7 +93,8 @@ class TschMac {
     /// Rank to advertise in our EBs.
     std::function<std::uint16_t()> rank_provider;
     /// A queued data packet exhausted its attempts or was evicted.
-    std::function<void(const DataPayload&, SimTime now)> on_data_dropped;
+    std::function<void(const DataPayload&, DropReason, SimTime now)>
+        on_data_dropped;
     /// The answer of next_active_asn() may have moved *earlier*: a slotframe
     /// was (re)installed, the application queue went empty -> non-empty, or
     /// the sync state flipped. The slot engine listens here to re-arm its
@@ -154,6 +155,13 @@ class TschMac {
 
   /// Force-desynchronizes (used when a node is restarted in experiments).
   void reset_to_unsynced(SimTime now);
+
+  /// Power loss: every queued packet dies with the node (reported as
+  /// kPowerLoss drops) and all MAC soft state is wiped, including the sync
+  /// state of field devices. Unlike reset_to_unsynced() this fires no
+  /// desync notification — the owning Node powers the routing layer down
+  /// itself, with power-loss (not brief-desync) semantics.
+  void power_down(SimTime now);
 
   // --- Slot-engine interface ---
 
@@ -224,7 +232,7 @@ class TschMac {
                                           std::uint64_t asn);
   void handle_data_tx_result(bool acked, SimTime now);
   void handle_routing_tx_result(bool acked, SimTime now);
-  void drop_packet(std::size_t index, SimTime now);
+  void drop_packet(std::size_t index, DropReason reason, SimTime now);
   /// Queue index of the first packet the given TX cell can carry, or npos.
   [[nodiscard]] std::size_t match_packet(const Cell& cell) const;
   void notify_wakeup_changed() {

@@ -58,6 +58,10 @@ class NeighborTable {
   /// Removes a neighbor entirely (e.g. declared dead).
   void remove(NodeId id);
 
+  /// Forgets every neighbor (the owning node lost power; ETX estimates and
+  /// advertisements do not survive a reboot).
+  void clear() { entries_.clear(); }
+
   [[nodiscard]] const NeighborInfo* find(NodeId id) const;
   [[nodiscard]] NeighborInfo* find(NodeId id);
 

@@ -22,6 +22,22 @@ void Medium::add_jammer(const JammerConfig& jammer_config) {
                         hash_mix(seed_, 0x1A33, jammers_.size()));
 }
 
+void Medium::set_link_blackout(NodeId a, NodeId b, bool blacked_out) {
+  const std::size_t n = positions_.size();
+  if (a.value >= n || b.value >= n || a == b) return;
+  if (blackouts_.empty()) {
+    if (!blacked_out) return;
+    blackouts_.assign(n * n, 0);
+  }
+  const std::uint8_t value = blacked_out ? 1 : 0;
+  for (const std::size_t index :
+       {a.value * n + b.value, b.value * n + a.value}) {
+    if (blackouts_[index] == value) continue;
+    blackouts_[index] = value;
+    blackouts_active_ += blacked_out ? 1 : -1;
+  }
+}
+
 double Medium::rss_dbm(NodeId tx, NodeId rx, PhysicalChannel channel,
                        std::uint64_t slot, double tx_power_dbm) const {
   // Fast path: at the primed TX power the static mean comes from the flat
@@ -133,6 +149,7 @@ Medium::ReceptionCheck Medium::check_reception(
   const double signal_dbm =
       rss_dbm(tx.sender, rx, tx.channel, slot, tx.tx_power_dbm);
   if (signal_dbm < config_.sensitivity_dbm) return {0.0, signal_dbm};
+  if (link_blacked_out(tx.sender, rx)) return {0.0, signal_dbm};
 
   const double interf_mw = interference_mw(rx, tx.channel, slot, slot_start,
                                            concurrent, tx.sender);

@@ -52,6 +52,20 @@ class Medium {
   void clear_jammers() { jammers_.clear(); }
   [[nodiscard]] std::size_t num_jammers() const { return jammers_.size(); }
 
+  /// Forces the (a, b) link's decode probability to 0 in both directions
+  /// while set (transient blackout, the paper's "link quality changes").
+  /// The blacked-out frame still radiates: it keeps contributing
+  /// interference at every other listener, only the decode is suppressed.
+  void set_link_blackout(NodeId a, NodeId b, bool blacked_out);
+
+  /// True if decoding (tx -> rx) is currently suppressed by a blackout.
+  [[nodiscard]] bool link_blacked_out(NodeId tx, NodeId rx) const {
+    if (blackouts_active_ == 0) return false;
+    const std::size_t n = positions_.size();
+    if (tx.value >= n || rx.value >= n) return false;
+    return blackouts_[tx.value * n + rx.value] != 0;
+  }
+
   [[nodiscard]] std::size_t num_nodes() const { return positions_.size(); }
   [[nodiscard]] const Position& position(NodeId id) const {
     return positions_[id.value];
@@ -178,6 +192,11 @@ class Medium {
   mutable std::map<int, PrrTable> extra_prr_tables_;
   // Static candidate matrix [tx * N + rx]; empty until build_reachability().
   std::vector<std::uint8_t> reachable_;
+  // Blackout matrix [tx * N + rx]; empty until the first set_link_blackout().
+  // blackouts_active_ counts the set directed entries so the hot-path check
+  // is one integer compare when no blackout is scripted.
+  std::vector<std::uint8_t> blackouts_;
+  int blackouts_active_{0};
   // Flat mean-RSS table at the reachability index's TX power, indexed
   // [(rx * kNumChannels + channel) * N + tx]: for a fixed listener and
   // channel the per-transmitter means are contiguous, so the per-slot

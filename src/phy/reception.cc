@@ -58,6 +58,7 @@ Medium::ReceptionCheck SlotReception::decode(std::size_t t) const {
   if (tx.sender == rx_) return {};
   const double signal_dbm = rss_dbm_[t];
   if (signal_dbm < medium_->config().sensitivity_dbm) return {0.0, signal_dbm};
+  if (medium_->link_blacked_out(tx.sender, rx_)) return {0.0, signal_dbm};
 
   double interf_mw = total_mw_ - mw_[t];
   if (interf_mw < 0.0) interf_mw = 0.0;  // FP guard for the subtraction

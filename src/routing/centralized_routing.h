@@ -41,6 +41,16 @@ class CentralizedRouting final : public RoutingProtocol {
     (void)now;
   }
 
+  void power_down(SimTime now) override {
+    // Power loss wipes the installed assignment; the manager reinstalls
+    // routes on its next recompute after the node revives.
+    best_parent_ = kNoNode;
+    second_best_parent_ = kNoNode;
+    children_.clear();
+    if (!is_access_point_) rank_ = kInfiniteRank;
+    if (env_.on_topology_changed) env_.on_topology_changed(now);
+  }
+
   void handle_frame(const Frame&, double, SimTime) override {}
   void on_tx_result(NodeId, FrameType, bool, SimTime) override {}
   void touch_child(NodeId, SimTime) override {}

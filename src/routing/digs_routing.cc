@@ -105,6 +105,16 @@ void DigsRouting::stop(SimTime now) {
   if (env_.on_topology_changed) env_.on_topology_changed(now);
 }
 
+void DigsRouting::power_down(SimTime now) {
+  stop(now);
+  // Power loss is not a brief desync: the child and descendant tables die
+  // with the node, so a revival restarts cold. advert_seq_ survives — it
+  // must stay monotonic across reboots so ancestors prefer the revived
+  // node's fresh adverts over stale pre-crash branches (freshest-wins).
+  children_.clear();
+  descendants_.clear();
+}
+
 void DigsRouting::handle_frame(const Frame& frame, double /*rss_dbm*/,
                                SimTime now) {
   switch (frame.type) {

@@ -63,6 +63,7 @@ class DigsRouting final : public RoutingProtocol {
 
   void start(SimTime now) override;
   void stop(SimTime now) override;
+  void power_down(SimTime now) override;
   void handle_frame(const Frame& frame, double rss_dbm, SimTime now) override;
   void on_tx_result(NodeId peer, FrameType type, bool acked,
                     SimTime now) override;
@@ -102,6 +103,23 @@ class DigsRouting final : public RoutingProtocol {
     return parent_switches_;
   }
   [[nodiscard]] const Trickle& trickle() const { return trickle_; }
+
+  /// Read-only view of one downlink-table entry, for the invariant monitor
+  /// and tests (the table itself stays private).
+  struct DescendantView {
+    NodeId dest;
+    NodeId via;
+    SimTime refreshed;
+  };
+  [[nodiscard]] std::vector<DescendantView> descendant_entries() const {
+    std::vector<DescendantView> out;
+    out.reserve(descendants_.size());
+    for (const auto& [dest, entry] : descendants_) {
+      out.push_back({NodeId{dest}, entry.via, entry.refreshed});
+    }
+    return out;
+  }
+  [[nodiscard]] const DigsRoutingConfig& config() const { return config_; }
 
  private:
   /// Runs the Algorithm 1 update for a join-in received from `from`.

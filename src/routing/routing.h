@@ -69,6 +69,11 @@ class RoutingProtocol {
   /// neighbor table (owned by the Node).
   virtual void stop(SimTime now) = 0;
 
+  /// The node lost power (failure injection): unlike stop(), downstream
+  /// soft state (child / descendant tables) must die with the node so a
+  /// later revival restarts cold instead of resuming pre-crash routes.
+  virtual void power_down(SimTime now) { stop(now); }
+
   /// Handles a received routing frame (join-in / joined-callback). The
   /// neighbor table has already been updated with the frame's RSS and
   /// advertisement by the Node.

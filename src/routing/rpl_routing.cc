@@ -77,6 +77,13 @@ void RplRouting::stop(SimTime now) {
   if (env_.on_topology_changed) env_.on_topology_changed(now);
 }
 
+void RplRouting::power_down(SimTime now) {
+  stop(now);
+  // Power loss: the child table dies with the node (stop() keeps it so a
+  // brief desync does not orphan downstream nodes; a reboot must not).
+  children_.clear();
+}
+
 void RplRouting::handle_frame(const Frame& frame, double /*rss_dbm*/,
                               SimTime now) {
   switch (frame.type) {

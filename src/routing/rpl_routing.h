@@ -39,6 +39,7 @@ class RplRouting final : public RoutingProtocol {
 
   void start(SimTime now) override;
   void stop(SimTime now) override;
+  void power_down(SimTime now) override;
   void handle_frame(const Frame& frame, double rss_dbm, SimTime now) override;
   void on_tx_result(NodeId peer, FrameType type, bool acked,
                     SimTime now) override;

@@ -54,13 +54,14 @@ void FlowStatsCollector::on_delivered(FlowId flow, std::uint32_t seq,
 }
 
 void FlowStatsCollector::on_dropped(FlowId flow, std::uint32_t seq,
-                                    SimTime now) {
+                                    SimTime now, DropReason reason) {
   (void)now;
   FlowRecord* record = get(flow);
   if (record == nullptr) return;
   // A drop on one path is not a loss if another copy made it through.
   PacketRecord* packet = record->find(seq);
   if (packet == nullptr || packet->received()) return;
+  if (!packet->dropped) packet->drop_reason = reason;
   packet->dropped = true;
 }
 
@@ -161,6 +162,19 @@ std::uint64_t FlowStatsCollector::total_dropped() const {
   for (const FlowRecord& record : flows_) {
     for (const PacketRecord& packet : record.packets) {
       if (packet.dropped && !packet.received()) ++n;
+    }
+  }
+  return n;
+}
+
+std::uint64_t FlowStatsCollector::dropped_by(DropReason reason) const {
+  std::uint64_t n = 0;
+  for (const FlowRecord& record : flows_) {
+    for (const PacketRecord& packet : record.packets) {
+      if (packet.dropped && !packet.received() &&
+          packet.drop_reason == reason) {
+        ++n;
+      }
     }
   }
   return n;

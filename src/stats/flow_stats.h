@@ -24,6 +24,9 @@ struct PacketRecord {
   SimTime generated;
   std::optional<SimTime> delivered;
   bool dropped{false};
+  /// Why the packet was first declared lost (meaningful only when
+  /// `dropped`); later copies dropped for other reasons do not overwrite.
+  DropReason drop_reason{DropReason::kOther};
 
   [[nodiscard]] bool received() const { return delivered.has_value(); }
   [[nodiscard]] SimDuration latency() const {
@@ -47,7 +50,8 @@ class FlowStatsCollector {
   void on_generated(FlowId flow, std::uint32_t seq, SimTime now);
   /// Records a delivery; duplicates (same flow+seq) are ignored.
   void on_delivered(FlowId flow, std::uint32_t seq, SimTime now);
-  void on_dropped(FlowId flow, std::uint32_t seq, SimTime now);
+  void on_dropped(FlowId flow, std::uint32_t seq, SimTime now,
+                  DropReason reason = DropReason::kOther);
 
   [[nodiscard]] const std::vector<FlowRecord>& flows() const { return flows_; }
   [[nodiscard]] const FlowRecord* flow(FlowId id) const;
@@ -76,6 +80,9 @@ class FlowStatsCollector {
   [[nodiscard]] std::uint64_t total_generated() const;
   [[nodiscard]] std::uint64_t total_delivered() const;
   [[nodiscard]] std::uint64_t total_dropped() const;
+  /// Effectively-lost packets (dropped, never delivered) whose *first* drop
+  /// carried this reason. Sums to total_dropped() across all reasons.
+  [[nodiscard]] std::uint64_t dropped_by(DropReason reason) const;
 
  private:
   FlowRecord* get(FlowId flow);

@@ -5,7 +5,29 @@
 #include <cstdlib>
 #include <thread>
 
+#include "core/invariant_monitor.h"
+
 namespace digs {
+
+std::vector<double> repair_times_after(const FlowStatsCollector& stats,
+                                       SimTime event) {
+  std::vector<double> out;
+  for (const FlowRecord& flow : stats.flows()) {
+    const auto outage = stats.outage_after(flow.id, event);
+    if (outage) out.push_back(outage->seconds());
+  }
+  return out;
+}
+
+std::vector<double> repair_window_pdrs(const FlowStatsCollector& stats,
+                                       SimTime event, SimDuration window) {
+  std::vector<double> out;
+  out.reserve(stats.flows().size());
+  for (const FlowRecord& flow : stats.flows()) {
+    out.push_back(stats.pdr(flow.id, event, event + window));
+  }
+  return out;
+}
 
 NodeConfig ExperimentRunner::default_node_config() {
   NodeConfig config;
@@ -50,6 +72,7 @@ ExperimentRunner::ExperimentRunner(const TestbedLayout& layout,
   net.medium.propagation.path_loss_exponent = layout.path_loss_exponent;
   net.node.etx.admission_rss_dbm = layout.admission_rss_dbm;
   net.use_slot_engine = config.use_slot_engine;
+  net.monitor_invariants = config.monitor_invariants;
 
   network_ = std::make_unique<Network>(net, layout.positions);
 
@@ -106,6 +129,10 @@ ExperimentResult ExperimentRunner::run() {
   measure_start_ = net.sim().now();
   net.reset_energy();
 
+  // Fault script: installed now, so event offsets are relative to warmup
+  // end (faults hit a converged network, like the paper's disturbances).
+  if (!config_.faults.empty()) config_.faults.install(net);
+
   net.run_for(config_.duration + config_.stat_drain);
   // Packets *generated* within the window count; the drain time only gives
   // the last generations a chance to arrive.
@@ -145,8 +172,9 @@ ExperimentResult ExperimentRunner::run() {
           ? 100.0 * result.duty_cycle / static_cast<double>(delivered) * 100.0
           : 0.0;
 
-  // Repair times: longest outage after the disturbance event (jammer start
-  // or first failure), per flow that lost packets.
+  // Repair times: longest outage after the earliest disturbance (jammer
+  // start, first failure, or first fault-script event), per flow that lost
+  // packets.
   std::optional<SimTime> disturbance;
   if (config_.num_jammers > 0 && config_.jammer_start_after.has_value()) {
     disturbance = SimTime{0} + config_.warmup + *config_.jammer_start_after;
@@ -155,11 +183,50 @@ ExperimentResult ExperimentRunner::run() {
     const SimTime at = SimTime{0} + failure.at;
     if (!disturbance || at < *disturbance) disturbance = at;
   }
+  for (const SimDuration offset : config_.faults.disturbance_offsets()) {
+    const SimTime at = measure_start_ + offset;
+    if (!disturbance || at < *disturbance) disturbance = at;
+  }
   if (disturbance) {
-    for (const FlowRecord& flow : stats.flows()) {
-      const auto outage = stats.outage_after(flow.id, *disturbance);
-      if (outage) result.repair_times_s.push_back(outage->seconds());
+    result.repair_times_s = repair_times_after(stats, *disturbance);
+  }
+
+  // Recovery metrics.
+  result.revivals = net.revivals().size();
+  for (const ReviveRecord& revival : net.revivals()) {
+    if (revival.rejoined_at.us >= 0) {
+      result.rejoin_times_s.push_back(
+          (revival.rejoined_at - revival.revived_at).seconds());
     }
+  }
+  result.stale_route_drops = stats.dropped_by(DropReason::kStaleRoute);
+  if (const NetworkInvariantMonitor* monitor = net.invariant_monitor()) {
+    result.invariant_violations = monitor->violations().size();
+  }
+
+  // PDR dip around each fault-script disturbance: depth below the
+  // pre-fault baseline and time until a 10 s bin returns near it.
+  const SimDuration bin = seconds(static_cast<std::int64_t>(10));
+  for (const SimDuration offset : config_.faults.disturbance_offsets()) {
+    const SimTime fault_at = measure_start_ + offset;
+    if (fault_at >= measure_end) continue;
+    const double baseline = stats.overall_pdr(measure_start_, fault_at);
+    ExperimentResult::FaultDip dip;
+    dip.at_s = offset.seconds();
+    double worst = baseline;
+    SimTime recovered_at = measure_end;
+    for (SimTime t = fault_at; t < measure_end; t = t + bin) {
+      const SimTime bin_end = std::min(t + bin, measure_end);
+      const double pdr = stats.overall_pdr(t, bin_end);
+      worst = std::min(worst, pdr);
+      if (pdr >= baseline - 0.05) {
+        recovered_at = t;
+        break;
+      }
+    }
+    dip.depth = std::max(0.0, baseline - worst);
+    dip.duration_s = (recovered_at - fault_at).seconds();
+    result.fault_dips.push_back(dip);
   }
 
   for (std::size_t i = layout_.num_access_points;

@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/fault_script.h"
 #include "core/network.h"
 #include "testbed/layouts.h"
 
@@ -57,6 +58,15 @@ struct ExperimentConfig {
 
   std::vector<FailureEvent> failures;
 
+  /// Declarative fault timeline (crash/recover cycles, link blackouts,
+  /// AP failover, bursts), installed when the measurement window starts —
+  /// offsets in the script are relative to warmup end. Richer than the raw
+  /// `failures` list (which stays for offsets relative to network start).
+  FaultScript faults;
+  /// Runs the NetworkInvariantMonitor during the experiment; violations are
+  /// counted in ExperimentResult::invariant_violations.
+  bool monitor_invariants = false;
+
   /// Overrides applied to the default NodeConfig (slotframe lengths etc.).
   SchedulerConfig scheduler;
   /// Per-packet persistence measured in application slotframe cycles, so
@@ -101,6 +111,30 @@ struct ExperimentResult {
   /// The flow ids in flow_pdrs order, and per-(flow, seq) delivery map for
   /// micro-benchmarks.
   std::vector<FlowId> flow_ids;
+
+  // --- recovery metrics (fault-script experiments) ---
+
+  /// Node revivals injected during the run (crash/recover cycles).
+  std::size_t revivals{0};
+  /// Time-to-rejoin (s) per revival that rejoined the routing graph; a
+  /// revival missing here never rejoined before the run ended (or crashed
+  /// again first). Finite recovery for every revived node means
+  /// rejoin_times_s.size() == revivals.
+  std::vector<double> rejoin_times_s;
+  /// PDR dip around one fault-script disturbance: how deep network-wide
+  /// PDR fell below the pre-fault baseline and how long it stayed below
+  /// (10 s bins; duration capped at the measurement window end).
+  struct FaultDip {
+    double at_s{0};        // disturbance offset from warmup end (s)
+    double depth{0};       // baseline PDR minus the worst 10 s bin
+    double duration_s{0};  // time until a bin returns near baseline
+  };
+  std::vector<FaultDip> fault_dips;
+  /// Packets lost to stale routes (an ancestor's outdated downlink table
+  /// sent them down a dead branch).
+  std::uint64_t stale_route_drops{0};
+  /// Violations the invariant monitor recorded (0 when not monitoring).
+  std::size_t invariant_violations{0};
 };
 
 class ExperimentRunner {
@@ -127,6 +161,17 @@ class ExperimentRunner {
   std::unique_ptr<Network> network_;
   SimTime measure_start_{};
 };
+
+/// Longest per-flow outage (s) after `event`: the Fig. 4 repair-time
+/// measurement (generation of the first lost packet to the next delivery).
+/// Flows that lost no packet after `event` are absent.
+[[nodiscard]] std::vector<double> repair_times_after(
+    const FlowStatsCollector& stats, SimTime event);
+
+/// Per-flow PDR over the repair window [event, event + window): the Fig. 5
+/// PDR-during-repair measurement. One entry per registered flow.
+[[nodiscard]] std::vector<double> repair_window_pdrs(
+    const FlowStatsCollector& stats, SimTime event, SimDuration window);
 
 /// One independent experiment for run_trials().
 struct TrialSpec {

@@ -245,9 +245,8 @@ struct MacHarness {
     callbacks.on_synced = [this](SimTime) { ++synced_events; };
     callbacks.on_desynced = [this](SimTime) { ++desynced_events; };
     callbacks.rank_provider = [] { return std::uint16_t{3}; };
-    callbacks.on_data_dropped = [this](const DataPayload& p, SimTime) {
-      drops.push_back(p);
-    };
+    callbacks.on_data_dropped = [this](const DataPayload& p, DropReason,
+                                       SimTime) { drops.push_back(p); };
     mac = std::make_unique<TschMac>(id, is_ap, config, Rng(42), callbacks);
   }
 };

@@ -187,6 +187,55 @@ TEST(ExperimentTest, LayoutRadioRegimeApplied) {
       runner.network().node(NodeId{2}).mac().config().tx_power_dbm, 0.0);
 }
 
+// --- repair-window helpers (shared by run() and the fig04/fig05 benches) ---
+
+TEST(RepairHelpersTest, RepairTimesMatchPerFlowOutages) {
+  FlowStatsCollector stats;
+  stats.register_flow(FlowId{0}, NodeId{5});
+  stats.register_flow(FlowId{1}, NodeId{6});
+  const auto at = [](std::int64_t s) { return SimTime{0} + seconds(s); };
+
+  // Flow 0: delivery, then an 11 s outage (lost at 20, healed by the
+  // packet delivered at 31).
+  stats.on_generated(FlowId{0}, 1, at(10));
+  stats.on_delivered(FlowId{0}, 1, at(11));
+  stats.on_generated(FlowId{0}, 2, at(20));
+  stats.on_dropped(FlowId{0}, 2, at(22), DropReason::kAttemptsExhausted);
+  stats.on_generated(FlowId{0}, 3, at(30));
+  stats.on_delivered(FlowId{0}, 3, at(31));
+  // Flow 1: never lost a packet, so it has no repair time.
+  stats.on_generated(FlowId{1}, 1, at(18));
+  stats.on_delivered(FlowId{1}, 1, at(19));
+
+  const auto repairs = repair_times_after(stats, at(15));
+  ASSERT_EQ(repairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(repairs[0], 11.0);
+  // Before the loss there is no outage to measure either.
+  EXPECT_TRUE(repair_times_after(stats, at(32)).empty());
+}
+
+TEST(RepairHelpersTest, WindowPdrsCoverEveryFlowInOrder) {
+  FlowStatsCollector stats;
+  stats.register_flow(FlowId{0}, NodeId{5});
+  stats.register_flow(FlowId{1}, NodeId{6});
+  const auto at = [](std::int64_t s) { return SimTime{0} + seconds(s); };
+
+  stats.on_generated(FlowId{0}, 1, at(20));
+  stats.on_dropped(FlowId{0}, 1, at(21), DropReason::kAttemptsExhausted);
+  stats.on_generated(FlowId{0}, 2, at(30));
+  stats.on_delivered(FlowId{0}, 2, at(31));
+  stats.on_generated(FlowId{0}, 3, at(40));  // outside the window
+  stats.on_delivered(FlowId{0}, 3, at(41));
+  stats.on_generated(FlowId{1}, 1, at(18));
+  stats.on_delivered(FlowId{1}, 1, at(19));
+
+  const auto pdrs = repair_window_pdrs(
+      stats, at(15), seconds(static_cast<std::int64_t>(20)));
+  ASSERT_EQ(pdrs.size(), 2u);
+  EXPECT_DOUBLE_EQ(pdrs[0], 0.5);  // flow 0: one of two in [15, 35)
+  EXPECT_DOUBLE_EQ(pdrs[1], 1.0);  // flow 1: delivered at 18
+}
+
 TEST(ManagerModelTest, FitsOurActualTestbedDepths) {
   // The Fig. 3 bench fits the reaction model on the paper's measured
   // totals with depths from our layouts; the fit must stay within 35% of

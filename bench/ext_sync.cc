@@ -1,0 +1,195 @@
+// Extension study: imperfect time synchronization — a per-node oscillator
+// drift sweep (0 / 10 / 40 / 80 ppm static tolerance, with a random-walk
+// component an eighth of it) across all three suites. Measures how much of
+// the drift the TSCH correction machinery absorbs: end-to-end PDR,
+// guard-time misses, desynchronization events, keep-alive polls, and the
+// correction rate.
+//
+// The paper (like most WSAN schedulers) assumes perfect slot alignment;
+// this bench quantifies the margin behind that assumption. At 40 ppm —
+// the 802.15.4 crystal budget — the worst-case relative drift between two
+// nodes is 80 us/s against a 2200 us guard, so EB/ACK corrections arriving
+// every few seconds keep nodes comfortably inside the window; DiGS must
+// hold PDR near its drift-free level with no desync storm (the binary
+// exits nonzero otherwise). 80 ppm halves the budget and shows the first
+// cracks. Writes BENCH_sync.json.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "testbed/experiment.h"
+
+namespace {
+
+using namespace digs;
+
+constexpr double kPpmSweep[] = {0.0, 10.0, 40.0, 80.0};
+
+struct PointSummary {
+  double ppm = 0.0;
+  Cdf pdr;
+  std::uint64_t desyncs = 0;
+  std::uint64_t guard_misses = 0;
+  std::uint64_t keepalives = 0;
+  std::uint64_t corrections = 0;
+};
+
+struct SuiteSummary {
+  const char* key;
+  int seeds = 0;
+  std::vector<PointSummary> points;
+};
+
+SuiteSummary run_suite(ProtocolSuite suite, int seeds) {
+  // One flat trial list over (ppm, seed) so the sweep saturates the pool.
+  std::vector<TrialSpec> trials;
+  for (const double ppm : kPpmSweep) {
+    for (int s = 0; s < seeds; ++s) {
+      TrialSpec trial;
+      trial.layout = half_testbed_a();
+      trial.config.suite = suite;
+      trial.config.seed = 42'000 + s;
+      trial.config.num_flows = 8;
+      trial.config.flow_period = seconds(static_cast<std::int64_t>(5));
+      trial.config.warmup = seconds(static_cast<std::int64_t>(150));
+      trial.config.duration = seconds(static_cast<std::int64_t>(300));
+      trial.config.clock_ppm = ppm;
+      trial.config.clock_walk_ppm = ppm / 8.0;
+      trials.push_back(trial);
+    }
+  }
+
+  SuiteSummary summary;
+  summary.key = to_string(suite);
+  summary.seeds = seeds;
+  const std::vector<ExperimentResult> results = run_trials(trials);
+  std::size_t i = 0;
+  for (const double ppm : kPpmSweep) {
+    PointSummary point;
+    point.ppm = ppm;
+    for (int s = 0; s < seeds; ++s, ++i) {
+      const ExperimentResult& result = results[i];
+      point.pdr.add(result.overall_pdr);
+      point.desyncs += result.desync_events;
+      point.guard_misses += result.guard_misses;
+      point.keepalives += result.keepalives_sent;
+      point.corrections += result.clock_corrections;
+    }
+    summary.points.push_back(point);
+  }
+  return summary;
+}
+
+void print_summary(const SuiteSummary& s) {
+  bench::section(std::string("suite: ") + s.key);
+  std::printf("  %6s %10s %10s %9s %12s %11s %12s\n", "ppm", "pdr_mean",
+              "pdr_min", "desyncs", "guard_miss", "keepalives",
+              "corrections");
+  for (const PointSummary& p : s.points) {
+    std::printf("  %6.0f %10.4f %10.4f %9llu %12llu %11llu %12llu\n", p.ppm,
+                p.pdr.mean(), p.pdr.min(),
+                static_cast<unsigned long long>(p.desyncs),
+                static_cast<unsigned long long>(p.guard_misses),
+                static_cast<unsigned long long>(p.keepalives),
+                static_cast<unsigned long long>(p.corrections));
+  }
+}
+
+void write_json(const std::vector<SuiteSummary>& summaries) {
+  std::FILE* out = std::fopen("BENCH_sync.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "could not write BENCH_sync.json\n");
+    return;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"methodology\": \"half_testbed_a (20 nodes, 2 APs), 8 flows @5s, "
+      "150s warmup, 300s measurement; per-node oscillator drift swept over "
+      "0/10/40/80 ppm static tolerance with a random walk of ppm/8 on top "
+      "(walk step every 10s); nodes correct their clocks from time-source "
+      "EBs and ACKs and fall back to keep-alive polls at half the guard "
+      "budget; receptions outside the 2200us guard are lost; per-point "
+      "numbers aggregate all seeds\",\n");
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    const SuiteSummary& s = summaries[i];
+    std::fprintf(out, "  \"%s\": {\n    \"seeds\": %d,\n    \"sweep\": [\n",
+                 s.key, s.seeds);
+    for (std::size_t p = 0; p < s.points.size(); ++p) {
+      const PointSummary& point = s.points[p];
+      std::fprintf(
+          out,
+          "      {\"ppm\": %.0f, \"overall_pdr_mean\": %.4f, "
+          "\"overall_pdr_min\": %.4f, \"desync_events\": %llu, "
+          "\"guard_misses\": %llu, \"keepalives_sent\": %llu, "
+          "\"clock_corrections\": %llu}%s\n",
+          point.ppm, point.pdr.mean(), point.pdr.min(),
+          static_cast<unsigned long long>(point.desyncs),
+          static_cast<unsigned long long>(point.guard_misses),
+          static_cast<unsigned long long>(point.keepalives),
+          static_cast<unsigned long long>(point.corrections),
+          p + 1 < s.points.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]\n  }%s\n",
+                 i + 1 < summaries.size() ? "," : "");
+  }
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_sync.json\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::header("ext_sync",
+                "Extension: oscillator drift sweep (0-80 ppm) across the "
+                "three suites; guard misses, desyncs, keep-alive overhead");
+  const int seeds = bench::default_runs(3);
+  std::printf("seeds per (suite, ppm): %d; half Testbed A, 8 flows; drift "
+              "0/10/40/80 ppm with walk = ppm/8\n",
+              seeds);
+
+  std::vector<SuiteSummary> summaries;
+  for (const ProtocolSuite suite :
+       {ProtocolSuite::kDigs, ProtocolSuite::kOrchestra,
+        ProtocolSuite::kWirelessHart}) {
+    summaries.push_back(run_suite(suite, seeds));
+    print_summary(summaries.back());
+  }
+  write_json(summaries);
+
+  // Acceptance: within the 802.15.4 crystal budget (<= 40 ppm) the
+  // correction machinery must hold DiGS together — no desync storm (a
+  // handful of desyncs across all seeds is churn, dozens is a storm) and
+  // PDR within a few points of the drift-free baseline.
+  bool ok = true;
+  const SuiteSummary& digs_summary = summaries[0];
+  const double baseline_pdr = digs_summary.points[0].pdr.mean();
+  for (const PointSummary& point : digs_summary.points) {
+    if (point.ppm > 40.0) continue;
+    const auto budget =
+        static_cast<std::uint64_t>(10 * digs_summary.seeds);
+    if (point.desyncs > budget) {
+      std::printf("FAIL: DiGS at %.0f ppm suffered a desync storm "
+                  "(%llu desyncs > budget %llu)\n",
+                  point.ppm, static_cast<unsigned long long>(point.desyncs),
+                  static_cast<unsigned long long>(budget));
+      ok = false;
+    }
+    if (point.pdr.mean() < baseline_pdr - 0.05) {
+      std::printf("FAIL: DiGS at %.0f ppm lost more than 5 points of PDR "
+                  "(%.4f vs %.4f)\n",
+                  point.ppm, point.pdr.mean(), baseline_pdr);
+      ok = false;
+    }
+  }
+  std::printf(
+      "\nExpected shape: at 0 ppm the drift subsystem is inactive (all\n"
+      "clock columns zero). Through 40 ppm, EB/ACK corrections arrive far\n"
+      "inside the guard budget, so PDR stays at the drift-free level with\n"
+      "at most stray guard misses. At 80 ppm the budget halves and the\n"
+      "keep-alive path starts doing real work; nodes whose corrections\n"
+      "lapse desync, rescan, and rejoin instead of black-holing slots.\n");
+  return ok ? 0 : 1;
+}

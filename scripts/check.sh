@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full robustness gate in one command: build + ctest on every preset
+# (default, ASan+UBSan, TSan), then the two bench acceptance gates
+# (ext_churn exits nonzero on invariant violations or failed rejoins,
+# ext_sync on a desync storm / PDR loss within the 40 ppm crystal budget).
+#
+# Usage: scripts/check.sh [preset...]   (default: default sanitize tsan)
+# Extra knobs pass through the environment: DIGS_BENCH_RUNS, DIGS_THREADS.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default sanitize tsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==> preset: ${preset}"
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j
+  ctest --preset "${preset}"
+done
+
+# The bench gates run from the default-preset build tree; they write their
+# JSON next to the binaries so the checked-in copies only change on purpose.
+# Skipped when the default preset was excluded from this invocation.
+if printf '%s\n' "${presets[@]}" | grep -qx default; then
+  echo "==> gate: ext_churn"
+  (cd build/bench && ./ext_churn)
+  echo "==> gate: ext_sync"
+  (cd build/bench && ./ext_sync)
+else
+  echo "==> bench gates skipped (default preset not selected)"
+fi
+
+echo "==> all presets and gates passed"

@@ -1,0 +1,58 @@
+#include "common/oscillator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace digs {
+
+Oscillator::Oscillator(const OscillatorConfig& config, Rng rng)
+    : walk_ppm_(config.walk_ppm),
+      max_rate_ppm_(config.max_rate_ppm()),
+      period_us_(std::max<std::int64_t>(config.walk_period.us, 1)),
+      enabled_(config.enabled()) {
+  if (!enabled_) return;
+  static_rate_ppm_ = rng.uniform(-config.ppm, config.ppm);
+  walk_seed_ = rng.next();
+  epoch_rate_ppm_.push_back(static_rate_ppm_);
+  epoch_prefix_us_.push_back(0.0);
+}
+
+void Oscillator::ensure_epoch(std::size_t k) const {
+  while (epoch_rate_ppm_.size() <= k) {
+    const std::size_t prev = epoch_rate_ppm_.size() - 1;
+    // The walk offset from the static rate takes a bounded uniform step per
+    // epoch, clamped to +/-walk_ppm. Each step is a stateless hash of
+    // (walk_seed, epoch), so the sequence is a pure function of the seed.
+    double walk = epoch_rate_ppm_[prev] - static_rate_ppm_;
+    if (walk_ppm_ > 0.0) {
+      const double step =
+          (hashed_uniform(hash_mix(walk_seed_, prev)) * 2.0 - 1.0) *
+          (walk_ppm_ * 0.25);
+      walk = std::clamp(walk + step, -walk_ppm_, walk_ppm_);
+    }
+    epoch_rate_ppm_.push_back(static_rate_ppm_ + walk);
+    epoch_prefix_us_.push_back(
+        epoch_prefix_us_[prev] +
+        epoch_rate_ppm_[prev] * 1e-6 * static_cast<double>(period_us_));
+  }
+}
+
+double Oscillator::elapsed_drift_us(SimTime t) const {
+  if (!enabled_) return 0.0;
+  assert(t.us >= 0);
+  const auto k = static_cast<std::size_t>(t.us / period_us_);
+  ensure_epoch(k);
+  const std::int64_t into_epoch = t.us - static_cast<std::int64_t>(k) * period_us_;
+  return epoch_prefix_us_[k] +
+         epoch_rate_ppm_[k] * 1e-6 * static_cast<double>(into_epoch);
+}
+
+double Oscillator::rate_ppm_at(SimTime t) const {
+  if (!enabled_) return 0.0;
+  assert(t.us >= 0);
+  const auto k = static_cast<std::size_t>(t.us / period_us_);
+  ensure_epoch(k);
+  return epoch_rate_ppm_[k];
+}
+
+}  // namespace digs

@@ -1,0 +1,86 @@
+// Per-node oscillator (crystal) model for imperfect time synchronization.
+//
+// A node's local clock runs at (1 + rate) times real time, where rate is a
+// per-node constant drawn uniformly in [-ppm, +ppm] plus a slow bounded
+// random walk (temperature-style wander) that re-steps every walk_period.
+// What the rest of the simulator consumes is the ACCUMULATED drift
+// elapsed_drift_us(t): how far this clock has wandered from the reference
+// clock after t microseconds of real time, assuming no corrections.
+//
+// Determinism contract: elapsed_drift_us(t) is a pure function of
+// (seed, config, t) — the walk is derived from stateless hashes per epoch
+// and integrated through a closed-form prefix table, so the value is
+// independent of the query pattern. The wake-heap slot engine and the
+// polled slot loop query clocks at different times; path-independence here
+// is what keeps them bit-identical under drift (DESIGN.md §11).
+//
+// A default-constructed Oscillator is disabled and reports zero drift; it
+// is what every node gets when OscillatorConfig::ppm is 0 (the default), so
+// the drift subsystem costs one branch per query in existing setups.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace digs {
+
+/// Knobs for the per-node oscillator. Defaults model a perfect crystal
+/// (drift disabled); typical 802.15.4 hardware sits at 10-40 ppm.
+struct OscillatorConfig {
+  /// Static frequency tolerance: each node draws a constant rate uniformly
+  /// in [-ppm, +ppm]. 0 disables the static component.
+  double ppm{0.0};
+  /// Amplitude bound of the random-walk component: the wandering part of
+  /// the rate stays within [-walk_ppm, +walk_ppm] around the static rate.
+  double walk_ppm{0.0};
+  /// How often the random walk takes a step.
+  SimDuration walk_period{seconds(static_cast<std::int64_t>(10))};
+
+  [[nodiscard]] bool enabled() const { return ppm > 0.0 || walk_ppm > 0.0; }
+  /// Worst-case |rate| of one clock; the worst-case RELATIVE rate between
+  /// two nodes is twice this.
+  [[nodiscard]] double max_rate_ppm() const { return ppm + walk_ppm; }
+};
+
+class Oscillator {
+ public:
+  /// Disabled oscillator: zero drift, no allocation.
+  Oscillator() = default;
+
+  /// Draws this node's static rate and walk seed from `rng` (callers pass a
+  /// per-node fork, making the oscillator deterministic per (seed, node)).
+  Oscillator(const OscillatorConfig& config, Rng rng);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] double max_rate_ppm() const { return max_rate_ppm_; }
+
+  /// Accumulated clock error after `t` of real time (microseconds of local
+  /// clock ahead (+) or behind (-) the reference), with no corrections.
+  [[nodiscard]] double elapsed_drift_us(SimTime t) const;
+
+  /// Instantaneous rate (ppm) in effect at `t`; diagnostic.
+  [[nodiscard]] double rate_ppm_at(SimTime t) const;
+
+ private:
+  /// Grows the epoch caches so index k is valid. Epochs are appended in
+  /// order, each derived from the previous plus a stateless hashed step, so
+  /// cached values never depend on which queries arrived first.
+  void ensure_epoch(std::size_t k) const;
+
+  double static_rate_ppm_{0.0};
+  double walk_ppm_{0.0};
+  double max_rate_ppm_{0.0};
+  std::int64_t period_us_{1};
+  std::uint64_t walk_seed_{0};
+  bool enabled_{false};
+  /// epoch_rate_ppm_[k]: rate during [k*period, (k+1)*period).
+  mutable std::vector<double> epoch_rate_ppm_;
+  /// epoch_prefix_us_[k]: drift accumulated over epochs [0, k).
+  mutable std::vector<double> epoch_prefix_us_;
+};
+
+}  // namespace digs

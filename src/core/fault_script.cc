@@ -37,6 +37,12 @@ void FaultScript::install(Network& net) const {
               net.medium().set_link_blackout(a, b, false);
             });
         break;
+      case FaultEvent::Kind::kClockJump:
+        net.sim().schedule_after(
+            event.at, [&net, node = event.node, off = event.clock_offset_us] {
+              net.inject_clock_jump(node, off);
+            });
+        break;
       case FaultEvent::Kind::kBurst: {
         JammerConfig jam;
         jam.position = event.position;

@@ -24,17 +24,19 @@ struct FaultEvent {
   enum class Kind : std::uint8_t {
     kCrash,     // node loses power (cold restart on recovery)
     kRecover,   // node powers back up, rejoins from scratch
-    kBlackout,  // link (a, b) receives nothing for `duration`
-    kBurst,     // constant interferer at `position` for `duration`
+    kBlackout,   // link (a, b) receives nothing for `duration`
+    kBurst,      // constant interferer at `position` for `duration`
+    kClockJump,  // node's clock steps by `clock_offset_us` instantly
   };
   Kind kind;
   SimDuration at{};  // offset from install()
-  NodeId node;       // kCrash / kRecover
+  NodeId node;       // kCrash / kRecover / kClockJump
   NodeId link_a;     // kBlackout endpoints
   NodeId link_b;
-  SimDuration duration{};  // kBlackout / kBurst window length
-  Position position;       // kBurst interferer location
-  double power_dbm{10.0};  // kBurst interferer TX power
+  SimDuration duration{};      // kBlackout / kBurst window length
+  Position position;           // kBurst interferer location
+  double power_dbm{10.0};      // kBurst interferer TX power
+  double clock_offset_us{0.0};  // kClockJump step size (signed)
 };
 
 class FaultScript {
@@ -80,6 +82,20 @@ class FaultScript {
     e.link_a = a;
     e.link_b = b;
     e.duration = duration;
+    events_.push_back(e);
+    return *this;
+  }
+
+  /// Steps `node`'s clock by `offset_us` microseconds at `at` (brown-out
+  /// or oscillator glitch). The node keeps running; whether it recovers
+  /// via its next time-source correction or desyncs past the guard is the
+  /// behaviour under test.
+  FaultScript& clock_jump(SimDuration at, NodeId node, double offset_us) {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kClockJump;
+    e.at = at;
+    e.node = node;
+    e.clock_offset_us = offset_us;
     events_.push_back(e);
     return *this;
   }

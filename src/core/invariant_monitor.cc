@@ -1,6 +1,7 @@
 #include "core/invariant_monitor.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/network.h"
 #include "routing/digs_routing.h"
@@ -49,6 +50,7 @@ void NetworkInvariantMonitor::audit_node(std::size_t i, SimTime now) {
     collect_rank_and_cycle(i, graced_scratch_);
     collect_staleness(i, now, graced_scratch_, immediate_scratch_);
     collect_schedule_conflicts(i, immediate_scratch_);
+    collect_sync_drift(i, now, graced_scratch_);
   }
   // A suspicion for this node that is no longer observed is a transient
   // that resolved itself: forget it so a later recurrence restarts its
@@ -179,6 +181,45 @@ void NetworkInvariantMonitor::collect_schedule_conflicts(
       }
     }
   }
+}
+
+void NetworkInvariantMonitor::collect_sync_drift(
+    std::size_t i, SimTime now, std::vector<GracedCondition>& graced) const {
+  const NodeId id{static_cast<std::uint16_t>(i)};
+  const Node& node = net_.node(id);
+  if (node.is_access_point() || !node.mac().synced()) return;
+
+  // Drifting relative to an alive, synced time source while still holding
+  // dedicated TX cells means the schedule promises airtime the node can no
+  // longer hit: its frames arrive outside every receiver's guard window.
+  // The keep-alive policy should correct the clock (or desync the node,
+  // dropping its cells) long before this persists past the grace.
+  const NodeId source = node.mac().time_source();
+  if (!source.valid() || source.value >= net_.size()) return;
+  const Node& src = net_.node(source);
+  if (!src.alive() || !src.mac().synced()) return;
+  if (!node.mac().clock_active() && !src.mac().clock_active()) return;
+
+  const double offset_gap = std::fabs(node.mac().clock_offset_us(now) -
+                                      src.mac().clock_offset_us(now));
+  if (offset_gap <= static_cast<double>(SlotTiming::rx_guard().us)) return;
+
+  bool holds_tx_cell = false;
+  for (int t = 0; t < kNumTrafficClasses && !holds_tx_cell; ++t) {
+    const Slotframe* frame =
+        node.mac().schedule().slotframe(static_cast<TrafficClass>(t));
+    if (frame == nullptr) continue;
+    for (const Cell& cell : frame->cells) {
+      if (cell.option == CellOption::kTx && cell.peer.valid()) {
+        holds_tx_cell = true;
+        break;
+      }
+    }
+  }
+  if (!holds_tx_cell) return;
+
+  graced.push_back({key(InvariantKind::kSyncDrift, id, source),
+                    kTransientGrace});
 }
 
 void NetworkInvariantMonitor::audit_uplink_slot_uniqueness(SimTime now) {

@@ -26,6 +26,10 @@
 //     attempts * num_field_devices < app_slotframe_len, the regime the
 //     guarantee covers — and only for the DiGS cell layout; Orchestra's
 //     47-slot shared frame collides by design).
+//   - Sync drift: no node keeps dedicated TX cells while its clock offset
+//     relative to its (alive, synced) time source exceeds the RX guard —
+//     scheduled airtime it can no longer hit. Transiently legal (the
+//     keep-alive loop or a desync heals it), so graced like rank rule.
 //
 // Zero-cost when disabled: the Network only constructs the monitor (and
 // sets the per-node audit hook) when NetworkConfig::monitor_invariants is
@@ -52,6 +56,7 @@ enum class InvariantKind : std::uint8_t {
   kStaleChild,        // child entry outlived timeout + prune period
   kStaleDescendant,   // descendant entry stale or via a departed child
   kScheduleConflict,  // dedicated TX cells collide on a slot offset
+  kSyncDrift,         // holds dedicated TX cells while drifted past guard
 };
 
 [[nodiscard]] constexpr const char* to_string(InvariantKind kind) {
@@ -61,6 +66,7 @@ enum class InvariantKind : std::uint8_t {
     case InvariantKind::kStaleChild: return "stale_child";
     case InvariantKind::kStaleDescendant: return "stale_descendant";
     case InvariantKind::kScheduleConflict: return "schedule_conflict";
+    case InvariantKind::kSyncDrift: return "sync_drift";
   }
   return "?";
 }
@@ -139,6 +145,8 @@ class NetworkInvariantMonitor {
                          std::vector<std::uint64_t>& immediate) const;
   void collect_schedule_conflicts(
       std::size_t i, std::vector<std::uint64_t>& immediate) const;
+  void collect_sync_drift(std::size_t i, SimTime now,
+                          std::vector<GracedCondition>& graced) const;
 
   Network& net_;
   PeriodicTimer sweep_;

@@ -18,6 +18,7 @@ Network::Network(const NetworkConfig& config, std::vector<Position> positions)
       ack_seed_(hash_mix(config.seed, 0xACC5)),
       joined_at_(medium_.num_nodes(), SimTime{-1}),
       fully_joined_at_(medium_.num_nodes(), SimTime{-1}),
+      clocks_active_(config.node.mac.oscillator.enabled()),
       reception_(medium_) {
   medium_.build_reachability(config.node.mac.tx_power_dbm);
   Node::Hooks hooks;
@@ -191,6 +192,18 @@ void Network::set_node_alive(NodeId id, bool alive) {
     }
   }
   if (manager_) manager_->notify_dynamics();
+}
+
+void Network::inject_clock_jump(NodeId id, double offset_us) {
+  if (id.value >= nodes_.size()) return;
+  Node& nd = node(id);
+  if (nd.is_access_point()) return;  // APs are the clock reference
+  nd.mac().inject_clock_offset(offset_us, sim_.now());
+  // From here on, offsets must be queried and RX guards enforced — even if
+  // every oscillator is disabled (the jumped node's offset is now nonzero).
+  clocks_active_ = true;
+  // No wake update needed: a jump moves no deadline (the drift projections
+  // are anchored at the last correction and a step does not change them).
 }
 
 std::size_t Network::joined_count() const {
@@ -370,11 +383,14 @@ void Network::refresh_wake(std::size_t i, std::uint64_t from) {
   set_scanner(i, false);
   std::uint64_t wake = mac.next_tx_capable_asn(from);
   if (!nd.is_access_point()) {
-    // First slot whose end_slot() sees now >= sync_deadline: the node must
-    // wake there to execute the desync even if its schedule is idle.
+    // First slot whose end_slot() sees now >= deadline: the node must wake
+    // there to act on it even if its schedule is idle. The deadline is the
+    // earlier of the sync timeout and the drift budget (keep-alive due /
+    // resync failure) — end_slot() handles all three.
     // slot_end(k) = start_ + (k+2)*slot >= deadline.
-    const std::int64_t lead =
-        mac.sync_deadline().us - (start_.us + kSlotDuration.us);
+    const SimTime deadline =
+        std::min(mac.sync_deadline(), mac.drift_deadline());
+    const std::int64_t lead = deadline.us - (start_.us + kSlotDuration.us);
     const std::int64_t k =
         lead <= 0 ? -1 : (lead + kSlotDuration.us - 1) / kSlotDuration.us - 1;
     const std::uint64_t timeout_wake =
@@ -563,9 +579,19 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
         transmitters_.push_back(PlannedTx{node.id(), std::move(plan)});
         break;
       case SlotPlan::Kind::kRx:
-      case SlotPlan::Kind::kScan:
-        listeners_.push_back(SlotListener{node.id(), plan.channel});
+      case SlotPlan::Kind::kScan: {
+        SlotListener listener{node.id(), plan.channel};
+        if (clocks_active_ && plan.kind == SlotPlan::Kind::kRx) {
+          // Dedicated RX cells only open the guard window; scan slots
+          // listen for the whole slot and stay guard-exempt (that is how a
+          // drifted-out node can still capture an EB and resynchronize).
+          listener.clock_offset_us = node.mac().clock_offset_us(slot_start);
+          listener.guard_us =
+              static_cast<double>(SlotTiming::rx_guard().us);
+        }
+        listeners_.push_back(listener);
         break;
+      }
       case SlotPlan::Kind::kSleep:
         break;
     }
@@ -580,6 +606,10 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
     attempt.channel = tx.plan.channel;
     attempt.frame_bytes = tx.plan.frame.length_bytes;
     attempt.tx_power_dbm = config_.node.mac.tx_power_dbm;
+    if (clocks_active_) {
+      attempt.clock_offset_us =
+          node(tx.sender).mac().clock_offset_us(slot_start);
+    }
     on_air_.push_back(attempt);
   }
 
@@ -607,10 +637,13 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
       if (attempt.sender == listener.id) continue;
       if (!medium_.maybe_reachable(attempt.sender, listener.id)) continue;
       if (!listener_begun) {
-        reception_.begin_listener(listener.id, listener.channel);
+        reception_.begin_listener(listener.id, listener.channel,
+                                  listener.clock_offset_us,
+                                  listener.guard_us);
         listener_begun = true;
       }
       const Medium::ReceptionCheck check = reception_.decode(t);
+      if (check.guard_missed) ++guard_misses_;
       // Draw only for decodable pairs: a zero-probability check can never
       // pass (chance(0) is false in any keying), so skipping the hash for
       // the common below-threshold case changes no outcome.
@@ -670,13 +703,24 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
   const SimTime slot_done = slot_start + kSlotDuration;
   for (const SlotRx& rx : receptions_) {
     const PlannedTx& tx = transmitters_[rx.tx_index];
+    // The sender's slot-start offset rides along: an EB from the time
+    // source corrects the receiver's clock to it.
     node(rx.receiver).mac().on_receive(tx.plan.frame, rx.rss_dbm, asn,
-                                       slot_done);
+                                       slot_done,
+                                       on_air_[rx.tx_index].clock_offset_us);
   }
   for (std::size_t t = 0; t < transmitters_.size(); ++t) {
+    double acker_offset_us = 0.0;
+    if (clocks_active_ && frame_acked_[t] != 0) {
+      // The acker is the unicast destination (it decoded the frame, so its
+      // id is valid and alive); its offset feeds the ACK-borne correction.
+      acker_offset_us = node(transmitters_[t].plan.frame.dst)
+                            .mac()
+                            .clock_offset_us(slot_start);
+    }
     node(transmitters_[t].sender)
         .mac()
-        .on_tx_outcome(frame_acked_[t] != 0, asn, slot_done);
+        .on_tx_outcome(frame_acked_[t] != 0, asn, slot_done, acker_offset_us);
   }
 
   // Energy accounting: every participant accounts exactly one slot (absent

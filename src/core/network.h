@@ -22,6 +22,7 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -106,6 +107,15 @@ class Network {
 
   /// Failure injection.
   void set_node_alive(NodeId id, bool alive);
+
+  /// Fault injection: instantaneously shifts one node's clock by
+  /// `offset_us` (activating the drift subsystem if it was off, so the
+  /// resync path can be exercised even at ppm = 0). No-op on access points.
+  void inject_clock_jump(NodeId id, double offset_us);
+
+  /// Receptions lost to the guard-time miss model (TX/RX clock offsets
+  /// farther apart than the receiver's guard), network-wide since start.
+  [[nodiscard]] std::uint64_t guard_misses() const { return guard_misses_; }
 
   /// The Network Manager (kWirelessHart suite only; nullptr otherwise).
   [[nodiscard]] CentralManager* manager() { return manager_.get(); }
@@ -246,6 +256,11 @@ class Network {
   std::vector<SimTime> fully_joined_at_;
   std::uint64_t asn_{0};  // polled driver's slot counter
   bool started_{false};
+  // True once any node's clock can deviate (oscillator configured, or a
+  // clock jump injected). While false, the slot loop never queries offsets
+  // and every listener stays guard-exempt — the zero-cost gate for ppm = 0.
+  bool clocks_active_{false};
+  std::uint64_t guard_misses_{0};
 
   SimTime start_{};  // instant of Network::start(); slot k starts at
                      // start_ + (k+1) * kSlotDuration
@@ -305,6 +320,11 @@ class Network {
   struct SlotListener {
     NodeId id;
     PhysicalChannel channel;
+    /// Listener's clock offset at slot start and its guard window for the
+    /// guard-miss model. Defaults (0, infinite) = guard-exempt: scan slots
+    /// listen the whole slot, and everything when clocks are inactive.
+    double clock_offset_us{0.0};
+    double guard_us{std::numeric_limits<double>::infinity()};
   };
   struct SlotRx {
     NodeId receiver;

@@ -257,7 +257,14 @@ bool Node::fully_joined() const {
 
 void Node::on_topology_changed(SimTime now) {
   rebuild_schedule();
-  mac_.set_time_source(routing_->best_parent());
+  // The time source follows the best parent (the node we exchange the most
+  // ACKed traffic with, so corrections are frequent). While routing has no
+  // parent yet, keep the MAC's provisional source (the EB sender that
+  // synchronized us) instead of clobbering it with kNoNode — losing the
+  // source mid-join would leave the clock uncorrectable.
+  if (routing_->best_parent().valid()) {
+    mac_.set_time_source(routing_->best_parent());
+  }
 
   const bool now_joined = routing_->joined();
   if (!joined_reported_ && now_joined) {

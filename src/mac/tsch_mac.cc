@@ -16,6 +16,13 @@ TschMac::TschMac(NodeId id, bool is_access_point, const MacConfig& config,
       synced_(is_access_point),  // APs are the time source
       backoff_exp_(config.backoff_min_exp) {
   scan_channel_start_ = static_cast<int>(rng_.uniform_int(kNumChannels));
+  // Access points are the network's clock reference and never drift. Field
+  // devices get an oscillator only when the config enables one; the fork
+  // does not advance rng_, so the ppm = 0 draw sequence is untouched.
+  if (!is_access_point_ && config_.oscillator.enabled()) {
+    oscillator_ = Oscillator(config_.oscillator, rng_.fork("osc"));
+    clock_active_ = true;
+  }
   // Slotframe installs/removals change when this node is next active.
   schedule_.set_occupancy_listener([this] { notify_wakeup_changed(); });
 }
@@ -49,7 +56,12 @@ void TschMac::enqueue_routing(const Frame& frame) {
     }
   }
   if (routing_queue_.size() >= config_.routing_queue_capacity) {
-    routing_queue_.pop_front();  // drop oldest; routing state is soft
+    // Drop oldest; routing state is soft. An evicted keep-alive must clear
+    // its in-flight flag or end_slot() would never re-poll.
+    if (routing_queue_.front().frame.type == FrameType::kKeepAlive) {
+      keepalive_pending_ = false;
+    }
+    routing_queue_.pop_front();
   }
   const bool was_idle = routing_queue_.empty();
   routing_queue_.push_back(RoutingPacket{frame, 0});
@@ -198,19 +210,29 @@ SlotPlan TschMac::plan_application(std::span<const Cell> cells,
 }
 
 void TschMac::on_receive(const Frame& frame, double rss_dbm, std::uint64_t asn,
-                         SimTime now) {
+                         SimTime now, double sender_clock_offset_us) {
   (void)asn;
   if (frame.type == FrameType::kEnhancedBeacon) {
     // Any EB from a synchronized neighbor carries the network time (only
     // routed nodes beacon), so any EB refreshes the sync deadline — the
     // 6TiSCH practice. Desync then means "no synchronized neighbor heard
     // for sync_timeout", i.e. genuine loss of contact with the network.
+    // Without a time source yet, the beaconer becomes the provisional one
+    // (an EB sender is necessarily synced — unsynced nodes never transmit);
+    // routing replaces it with the best parent once one is selected.
+    if (!time_source_.valid()) time_source_ = frame.src;
     if (!synced_) {
       synced_ = true;
       scan_slots_ = 0;
       sync_deadline_ = now + config_.sync_timeout;
+      if (clock_active_) correct_clock(sender_clock_offset_us, now);
       notify_wakeup_changed();
       if (callbacks_.on_synced) callbacks_.on_synced(now);
+    } else if (clock_active_ && frame.src == time_source_) {
+      // Only the time source's EBs correct the clock: taking corrections
+      // from arbitrary neighbors (each with their own error) would make
+      // the offset chase whoever beaconed last.
+      correct_clock(sender_clock_offset_us, now);
     }
     sync_deadline_ = now + config_.sync_timeout;
   }
@@ -218,11 +240,20 @@ void TschMac::on_receive(const Frame& frame, double rss_dbm, std::uint64_t asn,
   if (callbacks_.on_frame) callbacks_.on_frame(frame, rss_dbm, now);
 }
 
-void TschMac::on_tx_outcome(bool acked, std::uint64_t /*asn*/, SimTime now) {
+void TschMac::on_tx_outcome(bool acked, std::uint64_t /*asn*/, SimTime now,
+                            double acker_clock_offset_us) {
   if (!pending_tx_.has_value()) return;
   const PendingTx pending = *pending_tx_;
   pending_data_token_ = pending.data_token;
   pending_tx_.reset();
+
+  // Every ACK from the time source corrects the clock (802.15.4e time
+  // correction IE): data frames, joined-callbacks and keep-alive polls to
+  // the parent all double as synchronization traffic.
+  if (clock_active_ && acked && pending.expects_ack &&
+      pending.peer == time_source_) {
+    correct_clock(acker_clock_offset_us, now);
+  }
 
   if (pending.expects_ack && callbacks_.on_tx_result) {
     callbacks_.on_tx_result(pending.peer, pending.type, acked, now);
@@ -240,9 +271,10 @@ void TschMac::on_tx_outcome(bool acked, std::uint64_t /*asn*/, SimTime now) {
   }
 }
 
-void TschMac::handle_routing_tx_result(bool acked, SimTime /*now*/) {
+void TschMac::handle_routing_tx_result(bool acked, SimTime now) {
   if (routing_queue_.empty()) return;
   RoutingPacket& head = routing_queue_.front();
+  const bool is_keepalive = head.frame.type == FrameType::kKeepAlive;
   if (head.frame.is_broadcast()) {
     // Broadcasts are done after one transmission.
     routing_queue_.pop_front();
@@ -251,16 +283,33 @@ void TschMac::handle_routing_tx_result(bool acked, SimTime /*now*/) {
     return;
   }
   if (acked) {
+    if (is_keepalive) keepalive_pending_ = false;
     routing_queue_.pop_front();
     backoff_exp_ = config_.backoff_min_exp;
     backoff_counter_ = 0;
     return;
   }
   ++head.attempts;
-  if (head.attempts >= config_.max_routing_transmissions) {
+  const int max_transmissions = is_keepalive
+                                    ? config_.keepalive_transmissions
+                                    : config_.max_routing_transmissions;
+  if (head.attempts >= max_transmissions) {
     routing_queue_.pop_front();
     backoff_exp_ = config_.backoff_min_exp;
     backoff_counter_ = 0;
+    if (is_keepalive) {
+      // Poll failed. Retry a bounded number of times while the drift
+      // budget lasts; a time source that stays silent has effectively
+      // disappeared, so give up on it and rescan rather than drifting
+      // past the guard with TX cells still installed.
+      keepalive_pending_ = false;
+      ++keepalive_failures_;
+      if (keepalive_failures_ >= config_.keepalive_max_failures) {
+        reset_to_unsynced(now);
+      } else {
+        keepalive_due_ = now + config_.keepalive_retry;
+      }
+    }
     return;
   }
   backoff_exp_ = std::min(backoff_exp_ + 1, config_.backoff_max_exp);
@@ -295,8 +344,24 @@ void TschMac::handle_data_tx_result(bool acked, SimTime now) {
 }
 
 void TschMac::end_slot(std::uint64_t /*asn*/, SimTime now) {
-  if (synced_ && !is_access_point_ && now >= sync_deadline_) {
+  if (!synced_ || is_access_point_) return;
+  if (now >= sync_deadline_) {
     reset_to_unsynced(now);
+    return;
+  }
+  if (!clock_active_) return;
+  if (now >= resync_deadline_) {
+    // The projected offset has exhausted the guard budget without a
+    // correction: this node can no longer hit anyone's listen window, so
+    // holding its cells is pure loss. Desync and rescan.
+    reset_to_unsynced(now);
+    return;
+  }
+  if (!keepalive_pending_ && now >= keepalive_due_ && time_source_.valid()) {
+    enqueue_routing(make_frame(FrameType::kKeepAlive, id_, time_source_,
+                               KeepAlivePayload{}));
+    keepalive_pending_ = true;
+    ++keepalives_sent_;
   }
 }
 
@@ -311,7 +376,12 @@ void TschMac::reset_to_unsynced(SimTime now) {
   pending_tx_.reset();
   scan_slots_ = 0;
   scan_channel_start_ = static_cast<int>(rng_.uniform_int(kNumChannels));
+  keepalive_pending_ = false;
+  keepalive_failures_ = 0;
+  keepalive_due_ = kNeverDeadline;
+  resync_deadline_ = kNeverDeadline;
   if (was_synced) {
+    ++desync_events_;
     // Unsynced nodes scan every slot — the engine must start waking this
     // node immediately, even when the reset came from outside the slot loop
     // (experiment restarts a dead node).
@@ -327,10 +397,51 @@ void TschMac::power_down(SimTime now) {
   backoff_exp_ = config_.backoff_min_exp;
   pending_tx_.reset();
   scan_slots_ = 0;
+  keepalive_pending_ = false;
+  keepalive_failures_ = 0;
+  keepalive_due_ = kNeverDeadline;
+  resync_deadline_ = kNeverDeadline;
   if (!is_access_point_) {
     synced_ = false;
     time_source_ = kNoNode;
   }
+}
+
+void TschMac::correct_clock(double source_offset_us, SimTime now) {
+  clock_offset_ref_us_ = source_offset_us;
+  anchor_drift_us_ = oscillator_.elapsed_drift_us(now);
+  ++clock_corrections_;
+  keepalive_failures_ = 0;
+  // Project when the guard budget runs out, assuming worst-case relative
+  // drift (both crystals at their bound, opposite signs). Half the budget
+  // triggers the keep-alive; the full budget is the point of no return.
+  const double relative_rate_ppm = 2.0 * oscillator_.max_rate_ppm();
+  if (relative_rate_ppm <= 0.0) {
+    // Jump-activated clock with no oscillator: the offset is constant, so
+    // there is no budget to project (sync_timeout remains the backstop).
+    keepalive_due_ = kNeverDeadline;
+    resync_deadline_ = kNeverDeadline;
+    return;
+  }
+  const double budget_us = static_cast<double>(SlotTiming::rx_guard().us) /
+                           (relative_rate_ppm * 1e-6);
+  keepalive_due_ =
+      now + SimDuration{static_cast<std::int64_t>(
+                budget_us * config_.keepalive_fraction)};
+  resync_deadline_ =
+      now + SimDuration{static_cast<std::int64_t>(budget_us)};
+}
+
+void TschMac::inject_clock_offset(double offset_us, SimTime now) {
+  if (is_access_point_) return;
+  const double current = clock_offset_us(now);
+  clock_active_ = true;
+  clock_offset_ref_us_ = current + offset_us;
+  anchor_drift_us_ = oscillator_.elapsed_drift_us(now);
+  // Deadlines are left alone: they project DRIFT accumulation since the
+  // last correction, which a step change does not alter. A jump past the
+  // guard is healed by the next correction — or, if the node can no longer
+  // decode anything, by the sync timeout.
 }
 
 }  // namespace digs

@@ -18,8 +18,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <optional>
 
+#include "common/oscillator.h"
 #include "common/rng.h"
 #include "common/time.h"
 #include "common/types.h"
@@ -49,6 +51,24 @@ struct MacConfig {
   /// Frames with more hops than this are dropped (routing-loop protection).
   int max_hops = 32;
   double tx_power_dbm = 0.0;
+  /// Per-node crystal model; ppm = 0 (the default) disables the entire
+  /// drift subsystem (clock offsets, guard misses, keep-alives) at the cost
+  /// of one branch per query, bit-identical to the pre-drift simulator.
+  OscillatorConfig oscillator;
+  /// Fraction of the projected guard budget after which a keep-alive poll
+  /// to the time source is queued (IEEE 802.15.4e KA; the ACK carries the
+  /// correction).
+  double keepalive_fraction = 0.5;
+  /// Consecutive failed keep-alive polls before the node declares itself
+  /// desynchronized and rescans.
+  int keepalive_max_failures = 2;
+  /// Unicast attempts for one keep-alive poll. Lower than
+  /// max_routing_transmissions: a poll is only useful while the remaining
+  /// drift budget lasts, so fail fast and escalate instead of backing off
+  /// through a long retry ladder.
+  int keepalive_transmissions = 3;
+  /// Delay before re-polling after a failed keep-alive.
+  SimDuration keepalive_retry = seconds(static_cast<std::int64_t>(1));
 };
 
 /// Radio timing constants at 250 kbps (CC2420), used for energy accounting.
@@ -142,13 +162,19 @@ class TschMac {
   [[nodiscard]] SlotPlan plan_slot(std::uint64_t asn, SimTime slot_start);
 
   /// Delivers a frame this node decoded during the current slot.
+  /// `sender_clock_offset_us` is the sender's accumulated clock offset at
+  /// the slot start; an EB from the time source adopts it as this node's
+  /// new reference (clock correction). 0 whenever drift is disabled.
   void on_receive(const Frame& frame, double rss_dbm, std::uint64_t asn,
-                  SimTime now);
+                  SimTime now, double sender_clock_offset_us = 0.0);
 
   /// Reports the outcome of this node's own transmission in the current
   /// slot (`acked` is meaningful only when the plan expected an ACK;
-  /// broadcasts pass acked=false).
-  void on_tx_outcome(bool acked, std::uint64_t asn, SimTime now);
+  /// broadcasts pass acked=false). An ACK from the time source carries a
+  /// clock correction (`acker_clock_offset_us`, the acker's offset at the
+  /// slot start), TSCH keep-alive style.
+  void on_tx_outcome(bool acked, std::uint64_t asn, SimTime now,
+                     double acker_clock_offset_us = 0.0);
 
   /// End-of-slot housekeeping (sync timeout).
   void end_slot(std::uint64_t asn, SimTime now);
@@ -194,6 +220,53 @@ class TschMac {
   /// this deadline even if the schedule is idle there.
   [[nodiscard]] SimTime sync_deadline() const { return sync_deadline_; }
 
+  // --- Clock / drift interface ---
+
+  /// Deadline sentinel meaning "never" (far future, but small enough that
+  /// the engine's slot-index arithmetic cannot overflow on it).
+  static constexpr SimTime kNeverDeadline{
+      std::numeric_limits<std::int64_t>::max() / 4};
+
+  /// True once this node's clock can deviate from the reference (oscillator
+  /// enabled, or a clock jump was injected). Never true for access points —
+  /// they ARE the reference.
+  [[nodiscard]] bool clock_active() const { return clock_active_; }
+
+  /// This node's accumulated clock offset vs. the network reference (µs) at
+  /// real time `t`: the offset adopted at the last correction plus the
+  /// drift the oscillator accumulated since. Exactly 0 when the clock is
+  /// inactive — the one-branch gate that keeps ppm = 0 runs bit-identical.
+  [[nodiscard]] double clock_offset_us(SimTime t) const {
+    if (!clock_active_) return 0.0;
+    return clock_offset_ref_us_ +
+           (oscillator_.elapsed_drift_us(t) - anchor_drift_us_);
+  }
+
+  /// Earliest instant at which end_slot() acts on the drift budget (queue a
+  /// keep-alive or declare resync failure); kNeverDeadline while inactive.
+  /// The engine wakes the node for the slot containing this deadline, like
+  /// sync_deadline().
+  [[nodiscard]] SimTime drift_deadline() const {
+    if (!clock_active_ || !synced_ || is_access_point_) return kNeverDeadline;
+    return keepalive_pending_ ? resync_deadline_
+                              : std::min(keepalive_due_, resync_deadline_);
+  }
+
+  /// Fault injection: instantaneously shifts this node's clock by
+  /// `offset_us` (and activates the clock path if the oscillator is
+  /// disabled, so a 0 µs jump exercises the drift code with all offsets
+  /// exactly 0). No-op on access points.
+  void inject_clock_offset(double offset_us, SimTime now);
+
+  // Clock diagnostics (cumulative over the node's lifetime).
+  [[nodiscard]] std::uint64_t keepalives_sent() const {
+    return keepalives_sent_;
+  }
+  [[nodiscard]] std::uint64_t clock_corrections() const {
+    return clock_corrections_;
+  }
+  [[nodiscard]] std::uint64_t desync_events() const { return desync_events_; }
+
   /// Engine-only lazy settling of skipped scan slots: while unsynced, the
   /// sole per-slot state change of plan_slot() is advancing the scan-dwell
   /// counter, so `n` skipped slots are accounted by advancing it `n` times.
@@ -232,6 +305,10 @@ class TschMac {
                                           std::uint64_t asn);
   void handle_data_tx_result(bool acked, SimTime now);
   void handle_routing_tx_result(bool acked, SimTime now);
+  /// Adopts `source_offset_us` as this node's offset (re-anchoring the
+  /// oscillator) and re-projects the keep-alive / resync deadlines from the
+  /// worst-case relative drift rate.
+  void correct_clock(double source_offset_us, SimTime now);
   void drop_packet(std::size_t index, DropReason reason, SimTime now);
   /// Queue index of the first packet the given TX cell can carry, or npos.
   [[nodiscard]] std::size_t match_packet(const Cell& cell) const;
@@ -263,6 +340,23 @@ class TschMac {
 
   std::uint64_t data_tx_attempts_{0};
   std::uint64_t eb_sent_{0};
+
+  // Clock state. The offset at time t is closed-form from (ref, anchor):
+  // ref + (drift(t) - drift(anchor)) — no incremental accumulation, so the
+  // value is independent of when and how often it is queried (the polled
+  // loop and the wake-heap engine query at different instants; this is what
+  // keeps them bit-identical under drift).
+  Oscillator oscillator_;
+  bool clock_active_{false};
+  double clock_offset_ref_us_{0.0};
+  double anchor_drift_us_{0.0};
+  SimTime keepalive_due_{kNeverDeadline};
+  SimTime resync_deadline_{kNeverDeadline};
+  bool keepalive_pending_{false};
+  int keepalive_failures_{0};
+  std::uint64_t keepalives_sent_{0};
+  std::uint64_t clock_corrections_{0};
+  std::uint64_t desync_events_{0};
 };
 
 }  // namespace digs

@@ -26,6 +26,7 @@ enum class FrameType : std::uint8_t {
   kData,
   kTopologyReport,
   kMgmtUpdate,
+  kKeepAlive,
 };
 
 [[nodiscard]] constexpr const char* to_string(FrameType t) {
@@ -38,6 +39,7 @@ enum class FrameType : std::uint8_t {
     case FrameType::kData: return "DATA";
     case FrameType::kTopologyReport: return "TOPOLOGY_REPORT";
     case FrameType::kMgmtUpdate: return "MGMT_UPDATE";
+    case FrameType::kKeepAlive: return "KEEP_ALIVE";
   }
   return "?";
 }
@@ -114,10 +116,15 @@ struct MgmtUpdatePayload {
   std::uint16_t chunk{0}; // sequence within the update
 };
 
+/// TSCH keep-alive poll (IEEE 802.15.4e KA): an empty unicast frame whose
+/// only purpose is soliciting the time source's ACK, which carries a clock
+/// correction before the drift budget runs out.
+struct KeepAlivePayload {};
+
 using FramePayload =
     std::variant<EbPayload, JoinInPayload, JoinSolicitPayload,
                  JoinedCallbackPayload, DestAdvertPayload, DataPayload,
-                 TopologyReportPayload, MgmtUpdatePayload>;
+                 TopologyReportPayload, MgmtUpdatePayload, KeepAlivePayload>;
 
 /// Typical over-the-air sizes (bytes) including PHY/MAC overhead.
 struct FrameSizes {
@@ -129,6 +136,7 @@ struct FrameSizes {
   static constexpr int kData = 110;
   static constexpr int kTopologyReport = 80;
   static constexpr int kMgmtUpdate = 90;
+  static constexpr int kKeepAlive = 20;  // header-only, like a solicit
   static constexpr int kAck = 26;
 };
 
@@ -143,6 +151,7 @@ static_assert(is_prebuilt_prr_size(FrameSizes::kEnhancedBeacon) &&
               is_prebuilt_prr_size(FrameSizes::kData) &&
               is_prebuilt_prr_size(FrameSizes::kTopologyReport) &&
               is_prebuilt_prr_size(FrameSizes::kMgmtUpdate) &&
+              is_prebuilt_prr_size(FrameSizes::kKeepAlive) &&
               is_prebuilt_prr_size(FrameSizes::kAck),
               "every FrameSizes length must have an eagerly built PRR table");
 
@@ -156,6 +165,7 @@ static_assert(is_prebuilt_prr_size(FrameSizes::kEnhancedBeacon) &&
     case FrameType::kData: return FrameSizes::kData;
     case FrameType::kTopologyReport: return FrameSizes::kTopologyReport;
     case FrameType::kMgmtUpdate: return FrameSizes::kMgmtUpdate;
+    case FrameType::kKeepAlive: return FrameSizes::kKeepAlive;
   }
   return FrameSizes::kData;
 }

@@ -143,11 +143,17 @@ const PrrTable& Medium::table_for(int frame_bytes) const {
 
 Medium::ReceptionCheck Medium::check_reception(
     const TransmissionAttempt& tx, NodeId rx, std::uint64_t slot,
-    SimTime slot_start,
-    std::span<const TransmissionAttempt> concurrent) const {
+    SimTime slot_start, std::span<const TransmissionAttempt> concurrent,
+    double rx_clock_offset_us, double guard_us) const {
   if (tx.sender == rx) return {};
   const double signal_dbm =
       rss_dbm(tx.sender, rx, tx.channel, slot, tx.tx_power_dbm);
+  // Guard-time miss: the frame arrived outside the receiver's listen
+  // window, so no preamble is detected no matter how strong the signal.
+  // The frame still radiates interference at every other listener.
+  if (std::fabs(tx.clock_offset_us - rx_clock_offset_us) > guard_us) {
+    return {0.0, signal_dbm, true};
+  }
   if (signal_dbm < config_.sensitivity_dbm) return {0.0, signal_dbm};
   if (link_blacked_out(tx.sender, rx)) return {0.0, signal_dbm};
 
@@ -161,9 +167,11 @@ Medium::ReceptionCheck Medium::check_reception(
 
 double Medium::reception_probability(
     const TransmissionAttempt& tx, NodeId rx, std::uint64_t slot,
-    SimTime slot_start,
-    std::span<const TransmissionAttempt> concurrent) const {
-  return check_reception(tx, rx, slot, slot_start, concurrent).probability;
+    SimTime slot_start, std::span<const TransmissionAttempt> concurrent,
+    double rx_clock_offset_us, double guard_us) const {
+  return check_reception(tx, rx, slot, slot_start, concurrent,
+                         rx_clock_offset_us, guard_us)
+      .probability;
 }
 
 bool Medium::try_receive(const TransmissionAttempt& tx, NodeId rx,

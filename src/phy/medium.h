@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -40,6 +41,9 @@ struct TransmissionAttempt {
   PhysicalChannel channel{0};
   int frame_bytes{127};
   double tx_power_dbm{0.0};
+  /// Sender's accumulated clock offset vs. the network reference (µs); used
+  /// by the guard-time miss model. 0 whenever drift is disabled.
+  double clock_offset_us{0.0};
 };
 
 class Medium {
@@ -123,20 +127,30 @@ class Medium {
   struct ReceptionCheck {
     double probability{0.0};
     double rss_dbm{-1e9};
+    /// True when the TX/RX clock misalignment exceeded the receiver's guard
+    /// time, so the frame's preamble fell outside the listen window
+    /// (probability is then 0 regardless of SINR).
+    bool guard_missed{false};
   };
 
   /// Probability that `rx`, listening on `tx.channel`, decodes `tx`, plus
-  /// the signal RSS used for the SINR.
+  /// the signal RSS used for the SINR. `rx_clock_offset_us` is the
+  /// listener's accumulated clock offset and `guard_us` its guard window:
+  /// when |tx.clock_offset_us - rx_clock_offset_us| > guard_us the decode
+  /// fails (guard miss). The defaults (offset 0, infinite guard) make every
+  /// legacy call guard-exempt and bit-identical to the pre-drift model.
   [[nodiscard]] ReceptionCheck check_reception(
       const TransmissionAttempt& tx, NodeId rx, std::uint64_t slot,
-      SimTime slot_start,
-      std::span<const TransmissionAttempt> concurrent) const;
+      SimTime slot_start, std::span<const TransmissionAttempt> concurrent,
+      double rx_clock_offset_us = 0.0,
+      double guard_us = std::numeric_limits<double>::infinity()) const;
 
   /// Probability that `rx`, listening on `tx.channel`, decodes `tx`.
   [[nodiscard]] double reception_probability(
       const TransmissionAttempt& tx, NodeId rx, std::uint64_t slot,
-      SimTime slot_start,
-      std::span<const TransmissionAttempt> concurrent) const;
+      SimTime slot_start, std::span<const TransmissionAttempt> concurrent,
+      double rx_clock_offset_us = 0.0,
+      double guard_us = std::numeric_limits<double>::infinity()) const;
 
   /// Table-based PRR for a frame of `frame_bytes` at `sinr_db`.
   [[nodiscard]] double prr(int frame_bytes, double sinr_db) const {

@@ -13,9 +13,13 @@ void SlotReception::begin_slot(std::uint64_t slot, SimTime slot_start,
   mw_.resize(attempts.size());
 }
 
-void SlotReception::begin_listener(NodeId rx, PhysicalChannel channel) {
+void SlotReception::begin_listener(NodeId rx, PhysicalChannel channel,
+                                   double rx_clock_offset_us,
+                                   double guard_us) {
   rx_ = rx;
   channel_ = channel;
+  rx_clock_offset_us_ = rx_clock_offset_us;
+  guard_us_ = guard_us;
   // Same accumulation order and per-term arithmetic as
   // Medium::interference_mw(); the totals (and therefore every decode()'s
   // subtraction result) match it bit-for-bit. The mean row (when the
@@ -57,6 +61,11 @@ Medium::ReceptionCheck SlotReception::decode(std::size_t t) const {
   const TransmissionAttempt& tx = attempts_[t];
   if (tx.sender == rx_) return {};
   const double signal_dbm = rss_dbm_[t];
+  // Same guard-miss check at the same sequence point as
+  // Medium::check_reception(): after the RSS, before the sensitivity cut.
+  if (std::fabs(tx.clock_offset_us - rx_clock_offset_us_) > guard_us_) {
+    return {0.0, signal_dbm, true};
+  }
   if (signal_dbm < medium_->config().sensitivity_dbm) return {0.0, signal_dbm};
   if (medium_->link_blacked_out(tx.sender, rx_)) return {0.0, signal_dbm};
 

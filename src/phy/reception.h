@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -37,7 +38,12 @@ class SlotReception {
 
   /// Computes the per-attempt RSS/mW at `rx` on `channel` and the listener's
   /// interference accumulators (one pass over the attempts).
-  void begin_listener(NodeId rx, PhysicalChannel channel);
+  /// `rx_clock_offset_us`/`guard_us` feed the guard-time miss model exactly
+  /// as in Medium::check_reception(); the defaults keep the listener
+  /// guard-exempt (pre-drift behavior).
+  void begin_listener(
+      NodeId rx, PhysicalChannel channel, double rx_clock_offset_us = 0.0,
+      double guard_us = std::numeric_limits<double>::infinity());
 
   /// Decode check of attempts[t] for the current listener. Identical doubles
   /// to Medium::check_reception(attempts[t], rx, ...). attempts[t] must be
@@ -53,6 +59,8 @@ class SlotReception {
   // Current listener's state.
   NodeId rx_;
   PhysicalChannel channel_{0};
+  double rx_clock_offset_us_{0.0};
+  double guard_us_{std::numeric_limits<double>::infinity()};
   std::vector<double> rss_dbm_;  // per attempt; only co-channel entries valid
   std::vector<double> mw_;       // per attempt; 0 for skipped entries
   double total_mw_{0.0};         // sum of mw_ (co-channel, non-self)

@@ -67,6 +67,8 @@ ExperimentRunner::ExperimentRunner(const TestbedLayout& layout,
     net.node.rpl_routing.trickle = *config.trickle;
   }
   net.node.digs_routing.use_weighted_etx = config.use_weighted_etx;
+  net.node.mac.oscillator.ppm = config.clock_ppm;
+  net.node.mac.oscillator.walk_ppm = config.clock_walk_ppm;
   net.node.orchestra_sender_based = config.orchestra_sender_based;
   net.medium = default_medium_config();
   net.medium.propagation.path_loss_exponent = layout.path_loss_exponent;
@@ -200,6 +202,13 @@ ExperimentResult ExperimentRunner::run() {
     }
   }
   result.stale_route_drops = stats.dropped_by(DropReason::kStaleRoute);
+  result.guard_misses = net.guard_misses();
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const TschMac& mac = net.node(NodeId{static_cast<std::uint16_t>(i)}).mac();
+    result.desync_events += mac.desync_events();
+    result.keepalives_sent += mac.keepalives_sent();
+    result.clock_corrections += mac.clock_corrections();
+  }
   if (const NetworkInvariantMonitor* monitor = net.invariant_monitor()) {
     result.invariant_violations = monitor->violations().size();
   }

@@ -83,6 +83,12 @@ struct ExperimentConfig {
   /// Slot driver selection (see NetworkConfig::use_slot_engine); the
   /// equivalence tests run the same experiment under both drivers.
   bool use_slot_engine = true;
+
+  /// Oscillator drift: static tolerance (ppm) and slow random-walk
+  /// amplitude (ppm), both 0 by default — the drift subsystem stays
+  /// entirely inactive and runs are bit-identical to pre-drift builds.
+  double clock_ppm = 0.0;
+  double clock_walk_ppm = 0.0;
 };
 
 struct ExperimentResult {
@@ -135,6 +141,19 @@ struct ExperimentResult {
   std::uint64_t stale_route_drops{0};
   /// Violations the invariant monitor recorded (0 when not monitoring).
   std::size_t invariant_violations{0};
+
+  // --- clock-drift metrics (all 0 when drift is disabled) ---
+
+  /// Desynchronizations across all nodes over the whole run (sync timeout,
+  /// resync-deadline expiry, or repeated keep-alive failure).
+  std::uint64_t desync_events{0};
+  /// Receptions lost because the TX/RX relative clock offset exceeded the
+  /// guard time.
+  std::uint64_t guard_misses{0};
+  /// Keep-alive polls enqueued (resync overhead).
+  std::uint64_t keepalives_sent{0};
+  /// Clock corrections applied from EBs and time-source ACKs.
+  std::uint64_t clock_corrections{0};
 };
 
 class ExperimentRunner {

@@ -22,6 +22,9 @@ struct RunSnapshot {
   std::vector<std::uint64_t> eb_sent;
   std::vector<double> energy_mj;
   std::vector<double> join_times_s;
+  std::uint64_t guard_misses{0};
+  std::uint64_t desync_events{0};
+  std::uint64_t clock_corrections{0};
 };
 
 ExperimentConfig small_config(ProtocolSuite suite, std::uint64_t seed) {
@@ -51,6 +54,9 @@ RunSnapshot run_once(ExperimentConfig config, bool use_slot_engine) {
     snap.energy_mj.push_back(node.meter().energy_mj());
   }
   snap.join_times_s = snap.result.join_times_s;
+  snap.guard_misses = snap.result.guard_misses;
+  snap.desync_events = snap.result.desync_events;
+  snap.clock_corrections = snap.result.clock_corrections;
   return snap;
 }
 
@@ -68,6 +74,9 @@ void expect_identical(const RunSnapshot& engine, const RunSnapshot& polled) {
   // would mask drift in the accumulation order.
   EXPECT_EQ(engine.energy_mj, polled.energy_mj);
   EXPECT_EQ(engine.result.duty_cycle, polled.result.duty_cycle);
+  EXPECT_EQ(engine.guard_misses, polled.guard_misses);
+  EXPECT_EQ(engine.desync_events, polled.desync_events);
+  EXPECT_EQ(engine.clock_corrections, polled.clock_corrections);
 }
 
 class EngineEquivalence
@@ -96,6 +105,33 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(to_string(std::get<0>(info.param))) + "_seed" +
              std::to_string(std::get<1>(info.param));
     });
+
+// Clock drift must not break the equivalence: offsets are a closed-form
+// function of simulated time (never of how many slots the driver executed),
+// drift deadlines ride the same wake heap as sync deadlines, and the guard
+// check runs at the same sequence point in both reception paths. Walk
+// amplitude is included so the epoch random walk is exercised too.
+class EngineEquivalenceDrift : public ::testing::TestWithParam<ProtocolSuite> {
+};
+
+TEST_P(EngineEquivalenceDrift, BitIdenticalUnderDrift) {
+  ExperimentConfig config = small_config(GetParam(), 7);
+  config.clock_ppm = 40.0;
+  config.clock_walk_ppm = 5.0;
+  const RunSnapshot engine = run_once(config, /*use_slot_engine=*/true);
+  const RunSnapshot polled = run_once(config, /*use_slot_engine=*/false);
+  expect_identical(engine, polled);
+  // The drift path actually engaged: corrections happened.
+  EXPECT_GT(engine.clock_corrections, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suites, EngineEquivalenceDrift,
+                         ::testing::Values(ProtocolSuite::kDigs,
+                                           ProtocolSuite::kOrchestra,
+                                           ProtocolSuite::kWirelessHart),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
 
 // Failure injection exercises the engine's kill/revive accounting: a dying
 // node must freeze mid-window with exactly the polled loop's energy, and a

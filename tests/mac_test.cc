@@ -310,8 +310,9 @@ TEST(TschMacTest, EbFromTimeSourceRefreshesSync) {
 }
 
 TEST(TschMacTest, EbFromAnyNeighborRefreshesSync) {
-  // Only routed nodes beacon, so any EB carries the network time
-  // (6TiSCH-style time keeping; we do not model clock drift).
+  // Only routed nodes beacon, so any EB proves the network is alive and
+  // refreshes the sync timeout (6TiSCH-style). Clock *corrections* are
+  // stricter — only time-source frames re-anchor the offset (sync_test.cc).
   MacConfig config;
   config.sync_timeout = seconds(static_cast<std::int64_t>(5));
   MacHarness harness(NodeId{5}, false, config);

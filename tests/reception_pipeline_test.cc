@@ -114,6 +114,60 @@ TEST(ReceptionPipelineTest, CachedPathMatchesReferenceExactly) {
   }
 }
 
+// Clock drift adds a guard-time miss check to both reception paths; they
+// must still return the same doubles AND the same guard_missed verdicts,
+// over randomized per-node clock offsets spanning hits and misses.
+TEST(ReceptionPipelineTest, GuardMissParityWithReference) {
+  const auto medium_ptr = make_medium(0xD81F7, /*with_jammer=*/false);
+  Medium& medium = *medium_ptr;
+  medium.build_reachability(0.0);
+  SlotReception reception(medium);
+  Rng rng(0x6A4D);
+  const double guard_us = 2200.0;
+
+  std::size_t misses = 0;
+  std::size_t hits = 0;
+  for (std::uint64_t slot = 1; slot <= 40; ++slot) {
+    const SimTime slot_start =
+        SimTime{0} + static_cast<std::int64_t>(slot) * kSlotDuration;
+    auto attempts = random_attempts(medium, 2 + rng.next() % 6, rng);
+    // Offsets up to ~2x the guard, so both verdicts occur in bulk.
+    for (TransmissionAttempt& attempt : attempts) {
+      attempt.clock_offset_us = rng.uniform(-2500.0, 2500.0);
+    }
+    reception.begin_slot(slot, slot_start, attempts);
+
+    for (std::uint16_t r = 0; r < medium.num_nodes(); ++r) {
+      const NodeId rx{r};
+      const double rx_offset_us = rng.uniform(-2500.0, 2500.0);
+      for (std::size_t t = 0; t < attempts.size(); ++t) {
+        if (attempts[t].sender == rx) continue;
+        reception.begin_listener(rx, attempts[t].channel, rx_offset_us,
+                                 guard_us);
+        const Medium::ReceptionCheck cached = reception.decode(t);
+        const Medium::ReceptionCheck reference = medium.check_reception(
+            attempts[t], rx, slot, slot_start, attempts, rx_offset_us,
+            guard_us);
+        ASSERT_EQ(cached.probability, reference.probability)
+            << "slot " << slot << " rx " << r << " attempt " << t;
+        ASSERT_EQ(cached.rss_dbm, reference.rss_dbm)
+            << "slot " << slot << " rx " << r << " attempt " << t;
+        ASSERT_EQ(cached.guard_missed, reference.guard_missed)
+            << "slot " << slot << " rx " << r << " attempt " << t;
+        if (cached.guard_missed) {
+          ASSERT_EQ(cached.probability, 0.0);
+          ++misses;
+        } else {
+          ++hits;
+        }
+      }
+    }
+  }
+  // Both verdicts must actually be exercised.
+  EXPECT_GT(misses, 100u);
+  EXPECT_GT(hits, 100u);
+}
+
 TEST(ReceptionPipelineTest, PruningNeverSkipsReceivablePair) {
   const auto medium_ptr = make_medium(0xCAFE, /*with_jammer=*/false);
   Medium& medium = *medium_ptr;

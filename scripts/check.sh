@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full robustness gate in one command: build + ctest on every preset
-# (default, ASan+UBSan, TSan), then the two bench acceptance gates
+# (default, ASan+UBSan, TSan), then the three bench acceptance gates
 # (ext_churn exits nonzero on invariant violations or failed rejoins,
-# ext_sync on a desync storm / PDR loss within the 40 ppm crystal budget).
+# ext_sync on a desync storm / PDR loss within the 40 ppm crystal budget,
+# ext_scaling on a failed city-scale row, a shard-determinism mismatch, or
+# a missed sharding-speedup threshold on multi-core hardware).
 #
 # Usage: scripts/check.sh [preset...]   (default: default sanitize tsan)
 # Extra knobs pass through the environment: DIGS_BENCH_RUNS, DIGS_THREADS.
@@ -30,8 +32,19 @@ if printf '%s\n' "${presets[@]}" | grep -qx default; then
   (cd build/bench && ./ext_churn)
   echo "==> gate: ext_sync"
   (cd build/bench && ./ext_sync)
+  echo "==> gate: ext_scaling"
+  (cd build/bench && ./ext_scaling)
 else
   echo "==> bench gates skipped (default preset not selected)"
+fi
+
+# Sharded reception resolution under TSan: a reduced city-scale row at
+# DIGS_SHARDS=4 (the smoke skips the JSON and only checks that the sharded
+# run stays bit-identical to the serial one). Races in the shard pool or
+# the per-listener merge show up here, not in the single-threaded gates.
+if printf '%s\n' "${presets[@]}" | grep -qx tsan; then
+  echo "==> gate: ext_scaling sharded smoke (tsan)"
+  (cd build-tsan/bench && DIGS_SCALING_SMOKE=1 DIGS_SHARDS=4 ./ext_scaling)
 fi
 
 echo "==> all presets and gates passed"

@@ -1,12 +1,33 @@
 #include "core/network.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <iterator>
 #include <numeric>
 
 #include "core/invariant_monitor.h"
 
 namespace digs {
+
+namespace {
+
+/// Below this many listeners a busy slot resolves serially even with
+/// shards configured: the fan-out overhead exceeds the work. Results are
+/// unaffected either way (the merge order is listener order in both paths).
+constexpr std::size_t kMinParallelListeners = 4;
+
+std::size_t resolve_shards(std::size_t configured) {
+  std::size_t shards = configured;
+  if (shards == 0) {
+    if (const char* env = std::getenv("DIGS_SHARDS")) {
+      shards = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    }
+  }
+  if (shards == 0) shards = 1;
+  return std::min<std::size_t>(shards, 64);
+}
+
+}  // namespace
 
 Network::~Network() = default;
 
@@ -18,9 +39,23 @@ Network::Network(const NetworkConfig& config, std::vector<Position> positions)
       ack_seed_(hash_mix(config.seed, 0xACC5)),
       joined_at_(medium_.num_nodes(), SimTime{-1}),
       fully_joined_at_(medium_.num_nodes(), SimTime{-1}),
-      clocks_active_(config.node.mac.oscillator.enabled()),
-      reception_(medium_) {
+      clocks_active_(config.node.mac.oscillator.enabled()) {
   medium_.build_reachability(config.node.mac.tx_power_dbm);
+  num_shards_ = resolve_shards(config.shards);
+  assign_shards();
+  if (num_shards_ > 1) {
+    pool_ = std::make_unique<ShardPool>(num_shards_ - 1);
+  }
+  shard_reception_.reserve(num_shards_);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    shard_reception_.emplace_back(medium_);
+  }
+  shard_guard_misses_.assign(num_shards_, 0);
+  // Hot struct-of-arrays storage, sized before any Node is constructed so
+  // the pointers handed to nodes stay stable for the network's lifetime.
+  alive_.assign(medium_.num_nodes(), 1);
+  meters_.assign(medium_.num_nodes(), EnergyMeter{config.node.power});
+  best_parent_.assign(medium_.num_nodes(), kNoNode);
   Node::Hooks hooks;
   hooks.on_data_delivered = [this](NodeId /*ap*/, const DataPayload& payload,
                                    SimTime now) {
@@ -61,6 +96,9 @@ Network::Network(const NetworkConfig& config, std::vector<Position> positions)
     return nodes_[best_ap]->inject_downlink(payload, now);
   };
   hooks.on_wakeup_changed = [this](NodeId id) { on_node_wake_dirty(id); };
+  hooks.on_parent_changed = [this](NodeId id, NodeId parent) {
+    best_parent_[id.value] = parent;
+  };
   if (config_.monitor_invariants) {
     hooks.on_topology_audit = [this](NodeId id, SimTime now) {
       if (monitor_) monitor_->on_topology_changed(id, now);
@@ -74,13 +112,34 @@ Network::Network(const NetworkConfig& config, std::vector<Position> positions)
     const bool is_ap = i < config_.num_access_points;
     nodes_.push_back(std::make_unique<Node>(
         sim_, id, is_ap, config_.suite, config_.node,
-        config_.num_access_points, rng_.fork(hash_mix(0x40DE, i)), hooks));
+        config_.num_access_points, rng_.fork(hash_mix(0x40DE, i)), hooks,
+        &alive_[i], &meters_[i]));
   }
   if (config_.suite == ProtocolSuite::kWirelessHart) {
     manager_ = std::make_unique<CentralManager>(*this, config_.manager);
   }
   if (config_.monitor_invariants) {
     monitor_ = std::make_unique<NetworkInvariantMonitor>(*this);
+  }
+}
+
+void Network::assign_shards() {
+  const std::size_t n = medium_.num_nodes();
+  shard_of_node_.assign(n, 0);
+  if (num_shards_ <= 1) return;
+  const SpatialGrid& grid = medium_.grid();
+  if (grid.built() && grid.active() &&
+      grid.num_cells() >= 2 * num_shards_) {
+    // Cell-based assignment: a shard's listeners share grid cells, so its
+    // CSR rows and attempt subsets stay cache-adjacent.
+    for (std::size_t i = 0; i < n; ++i) {
+      shard_of_node_[i] = static_cast<std::uint16_t>(
+          grid.cell_of(static_cast<std::uint16_t>(i)) % num_shards_);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    shard_of_node_[i] = static_cast<std::uint16_t>(i % num_shards_);
   }
 }
 
@@ -102,6 +161,7 @@ void Network::start() {
   channels_.assign(n, 0);
   listen_time_.assign(n, SimDuration{0});
   tx_time_.assign(n, SimDuration{0});
+  clock_offset_us_.assign(n, 0.0);
   all_ids_.resize(n);
   std::iota(all_ids_.begin(), all_ids_.end(), std::uint16_t{0});
 
@@ -114,6 +174,7 @@ void Network::start() {
   // point are ignored because next_wake_ is empty).
   if (config_.use_slot_engine) {
     next_wake_.assign(n, kNeverOccupied);
+    wake_heaps_.assign(num_shards_, WakeHeap{});
     scanning_.assign(n, 0);
     scanners_.clear();
     listen_buckets_.clear();
@@ -220,7 +281,7 @@ double Network::total_energy_mj() const {
   const_cast<Network*>(this)->settle_all();
   double mj = 0.0;
   for (std::size_t i = config_.num_access_points; i < nodes_.size(); ++i) {
-    mj += nodes_[i]->meter().energy_mj();
+    mj += meters_[i].energy_mj();
   }
   return mj;
 }
@@ -230,7 +291,7 @@ double Network::mean_duty_cycle() const {
   double sum = 0.0;
   std::size_t n = 0;
   for (std::size_t i = config_.num_access_points; i < nodes_.size(); ++i) {
-    sum += nodes_[i]->meter().duty_cycle();
+    sum += meters_[i].duty_cycle();
     ++n;
   }
   return n == 0 ? 0.0 : sum / static_cast<double>(n);
@@ -238,7 +299,7 @@ double Network::mean_duty_cycle() const {
 
 void Network::reset_energy() {
   settle_all();  // pending sleep belongs to the window being discarded
-  for (auto& node : nodes_) node->meter().reset();
+  for (EnergyMeter& meter : meters_) meter.reset();
 }
 
 std::uint64_t Network::current_asn() const {
@@ -366,7 +427,7 @@ void Network::apply_wake_change(std::size_t i, std::uint64_t settle_target,
 
 void Network::refresh_wake(std::size_t i, std::uint64_t from) {
   const Node& nd = *nodes_[i];
-  if (!nd.alive()) {
+  if (alive_[i] == 0) {
     set_scanner(i, false);
     next_wake_[i] = kNeverOccupied;
     return;
@@ -401,25 +462,30 @@ void Network::refresh_wake(std::size_t i, std::uint64_t from) {
   }
   next_wake_[i] = wake;
   if (wake == kNeverOccupied) return;
-  wake_heap_.push(wake, static_cast<std::uint16_t>(i));
+  wake_heaps_[shard_of_node_[i]].push(wake, static_cast<std::uint16_t>(i));
 }
 
 void Network::arm_engine() {
   if (in_slot_ || engine_yielded_) return;  // re-armed after the slot runs
-  while (!wake_heap_.empty()) {
-    const WakeHeap::Entry& top = wake_heap_.top();
-    if (next_wake_[top.node] != top.asn || !nodes_[top.node]->alive()) {
-      wake_heap_.pop();  // stale
-      continue;
+  // Arm at the minimum across the per-shard heaps (each pruned of stale
+  // tops first) — the same instant the single global heap would yield.
+  std::uint64_t target = kNeverOccupied;
+  for (WakeHeap& heap : wake_heaps_) {
+    while (!heap.empty()) {
+      const WakeHeap::Entry& top = heap.top();
+      if (next_wake_[top.node] != top.asn || alive_[top.node] == 0) {
+        heap.pop();  // stale
+        continue;
+      }
+      break;
     }
-    break;
+    if (!heap.empty()) target = std::min(target, heap.top().asn);
   }
-  if (wake_heap_.empty()) {
+  if (target == kNeverOccupied) {
     engine_event_.cancel();
     armed_asn_ = kNeverOccupied;
     return;
   }
-  const std::uint64_t target = wake_heap_.top().asn;
   if (engine_event_.pending() && armed_asn_ == target) return;
   engine_event_.cancel();
   armed_asn_ = target;
@@ -444,12 +510,17 @@ void Network::engine_tick() {
   armed_asn_ = kNeverOccupied;
 
   participants_.clear();
-  while (!wake_heap_.empty() && wake_heap_.top().asn <= asn) {
-    const WakeHeap::Entry entry = wake_heap_.pop();
-    if (entry.asn != asn) continue;                  // stale (past)
-    if (next_wake_[entry.node] != entry.asn) continue;  // stale (moved)
-    if (!nodes_[entry.node]->alive()) continue;
-    participants_.push_back(entry.node);
+  // Drain every shard heap that is due, then sort + dedup the union: the
+  // slot-synchronous merge barrier. The merged set (and hence everything
+  // downstream) is independent of shard count and heap iteration order.
+  for (WakeHeap& heap : wake_heaps_) {
+    while (!heap.empty() && heap.top().asn <= asn) {
+      const WakeHeap::Entry entry = heap.pop();
+      if (entry.asn != asn) continue;                  // stale (past)
+      if (next_wake_[entry.node] != entry.asn) continue;  // stale (moved)
+      if (alive_[entry.node] == 0) continue;
+      participants_.push_back(entry.node);
+    }
   }
   std::sort(participants_.begin(), participants_.end());
   participants_.erase(
@@ -472,7 +543,7 @@ void Network::engine_tick() {
   // Settle before planning: a scanner that syncs *during* this slot must
   // have its skipped slots charged as scan listening, not sleep.
   for (const std::uint16_t i : slot_nodes_) {
-    if (nodes_[i]->alive()) settle_node_to(i, asn);
+    if (alive_[i] != 0) settle_node_to(i, asn);
   }
 
   last_processed_asn_ = static_cast<std::int64_t>(asn);
@@ -513,6 +584,7 @@ void Network::settle_node_to(std::size_t i, std::uint64_t target) {
   const std::uint64_t from = slots_charged_[i];
   const std::uint64_t n = target - from;
   Node& nd = *nodes_[i];
+  EnergyMeter& meter = meters_[i];
   const SimDuration span{kSlotDuration.us * static_cast<std::int64_t>(n)};
   if (!nd.mac().synced()) {
     // Scanning the whole window: full-slot listens, and the scan-dwell
@@ -520,7 +592,7 @@ void Network::settle_node_to(std::size_t i, std::uint64_t target) {
     // state is constant across the window — it only changes inside executed
     // slots, which settle first.
     nd.mac().advance_scan(n);
-    nd.meter().charge(RadioState::kListen, span);
+    meter.charge(RadioState::kListen, span);
   } else {
     // Skipped slots where the registered pattern listens cost one RX guard
     // each (nothing was on the air there — any transmitter would have made
@@ -535,10 +607,10 @@ void Network::settle_node_to(std::size_t i, std::uint64_t target) {
     if (listens > 0) {
       const SimDuration guard{SlotTiming::rx_guard().us *
                               static_cast<std::int64_t>(listens)};
-      nd.meter().charge(RadioState::kListen, guard);
-      nd.meter().charge(RadioState::kSleep, span - guard);
+      meter.charge(RadioState::kListen, guard);
+      meter.charge(RadioState::kSleep, span - guard);
     } else {
-      nd.meter().charge(RadioState::kSleep, span);
+      meter.charge(RadioState::kSleep, span);
     }
   }
   slots_charged_[i] = target;
@@ -548,7 +620,7 @@ void Network::settle_all() {
   if (!started_) return;
   const std::uint64_t target = slots_completed(sim_.now());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i]->alive()) settle_node_to(i, target);
+    if (alive_[i] != 0) settle_node_to(i, target);
   }
 }
 
@@ -563,17 +635,109 @@ void Network::slot_tick() {
 
 // --- shared per-slot arithmetic ---
 
+void Network::resolve_listener(SlotReception& reception, std::size_t li,
+                               std::uint64_t slot_draw_seed,
+                               std::uint64_t& guard_misses) {
+  const SlotListener& listener = listeners_[li];
+  std::int32_t best_tx = -1;
+  double best_rss = -1e9;
+  bool listener_begun = false;
+  for (std::size_t t = 0; t < transmitters_.size(); ++t) {
+    const TransmissionAttempt& attempt = on_air_[t];
+    if (attempt.channel != listener.channel) continue;
+    if (attempt.sender == listener.id) continue;
+    if (!medium_.maybe_reachable(attempt.sender, listener.id)) continue;
+    if (!listener_begun) {
+      reception.begin_listener(listener.id, listener.channel,
+                               listener.clock_offset_us, listener.guard_us);
+      listener_begun = true;
+    }
+    const Medium::ReceptionCheck check = reception.decode(t);
+    if (check.guard_missed) ++guard_misses;
+    // Draw only for decodable pairs: a zero-probability check can never
+    // pass (chance(0) is false in any keying), so skipping the hash for
+    // the common below-threshold case changes no outcome.
+    if (!(check.probability > 0.0)) continue;
+    const double draw = hashed_uniform(
+        hash_mix(slot_draw_seed, listener.id.value, attempt.sender.value));
+    if (!(draw < check.probability)) continue;
+    if (check.rss_dbm > best_rss) {
+      best_rss = check.rss_dbm;
+      best_tx = static_cast<std::int32_t>(t);
+    }
+  }
+  if (best_tx >= 0) rx_result_[li] = RxResult{best_tx, best_rss};
+}
+
+void Network::resolve_receptions(std::uint64_t asn, SimTime slot_start) {
+  // A listener can decode at most one frame per slot; if several pass the
+  // SINR draw (rare near/far capture), the strongest wins. Every per-pair
+  // draw is hashed from (asn, listener, sender) and every per-listener
+  // outcome lands in its own rx_result_ slot, so the resolution order —
+  // serial, or parallel across shards — cannot affect any result; the
+  // merge into receptions_ is always listener order.
+  receptions_.clear();
+  const std::size_t num_listeners = listeners_.size();
+  if (transmitters_.empty() || num_listeners == 0) return;
+  rx_result_.assign(num_listeners, RxResult{});
+  const std::uint64_t slot_draw_seed = hash_mix(draw_seed_, asn);
+  if (num_shards_ > 1 && num_listeners >= kMinParallelListeners) {
+    pool_->run(num_shards_, [&](std::size_t s) {
+      // Per-shard resolver instance and guard counter: shards share no
+      // mutable state. Each shard walks the full listener list and takes
+      // the ones its cells own.
+      SlotReception& reception = shard_reception_[s];
+      reception.begin_slot(asn, slot_start, on_air_);
+      std::uint64_t misses = 0;
+      for (std::size_t li = 0; li < num_listeners; ++li) {
+        if (shard_of_node_[listeners_[li].id.value] != s) continue;
+        resolve_listener(reception, li, slot_draw_seed, misses);
+      }
+      shard_guard_misses_[s] = misses;
+    });
+    // Guard misses sum across shards (integer addition commutes, so the
+    // total matches the serial listener-order count).
+    for (const std::uint64_t misses : shard_guard_misses_) {
+      guard_misses_ += misses;
+    }
+  } else {
+    SlotReception& reception = shard_reception_[0];
+    reception.begin_slot(asn, slot_start, on_air_);
+    std::uint64_t misses = 0;
+    for (std::size_t li = 0; li < num_listeners; ++li) {
+      resolve_listener(reception, li, slot_draw_seed, misses);
+    }
+    guard_misses_ += misses;
+  }
+  for (std::size_t li = 0; li < num_listeners; ++li) {
+    const RxResult& result = rx_result_[li];
+    if (result.tx_index < 0) continue;
+    receptions_.push_back(SlotRx{listeners_[li].id,
+                                 static_cast<std::size_t>(result.tx_index),
+                                 result.rss_dbm});
+  }
+}
+
 void Network::process_slot(std::uint64_t asn, SimTime slot_start,
                            const std::vector<std::uint16_t>& participants) {
   transmitters_.clear();
   listeners_.clear();
 
   for (const std::uint16_t idx : participants) {
+    if (alive_[idx] == 0) continue;
     Node& node = *nodes_[idx];
-    if (!node.alive()) continue;
     SlotPlan plan = node.mac().plan_slot(asn, slot_start);
     kinds_[idx] = plan.kind;
     channels_[idx] = plan.channel;
+    // Snapshot the participant's slot-start clock offset once, right after
+    // its own plan_slot (other nodes' planning cannot move it): reused by
+    // the listener guard and the on-air attempts, and the only clock query
+    // the parallel resolver ever sees — shards read the array, never
+    // TschMac. Same anchor instant as the former per-site queries, so the
+    // doubles are identical.
+    if (clocks_active_) {
+      clock_offset_us_[idx] = node.mac().clock_offset_us(slot_start);
+    }
     switch (plan.kind) {
       case SlotPlan::Kind::kTx:
         transmitters_.push_back(PlannedTx{node.id(), std::move(plan)});
@@ -585,7 +749,7 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
           // Dedicated RX cells only open the guard window; scan slots
           // listen for the whole slot and stay guard-exempt (that is how a
           // drifted-out node can still capture an EB and resynchronize).
-          listener.clock_offset_us = node.mac().clock_offset_us(slot_start);
+          listener.clock_offset_us = clock_offset_us_[idx];
           listener.guard_us =
               static_cast<double>(SlotTiming::rx_guard().us);
         }
@@ -607,8 +771,7 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
     attempt.frame_bytes = tx.plan.frame.length_bytes;
     attempt.tx_power_dbm = config_.node.mac.tx_power_dbm;
     if (clocks_active_) {
-      attempt.clock_offset_us =
-          node(tx.sender).mac().clock_offset_us(slot_start);
+      attempt.clock_offset_us = clock_offset_us_[tx.sender.value];
     }
     on_air_.push_back(attempt);
   }
@@ -622,45 +785,7 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
   // provably too far below sensitivity for any fading excursion to decode —
   // affects no other pair's outcome (and its own draw would fail anyway:
   // probability is exactly 0).
-  receptions_.clear();
-  if (!transmitters_.empty() && !listeners_.empty()) {
-    reception_.begin_slot(asn, slot_start, on_air_);
-  }
-  const std::uint64_t slot_draw_seed = hash_mix(draw_seed_, asn);
-  for (const SlotListener& listener : listeners_) {
-    int best_tx = -1;
-    double best_rss = -1e9;
-    bool listener_begun = false;
-    for (std::size_t t = 0; t < transmitters_.size(); ++t) {
-      const TransmissionAttempt& attempt = on_air_[t];
-      if (attempt.channel != listener.channel) continue;
-      if (attempt.sender == listener.id) continue;
-      if (!medium_.maybe_reachable(attempt.sender, listener.id)) continue;
-      if (!listener_begun) {
-        reception_.begin_listener(listener.id, listener.channel,
-                                  listener.clock_offset_us,
-                                  listener.guard_us);
-        listener_begun = true;
-      }
-      const Medium::ReceptionCheck check = reception_.decode(t);
-      if (check.guard_missed) ++guard_misses_;
-      // Draw only for decodable pairs: a zero-probability check can never
-      // pass (chance(0) is false in any keying), so skipping the hash for
-      // the common below-threshold case changes no outcome.
-      if (!(check.probability > 0.0)) continue;
-      const double draw = hashed_uniform(
-          hash_mix(slot_draw_seed, listener.id.value, attempt.sender.value));
-      if (!(draw < check.probability)) continue;
-      if (check.rss_dbm > best_rss) {
-        best_rss = check.rss_dbm;
-        best_tx = static_cast<int>(t);
-      }
-    }
-    if (best_tx >= 0) {
-      receptions_.push_back(
-          SlotRx{listener.id, static_cast<std::size_t>(best_tx), best_rss});
-    }
-  }
+  resolve_receptions(asn, slot_start);
 
   // ACK resolution: a unicast frame decoded by its destination triggers an
   // ACK on the reverse link. ACKs occupy the tail of the slot; concurrent
@@ -726,7 +851,7 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
   // Energy accounting: every participant accounts exactly one slot (absent
   // nodes sleep the whole slot; their energy is settled lazily).
   for (const std::uint16_t i : participants) {
-    if (!nodes_[i]->alive()) continue;
+    if (alive_[i] == 0) continue;
     listen_time_[i] = SimDuration{0};
     tx_time_[i] = SimDuration{0};
     switch (kinds_[i]) {
@@ -761,9 +886,9 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
     }
   }
   for (const std::uint16_t i : participants) {
-    if (!nodes_[i]->alive()) continue;
+    if (alive_[i] == 0) continue;
     settle_node_to(i, asn);  // sleep for any skipped slots before this one
-    EnergyMeter& meter = nodes_[i]->meter();
+    EnergyMeter& meter = meters_[i];
     SimDuration active = listen_time_[i] + tx_time_[i];
     if (active > kSlotDuration) active = kSlotDuration;
     if (tx_time_[i].us > 0) meter.charge(RadioState::kTransmit, tx_time_[i]);
@@ -777,7 +902,7 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
   // End-of-slot housekeeping.
   const SimTime slot_end = slot_start + kSlotDuration;
   for (const std::uint16_t i : participants) {
-    if (nodes_[i]->alive()) nodes_[i]->mac().end_slot(asn, slot_end);
+    if (alive_[i] != 0) nodes_[i]->mac().end_slot(asn, slot_end);
   }
 }
 

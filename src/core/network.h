@@ -32,6 +32,7 @@
 #include "core/wake_heap.h"
 #include "phy/medium.h"
 #include "phy/reception.h"
+#include "sim/shard_pool.h"
 #include "sim/simulator.h"
 #include "stats/flow_stats.h"
 
@@ -54,6 +55,14 @@ struct NetworkConfig {
   /// periodic sweep. Off by default — when off, no monitor is constructed
   /// and the per-change cost is one unset-hook branch.
   bool monitor_invariants = false;
+  /// Intra-trial spatial shards: busy slots resolve their receptions in
+  /// parallel across this many shards (nodes are assigned by grid cell when
+  /// the spatial grid is active, round-robin otherwise), with a
+  /// slot-synchronous barrier and a deterministic listener-order merge, so
+  /// results are bit-identical at every shard count. 0 reads the
+  /// DIGS_SHARDS environment variable; unset/1 keeps today's serial path
+  /// with no threads and no synchronization.
+  std::size_t shards = 0;
 };
 
 /// A periodic application flow from a field device towards the APs.
@@ -160,6 +169,18 @@ class Network {
   /// derives it from simulated time, the polled loop counts ticks.
   [[nodiscard]] std::uint64_t current_asn() const;
 
+  /// Resolved intra-trial shard count (config.shards / DIGS_SHARDS).
+  [[nodiscard]] std::size_t num_shards() const { return num_shards_; }
+  /// Shard owning node `i` (constant after construction).
+  [[nodiscard]] std::size_t shard_of(NodeId id) const {
+    return shard_of_node_[id.value];
+  }
+  /// The node's current best parent from the hot struct-of-arrays mirror
+  /// (kNoNode while unjoined or dead).
+  [[nodiscard]] NodeId best_parent_of(NodeId id) const {
+    return best_parent_[id.value];
+  }
+
  private:
   // --- shared per-slot arithmetic ---
 
@@ -169,6 +190,25 @@ class Network {
   /// medium resolution, RNG draws, deliveries, and energy are identical.
   void process_slot(std::uint64_t asn, SimTime slot_start,
                     const std::vector<std::uint16_t>& participants);
+
+  /// Reception resolution for one busy slot: fills rx_result_ (one slot per
+  /// listener) and compacts it into receptions_ in listener order — the
+  /// deterministic merge that makes N-shard output bit-identical to serial.
+  /// Parallel across shards when num_shards_ > 1 and the slot is busy
+  /// enough; shards only read shared slot state and write disjoint
+  /// rx_result_ entries and their own SlotReception scratch.
+  void resolve_receptions(std::uint64_t asn, SimTime slot_start);
+  /// The per-listener decode loop (exact legacy arithmetic), writing the
+  /// winning attempt to rx_result_[li] and counting guard misses into
+  /// `guard_misses` (per-shard counter, summed after the barrier).
+  void resolve_listener(SlotReception& reception, std::size_t li,
+                        std::uint64_t slot_draw_seed,
+                        std::uint64_t& guard_misses);
+  /// Partitions nodes into num_shards_ shards: by grid cell when the
+  /// spatial grid is active (keeps a shard's listeners cache-adjacent),
+  /// round-robin otherwise. Assignment affects load balance only — never
+  /// results.
+  void assign_shards();
 
   void slot_tick();  // polled driver
   void generate_flow_packet(std::size_t flow_index);
@@ -242,6 +282,26 @@ class Network {
   // pruning) cannot shift any other pair's draw.
   std::uint64_t draw_seed_;
   std::uint64_t ack_seed_;
+  // --- hot per-node state, struct-of-arrays ---
+  // Owned here (not in Node) so the slot loop's liveness checks, energy
+  // charges, and clock snapshots stride contiguous arrays instead of
+  // pointer-chasing across Node heap objects. Nodes hold pointers into
+  // alive_/meters_ (sized once before node construction, never reallocated).
+  std::vector<std::uint8_t> alive_;
+  std::vector<EnergyMeter> meters_;
+  // Per-slot snapshot of each participant's clock offset at slot start
+  // (µs), taken once in the plan loop and reused by the listener guard,
+  // the on-air attempts, and the parallel resolver (which must not call
+  // into TschMac).
+  std::vector<double> clock_offset_us_;
+  // Current best parent per node, maintained by the on_parent_changed hook.
+  std::vector<NodeId> best_parent_;
+
+  // --- spatial shards ---
+  std::size_t num_shards_{1};
+  std::vector<std::uint16_t> shard_of_node_;
+  std::unique_ptr<ShardPool> pool_;  // only when num_shards_ > 1
+
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<CentralManager> manager_;
   std::unique_ptr<NetworkInvariantMonitor> monitor_;
@@ -267,7 +327,12 @@ class Network {
   // Per-node next wakeup ASN (kNeverOccupied = none); heap entries that
   // disagree with this array are stale.
   std::vector<std::uint64_t> next_wake_;
-  WakeHeap wake_heap_;
+  // One wake-heap per shard (a node feeds its shard's heap). The engine
+  // arms on the minimum across heaps and drains every due heap at a slot,
+  // then sorts + dedups the union — the slot-synchronous merge that keeps
+  // cross-shard events (frames, EBs, ACKs crossing cell boundaries) in one
+  // deterministic order regardless of shard count.
+  std::vector<WakeHeap> wake_heaps_;
   EventHandle engine_event_;
   std::uint64_t armed_asn_{kNeverOccupied};
   std::int64_t last_processed_asn_{-1};
@@ -338,8 +403,17 @@ class Network {
   std::vector<std::uint8_t> frame_acked_;
   std::vector<std::uint8_t> dst_received_;
   std::vector<TransmissionAttempt> ack_on_air_;
-  // O(L*T) per-slot reception resolver over medium_.
-  SlotReception reception_;
+  // Per-listener resolution result, written by exactly one shard each and
+  // compacted into receptions_ in listener order after the barrier.
+  struct RxResult {
+    std::int32_t tx_index{-1};
+    double rss_dbm{-1e9};
+  };
+  std::vector<RxResult> rx_result_;
+  // One O(L*T) per-slot resolver per shard (each holds per-listener
+  // scratch, so shards never share mutable state). Serial runs use [0].
+  std::vector<SlotReception> shard_reception_;
+  std::vector<std::uint64_t> shard_guard_misses_;
 };
 
 }  // namespace digs

@@ -6,7 +6,8 @@ namespace digs {
 
 Node::Node(Simulator& sim, NodeId id, bool is_access_point,
            ProtocolSuite suite, const NodeConfig& config,
-           std::uint16_t num_access_points, Rng rng, Hooks hooks)
+           std::uint16_t num_access_points, Rng rng, Hooks hooks,
+           std::uint8_t* alive_cell, EnergyMeter* meter)
     : sim_(sim),
       id_(id),
       is_access_point_(is_access_point),
@@ -15,7 +16,9 @@ Node::Node(Simulator& sim, NodeId id, bool is_access_point,
       num_access_points_(num_access_points),
       hooks_(std::move(hooks)),
       neighbors_(config.etx),
-      meter_(config.power),
+      own_meter_(config.power),
+      meter_(meter != nullptr ? meter : &own_meter_),
+      alive_cell_(alive_cell != nullptr ? alive_cell : &own_alive_),
       mac_(id, is_access_point, config.mac, rng.fork("mac"),
            TschMac::Callbacks{
                .on_frame = [this](const Frame& f, double rss,
@@ -89,8 +92,8 @@ void Node::start(SimTime now) {
 }
 
 void Node::set_alive(bool alive, SimTime now) {
-  if (alive == alive_) return;
-  alive_ = alive;
+  if (alive == (*alive_cell_ != 0)) return;
+  *alive_cell_ = alive ? 1 : 0;
   if (!alive) {
     // Power down: every layer's volatile state dies with the node, so a
     // later revival restarts cold — infinite rank, no parents, children,
@@ -103,6 +106,7 @@ void Node::set_alive(bool alive, SimTime now) {
     // is constitutive); force the tracker down so revival re-reports the
     // join transition like any other reboot.
     was_joined_ = false;
+    if (hooks_.on_parent_changed) hooks_.on_parent_changed(id_, kNoNode);
     return;
   }
   // Restart: a repowered device rejoins from scratch.
@@ -264,6 +268,9 @@ void Node::on_topology_changed(SimTime now) {
   // source mid-join would leave the clock uncorrectable.
   if (routing_->best_parent().valid()) {
     mac_.set_time_source(routing_->best_parent());
+  }
+  if (hooks_.on_parent_changed) {
+    hooks_.on_parent_changed(id_, routing_->best_parent());
   }
 
   const bool now_joined = routing_->joined();

@@ -91,11 +91,21 @@ class Node {
     /// rebuilt, traffic queued, sync state flipped). The Network's slot
     /// engine re-arms its wakeup heap from here.
     std::function<void(NodeId node)> on_wakeup_changed;
+    /// The node's best parent changed (topology update), or was cleared by
+    /// a power-down (parent = kNoNode). Keeps the Network's hot
+    /// struct-of-arrays parent mirror current without per-slot virtual
+    /// routing queries.
+    std::function<void(NodeId node, NodeId parent)> on_parent_changed;
   };
 
+  /// `alive_cell` / `meter` optionally point at Network-owned
+  /// struct-of-arrays storage for the hot per-node flags (cache-linear slot
+  /// loop); when null the node falls back to its own members (standalone
+  /// construction in unit tests and tools).
   Node(Simulator& sim, NodeId id, bool is_access_point, ProtocolSuite suite,
        const NodeConfig& config, std::uint16_t num_access_points, Rng rng,
-       Hooks hooks);
+       Hooks hooks, std::uint8_t* alive_cell = nullptr,
+       EnergyMeter* meter = nullptr);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -108,7 +118,7 @@ class Node {
   [[nodiscard]] bool is_access_point() const { return is_access_point_; }
   [[nodiscard]] ProtocolSuite suite() const { return suite_; }
 
-  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] bool alive() const { return *alive_cell_ != 0; }
   /// Powers the node on/off (failure injection). Turning off silences the
   /// radio immediately; turning on restarts from the unsynchronized state.
   void set_alive(bool alive, SimTime now);
@@ -129,8 +139,8 @@ class Node {
   [[nodiscard]] RoutingProtocol& routing() { return *routing_; }
   [[nodiscard]] const RoutingProtocol& routing() const { return *routing_; }
   [[nodiscard]] NeighborTable& neighbors() { return neighbors_; }
-  [[nodiscard]] EnergyMeter& meter() { return meter_; }
-  [[nodiscard]] const EnergyMeter& meter() const { return meter_; }
+  [[nodiscard]] EnergyMeter& meter() { return *meter_; }
+  [[nodiscard]] const EnergyMeter& meter() const { return *meter_; }
   [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
 
   /// True once the protocol-specific join criterion has ever been met.
@@ -156,12 +166,17 @@ class Node {
   Hooks hooks_;
 
   NeighborTable neighbors_;
-  EnergyMeter meter_;
+  // Hot state lives in the Network's struct-of-arrays when provided (the
+  // slot loop then reads contiguous arrays instead of striding across Node
+  // objects); the own_* members back the pointers for standalone nodes.
+  EnergyMeter own_meter_;
+  EnergyMeter* meter_;
+  std::uint8_t own_alive_{1};
+  std::uint8_t* alive_cell_;
   TschMac mac_;
   std::unique_ptr<RoutingProtocol> routing_;
   std::unique_ptr<Scheduler> scheduler_;
 
-  bool alive_{true};
   bool joined_reported_{false};
   bool fully_joined_reported_{false};
   /// Tracks routing().joined() across topology changes so on_became_joined

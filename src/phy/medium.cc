@@ -1,5 +1,6 @@
 #include "phy/medium.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace digs {
@@ -8,7 +9,14 @@ Medium::Medium(const MediumConfig& config, std::vector<Position> positions,
                std::uint64_t seed)
     : config_(config),
       positions_(std::move(positions)),
-      propagation_(config.propagation, seed, positions_.size()),
+      // Compact mode (n above the flat-table cap) skips the Propagation
+      // memoization caches too: the dense link-key table alone is O(N²) and
+      // the pair/channel mean cache is far larger. The CSR rows built by
+      // build_reachability() take over both roles for the hot path.
+      propagation_(config.propagation, seed,
+                   positions_.size() <= config.flat_table_max_nodes
+                       ? positions_.size()
+                       : 0),
       seed_(seed),
       noise_floor_mw_(std::pow(10.0, config.noise_floor_dbm / 10.0)) {
   prr_tables_.reserve(kPrebuiltPrrFrameBytes.size());
@@ -51,6 +59,28 @@ double Medium::rss_dbm(NodeId tx, NodeId rx, PhysicalChannel channel,
              propagation_.fading_db(tx, rx, channel, slot);
     }
   }
+  // Compact-mode fast path: mean and link key from the listener's CSR row.
+  // Pairs outside the row (beyond the grid neighborhood) fall through to the
+  // full computation, so rss_dbm() stays a pure model query for tools and
+  // tests — the coupling cutoff is applied by the reception/interference
+  // callers, not here.
+  if (!csr_offsets_.empty() && tx_power_dbm == primed_power_dbm_ &&
+      channel < kNumChannels) {
+    const std::size_t n = positions_.size();
+    if (tx.value < n && rx.value < n) {
+      const std::size_t o = csr_offsets_[rx.value];
+      const std::size_t len = csr_offsets_[rx.value + 1] - o;
+      const auto* begin = csr_cols_.data() + o;
+      const auto* end = begin + len;
+      const auto* it = std::lower_bound(begin, end, tx.value);
+      if (it != end && *it == tx.value) {
+        const auto idx = static_cast<std::size_t>(it - begin);
+        return csr_means_[o * kNumChannels + channel * len + idx] +
+               propagation_.fading_from_key(csr_keys_[o + idx], channel,
+                                            propagation_.fading_block(slot));
+      }
+    }
+  }
   return propagation_.rss_dbm(tx_power_dbm, tx, rx, positions_[tx.value],
                               positions_[rx.value], channel, slot);
 }
@@ -74,6 +104,10 @@ double Medium::interference_mw(NodeId rx, PhysicalChannel channel,
   for (const auto& other : concurrent) {
     if (other.sender == rx) continue;
     if (other.channel != channel) continue;
+    // Transmitters beyond the grid's 3×3-neighborhood cutoff are uncoupled:
+    // by model definition they contribute nothing here, exactly as they
+    // decode with probability 0. Jammers are global and never filtered.
+    if (!coupled(other.sender, rx)) continue;
     const double rss =
         rss_dbm(other.sender, rx, channel, slot, other.tx_power_dbm);
     const double mw = dbm_to_mw(rss);
@@ -98,32 +132,101 @@ double Medium::jammer_mw(NodeId rx, PhysicalChannel channel,
   return total_mw;
 }
 
+double Medium::grid_cell_size(double tx_power_dbm) const {
+  if (config_.grid_cell_size_m > 0.0) return config_.grid_cell_size_m;
+  const auto& p = config_.propagation;
+  // Distance at which the pure path-loss mean reaches the candidate floor
+  // (sensitivity minus the ±6σ fading margin). Any pair in non-adjacent
+  // cells is separated by more than one cell edge, hence beyond this
+  // radius. Floors only attenuate further; static shadowing/channel
+  // offsets are the model's residual the 3×3 cutoff absorbs — every
+  // paper-scale layout stays within 2×2 cells where the cutoff admits all
+  // pairs, so their results are unchanged.
+  const double floor_dbm =
+      config_.sensitivity_dbm - propagation_.max_fading_db();
+  const double exponent =
+      (tx_power_dbm - p.path_loss_ref_db - floor_dbm) /
+      (10.0 * p.path_loss_exponent);
+  const double radius_m = p.reference_distance_m * std::pow(10.0, exponent);
+  return std::max(10.0, radius_m);
+}
+
 void Medium::build_reachability(double tx_power_dbm) {
   const std::size_t n = positions_.size();
-  reachable_.assign(n * n, 0);
   primed_power_dbm_ = tx_power_dbm;
-  mean_table_.assign(n * kNumChannels * n, -1e9);
+  grid_ = SpatialGrid(positions_, grid_cell_size(tx_power_dbm));
+  reach_words_ = (n + 63) / 64;
+  reachable_.assign(n * reach_words_, 0);
   // A pair is prunable only if EVERY channel's mean RSS sits more than the
   // provable fading excursion below the sensitivity; channels differ by the
-  // static frequency-selective offsets, so each must be checked. The same
-  // sweep fills the flat mean table used by the rss_dbm() fast path.
+  // static frequency-selective offsets, so each must be checked.
   const double margin_db = propagation_.max_fading_db();
   const double floor_dbm = config_.sensitivity_dbm - margin_db;
-  for (std::uint16_t a = 0; a < n; ++a) {
-    for (std::uint16_t b = a + 1; b < n; ++b) {
+  if (n <= config_.flat_table_max_nodes) {
+    // Flat mode: the historical O(N²) sweep fills the dense per-(rx,
+    // channel) mean table used by the rss_dbm() fast path. Means are
+    // computed for every pair (kept exact for model queries); only the
+    // candidate bit is additionally gated by the grid coupling, matching
+    // the reception paths.
+    csr_offsets_.clear();
+    csr_cols_.clear();
+    csr_keys_.clear();
+    csr_means_.clear();
+    mean_table_.assign(n * kNumChannels * n, -1e9);
+    for (std::uint16_t a = 0; a < n; ++a) {
+      for (std::uint16_t b = a + 1; b < n; ++b) {
+        bool candidate = false;
+        for (PhysicalChannel ch = 0; ch < kNumChannels; ++ch) {
+          const double mean =
+              mean_rss_dbm(NodeId{a}, NodeId{b}, ch, tx_power_dbm);
+          // Static components are symmetric: both directions share the mean.
+          mean_table_[(a * kNumChannels + ch) * n + b] = mean;
+          mean_table_[(b * kNumChannels + ch) * n + a] = mean;
+          if (mean >= floor_dbm) candidate = true;
+        }
+        // Links are symmetric in all static components.
+        if (candidate && grid_.coupled(a, b)) {
+          set_reachable(a, b);
+          set_reachable(b, a);
+        }
+      }
+    }
+    return;
+  }
+  // Compact mode: per-listener CSR rows over the grid neighborhood. Each
+  // row's means are the exact doubles mean_rss_dbm() returns (static
+  // components are symmetric, so direction does not matter), laid out
+  // channel-major so a listener's co-channel walk is contiguous. The self
+  // pair is excluded — every reception path skips it before any lookup.
+  mean_table_.clear();
+  csr_offsets_.assign(n + 1, 0);
+  csr_cols_.clear();
+  csr_keys_.clear();
+  csr_means_.clear();
+  std::vector<std::uint16_t> hood;
+  for (std::size_t rx = 0; rx < n; ++rx) {
+    const auto rx_id = static_cast<std::uint16_t>(rx);
+    grid_.neighborhood(rx_id, hood);
+    const std::size_t row_start = csr_cols_.size();
+    for (const std::uint16_t col : hood) {
+      if (col == rx_id) continue;
+      csr_cols_.push_back(col);
+      csr_keys_.push_back(propagation_.link_key(NodeId{rx_id}, NodeId{col}));
+    }
+    const std::size_t len = csr_cols_.size() - row_start;
+    csr_means_.resize(csr_means_.size() + len * kNumChannels);
+    double* row = csr_means_.data() + row_start * kNumChannels;
+    for (std::size_t i = 0; i < len; ++i) {
+      const NodeId tx{csr_cols_[row_start + i]};
       bool candidate = false;
       for (PhysicalChannel ch = 0; ch < kNumChannels; ++ch) {
-        const double mean = mean_rss_dbm(NodeId{a}, NodeId{b}, ch,
-                                         tx_power_dbm);
-        // Static components are symmetric: both directions share the mean.
-        mean_table_[(a * kNumChannels + ch) * n + b] = mean;
-        mean_table_[(b * kNumChannels + ch) * n + a] = mean;
+        const double mean = mean_rss_dbm(tx, NodeId{rx_id}, ch, tx_power_dbm);
+        row[static_cast<std::size_t>(ch) * len + i] = mean;
         if (mean >= floor_dbm) candidate = true;
       }
-      // Links are symmetric in all static components.
-      reachable_[a * n + b] = candidate ? 1 : 0;
-      reachable_[b * n + a] = candidate ? 1 : 0;
+      if (candidate) set_reachable(tx.value, rx);
     }
+    csr_offsets_[rx + 1] = csr_cols_.size();
   }
 }
 
@@ -146,6 +249,11 @@ Medium::ReceptionCheck Medium::check_reception(
     SimTime slot_start, std::span<const TransmissionAttempt> concurrent,
     double rx_clock_offset_us, double guard_us) const {
   if (tx.sender == rx) return {};
+  // Beyond the grid coupling cutoff nothing arrives at all — no preamble,
+  // no guard-miss accounting, no interference from this frame here. The
+  // per-slot resolver applies the identical cutoff (sentinel RSS), so both
+  // paths return the same empty outcome.
+  if (!coupled(tx.sender, rx)) return {};
   const double signal_dbm =
       rss_dbm(tx.sender, rx, tx.channel, slot, tx.tx_power_dbm);
   // Guard-time miss: the frame arrived outside the receiver's listen

@@ -8,6 +8,16 @@
 //   - jammer interference active on that (channel, slot),
 //   - the thermal noise floor and radio sensitivity,
 // via the 802.15.4 SINR->PRR model and a Bernoulli draw.
+//
+// City-scale storage: build_reachability() partitions the deployment into
+// SpatialGrid cells sized by the provable decode radius. Deployments up to
+// flat_table_max_nodes keep the flat O(N²) mean table (the historical
+// bit-exact fast path); larger ones switch to per-cell sparse CSR rows that
+// hold only the 3×3-neighborhood pairs, and the Propagation memoization
+// caches (O(N²·channels)) are never allocated. Pairs outside a node's
+// neighborhood are uncoupled by model definition — no decode, no
+// interference — applied identically in this reference path and in the
+// per-slot SlotReception resolver, so the cutoff is shard-invariant.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +34,7 @@
 #include "phy/jammer.h"
 #include "phy/propagation.h"
 #include "phy/prr.h"
+#include "phy/spatial_grid.h"
 
 namespace digs {
 
@@ -33,6 +44,15 @@ struct MediumConfig {
   double noise_floor_dbm = -95.0;
   /// CC2420 receiver sensitivity (dBm): frames below this are never decoded.
   double sensitivity_dbm = -94.0;
+  /// Largest node count for which the flat O(N²) mean-RSS table and the
+  /// Propagation memoization caches are built. Above it the Medium runs in
+  /// compact mode: sparse per-cell CSR rows, no dense caches. The default
+  /// keeps every paper-scale layout on the historical flat path; tests
+  /// force compact mode with 0 to pin sparse == flat bit-for-bit.
+  std::size_t flat_table_max_nodes = 600;
+  /// Spatial-grid cell size override (m); 0 derives it from the decode
+  /// radius (TX power, sensitivity, ±6σ fading margin, path loss).
+  double grid_cell_size_m = 0.0;
 };
 
 /// One frame on the air during a slot.
@@ -91,6 +111,8 @@ class Medium {
   /// wanted sender's own contribution, clamped at zero, plus the jammer sum
   /// — exactly the arithmetic the O(L*T) per-slot resolver derives from its
   /// cached accumulators, so both paths produce identical doubles.
+  /// Transmitters outside `rx`'s grid neighborhood are uncoupled and skipped
+  /// (identically in both paths).
   [[nodiscard]] double interference_mw(
       NodeId rx, PhysicalChannel channel, std::uint64_t slot,
       SimTime slot_start, std::span<const TransmissionAttempt> concurrent,
@@ -103,23 +125,39 @@ class Medium {
   /// Noise floor in mW (precomputed from config().noise_floor_dbm).
   [[nodiscard]] double noise_floor_mw() const { return noise_floor_mw_; }
 
-  /// Builds the static reachability index for transmissions at
-  /// `tx_power_dbm`: pair (a, b) is a candidate iff some channel's mean RSS
-  /// is within the provable fading margin of the sensitivity. Pairs outside
-  /// the index have reception_probability == 0 on every channel and slot, so
-  /// reception resolution never needs to visit them (their interference
-  /// contribution is still accounted). Safe to rebuild; O(N^2 * channels).
+  /// Builds the spatial grid and the static reachability index for
+  /// transmissions at `tx_power_dbm`: pair (a, b) is a candidate iff it is
+  /// grid-coupled and some channel's mean RSS is within the provable fading
+  /// margin of the sensitivity. Pairs outside the index have
+  /// reception_probability == 0 on every channel and slot, so reception
+  /// resolution never needs to visit them (coupled sub-threshold pairs still
+  /// contribute interference). Also builds the mean-RSS storage: the flat
+  /// per-(rx, channel) table up to flat_table_max_nodes, per-cell sparse CSR
+  /// rows beyond it. Safe to rebuild.
   void build_reachability(double tx_power_dbm);
 
   /// True if (tx -> rx) could ever be decoded at the reachability index's
   /// TX power. Conservatively true when the index was never built or the
-  /// pair is out of range.
+  /// pair is out of range. One word load + shift on the packed bitset rows.
   [[nodiscard]] bool maybe_reachable(NodeId tx, NodeId rx) const {
     if (reachable_.empty()) return true;
     const std::size_t n = positions_.size();
     if (tx.value >= n || rx.value >= n) return true;
-    return reachable_[tx.value * n + rx.value] != 0;
+    return ((reachable_[tx.value * reach_words_ + (rx.value >> 6)] >>
+             (rx.value & 63)) &
+            1) != 0;
   }
+
+  /// True when `a` and `b` can couple at all under the grid's
+  /// 3×3-neighborhood cutoff (always true before build_reachability() or
+  /// while the deployment spans fewer than three cells per axis).
+  [[nodiscard]] bool coupled(NodeId a, NodeId b) const {
+    const std::size_t n = positions_.size();
+    if (a.value >= n || b.value >= n) return true;
+    return grid_.coupled(a.value, b.value);
+  }
+
+  [[nodiscard]] const SpatialGrid& grid() const { return grid_; }
 
   /// Outcome of a decode check: the Bernoulli success probability and the
   /// instantaneous signal RSS it was computed from. Returning the RSS keeps
@@ -159,9 +197,10 @@ class Medium {
 
   /// Contiguous per-transmitter mean-RSS row for (`rx`, `channel`) at the
   /// primed TX power (`row[tx] == mean_rss_dbm(tx, rx, channel, power)`), or
-  /// nullptr when `power` differs from the primed power or no reachability
-  /// index was built. Lets the per-slot resolver walk one short row instead
-  /// of calling rss_dbm() per pair.
+  /// nullptr when `power` differs from the primed power, no reachability
+  /// index was built, or the Medium runs in compact (sparse) mode. Lets the
+  /// per-slot resolver walk one short row instead of calling rss_dbm() per
+  /// pair.
   [[nodiscard]] const double* mean_row(NodeId rx, PhysicalChannel channel,
                                        double power) const {
     if (mean_table_.empty() || power != primed_power_dbm_ ||
@@ -170,6 +209,29 @@ class Medium {
     }
     return mean_table_.data() +
            (rx.value * kNumChannels + channel) * positions_.size();
+  }
+
+  /// Compact mode's per-listener row: the CSR neighborhood of `rx` at the
+  /// primed power. `cols` are ascending transmitter ids, `means` is
+  /// channel-major (`means[ch * len + i]` = exact mean_rss_dbm double for
+  /// cols[i]), `keys` the per-pair link keys for the fading draw. `len == 0`
+  /// when sparse rows are unavailable (flat mode / unprimed power).
+  struct SparseRow {
+    const std::uint16_t* cols{nullptr};
+    const double* means{nullptr};
+    const std::uint64_t* keys{nullptr};
+    std::uint32_t len{0};
+  };
+  [[nodiscard]] SparseRow sparse_row(NodeId rx, double power) const {
+    if (csr_offsets_.empty() || power != primed_power_dbm_ ||
+        rx.value >= positions_.size()) {
+      return {};
+    }
+    const std::size_t o = csr_offsets_[rx.value];
+    const auto len =
+        static_cast<std::uint32_t>(csr_offsets_[rx.value + 1] - o);
+    return SparseRow{csr_cols_.data() + o, csr_means_.data() + o * kNumChannels,
+                     csr_keys_.data() + o, len};
   }
 
   /// The TX power the reachability index and mean table were built for.
@@ -187,6 +249,13 @@ class Medium {
 
  private:
   [[nodiscard]] const PrrTable& table_for(int frame_bytes) const;
+  /// Cell size for the spatial grid: the config override, or the pure
+  /// path-loss distance at which the mean RSS reaches sensitivity minus the
+  /// provable fading margin.
+  [[nodiscard]] double grid_cell_size(double tx_power_dbm) const;
+  void set_reachable(std::size_t a, std::size_t b) {
+    reachable_[a * reach_words_ + (b >> 6)] |= std::uint64_t{1} << (b & 63);
+  }
 
   MediumConfig config_;
   std::vector<Position> positions_;
@@ -204,8 +273,13 @@ class Medium {
   std::vector<PrrTable> prr_tables_;
   mutable std::mutex extra_prr_mutex_;
   mutable std::map<int, PrrTable> extra_prr_tables_;
-  // Static candidate matrix [tx * N + rx]; empty until build_reachability().
-  std::vector<std::uint8_t> reachable_;
+  // Static candidate matrix packed into 64-bit bitset rows
+  // [tx * reach_words_ + rx/64]; empty until build_reachability(). One bit
+  // per pair: 8× smaller than the former byte matrix.
+  std::vector<std::uint64_t> reachable_;
+  std::size_t reach_words_{0};
+  // Cell partition; rebuilt by build_reachability().
+  SpatialGrid grid_;
   // Blackout matrix [tx * N + rx]; empty until the first set_link_blackout().
   // blackouts_active_ counts the set directed entries so the hot-path check
   // is one integer compare when no blackout is scripted.
@@ -216,8 +290,17 @@ class Medium {
   // channel the per-transmitter means are contiguous, so the per-slot
   // interference walk touches one short row instead of hashing into the
   // triangular propagation cache per pair. Values are the exact doubles
-  // mean_rss_dbm() returns. Empty until build_reachability().
+  // mean_rss_dbm() returns. Empty until build_reachability(), and never
+  // built in compact mode (the CSR rows below replace it).
   std::vector<double> mean_table_;
+  // Compact mode's CSR rows over grid neighborhoods: row rx covers every
+  // transmitter in rx's 3×3 cell block. csr_means_ is channel-major per row
+  // (offset*kNumChannels + ch*len + i), so a listener's co-channel walk is
+  // contiguous. Empty in flat mode.
+  std::vector<std::size_t> csr_offsets_;   // [n + 1]
+  std::vector<std::uint16_t> csr_cols_;    // ascending tx ids per row
+  std::vector<std::uint64_t> csr_keys_;    // link keys per entry
+  std::vector<double> csr_means_;          // per entry × channel
   double primed_power_dbm_{0.0};
 };
 

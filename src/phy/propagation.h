@@ -164,8 +164,12 @@ class Propagation {
     return kFadingNormalBound * config_.temporal_fading_sigma_db;
   }
 
- private:
+  /// The symmetric per-link hash key all static draws derive from. Public
+  /// so Medium's sparse (CSR) rows can precompute per-pair keys when the
+  /// dense link_keys_ table is disabled (compact mode at large N).
   [[nodiscard]] std::uint64_t link_key(NodeId a, NodeId b) const;
+
+ private:
 
   /// True when (a, b, channel) falls inside the flat caches.
   [[nodiscard]] bool cacheable(NodeId a, NodeId b,

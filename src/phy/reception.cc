@@ -1,8 +1,17 @@
 #include "phy/reception.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace digs {
+
+namespace {
+// Sentinel RSS for attempts beyond the grid's coupling cutoff: no physical
+// RSS approaches it, decode() keys its early-out on it, and the mW
+// contribution is exactly 0 — matching Medium::check_reception()'s empty
+// return and interference_mw()'s skip for the same pair.
+constexpr double kUncoupledRss = -1.0e9;
+}  // namespace
 
 void SlotReception::begin_slot(std::uint64_t slot, SimTime slot_start,
                                std::span<const TransmissionAttempt> attempts) {
@@ -35,6 +44,14 @@ void SlotReception::begin_listener(NodeId rx, PhysicalChannel channel,
   const std::uint64_t ftail =
       prop.fading_tail(channel, prop.fading_block(slot_));
   const bool fast = row != nullptr && keys != nullptr;
+  // Compact-mode fast path: the listener's CSR neighborhood row replaces the
+  // dense mean/key rows. The channel's means are contiguous at
+  // srow.means[channel * len ...]; sender lookup is a binary search over the
+  // ascending cols (every coupled sender is in the row by construction).
+  const Medium::SparseRow srow = medium_->sparse_row(rx, primed);
+  const double* smeans =
+      srow.len > 0 ? srow.means + static_cast<std::size_t>(channel) * srow.len
+                   : nullptr;
   double total_mw = 0.0;
   for (std::size_t t = 0; t < attempts_.size(); ++t) {
     const TransmissionAttempt& other = attempts_[t];
@@ -42,12 +59,31 @@ void SlotReception::begin_listener(NodeId rx, PhysicalChannel channel,
       mw_[t] = 0.0;
       continue;
     }
-    const double rss =
-        fast && other.sender.value < n && other.tx_power_dbm == primed
-            ? row[other.sender.value] +
-                  prop.fading_from_tail(keys[other.sender.value], ftail)
-            : medium_->rss_dbm(other.sender, rx, channel, slot_,
-                               other.tx_power_dbm);
+    // Grid coupling cutoff, identical to Medium's reference path: the
+    // attempt neither decodes nor contributes interference here.
+    if (!medium_->coupled(other.sender, rx)) {
+      rss_dbm_[t] = kUncoupledRss;
+      mw_[t] = 0.0;
+      continue;
+    }
+    double rss;
+    if (fast && other.sender.value < n && other.tx_power_dbm == primed) {
+      rss = row[other.sender.value] +
+            prop.fading_from_tail(keys[other.sender.value], ftail);
+    } else if (smeans != nullptr && other.sender.value < n &&
+               other.tx_power_dbm == primed) {
+      const auto* begin = srow.cols;
+      const auto* end = srow.cols + srow.len;
+      const auto* it = std::lower_bound(begin, end, other.sender.value);
+      rss = it != end && *it == other.sender.value
+                ? smeans[it - begin] +
+                      prop.fading_from_tail(srow.keys[it - begin], ftail)
+                : medium_->rss_dbm(other.sender, rx, channel, slot_,
+                                   other.tx_power_dbm);
+    } else {
+      rss = medium_->rss_dbm(other.sender, rx, channel, slot_,
+                             other.tx_power_dbm);
+    }
     const double mw = dbm_to_mw(rss);
     rss_dbm_[t] = rss;
     mw_[t] = mw;
@@ -60,6 +96,9 @@ void SlotReception::begin_listener(NodeId rx, PhysicalChannel channel,
 Medium::ReceptionCheck SlotReception::decode(std::size_t t) const {
   const TransmissionAttempt& tx = attempts_[t];
   if (tx.sender == rx_) return {};
+  // Uncoupled pair (grid cutoff): same empty outcome — no guard miss, no
+  // probability — as Medium::check_reception()'s early return.
+  if (rss_dbm_[t] == kUncoupledRss) return {};
   const double signal_dbm = rss_dbm_[t];
   // Same guard-miss check at the same sequence point as
   // Medium::check_reception(): after the RSS, before the sensitivity cut.

@@ -1,0 +1,71 @@
+#include "phy/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace digs {
+
+SpatialGrid::SpatialGrid(const std::vector<Position>& positions,
+                         double cell_size_m)
+    : cell_size_m_(cell_size_m) {
+  const std::size_t n = positions.size();
+  cell_x_.assign(n, 0);
+  cell_y_.assign(n, 0);
+  if (n == 0 || cell_size_m <= 0.0) {
+    cells_.assign(1, {});
+    for (std::uint16_t i = 0; i < n; ++i) cells_[0].push_back(i);
+    return;
+  }
+  double max_x = positions[0].x;
+  double max_y = positions[0].y;
+  min_x_ = positions[0].x;
+  min_y_ = positions[0].y;
+  for (const Position& p : positions) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  const auto span_cells = [cell_size_m](double span) {
+    return static_cast<std::uint32_t>(
+        std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(std::floor(span / cell_size_m)) + 1));
+  };
+  cols_ = span_cells(max_x - min_x_);
+  rows_ = span_cells(max_y - min_y_);
+  active_ = cols_ >= 3 || rows_ >= 3;
+  cells_.assign(num_cells(), {});
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cx = static_cast<std::uint16_t>(std::min<std::uint32_t>(
+        cols_ - 1,
+        static_cast<std::uint32_t>((positions[i].x - min_x_) / cell_size_m)));
+    const auto cy = static_cast<std::uint16_t>(std::min<std::uint32_t>(
+        rows_ - 1,
+        static_cast<std::uint32_t>((positions[i].y - min_y_) / cell_size_m)));
+    cell_x_[i] = cx;
+    cell_y_[i] = cy;
+    cells_[static_cast<std::size_t>(cy) * cols_ + cx].push_back(
+        static_cast<std::uint16_t>(i));
+  }
+}
+
+void SpatialGrid::neighborhood(std::uint16_t i,
+                               std::vector<std::uint16_t>& out) const {
+  out.clear();
+  if (!built()) return;
+  const std::uint32_t cx = cell_x_[i];
+  const std::uint32_t cy = cell_y_[i];
+  const std::uint32_t x0 = cx == 0 ? 0 : cx - 1;
+  const std::uint32_t x1 = std::min(cols_ - 1, cx + 1);
+  const std::uint32_t y0 = cy == 0 ? 0 : cy - 1;
+  const std::uint32_t y1 = std::min(rows_ - 1, cy + 1);
+  for (std::uint32_t y = y0; y <= y1; ++y) {
+    for (std::uint32_t x = x0; x <= x1; ++x) {
+      const auto& cell = cells_[static_cast<std::size_t>(y) * cols_ + x];
+      out.insert(out.end(), cell.begin(), cell.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace digs

@@ -1,0 +1,68 @@
+#include "sim/shard_pool.h"
+
+namespace digs {
+
+ShardPool::ShardPool(std::size_t extra_workers) {
+  workers_.reserve(extra_workers);
+  for (std::size_t i = 0; i < extra_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ShardPool::run(std::size_t tasks,
+                    const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (workers_.empty() || tasks == 1) {
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  fn_ = &fn;
+  total_ = tasks;
+  next_ = 0;
+  pending_ = tasks;
+  ++generation_;
+  work_cv_.notify_all();
+  // The caller participates: claim tasks like any worker, then wait on the
+  // barrier for the ones other threads still hold.
+  while (next_ < total_) {
+    const std::size_t i = next_++;
+    lock.unlock();
+    fn(i);
+    lock.lock();
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  fn_ = nullptr;
+}
+
+void ShardPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t seen = 0;
+  while (true) {
+    work_cv_.wait(lock, [this, seen] {
+      return stop_ || (generation_ != seen && fn_ != nullptr);
+    });
+    if (stop_) return;
+    seen = generation_;
+    const auto* fn = fn_;
+    while (next_ < total_) {
+      const std::size_t i = next_++;
+      lock.unlock();
+      (*fn)(i);
+      lock.lock();
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace digs

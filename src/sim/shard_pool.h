@@ -1,0 +1,59 @@
+// Minimal slot-synchronous worker pool for intra-trial sharding.
+//
+// Network resolves each busy slot's receptions in parallel across spatial
+// shards: run(tasks, fn) invokes fn(0..tasks-1) across the pool's workers
+// plus the calling thread, and returns only when every task finished — the
+// per-slot barrier. Shards write to disjoint per-listener result slots and
+// all merging happens on the caller after the barrier, so determinism never
+// depends on scheduling.
+//
+// The pool is deliberately tiny (mutex + two condvars + a claim counter):
+// a slot's fan-out is a few tasks a few thousand times per simulated
+// second, so low dispatch latency matters more than work-stealing
+// sophistication. With zero workers (DIGS_SHARDS=1) run() degenerates to an
+// inline loop — today's exact serial behavior with no synchronization.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace digs {
+
+class ShardPool {
+ public:
+  /// Spawns `extra_workers` threads (the caller is the +1st worker).
+  explicit ShardPool(std::size_t extra_workers);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  /// Runs fn(0), ..., fn(tasks - 1) across the workers and the calling
+  /// thread; blocks until all of them completed. Tasks are claimed
+  /// dynamically (load balancing across uneven shards). fn must not call
+  /// run() reentrantly.
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* fn_{nullptr};
+  std::size_t total_{0};
+  std::size_t next_{0};
+  std::size_t pending_{0};
+  std::uint64_t generation_{0};
+  bool stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace digs

@@ -72,9 +72,13 @@ ExperimentRunner::ExperimentRunner(const TestbedLayout& layout,
   net.node.orchestra_sender_based = config.orchestra_sender_based;
   net.medium = default_medium_config();
   net.medium.propagation.path_loss_exponent = layout.path_loss_exponent;
+  if (config.medium_flat_table_max_nodes.has_value()) {
+    net.medium.flat_table_max_nodes = *config.medium_flat_table_max_nodes;
+  }
   net.node.etx.admission_rss_dbm = layout.admission_rss_dbm;
   net.use_slot_engine = config.use_slot_engine;
   net.monitor_invariants = config.monitor_invariants;
+  net.shards = config.shards;
 
   network_ = std::make_unique<Network>(net, layout.positions);
 

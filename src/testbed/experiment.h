@@ -89,6 +89,14 @@ struct ExperimentConfig {
   /// entirely inactive and runs are bit-identical to pre-drift builds.
   double clock_ppm = 0.0;
   double clock_walk_ppm = 0.0;
+
+  /// Intra-trial spatial shards (see NetworkConfig::shards): 0 defers to
+  /// the DIGS_SHARDS environment variable (default 1 = serial).
+  std::size_t shards = 0;
+  /// Override for MediumConfig::flat_table_max_nodes (the flat-vs-sparse
+  /// storage cutover); tests force compact mode with 0 to pin sparse ==
+  /// flat bit-identity on small layouts.
+  std::optional<std::size_t> medium_flat_table_max_nodes;
 };
 
 struct ExperimentResult {

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstddef>
 #include <cstdio>
 #include <string>
@@ -13,11 +14,53 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/stats.h"
 #include "core/node.h"
 #include "testbed/experiment.h"
 
 namespace digs::bench {
+
+/// Hardware concurrency as reported by the host, for BENCH json headers:
+/// wall-clock numbers are only comparable across runs on similar hardware,
+/// so every emitted file records the thread count it was measured with.
+inline unsigned hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// City-scale square at constant density (312 m^2/device — sparser than
+/// Testbed A, like an outdoor industrial district), path-loss exponent 3.5
+/// so the decode radius stays around 114 m and the spatial grid spans many
+/// cells. One AP per ~100 devices (min 2), laid out on an even internal
+/// grid so every device is a couple of hops from some AP — the paper's
+/// testbeds run ~1 AP per 25 devices; a city deployment would bring
+/// backbone-connected gateways at a similar order. Shared by ext_scaling
+/// (the city sweep) and micro_core (the busy-slot row): both must measure
+/// the same floor.
+inline TestbedLayout city_floor(int devices, std::uint64_t seed) {
+  Rng rng(hash_mix(seed, 0xC17F));
+  TestbedLayout layout;
+  layout.name = "city-" + std::to_string(devices);
+  layout.path_loss_exponent = 3.5;
+  layout.admission_rss_dbm = -84.0;
+  const int aps = std::max(2, devices / 100);
+  layout.num_access_points = static_cast<std::uint16_t>(aps);
+  const double side = std::sqrt(312.0 * devices);
+  // APs on the centers of a ceil(sqrt(aps))-column internal grid.
+  const int ap_cols = static_cast<int>(std::ceil(std::sqrt(aps)));
+  const int ap_rows = (aps + ap_cols - 1) / ap_cols;
+  for (int a = 0; a < aps; ++a) {
+    const double ax = ((a % ap_cols) + 0.5) * side / ap_cols;
+    const double ay = ((a / ap_cols) + 0.5) * side / ap_rows;
+    layout.positions.push_back(Position{ax, ay, 0});
+  }
+  for (int i = 0; i < devices; ++i) {
+    layout.positions.push_back(
+        Position{rng.uniform(0.0, side), rng.uniform(0.0, side), 0.0});
+  }
+  return layout;
+}
 
 /// Runs `fn(0..count-1)` on trial_threads() workers (override with
 /// `threads`; DIGS_THREADS=1 disables threading) and returns the results

@@ -131,7 +131,9 @@ void write_json(const std::vector<SuiteSummary>& summaries) {
       "180s for DiGS/Orchestra and 420s for WirelessHART (the manager needs "
       "detection + the Fig. 3 reaction time before a revived node rejoins); "
       "invariant monitor on for every suite; per-suite numbers aggregate "
-      "all seeds\",\n");
+      "all seeds\",\n"
+      "  \"hardware_threads\": %u,\n",
+      bench::hardware_threads());
   for (std::size_t i = 0; i < summaries.size(); ++i) {
     const SuiteSummary& s = summaries[i];
     std::fprintf(

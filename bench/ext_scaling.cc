@@ -20,15 +20,22 @@
 // DIGS_SCALING_SMOKE=1 runs a reduced city row (for the TSan preset in
 // scripts/check.sh): ~300 devices, short windows, 1 shard vs DIGS_SHARDS,
 // bit-identity gate only, no JSON.
+//
+// DIGS_SCALING_CITY_ONLY=1 skips the paper-scale sweep;
+// DIGS_SCALING_MIN_DEVICES / DIGS_SCALING_MAX_DEVICES bound which city
+// rows run. With DIGS_PROF=1 each city row gets its own phase breakdown
+// (profiler reset per row) embedded in its JSON entry.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/prof.h"
 #include "testbed/experiment.h"
 
 namespace {
@@ -54,36 +61,9 @@ TestbedLayout scaled_floor(int devices, std::uint64_t seed) {
   return layout;
 }
 
-/// City-scale square at constant density (312 m^2/device — sparser than
-/// Testbed A, like an outdoor industrial district), path-loss exponent 3.5
-/// so the decode radius stays around 114 m and the spatial grid spans many
-/// cells. One AP per ~100 devices (min 2), laid out on an even internal
-/// grid so every device is a couple of hops from some AP — the paper's
-/// testbeds run ~1 AP per 25 devices; a city deployment would bring
-/// backbone-connected gateways at a similar order.
-TestbedLayout city_floor(int devices, std::uint64_t seed) {
-  Rng rng(hash_mix(seed, 0xC17F));
-  TestbedLayout layout;
-  layout.name = "city-" + std::to_string(devices);
-  layout.path_loss_exponent = 3.5;
-  layout.admission_rss_dbm = -84.0;
-  const int aps = std::max(2, devices / 100);
-  layout.num_access_points = static_cast<std::uint16_t>(aps);
-  const double side = std::sqrt(312.0 * devices);
-  // APs on the centers of a ceil(sqrt(aps))-column internal grid.
-  const int ap_cols = static_cast<int>(std::ceil(std::sqrt(aps)));
-  const int ap_rows = (aps + ap_cols - 1) / ap_cols;
-  for (int a = 0; a < aps; ++a) {
-    const double ax = ((a % ap_cols) + 0.5) * side / ap_cols;
-    const double ay = ((a / ap_cols) + 0.5) * side / ap_rows;
-    layout.positions.push_back(Position{ax, ay, 0});
-  }
-  for (int i = 0; i < devices; ++i) {
-    layout.positions.push_back(
-        Position{rng.uniform(0.0, side), rng.uniform(0.0, side), 0.0});
-  }
-  return layout;
-}
+// City-scale layout: bench::city_floor() (shared with micro_core's
+// busy-slot row, which must measure the same floor).
+using bench::city_floor;
 
 double median_or(const std::vector<double>& values, double fallback) {
   if (values.empty()) return fallback;
@@ -119,6 +99,7 @@ struct CityRow {
   double build_s{0};  // Network construction (reachability tables, CSR)
   double run_s{0};    // warmup + measurement + drain wall-clock
   ExperimentResult result;
+  std::string prof;  // per-row DIGS_PROF phase breakdown (empty when off)
 };
 
 CityRow run_city(int devices, std::uint64_t seed, std::size_t shards,
@@ -130,8 +111,13 @@ CityRow run_city(int devices, std::uint64_t seed, std::size_t shards,
   const auto t0 = clock::now();
   ExperimentRunner runner(city_floor(devices, seed), config);
   const auto t1 = clock::now();
+  // Scope the profiler (when DIGS_PROF=1) to this row alone, so each JSON
+  // entry carries its own phase breakdown.
+  const bool prof_on = prof::enabled();
+  if (prof_on) prof::reset();
   row.result = runner.run();
   const auto t2 = clock::now();
+  if (prof_on) row.prof = prof::json();
   row.build_s = std::chrono::duration<double>(t1 - t0).count();
   row.run_s = std::chrono::duration<double>(t2 - t1).count();
   return row;
@@ -192,13 +178,20 @@ int main() {
 
   bench::header("ext_scaling",
                 "Extension: scalability sweep at constant density");
+  const bool city_only = [] {
+    const char* env = std::getenv("DIGS_SCALING_CITY_ONLY");
+    return env != nullptr && env[0] == '1';
+  }();
   const int runs = bench::default_runs(3);
   std::printf("%d runs per size; 8 flows @ 5 s, no interference\n\n", runs);
   std::printf("%8s %12s | %-26s | %-26s\n", "", "", "DiGS", "Orchestra");
   std::printf("%8s %12s | %8s %8s %8s | %8s %8s %8s\n", "devices", "",
               "PDR", "medLat", "join_s", "PDR", "medLat", "join_s");
 
-  for (const int devices : {18, 48, 98, 148}) {
+  static constexpr int kPaperSizes[] = {18, 48, 98, 148};
+  const std::span<const int> paper_sizes =
+      city_only ? std::span<const int>{} : std::span<const int>{kPaperSizes};
+  for (const int devices : paper_sizes) {
     double row[2][3] = {};
     for (const ProtocolSuite suite :
          {ProtocolSuite::kDigs, ProtocolSuite::kOrchestra}) {
@@ -244,12 +237,18 @@ int main() {
     const int cap = std::atoi(env);
     if (cap > 0) city_max = cap;
   }
+  int city_min = 0;
+  if (const char* env = std::getenv("DIGS_SCALING_MIN_DEVICES")) {
+    const int floor = std::atoi(env);
+    if (floor > 0) city_min = floor;
+  }
 
   std::vector<CityRow> city_rows;
+  bool ran_5k_pair = false;
   bool shard_mismatch = false;
   double speedup = 0.0;
   for (const int devices : {1000, 5000, 10000}) {
-    if (devices > city_max) continue;
+    if (devices > city_max || devices < city_min) continue;
     const ExperimentConfig config = city_config(90, 1);
     CityRow serial = run_city(devices, 90, 1, config);
     print_city_row(serial);
@@ -259,9 +258,30 @@ int main() {
       sharded_config.shards = 8;
       CityRow sharded = run_city(devices, 90, 8, sharded_config);
       print_city_row(sharded);
+      ran_5k_pair = true;
       shard_mismatch = !identical(serial.result, sharded.result);
       speedup = sharded.run_s > 0 ? serial.run_s / sharded.run_s : 0.0;
       city_rows.push_back(sharded);
+    }
+  }
+
+  // Gate evaluation up front so the JSON can record the outcomes. The 5k
+  // bit-identity contract and the shard-speedup target are INDEPENDENT:
+  // bit-identity must hold (and is always reported) when the pair ran; the
+  // speedup threshold only gates where there are enough hardware threads to
+  // make it meaningful.
+  const bool ran_10k = city_max >= 10000 && city_min <= 10000;
+  const bool fail_10k =
+      ran_10k && (city_rows.empty() || city_rows.back().devices != 10000 ||
+                  city_rows.back().result.generated == 0);
+  const char* speedup_gate = "not_run";
+  double speedup_threshold = 0.0;
+  if (ran_5k_pair) {
+    if (hw >= 4) {
+      speedup_threshold = hw >= 8 ? 3.0 : 1.8;
+      speedup_gate = speedup >= speedup_threshold ? "ok" : "fail";
+    } else {
+      speedup_gate = "skipped_low_hw";
     }
   }
 
@@ -277,22 +297,27 @@ int main() {
         "DiGS only, 16 flows @5s, 300s warmup + 120s window); the 5k row "
         "repeats at DIGS_SHARDS=8 and must be "
         "bit-identical to the 1-shard run; build_s is Network construction "
-        "(reachability + CSR tables), run_s the simulation wall-clock\",\n"
+        "(reachability + CSR tables), run_s the simulation wall-clock; "
+        "prof fragments appear per row when DIGS_PROF=1\",\n"
         "  \"hardware_threads\": %u,\n"
         "  \"shard_speedup_5k\": %.3f,\n"
         "  \"shard_bit_identical_5k\": %s,\n"
+        "  \"speedup_gate\": \"%s\",\n"
         "  \"city_rows\": [\n",
-        hw, speedup, shard_mismatch ? "false" : "true");
+        hw, speedup,
+        ran_5k_pair ? (shard_mismatch ? "false" : "true") : "null",
+        speedup_gate);
     for (std::size_t i = 0; i < city_rows.size(); ++i) {
       const CityRow& r = city_rows[i];
       std::fprintf(out,
                    "    {\"devices\": %d, \"shards\": %zu, \"pdr\": %.4f, "
                    "\"median_latency_ms\": %.1f, \"mean_join_s\": %.1f, "
-                   "\"build_s\": %.2f, \"run_s\": %.2f}%s\n",
+                   "\"build_s\": %.2f, \"run_s\": %.2f",
                    r.devices, r.shards, r.result.overall_pdr,
                    median_or(r.result.latencies_ms, 0.0),
-                   mean_or(r.result.join_times_s, 0.0), r.build_s, r.run_s,
-                   i + 1 < city_rows.size() ? "," : "");
+                   mean_or(r.result.join_times_s, 0.0), r.build_s, r.run_s);
+      if (!r.prof.empty()) std::fprintf(out, ", \"prof\": %s", r.prof.c_str());
+      std::fprintf(out, "}%s\n", i + 1 < city_rows.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
@@ -312,32 +337,34 @@ int main() {
 
   // --- gates ---
   int status = 0;
-  const bool ran_10k = city_max >= 10000;
-  if (ran_10k &&
-      (city_rows.empty() || city_rows.back().devices != 10000 ||
-       city_rows.back().result.generated == 0)) {
+  if (fail_10k) {
     std::printf("GATE FAIL: the 10k-device row did not complete\n");
     status = 1;
   }
-  if (shard_mismatch) {
-    std::printf(
-        "GATE FAIL: 5k row at 8 shards diverged from the 1-shard run\n");
-    status = 1;
+  // Bit-identity reports its own verdict whenever the 5k pair ran — even
+  // when the speedup gate below is skipped on low-core hardware, a shard
+  // divergence must never pass silently.
+  if (ran_5k_pair) {
+    if (shard_mismatch) {
+      std::printf(
+          "GATE FAIL: 5k row at 8 shards diverged from the 1-shard run\n");
+      status = 1;
+    } else {
+      std::printf(
+          "gate OK: 5k row at 8 shards bit-identical to the 1-shard run\n");
+    }
   }
   // The speedup target needs real cores: 8 shards on >=8 hardware threads
   // should hit 3x; on a 4-7 thread box ask for 1.8x; below that the bench
   // records the ratio but cannot gate on it.
-  if (speedup > 0.0 && hw >= 4) {
-    const double threshold = hw >= 8 ? 3.0 : 1.8;
-    if (speedup < threshold) {
-      std::printf("GATE FAIL: 5k shard speedup %.2fx < %.1fx (hw=%u)\n",
-                  speedup, threshold, hw);
-      status = 1;
-    } else {
-      std::printf("gate OK: 5k shard speedup %.2fx (threshold %.1fx)\n",
-                  speedup, threshold);
-    }
-  } else if (speedup > 0.0) {
+  if (std::string(speedup_gate) == "fail") {
+    std::printf("GATE FAIL: 5k shard speedup %.2fx < %.1fx (hw=%u)\n",
+                speedup, speedup_threshold, hw);
+    status = 1;
+  } else if (std::string(speedup_gate) == "ok") {
+    std::printf("gate OK: 5k shard speedup %.2fx (threshold %.1fx)\n",
+                speedup, speedup_threshold);
+  } else if (ran_5k_pair) {
     std::printf(
         "speedup gate skipped: %u hardware thread(s); measured %.2fx\n", hw,
         speedup);

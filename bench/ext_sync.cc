@@ -111,7 +111,9 @@ void write_json(const std::vector<SuiteSummary>& summaries) {
       "(walk step every 10s); nodes correct their clocks from time-source "
       "EBs and ACKs and fall back to keep-alive polls at half the guard "
       "budget; receptions outside the 2200us guard are lost; per-point "
-      "numbers aggregate all seeds\",\n");
+      "numbers aggregate all seeds\",\n"
+      "  \"hardware_threads\": %u,\n",
+      bench::hardware_threads());
   for (std::size_t i = 0; i < summaries.size(); ++i) {
     const SuiteSummary& s = summaries[i];
     std::fprintf(out, "  \"%s\": {\n    \"seeds\": %d,\n    \"sweep\": [\n",

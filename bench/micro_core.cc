@@ -4,14 +4,26 @@
 //
 // The binary has a custom main: after the google-benchmark suite it times
 // the 150-node idle-heavy scenario under both slot drivers (schedule-driven
-// engine vs. per-slot polling) and writes slots/s + events/s to
-// BENCH_slot_engine.json in the working directory so future PRs can track
-// the trajectory.
+// engine vs. per-slot polling) plus a city-scale busy-slot row (the
+// formation-phase EB storm the cell-indexed reception pipeline targets) and
+// writes slots/s + events/s to BENCH_slot_engine.json in the working
+// directory so future PRs can track the trajectory.
+//
+// DIGS_PERF_SMOKE=1 skips everything except a reduced busy-slot row and
+// gates it against the committed bench/perf_baseline.json (path override:
+// DIGS_PERF_BASELINE): >20% below the baseline slots/s exits nonzero. The
+// smoke takes best-of-3 to damp scheduler noise; the baseline should be
+// (re)measured on the CI host via DIGS_PERF_WRITE_BASELINE=1.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "bench_util.h"
+#include "common/prof.h"
 #include "manager/graph_router.h"
 #include "phy/medium.h"
 #include "phy/prr.h"
@@ -242,11 +254,87 @@ void write_suite_json(std::FILE* out, const SuiteRow& row, bool last) {
                row.polled.pdr == row.engine.pdr ? "true" : "false", last ? "" : ",");
 }
 
+// --- city-scale busy-slot row ---
+//
+// The opposite regime from the idle-heavy 150-node scenario: a city floor
+// during network formation, where nearly every node scans every slot and
+// the wall-clock lives in the cell-indexed reception pipeline (bucket
+// gather, CSR merge-join, batched fading). This is the row the perf-smoke
+// regression gate watches.
+
+struct BusySlotRun {
+  int devices{0};
+  double window_s{0};  // simulated seconds timed
+  double wall_s{0};
+  std::uint64_t slots{0};
+  double slots_per_s{0};
+  std::string prof;  // DIGS_PROF phase breakdown (empty when off)
+};
+
+BusySlotRun run_busy_slot(int devices, std::int64_t warmup_s,
+                          std::int64_t window_s) {
+  ExperimentConfig config;
+  config.suite = ProtocolSuite::kDigs;
+  config.seed = 90;
+  config.num_flows = 8;
+  config.flow_period = seconds(std::int64_t{5});
+  config.num_jammers = 0;
+  ExperimentRunner runner(bench::city_floor(devices, 90), config);
+  Network& net = runner.network();
+  net.start();
+  // Untimed warmup: ride past the quiet opening (only the APs beacon, and
+  // the engine skips transmitter-free slots entirely) into the EB storm,
+  // where enough nodes have joined that every slot executes with most of
+  // the network scanning — the regime the reception pipeline is built for.
+  net.run_for(seconds(warmup_s));
+
+  const bool prof_on = prof::enabled();
+  if (prof_on) prof::reset();
+  const std::uint64_t slots0 = net.current_asn();
+  const auto t0 = std::chrono::steady_clock::now();
+  net.run_for(seconds(window_s));
+  const auto t1 = std::chrono::steady_clock::now();
+
+  BusySlotRun run;
+  run.devices = devices;
+  run.window_s = static_cast<double>(window_s);
+  run.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  run.slots = net.current_asn() - slots0;
+  run.slots_per_s =
+      run.wall_s > 0 ? static_cast<double>(run.slots) / run.wall_s : 0.0;
+  if (prof_on) run.prof = prof::json();
+  return run;
+}
+
+void print_busy_slot(const BusySlotRun& r) {
+  std::printf(
+      "busy_slot city-%d  window=%.0f s sim  wall=%.3f s  slots=%llu "
+      "(%.3g slots/s)\n",
+      r.devices, r.window_s, r.wall_s,
+      static_cast<unsigned long long>(r.slots), r.slots_per_s);
+  std::fflush(stdout);
+}
+
+void write_busy_slot_json(std::FILE* out, const BusySlotRun& r) {
+  std::fprintf(out,
+               "  \"busy_slot\": {\n"
+               "    \"devices\": %d, \"window_s\": %.1f, \"wall_s\": %.4f, "
+               "\"slots\": %llu, \"slots_per_s\": %.1f",
+               r.devices, r.window_s, r.wall_s,
+               static_cast<unsigned long long>(r.slots), r.slots_per_s);
+  if (!r.prof.empty()) std::fprintf(out, ",\n    \"prof\": %s", r.prof.c_str());
+  std::fprintf(out, "\n  }\n");
+}
+
 void report_slot_engine() {
   std::printf("\n--- slot engine: 150-node scenarios (steady state) ---\n");
   const SuiteRow idle =
       measure_suite("idle_heavy_wh", ProtocolSuite::kWirelessHart);
   const SuiteRow digs = measure_suite("beacon_heavy_digs", ProtocolSuite::kDigs);
+
+  std::printf("\n--- busy slot: city-scale formation (EB storm) ---\n");
+  const BusySlotRun busy = run_busy_slot(2000, 120, 60);
+  print_busy_slot(busy);
 
   std::FILE* out = std::fopen("BENCH_slot_engine.json", "w");
   if (out == nullptr) {
@@ -256,20 +344,106 @@ void report_slot_engine() {
   std::fprintf(out,
                "{\n"
                "  \"scenario\": \"cooja150, 4 flows @30s, 240s formation "
-               "(untimed) + 1200s steady state (timed)\",\n"
+               "(untimed) + 1200s steady state (timed); busy_slot row: "
+               "city-2000 floor, 120s untimed warmup then 60s of the "
+               "formation EB storm (timed)\",\n"
+               "  \"hardware_threads\": %u,\n"
                "  \"nodes\": 152,\n"
                "  \"simulated_s\": %.1f,\n",
+               bench::hardware_threads(),
                static_cast<double>(idle.polled.slots) * 0.01);
   write_suite_json(out, idle, false);
-  write_suite_json(out, digs, true);
+  write_suite_json(out, digs, false);
+  write_busy_slot_json(out, busy);
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote BENCH_slot_engine.json\n");
 }
 
+// --- DIGS_PERF_SMOKE=1: reduced busy-slot row vs. committed baseline ---
+
+/// Minimal extraction of "slots_per_s": <num> from perf_baseline.json.
+/// The file is written by this binary (flat, one key), so a substring
+/// scan is sufficient — no JSON library in the container.
+double read_baseline_slots_per_s(const char* path) {
+  std::FILE* in = std::fopen(path, "r");
+  if (in == nullptr) return -1.0;
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, in)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(in);
+  const char* key = "\"slots_per_s\":";
+  const std::size_t pos = text.find(key);
+  if (pos == std::string::npos) return -1.0;
+  return std::atof(text.c_str() + pos + std::strlen(key));
+}
+
+int run_perf_smoke() {
+  const char* baseline_path = "perf_baseline.json";
+  if (const char* env = std::getenv("DIGS_PERF_BASELINE")) {
+    baseline_path = env;
+  }
+  std::printf("perf smoke: city busy-slot row, best of 3\n");
+  BusySlotRun best;
+  for (int i = 0; i < 3; ++i) {
+    const BusySlotRun run = run_busy_slot(500, 90, 120);
+    print_busy_slot(run);
+    if (run.slots_per_s > best.slots_per_s) best = run;
+  }
+
+  if (std::getenv("DIGS_PERF_WRITE_BASELINE") != nullptr) {
+    std::FILE* out = std::fopen(baseline_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "could not write %s\n", baseline_path);
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"scenario\": \"city-500 floor, 90s untimed warmup then "
+                 "120s of the formation EB storm, best of 3 "
+                 "(DIGS_PERF_SMOKE)\",\n"
+                 "  \"hardware_threads\": %u,\n"
+                 "  \"slots_per_s\": %.1f\n"
+                 "}\n",
+                 bench::hardware_threads(), best.slots_per_s);
+    std::fclose(out);
+    std::printf("wrote baseline %s (%.3g slots/s)\n", baseline_path,
+                best.slots_per_s);
+    return 0;
+  }
+
+  const double baseline = read_baseline_slots_per_s(baseline_path);
+  if (baseline <= 0) {
+    std::fprintf(stderr,
+                 "perf smoke: no baseline at %s (run with "
+                 "DIGS_PERF_WRITE_BASELINE=1 to create it); skipping gate\n",
+                 baseline_path);
+    return 0;
+  }
+  const double ratio = best.slots_per_s / baseline;
+  std::printf("perf smoke: %.3g slots/s vs baseline %.3g (%.2fx)\n",
+              best.slots_per_s, baseline, ratio);
+  if (ratio < 0.8) {
+    std::fprintf(stderr,
+                 "perf smoke FAILED: busy-slot throughput regressed >20%% "
+                 "(%.2fx of baseline)\n",
+                 ratio);
+    return 1;
+  }
+  std::printf("perf smoke OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (const char* env = std::getenv("DIGS_PERF_SMOKE");
+      env != nullptr && env[0] == '1') {
+    return run_perf_smoke();
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

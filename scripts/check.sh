@@ -28,6 +28,13 @@ done
 # JSON next to the binaries so the checked-in copies only change on purpose.
 # Skipped when the default preset was excluded from this invocation.
 if printf '%s\n' "${presets[@]}" | grep -qx default; then
+  echo "==> gate: perf smoke (busy-slot throughput vs bench/perf_baseline.json)"
+  # Reduced city busy-slot row, best of 3; fails on >20% regression against
+  # the committed baseline. Re-baseline on a new CI host with
+  # DIGS_PERF_WRITE_BASELINE=1 (writes the file the gate reads).
+  (cd build/bench &&
+   DIGS_PERF_SMOKE=1 DIGS_PERF_BASELINE=../../bench/perf_baseline.json \
+   ./micro_core)
   echo "==> gate: ext_churn"
   (cd build/bench && ./ext_churn)
   echo "==> gate: ext_sync"

@@ -1,0 +1,96 @@
+#include "common/prof.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+
+namespace digs::prof {
+namespace {
+
+struct Counter {
+  std::atomic<std::uint64_t> ns{0};
+  std::atomic<std::uint64_t> calls{0};
+};
+
+Counter g_counters[kNumPhases];
+
+constexpr const char* kPhaseNames[kNumPhases] = {
+    "wake_pop",       "plan_gather",  "bucket_build", "begin_listener",
+    "decode",         "shard_resolve", "merge_compact", "ack_resolve",
+    "deliver",        "energy_settle", "wake_refresh", "slot_total",
+};
+
+// -1 = not yet decided from the environment; 0/1 = cached decision.
+std::atomic<int> g_enabled{-1};
+
+}  // namespace
+
+const char* phase_name(Phase phase) { return kPhaseNames[phase]; }
+
+bool enabled() {
+  int state = g_enabled.load(std::memory_order_relaxed);
+  if (state >= 0) return state != 0;
+  const char* env = std::getenv("DIGS_PROF");
+  const bool on = env != nullptr && env[0] != '\0' && env[0] != '0';
+  // Another thread may race to the same env-derived answer; both write the
+  // identical value, so a plain exchange is fine.
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+  return on;
+}
+
+void force_enabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void add(Phase phase, std::uint64_t ns) {
+  g_counters[phase].ns.fetch_add(ns, std::memory_order_relaxed);
+  g_counters[phase].calls.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t total_ns(Phase phase) {
+  return g_counters[phase].ns.load(std::memory_order_relaxed);
+}
+
+std::uint64_t calls(Phase phase) {
+  return g_counters[phase].calls.load(std::memory_order_relaxed);
+}
+
+std::uint64_t summed_phase_ns() {
+  std::uint64_t sum = 0;
+  for (int p = 0; p < kNumPhases; ++p) {
+    if (p == kSlotTotal) continue;
+    sum += total_ns(static_cast<Phase>(p));
+  }
+  return sum;
+}
+
+void reset() {
+  for (auto& counter : g_counters) {
+    counter.ns.store(0, std::memory_order_relaxed);
+    counter.calls.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string json() {
+  std::ostringstream out;
+  out << "{\"enabled\": " << (enabled() ? "true" : "false")
+      << ", \"phases\": {";
+  for (int p = 0; p < kNumPhases; ++p) {
+    if (p != 0) out << ", ";
+    const auto phase = static_cast<Phase>(p);
+    out << '"' << kPhaseNames[p] << "\": {\"ns\": " << total_ns(phase)
+        << ", \"calls\": " << calls(phase) << '}';
+  }
+  out << "}, \"summed_phase_ns\": " << summed_phase_ns() << '}';
+  return out.str();
+}
+
+}  // namespace digs::prof

@@ -5,6 +5,7 @@
 #include <iterator>
 #include <numeric>
 
+#include "common/prof.h"
 #include "core/invariant_monitor.h"
 
 namespace digs {
@@ -506,6 +507,9 @@ void Network::engine_tick() {
     return;
   }
   engine_yielded_ = false;
+  const bool pf = prof::enabled();
+  const std::uint64_t slot_t0 = pf ? prof::now_ns() : 0;
+  std::uint64_t mark = slot_t0;
   const std::uint64_t asn = armed_asn_;
   armed_asn_ = kNeverOccupied;
 
@@ -529,27 +533,38 @@ void Network::engine_tick() {
 
   // Full slot set: the TX-capable (heap-due) nodes, every node listening at
   // this ASN per the reverse listen index, and all scanners (they might
-  // hear a frame in any executed slot).
+  // hear a frame in any executed slot). Every source is already sorted and
+  // duplicate-free (participants_ above, the per-offset bucket lists, and
+  // scanners_ by construction), so pairwise set_union replaces the former
+  // concatenate+sort+unique — same set, linear instead of O(n log n), which
+  // matters when thousands of scanners join every executed slot.
   slot_nodes_.assign(participants_.begin(), participants_.end());
   for (const BucketFrame& bucket : listen_buckets_) {
     const auto& at = bucket.nodes[asn % bucket.length];
-    slot_nodes_.insert(slot_nodes_.end(), at.begin(), at.end());
+    if (at.empty()) continue;
+    merge_scratch_.clear();
+    std::set_union(slot_nodes_.begin(), slot_nodes_.end(), at.begin(),
+                   at.end(), std::back_inserter(merge_scratch_));
+    slot_nodes_.swap(merge_scratch_);
   }
-  slot_nodes_.insert(slot_nodes_.end(), scanners_.begin(), scanners_.end());
-  std::sort(slot_nodes_.begin(), slot_nodes_.end());
-  slot_nodes_.erase(std::unique(slot_nodes_.begin(), slot_nodes_.end()),
-                    slot_nodes_.end());
+  if (!scanners_.empty()) {
+    merge_scratch_.clear();
+    std::set_union(slot_nodes_.begin(), slot_nodes_.end(), scanners_.begin(),
+                   scanners_.end(), std::back_inserter(merge_scratch_));
+    slot_nodes_.swap(merge_scratch_);
+  }
 
   // Settle before planning: a scanner that syncs *during* this slot must
   // have its skipped slots charged as scan listening, not sleep.
   for (const std::uint16_t i : slot_nodes_) {
     if (alive_[i] != 0) settle_node_to(i, asn);
   }
+  if (pf) mark = prof::lap(prof::kWakePop, mark);
 
   last_processed_asn_ = static_cast<std::int64_t>(asn);
   in_slot_ = true;
   dirty_.clear();
-  process_slot(asn, sim_.now(), slot_nodes_);
+  process_slot(asn, sim_.now(), slot_nodes_, pf ? &mark : nullptr);
   in_slot_ = false;
 
   // Only the heap-due nodes need a recomputed TX wake: pure listeners'
@@ -559,6 +574,11 @@ void Network::engine_tick() {
   for (const std::uint16_t i : participants_) refresh_wake(i, asn + 1);
   for (const std::uint16_t i : dirty_) apply_wake_change(i, asn + 1, asn + 1);
   arm_engine();
+  if (pf) {
+    const std::uint64_t now = prof::now_ns();
+    prof::add(prof::kWakeRefresh, now - mark);
+    prof::add(prof::kSlotTotal, now - slot_t0);
+  }
 }
 
 void Network::on_node_wake_dirty(NodeId id) {
@@ -629,7 +649,13 @@ void Network::settle_all() {
 void Network::slot_tick() {
   const SimTime slot_start = sim_.now();
   const std::uint64_t asn = asn_++;
-  process_slot(asn, slot_start, all_ids_);
+  const bool pf = prof::enabled();
+  std::uint64_t mark = pf ? prof::now_ns() : 0;
+  const std::uint64_t slot_t0 = mark;
+  process_slot(asn, slot_start, all_ids_, pf ? &mark : nullptr);
+  // mark comes back as the energy-settle end timestamp, so the slot total
+  // is exactly the phase sum here (no trailing clock read).
+  if (pf) prof::add(prof::kSlotTotal, mark - slot_t0);
   sim_.schedule_after(kSlotDuration, [this] { slot_tick(); });
 }
 
@@ -637,39 +663,57 @@ void Network::slot_tick() {
 
 void Network::resolve_listener(SlotReception& reception, std::size_t li,
                                std::uint64_t slot_draw_seed,
-                               std::uint64_t& guard_misses) {
+                               std::uint64_t& guard_misses,
+                               std::uint64_t* prof_mark) {
   const SlotListener& listener = listeners_[li];
   std::int32_t best_tx = -1;
   double best_rss = -1e9;
-  bool listener_begun = false;
-  for (std::size_t t = 0; t < transmitters_.size(); ++t) {
-    const TransmissionAttempt& attempt = on_air_[t];
-    if (attempt.channel != listener.channel) continue;
-    if (attempt.sender == listener.id) continue;
-    if (!medium_.maybe_reachable(attempt.sender, listener.id)) continue;
-    if (!listener_begun) {
-      reception.begin_listener(listener.id, listener.channel,
-                               listener.clock_offset_us, listener.guard_us);
-      listener_begun = true;
+  // The accumulator pass visits only the listener's cell-neighborhood
+  // attempts; its candidate list is exactly the co-channel, non-self,
+  // grid-coupled subset the former full scan kept, in the same ascending
+  // attempt order, so the decode loop below sees the identical sequence.
+  const std::span<const std::uint32_t> cands = reception.begin_listener_gather(
+      listener.id, listener.channel, listener.clock_offset_us,
+      listener.guard_us);
+  // Reachability pre-scan: the decode loop below skips every
+  // non-maybe_reachable candidate before decoding it, and a skipped pair
+  // leaves no trace — no guard miss, no rx_result_ write. So when NO
+  // candidate is reachable the whole listener is the empty outcome, and the
+  // interference accumulation (the expensive fading/mW passes) can be
+  // skipped wholesale without changing any double.
+  bool any_reachable = false;
+  for (const std::uint32_t t : cands) {
+    if (medium_.maybe_reachable(on_air_[t].sender, listener.id)) {
+      any_reachable = true;
+      break;
     }
-    const Medium::ReceptionCheck check = reception.decode(t);
-    if (check.guard_missed) ++guard_misses;
-    // Draw only for decodable pairs: a zero-probability check can never
-    // pass (chance(0) is false in any keying), so skipping the hash for
-    // the common below-threshold case changes no outcome.
-    if (!(check.probability > 0.0)) continue;
-    const double draw = hashed_uniform(
-        hash_mix(slot_draw_seed, listener.id.value, attempt.sender.value));
-    if (!(draw < check.probability)) continue;
-    if (check.rss_dbm > best_rss) {
-      best_rss = check.rss_dbm;
-      best_tx = static_cast<std::int32_t>(t);
-    }
+  }
+  if (any_reachable) reception.accumulate_gathered();
+  if (prof_mark != nullptr) {
+    const std::uint64_t now = prof::now_ns();
+    prof::add(prof::kBeginListener, now - *prof_mark);
+    *prof_mark = now;
+  }
+  if (!any_reachable) return;
+  // Batched decode: one sequential walk over the gathered candidate arrays
+  // (maybe_reachable prune -> guard -> sensitivity -> blackout -> SINR ->
+  // hashed draw -> strongest-RSS capture), identical doubles and guard-miss
+  // accounting to calling reception.decode(t) per candidate here.
+  const SlotReception::DecodeOutcome outcome =
+      reception.decode_candidates(slot_draw_seed);
+  guard_misses += outcome.guard_misses;
+  best_tx = outcome.best_tx;
+  best_rss = outcome.best_rss;
+  if (prof_mark != nullptr) {
+    const std::uint64_t now = prof::now_ns();
+    prof::add(prof::kDecode, now - *prof_mark);
+    *prof_mark = now;
   }
   if (best_tx >= 0) rx_result_[li] = RxResult{best_tx, best_rss};
 }
 
-void Network::resolve_receptions(std::uint64_t asn, SimTime slot_start) {
+void Network::resolve_receptions(std::uint64_t asn, SimTime slot_start,
+                                 std::uint64_t* prof_mark) {
   // A listener can decode at most one frame per slot; if several pass the
   // SINR draw (rare near/far capture), the strongest wins. Every per-pair
   // draw is hashed from (asn, listener, sender) and every per-listener
@@ -678,19 +722,40 @@ void Network::resolve_receptions(std::uint64_t asn, SimTime slot_start) {
   // merge into receptions_ is always listener order.
   receptions_.clear();
   const std::size_t num_listeners = listeners_.size();
+  // On a quiet slot prof_mark is left untouched: the caller's next lap
+  // absorbs this sliver, so nothing escapes the phase sum.
   if (transmitters_.empty() || num_listeners == 0) return;
+  const bool pf = prof_mark != nullptr;
+  std::uint64_t mark = pf ? *prof_mark : 0;
   rx_result_.assign(num_listeners, RxResult{});
+  // One bucket build per slot, shared read-only by every shard's resolver
+  // (and the standalone serial one): O(T) once instead of per shard.
+  cell_index_.build(medium_.grid(), on_air_);
   const std::uint64_t slot_draw_seed = hash_mix(draw_seed_, asn);
   if (num_shards_ > 1 && num_listeners >= kMinParallelListeners) {
+    if (pf) {
+      const std::uint64_t now = prof::now_ns();
+      prof::add(prof::kBucketBuild, now - mark);
+      mark = now;
+    }
     pool_->run(num_shards_, [&](std::size_t s) {
       // Per-shard resolver instance and guard counter: shards share no
       // mutable state. Each shard walks the full listener list and takes
       // the ones its cells own.
       SlotReception& reception = shard_reception_[s];
-      reception.begin_slot(asn, slot_start, on_air_);
+      reception.begin_slot(asn, slot_start, on_air_, &cell_index_);
       std::uint64_t misses = 0;
       for (std::size_t li = 0; li < num_listeners; ++li) {
         if (shard_of_node_[listeners_[li].id.value] != s) continue;
+        // Nothing on the air couples to this listener on its channel: its
+        // candidate list would come back empty (no decode, no draw, no
+        // guard miss), so skipping it wholesale is bit-identical — and in
+        // a city-scale deployment most listeners are far from every
+        // same-channel transmitter.
+        if (cell_index_.empty_near(listeners_[li].id.value,
+                                   listeners_[li].channel)) {
+          continue;
+        }
         resolve_listener(reception, li, slot_draw_seed, misses);
       }
       shard_guard_misses_[s] = misses;
@@ -700,12 +765,30 @@ void Network::resolve_receptions(std::uint64_t asn, SimTime slot_start) {
     for (const std::uint64_t misses : shard_guard_misses_) {
       guard_misses_ += misses;
     }
+    if (pf) {
+      const std::uint64_t now = prof::now_ns();
+      prof::add(prof::kShardResolve, now - mark);
+      mark = now;
+    }
   } else {
     SlotReception& reception = shard_reception_[0];
-    reception.begin_slot(asn, slot_start, on_air_);
+    reception.begin_slot(asn, slot_start, on_air_, &cell_index_);
+    if (pf) {
+      const std::uint64_t now = prof::now_ns();
+      prof::add(prof::kBucketBuild, now - mark);
+      mark = now;
+    }
     std::uint64_t misses = 0;
     for (std::size_t li = 0; li < num_listeners; ++li) {
-      resolve_listener(reception, li, slot_draw_seed, misses);
+      // Same wholesale skip as the sharded path: an empty same-channel
+      // neighborhood means an empty candidate list and an untouched
+      // rx_result_ slot.
+      if (cell_index_.empty_near(listeners_[li].id.value,
+                                 listeners_[li].channel)) {
+        continue;
+      }
+      resolve_listener(reception, li, slot_draw_seed, misses,
+                       pf ? &mark : nullptr);
     }
     guard_misses_ += misses;
   }
@@ -716,14 +799,30 @@ void Network::resolve_receptions(std::uint64_t asn, SimTime slot_start) {
                                  static_cast<std::size_t>(result.tx_index),
                                  result.rss_dbm});
   }
+  if (pf) {
+    const std::uint64_t now = prof::now_ns();
+    prof::add(prof::kMergeCompact, now - mark);
+    *prof_mark = now;
+  }
 }
 
 void Network::process_slot(std::uint64_t asn, SimTime slot_start,
-                           const std::vector<std::uint16_t>& participants) {
+                           const std::vector<std::uint16_t>& participants,
+                           std::uint64_t* prof_mark) {
+  const bool pf = prof_mark != nullptr;
+  std::uint64_t mark = pf ? *prof_mark : 0;
   transmitters_.clear();
   listeners_.clear();
 
-  for (const std::uint16_t idx : participants) {
+  const std::size_t num_participants = participants.size();
+  for (std::size_t pi = 0; pi < num_participants; ++pi) {
+    const std::uint16_t idx = participants[pi];
+    // Pull the plan-state lines of a node a few steps ahead: participants'
+    // TschMac objects are scattered across the heap and each plan_slot()
+    // otherwise stalls on its first member load.
+    if (pi + 4 < num_participants) {
+      nodes_[participants[pi + 4]]->mac().prefetch_plan_state();
+    }
     if (alive_[idx] == 0) continue;
     Node& node = *nodes_[idx];
     SlotPlan plan = node.mac().plan_slot(asn, slot_start);
@@ -775,8 +874,9 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
     }
     on_air_.push_back(attempt);
   }
+  if (pf) mark = prof::lap(prof::kPlanGather, mark);
 
-  // Reception resolution through the O(L*T) per-slot resolver: each
+  // Reception resolution through the cell-indexed per-slot resolver: each
   // attempt's received power at a listener is computed once, and per-pair
   // interference falls out of the listener's total-power accumulator. A
   // listener can decode at most one frame per slot; if several pass the SINR
@@ -785,7 +885,7 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
   // provably too far below sensitivity for any fading excursion to decode —
   // affects no other pair's outcome (and its own draw would fail anyway:
   // probability is exactly 0).
-  resolve_receptions(asn, slot_start);
+  resolve_receptions(asn, slot_start, pf ? &mark : nullptr);
 
   // ACK resolution: a unicast frame decoded by its destination triggers an
   // ACK on the reverse link. ACKs occupy the tail of the slot; concurrent
@@ -808,20 +908,27 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
     }
   }
   {
+    // The reverse-link walk reuses the same cell pruning as the data path:
+    // an index over the slot's ACK attempts cuts each check's interference
+    // sum to the acker's neighborhood (identical doubles — uncoupled ACKs
+    // contribute exactly 0.0 there too).
+    ack_cells_.build(medium_.grid(), ack_on_air_);
     std::size_t ack_index = 0;
     for (std::size_t t = 0; t < transmitters_.size(); ++t) {
       if (!dst_received_[t]) continue;
       const TransmissionAttempt& ack = ack_on_air_[ack_index++];
       const NodeId ack_rx = transmitters_[t].sender;
       if (!medium_.maybe_reachable(ack.sender, ack_rx)) continue;
-      const double p = medium_.reception_probability(ack, ack_rx, asn,
-                                                     slot_start, ack_on_air_);
+      const double p = medium_.reception_probability(
+          ack, ack_rx, asn, slot_start, ack_on_air_, 0.0,
+          std::numeric_limits<double>::infinity(), &ack_cells_);
       if (!(p > 0.0)) continue;
       const double draw = hashed_uniform(
           hash_mix(ack_seed_, asn, ack_rx.value, ack.sender.value));
       frame_acked_[t] = draw < p ? 1 : 0;
     }
   }
+  if (pf) mark = prof::lap(prof::kAckResolve, mark);
 
   // Deliver frames, then report TX outcomes. Completion is credited at the
   // end of the slot: the frame and its ACK occupy the slot body.
@@ -847,6 +954,7 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
         .mac()
         .on_tx_outcome(frame_acked_[t] != 0, asn, slot_done, acker_offset_us);
   }
+  if (pf) mark = prof::lap(prof::kDeliver, mark);
 
   // Energy accounting: every participant accounts exactly one slot (absent
   // nodes sleep the whole slot; their energy is settled lazily).
@@ -887,7 +995,9 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
   }
   for (const std::uint16_t i : participants) {
     if (alive_[i] == 0) continue;
-    settle_node_to(i, asn);  // sleep for any skipped slots before this one
+    // Sleep for any skipped slots before this one. The common case (node
+    // charged through the previous slot) is decided here without the call.
+    if (asn > slots_charged_[i]) settle_node_to(i, asn);
     EnergyMeter& meter = meters_[i];
     SimDuration active = listen_time_[i] + tx_time_[i];
     if (active > kSlotDuration) active = kSlotDuration;
@@ -899,10 +1009,20 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
     slots_charged_[i] = asn + 1;
   }
 
-  // End-of-slot housekeeping.
+  // End-of-slot housekeeping. Scanner slots are skipped without touching the
+  // node: a participant that planned kScan either stayed unsynced (end_slot
+  // returns at its first branch) or synced inside this very slot, in which
+  // case on_receive just projected every deadline past slot_end — end_slot
+  // is a no-op for it either way.
   const SimTime slot_end = slot_start + kSlotDuration;
   for (const std::uint16_t i : participants) {
-    if (alive_[i] != 0) nodes_[i]->mac().end_slot(asn, slot_end);
+    if (alive_[i] == 0 || kinds_[i] == SlotPlan::Kind::kScan) continue;
+    nodes_[i]->mac().end_slot(asn, slot_end);
+  }
+  if (pf) {
+    const std::uint64_t now = prof::now_ns();
+    prof::add(prof::kEnergySettle, now - mark);
+    *prof_mark = now;
   }
 }
 

@@ -188,8 +188,12 @@ class Network {
   /// id order). The polled loop passes every node; the engine passes the
   /// woken subset — since absent nodes are exactly the sleepers, plans,
   /// medium resolution, RNG draws, deliveries, and energy are identical.
+  /// `prof_mark`, when non-null (profiler on), carries the caller's chained
+  /// phase timestamp in and out so phase boundaries share clock reads and
+  /// the DIGS_PROF phase sum stays gap-free against the slot total.
   void process_slot(std::uint64_t asn, SimTime slot_start,
-                    const std::vector<std::uint16_t>& participants);
+                    const std::vector<std::uint16_t>& participants,
+                    std::uint64_t* prof_mark = nullptr);
 
   /// Reception resolution for one busy slot: fills rx_result_ (one slot per
   /// listener) and compacts it into receptions_ in listener order — the
@@ -197,13 +201,18 @@ class Network {
   /// Parallel across shards when num_shards_ > 1 and the slot is busy
   /// enough; shards only read shared slot state and write disjoint
   /// rx_result_ entries and their own SlotReception scratch.
-  void resolve_receptions(std::uint64_t asn, SimTime slot_start);
-  /// The per-listener decode loop (exact legacy arithmetic), writing the
-  /// winning attempt to rx_result_[li] and counting guard misses into
+  void resolve_receptions(std::uint64_t asn, SimTime slot_start,
+                          std::uint64_t* prof_mark = nullptr);
+  /// The per-listener decode loop (exact legacy arithmetic), driven by the
+  /// SlotReception's cell-gathered candidate list, writing the winning
+  /// attempt to rx_result_[li] and counting guard misses into
   /// `guard_misses` (per-shard counter, summed after the barrier).
+  /// `prof_mark`, when non-null, chains the begin_listener/decode phase
+  /// timestamps (serial path only; shard workers are timed wholesale).
   void resolve_listener(SlotReception& reception, std::size_t li,
                         std::uint64_t slot_draw_seed,
-                        std::uint64_t& guard_misses);
+                        std::uint64_t& guard_misses,
+                        std::uint64_t* prof_mark = nullptr);
   /// Partitions nodes into num_shards_ shards: by grid cell when the
   /// spatial grid is active (keeps a shard's listeners cache-adjacent),
   /// round-robin otherwise. Assignment affects load balance only — never
@@ -348,6 +357,7 @@ class Network {
   std::vector<std::uint16_t> scanners_;
   std::vector<char> scanning_;            // membership flag, by node index
   std::vector<std::uint16_t> slot_nodes_;  // scratch: full participant set
+  std::vector<std::uint16_t> merge_scratch_;  // set_union double buffer
 
   // Reverse listen index: for each (class, slotframe length) in use, the
   // sorted set of nodes with a listen offset at each slot of the frame. At
@@ -410,10 +420,15 @@ class Network {
     double rss_dbm{-1e9};
   };
   std::vector<RxResult> rx_result_;
-  // One O(L*T) per-slot resolver per shard (each holds per-listener
+  // One O(L*T_local) per-slot resolver per shard (each holds per-listener
   // scratch, so shards never share mutable state). Serial runs use [0].
   std::vector<SlotReception> shard_reception_;
   std::vector<std::uint64_t> shard_guard_misses_;
+  // Per-slot attempt buckets by grid cell, built once per busy slot and
+  // shared read-only by every shard's resolver; ack_cells_ is the same
+  // index over the slot's ACK attempts for the reverse-link resolution.
+  CellAttemptIndex cell_index_;
+  CellAttemptIndex ack_cells_;
 };
 
 }  // namespace digs

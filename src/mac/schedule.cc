@@ -51,6 +51,7 @@ void Schedule::install(Slotframe frame) {
     if (transmits) entry.tx_offsets.push_back(offset);
   }
   entry.frame = std::move(frame);
+  entry.last_asn = kNeverOccupied;  // length may have changed
   notify_occupancy_changed();
 }
 
@@ -58,6 +59,7 @@ void Schedule::remove(TrafficClass traffic) {
   Entry& entry = entries_[static_cast<int>(traffic)];
   entry.present = false;
   entry.frame = {};
+  entry.last_asn = kNeverOccupied;
   entry.by_offset.clear();
   entry.occupied_offsets.clear();
   entry.listen_offsets.clear();
@@ -74,8 +76,7 @@ std::span<const Cell> Schedule::class_cells(TrafficClass traffic,
                                             std::uint64_t asn) const {
   const Entry& entry = entries_[static_cast<int>(traffic)];
   if (!entry.present || entry.frame.length == 0) return {};
-  const auto offset = static_cast<std::size_t>(asn % entry.frame.length);
-  return entry.by_offset[offset];
+  return entry.by_offset[entry.offset_at(asn)];
 }
 
 std::span<const Cell> Schedule::active_cells(std::uint64_t asn) const {

@@ -109,6 +109,28 @@ class Schedule {
   struct Entry {
     bool present{false};
     Slotframe frame;
+    // Last (asn, asn % length) pair class_cells() resolved, so the
+    // slot-by-slot common case advances the offset with an add and a
+    // conditional subtract instead of a 64-bit division. install()/remove()
+    // invalidate by clearing last_asn to the sentinel. Mutable: a pure
+    // lookup memo — every read reproduces exactly asn % length.
+    mutable std::uint64_t last_asn{kNeverOccupied};
+    mutable std::uint32_t last_offset{0};
+
+    [[nodiscard]] std::size_t offset_at(std::uint64_t asn) const {
+      const std::uint16_t length = frame.length;
+      std::uint32_t off;
+      if (asn >= last_asn && asn - last_asn < length) {
+        off = last_offset + static_cast<std::uint32_t>(asn - last_asn);
+        if (off >= length) off -= length;
+      } else {
+        off = static_cast<std::uint32_t>(asn % length);
+      }
+      last_asn = asn;
+      last_offset = off;
+      return off;
+    }
+
     // cells bucketed by slot offset for O(1) lookup.
     std::vector<std::vector<Cell>> by_offset;
     // Sorted unique slot offsets holding any cell.

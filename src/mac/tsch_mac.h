@@ -267,10 +267,23 @@ class TschMac {
   }
   [[nodiscard]] std::uint64_t desync_events() const { return desync_events_; }
 
+  /// Engine-only: prefetch the state plan_slot() reads first (sync/scan
+  /// fields and the pending-TX slot). The slot loop calls this a few
+  /// participants ahead of the planning cursor so the scattered per-node
+  /// cache misses overlap the planning of the nodes before them. Pure
+  /// address arithmetic — no member is read here.
+  void prefetch_plan_state() const {
+    __builtin_prefetch(&synced_);
+    __builtin_prefetch(&pending_tx_);
+  }
+
   /// Engine-only lazy settling of skipped scan slots: while unsynced, the
   /// sole per-slot state change of plan_slot() is advancing the scan-dwell
   /// counter, so `n` skipped slots are accounted by advancing it `n` times.
-  void advance_scan(std::uint64_t n) { scan_slots_ += n; }
+  void advance_scan(std::uint64_t n) {
+    scan_slots_ += n;
+    reseed_scan_dwell();
+  }
 
   // Diagnostics
   [[nodiscard]] std::uint64_t data_tx_attempts() const {
@@ -322,11 +335,26 @@ class TschMac {
   Rng rng_;
   Callbacks callbacks_;
 
+  /// scan_slots_ divided/reduced by the dwell length, maintained
+  /// incrementally so the per-slot scan plan needs no integer division:
+  /// scan_dwell_pos_ == scan_slots_ / dwell, scan_dwell_rem_ == the
+  /// remainder. Every write to scan_slots_ outside plan_slot() goes through
+  /// reseed_scan_dwell() to restore the invariant.
+  [[nodiscard]] std::uint64_t scan_dwell_len() const {
+    return std::max<std::uint64_t>(config_.scan_dwell_slots, 1);
+  }
+  void reseed_scan_dwell() {
+    scan_dwell_pos_ = scan_slots_ / scan_dwell_len();
+    scan_dwell_rem_ = scan_slots_ % scan_dwell_len();
+  }
+
   Schedule schedule_;
   bool synced_;
   NodeId time_source_;
   SimTime sync_deadline_{};
   std::uint64_t scan_slots_{0};
+  std::uint64_t scan_dwell_pos_{0};
+  std::uint64_t scan_dwell_rem_{0};
   int scan_channel_start_;
 
   std::deque<AppPacket> app_queue_;

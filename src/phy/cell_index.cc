@@ -1,0 +1,83 @@
+#include "phy/cell_index.h"
+
+#include <algorithm>
+
+namespace digs {
+
+void CellAttemptIndex::build(const SpatialGrid& grid,
+                             std::span<const TransmissionAttempt> attempts) {
+  // Clear only the buckets the previous slot touched: a busy slot fills a
+  // handful of (cell, channel) buckets out of potentially tens of thousands.
+  for (const std::uint32_t bucket : touched_) buckets_[bucket].clear();
+  touched_.clear();
+  overflow_.clear();
+  if (!grid.built() || !grid.active()) {
+    grid_ = nullptr;
+    return;
+  }
+  grid_ = &grid;
+  buckets_.resize(static_cast<std::size_t>(grid.num_cells()) * kNumChannels);
+  near_stamp_.resize(static_cast<std::size_t>(grid.num_cells()) *
+                         kNumChannels,
+                     0);
+  ++near_gen_;
+  const std::uint32_t cols = grid.cols();
+  const std::uint32_t rows = grid.rows();
+  const std::size_t n = grid.num_nodes();
+  for (std::uint32_t t = 0; t < attempts.size(); ++t) {
+    const std::size_t sender = attempts[t].sender.value;
+    const PhysicalChannel ch = attempts[t].channel;
+    if (sender >= n || ch >= kNumChannels) {
+      overflow_.push_back(t);
+      continue;
+    }
+    const std::uint32_t cell =
+        grid.cell_of(static_cast<std::uint16_t>(sender));
+    const std::uint32_t bucket_id =
+        cell * static_cast<std::uint32_t>(kNumChannels) + ch;
+    std::vector<std::uint32_t>& bucket = buckets_[bucket_id];
+    if (bucket.empty()) touched_.push_back(bucket_id);
+    bucket.push_back(t);
+    // Dilate this attempt's cell by one step on its channel: after the
+    // loop, empty_near() answers "no same-channel attempt within the 3×3
+    // neighborhood" with one array read.
+    const std::uint32_t cx = cell % cols;
+    const std::uint32_t cy = cell / cols;
+    const std::uint32_t x0 = cx > 0 ? cx - 1 : 0;
+    const std::uint32_t x1 = std::min(cx + 1, cols - 1);
+    const std::uint32_t y0 = cy > 0 ? cy - 1 : 0;
+    const std::uint32_t y1 = std::min(cy + 1, rows - 1);
+    for (std::uint32_t y = y0; y <= y1; ++y) {
+      for (std::uint32_t x = x0; x <= x1; ++x) {
+        near_stamp_[static_cast<std::size_t>(y * cols + x) * kNumChannels +
+                    ch] = near_gen_;
+      }
+    }
+  }
+}
+
+void CellAttemptIndex::gather(std::uint16_t node, PhysicalChannel channel,
+                              std::vector<std::uint32_t>& out) const {
+  // Channels beyond the bucket range only ever land in overflow_.
+  if (channel < kNumChannels) {
+    const std::uint32_t cell = grid_->cell_of(node);
+    const std::uint32_t cols = grid_->cols();
+    const std::uint32_t cx = cell % cols;
+    const std::uint32_t cy = cell / cols;
+    const std::uint32_t x0 = cx > 0 ? cx - 1 : 0;
+    const std::uint32_t x1 = std::min(cx + 1, grid_->cols() - 1);
+    const std::uint32_t y0 = cy > 0 ? cy - 1 : 0;
+    const std::uint32_t y1 = std::min(cy + 1, grid_->rows() - 1);
+    for (std::uint32_t y = y0; y <= y1; ++y) {
+      for (std::uint32_t x = x0; x <= x1; ++x) {
+        const std::vector<std::uint32_t>& bucket =
+            buckets_[static_cast<std::size_t>(y * cols + x) * kNumChannels +
+                     channel];
+        out.insert(out.end(), bucket.begin(), bucket.end());
+      }
+    }
+  }
+  out.insert(out.end(), overflow_.begin(), overflow_.end());
+}
+
+}  // namespace digs

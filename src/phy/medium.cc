@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "phy/cell_index.h"
+
 namespace digs {
 
 Medium::Medium(const MediumConfig& config, std::vector<Position> positions,
@@ -94,25 +96,48 @@ double Medium::mean_rss_dbm(NodeId tx, NodeId rx, PhysicalChannel channel,
 double Medium::interference_mw(NodeId rx, PhysicalChannel channel,
                                std::uint64_t slot, SimTime slot_start,
                                std::span<const TransmissionAttempt> concurrent,
-                               NodeId wanted) const {
+                               NodeId wanted,
+                               const CellAttemptIndex* cells) const {
   // Reference O(T) evaluation with the accumulate-then-subtract structure:
   // the per-slot resolver computes the same total once per (listener,
   // channel) and derives every pair by the same subtraction, so the two
   // paths agree bit-for-bit (see reception_pipeline_test).
   double total_mw = 0.0;
   double wanted_mw = 0.0;
-  for (const auto& other : concurrent) {
-    if (other.sender == rx) continue;
-    if (other.channel != channel) continue;
-    // Transmitters beyond the grid's 3×3-neighborhood cutoff are uncoupled:
-    // by model definition they contribute nothing here, exactly as they
-    // decode with probability 0. Jammers are global and never filtered.
-    if (!coupled(other.sender, rx)) continue;
-    const double rss =
-        rss_dbm(other.sender, rx, channel, slot, other.tx_power_dbm);
-    const double mw = dbm_to_mw(rss);
-    total_mw += mw;
-    if (other.sender == wanted) wanted_mw = mw;
+  if (cells != nullptr && cells->active() && rx.value < positions_.size()) {
+    // Cell-indexed walk: the buckets hold exactly the grid-coupled attempts
+    // (everything else contributes 0.0 here by the cutoff below), sorted
+    // back into ascending attempt index so the accumulation order matches
+    // the full scan term for term.
+    static thread_local std::vector<std::uint32_t> local;
+    local.clear();
+    cells->gather(static_cast<std::uint16_t>(rx.value), channel, local);
+    std::sort(local.begin(), local.end());
+    for (const std::uint32_t t : local) {
+      const TransmissionAttempt& other = concurrent[t];
+      if (other.sender == rx) continue;
+      if (other.channel != channel) continue;
+      const double rss =
+          rss_dbm(other.sender, rx, channel, slot, other.tx_power_dbm);
+      const double mw = dbm_to_mw(rss);
+      total_mw += mw;
+      if (other.sender == wanted) wanted_mw = mw;
+    }
+  } else {
+    for (const auto& other : concurrent) {
+      if (other.sender == rx) continue;
+      if (other.channel != channel) continue;
+      // Transmitters beyond the grid's 3×3-neighborhood cutoff are
+      // uncoupled: by model definition they contribute nothing here, exactly
+      // as they decode with probability 0. Jammers are global and never
+      // filtered.
+      if (!coupled(other.sender, rx)) continue;
+      const double rss =
+          rss_dbm(other.sender, rx, channel, slot, other.tx_power_dbm);
+      const double mw = dbm_to_mw(rss);
+      total_mw += mw;
+      if (other.sender == wanted) wanted_mw = mw;
+    }
   }
   double interf_mw = total_mw - wanted_mw;
   if (interf_mw < 0.0) interf_mw = 0.0;  // FP guard for the subtraction
@@ -247,12 +272,13 @@ const PrrTable& Medium::table_for(int frame_bytes) const {
 Medium::ReceptionCheck Medium::check_reception(
     const TransmissionAttempt& tx, NodeId rx, std::uint64_t slot,
     SimTime slot_start, std::span<const TransmissionAttempt> concurrent,
-    double rx_clock_offset_us, double guard_us) const {
+    double rx_clock_offset_us, double guard_us,
+    const CellAttemptIndex* cells) const {
   if (tx.sender == rx) return {};
   // Beyond the grid coupling cutoff nothing arrives at all — no preamble,
   // no guard-miss accounting, no interference from this frame here. The
-  // per-slot resolver applies the identical cutoff (sentinel RSS), so both
-  // paths return the same empty outcome.
+  // per-slot resolver applies the identical cutoff (its coupled-candidate
+  // stamp mask), so both paths return the same empty outcome.
   if (!coupled(tx.sender, rx)) return {};
   const double signal_dbm =
       rss_dbm(tx.sender, rx, tx.channel, slot, tx.tx_power_dbm);
@@ -266,7 +292,7 @@ Medium::ReceptionCheck Medium::check_reception(
   if (link_blacked_out(tx.sender, rx)) return {0.0, signal_dbm};
 
   const double interf_mw = interference_mw(rx, tx.channel, slot, slot_start,
-                                           concurrent, tx.sender);
+                                           concurrent, tx.sender, cells);
   const double signal_mw = dbm_to_mw(signal_dbm);
   const double sinr_db =
       10.0 * std::log10(signal_mw / (noise_floor_mw_ + interf_mw));
@@ -276,9 +302,10 @@ Medium::ReceptionCheck Medium::check_reception(
 double Medium::reception_probability(
     const TransmissionAttempt& tx, NodeId rx, std::uint64_t slot,
     SimTime slot_start, std::span<const TransmissionAttempt> concurrent,
-    double rx_clock_offset_us, double guard_us) const {
+    double rx_clock_offset_us, double guard_us,
+    const CellAttemptIndex* cells) const {
   return check_reception(tx, rx, slot, slot_start, concurrent,
-                         rx_clock_offset_us, guard_us)
+                         rx_clock_offset_us, guard_us, cells)
       .probability;
 }
 

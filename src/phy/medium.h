@@ -38,6 +38,8 @@
 
 namespace digs {
 
+class CellAttemptIndex;
+
 struct MediumConfig {
   PropagationConfig propagation;
   /// Thermal noise + receiver noise figure (dBm).
@@ -112,11 +114,14 @@ class Medium {
   /// — exactly the arithmetic the O(L*T) per-slot resolver derives from its
   /// cached accumulators, so both paths produce identical doubles.
   /// Transmitters outside `rx`'s grid neighborhood are uncoupled and skipped
-  /// (identically in both paths).
+  /// (identically in both paths). `cells`, when given, must be a
+  /// CellAttemptIndex built over this same `concurrent` span: the walk then
+  /// visits only `rx`'s 3×3-neighborhood buckets (ascending attempt index,
+  /// so the accumulation order — and every double — is unchanged).
   [[nodiscard]] double interference_mw(
       NodeId rx, PhysicalChannel channel, std::uint64_t slot,
       SimTime slot_start, std::span<const TransmissionAttempt> concurrent,
-      NodeId wanted) const;
+      NodeId wanted, const CellAttemptIndex* cells = nullptr) const;
 
   /// Interference power from active jammers alone at `rx` on `channel` (mW).
   [[nodiscard]] double jammer_mw(NodeId rx, PhysicalChannel channel,
@@ -177,18 +182,22 @@ class Medium {
   /// when |tx.clock_offset_us - rx_clock_offset_us| > guard_us the decode
   /// fails (guard miss). The defaults (offset 0, infinite guard) make every
   /// legacy call guard-exempt and bit-identical to the pre-drift model.
+  /// `cells` (an index over `concurrent`) prunes the interference walk, see
+  /// interference_mw().
   [[nodiscard]] ReceptionCheck check_reception(
       const TransmissionAttempt& tx, NodeId rx, std::uint64_t slot,
       SimTime slot_start, std::span<const TransmissionAttempt> concurrent,
       double rx_clock_offset_us = 0.0,
-      double guard_us = std::numeric_limits<double>::infinity()) const;
+      double guard_us = std::numeric_limits<double>::infinity(),
+      const CellAttemptIndex* cells = nullptr) const;
 
   /// Probability that `rx`, listening on `tx.channel`, decodes `tx`.
   [[nodiscard]] double reception_probability(
       const TransmissionAttempt& tx, NodeId rx, std::uint64_t slot,
       SimTime slot_start, std::span<const TransmissionAttempt> concurrent,
       double rx_clock_offset_us = 0.0,
-      double guard_us = std::numeric_limits<double>::infinity()) const;
+      double guard_us = std::numeric_limits<double>::infinity(),
+      const CellAttemptIndex* cells = nullptr) const;
 
   /// Table-based PRR for a frame of `frame_bytes` at `sinr_db`.
   [[nodiscard]] double prr(int frame_bytes, double sinr_db) const {

@@ -5,13 +5,6 @@
 
 namespace digs {
 
-std::uint64_t Propagation::link_key(NodeId a, NodeId b) const {
-  // Symmetric: (a, b) and (b, a) share all static draws.
-  const std::uint64_t lo = std::min(a.value, b.value);
-  const std::uint64_t hi = std::max(a.value, b.value);
-  return hash_mix(seed_, lo, hi);
-}
-
 double Propagation::mean_rss_dbm(double tx_power_dbm, NodeId a, NodeId b,
                                  const Position& tx_pos,
                                  const Position& rx_pos,

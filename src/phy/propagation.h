@@ -134,9 +134,17 @@ class Propagation {
   /// fading_db()'s value at one splitmix64 per call.
   [[nodiscard]] double fading_from_tail(std::uint64_t key,
                                         std::uint64_t tail) const {
+    return fading_from_hash(hash_mix_tail(key, tail));
+  }
+
+  /// fading_from_tail() with the (key, tail) mix already folded in: the
+  /// draw is a pure function of this one 64-bit hash. That purity is what
+  /// makes SlotReception's draw memo exact — equal hashes give equal draws
+  /// by construction, so a full-hash-keyed cache can never change a double.
+  [[nodiscard]] double fading_from_hash(std::uint64_t h) const {
     // Truncated at kFadingNormalBound sigma so the margin in
     // max_fading_db() is a hard guarantee (see the constant's comment).
-    const double n = hashed_normal_fast(hash_mix_tail(key, tail));
+    const double n = hashed_normal_fast(h);
     return std::clamp(n, -kFadingNormalBound, kFadingNormalBound) *
            config_.temporal_fading_sigma_db;
   }
@@ -166,8 +174,15 @@ class Propagation {
 
   /// The symmetric per-link hash key all static draws derive from. Public
   /// so Medium's sparse (CSR) rows can precompute per-pair keys when the
-  /// dense link_keys_ table is disabled (compact mode at large N).
-  [[nodiscard]] std::uint64_t link_key(NodeId a, NodeId b) const;
+  /// dense link_keys_ table is disabled (compact mode at large N). Inline:
+  /// the per-slot resolver recomputes it per candidate (three splitmix
+  /// rounds beat a missed cache line on the stored-key row).
+  [[nodiscard]] std::uint64_t link_key(NodeId a, NodeId b) const {
+    // Symmetric: (a, b) and (b, a) share all static draws.
+    const std::uint64_t lo = std::min(a.value, b.value);
+    const std::uint64_t hi = std::max(a.value, b.value);
+    return hash_mix(seed_, lo, hi);
+  }
 
  private:
 

@@ -3,102 +3,300 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/rng.h"
+
 namespace digs {
 
-namespace {
-// Sentinel RSS for attempts beyond the grid's coupling cutoff: no physical
-// RSS approaches it, decode() keys its early-out on it, and the mW
-// contribution is exactly 0 — matching Medium::check_reception()'s empty
-// return and interference_mw()'s skip for the same pair.
-constexpr double kUncoupledRss = -1.0e9;
-}  // namespace
-
 void SlotReception::begin_slot(std::uint64_t slot, SimTime slot_start,
-                               std::span<const TransmissionAttempt> attempts) {
+                               std::span<const TransmissionAttempt> attempts,
+                               const CellAttemptIndex* cells) {
   slot_ = slot;
   slot_start_ = slot_start;
   attempts_ = attempts;
   rss_dbm_.resize(attempts.size());
   mw_.resize(attempts.size());
+  // Invalidate every per-attempt entry: gen_ restarts above any stamp.
+  stamp_.assign(attempts.size(), 0);
+  gen_ = 0;
+  if (cells != nullptr) {
+    cells_ = cells;
+  } else {
+    own_cells_.build(medium_->grid(), attempts);
+    cells_ = &own_cells_;
+  }
 }
 
 void SlotReception::begin_listener(NodeId rx, PhysicalChannel channel,
                                    double rx_clock_offset_us,
                                    double guard_us) {
+  (void)begin_listener_gather(rx, channel, rx_clock_offset_us, guard_us);
+  accumulate_gathered();
+}
+
+std::span<const std::uint32_t> SlotReception::begin_listener_gather(
+    NodeId rx, PhysicalChannel channel, double rx_clock_offset_us,
+    double guard_us) {
   rx_ = rx;
   channel_ = channel;
   rx_clock_offset_us_ = rx_clock_offset_us;
   guard_us_ = guard_us;
-  // Same accumulation order and per-term arithmetic as
-  // Medium::interference_mw(); the totals (and therefore every decode()'s
-  // subtraction result) match it bit-for-bit. The mean row (when the
-  // attempts are at the primed power) is the same flat table rss_dbm()'s
-  // fast path reads, so mean + fading reproduces its exact doubles.
-  const Propagation& prop = medium_->propagation();
-  // Loop invariants, hoisted: the listener's mean-RSS row and link-key row
-  // and the fading coherence block are the same for every attempt.
+  ++gen_;
+  // --- candidate gather ---
+  // The cell buckets hand back exactly the grid-coupled attempts (plus
+  // conservatively-coupled out-of-range senders); sorting restores the
+  // ascending attempt order the reference accumulation uses. When the grid
+  // filter is inactive every pair couples and the full scan is the gather.
+  cand_.clear();
+  if (cells_ != nullptr && cells_->active() &&
+      rx.value < medium_->num_nodes()) {
+    cells_->gather(static_cast<std::uint16_t>(rx.value), channel, cand_);
+    // The buckets are channel-native, but overflow entries are not: drop
+    // self/cross-channel attempts BEFORE sorting. Same surviving set, same
+    // ascending order after the sort.
+    std::size_t w = 0;
+    for (const std::uint32_t t : cand_) {
+      const TransmissionAttempt& other = attempts_[t];
+      if (other.sender == rx || other.channel != channel) continue;
+      cand_[w++] = t;
+    }
+    cand_.resize(w);
+    // Typical candidate lists are a couple dozen entries (one 3×3 cell
+    // neighborhood), where a branch-light insertion sort beats std::sort's
+    // introsort dispatch; large lists still go through std::sort.
+    if (w <= 32) {
+      for (std::size_t j = 1; j < w; ++j) {
+        const std::uint32_t v = cand_[j];
+        std::size_t k = j;
+        for (; k > 0 && cand_[k - 1] > v; --k) cand_[k] = cand_[k - 1];
+        cand_[k] = v;
+      }
+    } else {
+      std::sort(cand_.begin(), cand_.end());
+    }
+  } else {
+    for (std::uint32_t t = 0; t < attempts_.size(); ++t) {
+      const TransmissionAttempt& other = attempts_[t];
+      if (other.sender == rx || other.channel != channel) continue;
+      if (!medium_->coupled(other.sender, rx)) continue;
+      cand_.push_back(t);
+    }
+  }
+  prime_candidate_rows();
+  return cand_;
+}
+
+void SlotReception::prime_candidate_rows() {
+  const NodeId rx = rx_;
   const std::size_t n = medium_->num_nodes();
-  const double primed = medium_->primed_power_dbm();
-  const double* row = medium_->mean_row(rx, channel, primed);
-  const std::uint64_t* keys = prop.link_key_row(rx);
+  primed_ = medium_->primed_power_dbm();
+  flat_row_ = medium_->mean_row(rx, channel_, primed_);
+  flat_keys_ = medium_->propagation().link_key_row(rx);
+  smeans_ = nullptr;
+  csr_path_ = false;
+  if (flat_row_ != nullptr && flat_keys_ != nullptr) return;
+  const Medium::SparseRow srow = medium_->sparse_row(rx, primed_);
+  if (srow.len == 0) return;
+  csr_path_ = true;
+  smeans_ = srow.means + static_cast<std::size_t>(channel_) * srow.len;
+  // Merge-join cursor walk: resolve each candidate's row index now — a
+  // serial, cheap scan over the uint16 cols array — and prefetch the matched
+  // mean entries so the scattered loads overlap whatever the caller does
+  // between gather and accumulate.
+  const std::size_t num_cand = cand_.size();
+  cand_idx_.resize(num_cand);
+  constexpr std::uint32_t kNoEntry = 0xFFFFFFFFu;
+  std::size_t ri = 0;
+  std::size_t prev_sender = 0;
+  for (std::size_t i = 0; i < num_cand; ++i) {
+    const TransmissionAttempt& other = attempts_[cand_[i]];
+    const std::size_t sender = other.sender.value;
+    if (sender >= n || other.tx_power_dbm != primed_) {
+      cand_idx_[i] = kNoEntry;
+      continue;
+    }
+    std::size_t idx;
+    if (sender >= prev_sender) {
+      // In-engine attempts are ascending in sender id (participant
+      // order), so the cursor only walks forward — O(T_local + row_len)
+      // for the whole candidate set.
+      while (ri < srow.len && srow.cols[ri] < sender) ++ri;
+      idx = ri;
+    } else {
+      // Out-of-order sender (standalone callers): re-seat by search.
+      idx = static_cast<std::size_t>(
+          std::lower_bound(srow.cols, srow.cols + srow.len,
+                           static_cast<std::uint16_t>(sender)) -
+          srow.cols);
+      ri = idx;
+    }
+    prev_sender = sender;
+    if (idx < srow.len && srow.cols[idx] == sender) {
+      cand_idx_[i] = static_cast<std::uint32_t>(idx);
+      __builtin_prefetch(smeans_ + idx);
+    } else {
+      cand_idx_[i] = kNoEntry;
+    }
+  }
+}
+
+void SlotReception::accumulate_gathered() {
+  const NodeId rx = rx_;
+  const PhysicalChannel channel = channel_;
+  // --- pass 1: per-candidate (mean, fading key), or slow-path RSS ---
+  // Same per-term arithmetic as Medium's reference paths: the mean row
+  // (when the attempts are at the primed power) is the same table rss_dbm()
+  // reads, so mean + fading reproduces its exact doubles.
+  const Propagation& prop = medium_->propagation();
+  const std::size_t n = medium_->num_nodes();
+  const double primed = primed_;
+  const double* row = flat_row_;
+  const std::uint64_t* keys = flat_keys_;
   const std::uint64_t ftail =
       prop.fading_tail(channel, prop.fading_block(slot_));
-  const bool fast = row != nullptr && keys != nullptr;
-  // Compact-mode fast path: the listener's CSR neighborhood row replaces the
-  // dense mean/key rows. The channel's means are contiguous at
-  // srow.means[channel * len ...]; sender lookup is a binary search over the
-  // ascending cols (every coupled sender is in the row by construction).
-  const Medium::SparseRow srow = medium_->sparse_row(rx, primed);
-  const double* smeans =
-      srow.len > 0 ? srow.means + static_cast<std::size_t>(channel) * srow.len
-                   : nullptr;
+  const bool flat = row != nullptr && keys != nullptr;
+  const std::size_t num_cand = cand_.size();
+  cand_rss_.resize(num_cand);
+  cand_mean_.resize(num_cand);
+  cand_key_.resize(num_cand);
+  cand_fast_.resize(num_cand);
+  bool all_fast = true;
+  if (csr_path_) {
+    // CSR path: prime_candidate_rows() already resolved cand_idx_ and
+    // prefetched the mean entries; the loads here are independent per
+    // iteration, so the prefetched lines and the out-of-order window
+    // overlap the misses instead of serializing them behind the cursor.
+    // Same entries, same doubles — only the load schedule changes.
+    const double* smeans = smeans_;
+    constexpr std::uint32_t kNoEntry = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < num_cand; ++i) {
+      const std::uint32_t idx = cand_idx_[i];
+      if (idx != kNoEntry) {
+        cand_mean_[i] = smeans[idx];
+        // Recompute the link key (three splitmix rounds) instead of loading
+        // csr_keys_[idx]: the ALU beats a second missed cache line per
+        // entry, and link_key() is exactly what the stored key holds.
+        cand_key_[i] =
+            prop.link_key(rx, attempts_[cand_[i]].sender);
+        cand_fast_[i] = 1;
+      } else {
+        const TransmissionAttempt& other = attempts_[cand_[i]];
+        cand_rss_[i] = medium_->rss_dbm(other.sender, rx, channel, slot_,
+                                        other.tx_power_dbm);
+        cand_fast_[i] = 0;
+        all_fast = false;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < num_cand; ++i) {
+      const TransmissionAttempt& other = attempts_[cand_[i]];
+      const std::size_t sender = other.sender.value;
+      if (flat && sender < n && other.tx_power_dbm == primed) {
+        cand_mean_[i] = row[sender];
+        cand_key_[i] = keys[sender];
+        cand_fast_[i] = 1;
+        continue;
+      }
+      cand_rss_[i] = medium_->rss_dbm(other.sender, rx, channel, slot_,
+                                      other.tx_power_dbm);
+      cand_fast_[i] = 0;
+      all_fast = false;
+    }
+  }
+  // --- pass 2: batched fading (hash + inverse-CDF) over the candidates ---
+  // The draws are stateless per (link key, tail), so batching them changes
+  // no double; the all-fast loop is branch-free over the gathered arrays.
+  // (A full-hash draw memo was tried here and measured ~0% hits on the
+  // city row: channel hopping means a (link, channel) pair almost never
+  // recurs within one coherence block, so recomputing is cheaper.)
+  if (all_fast) {
+    for (std::size_t i = 0; i < num_cand; ++i) {
+      cand_rss_[i] = cand_mean_[i] + prop.fading_from_tail(cand_key_[i], ftail);
+    }
+  } else {
+    for (std::size_t i = 0; i < num_cand; ++i) {
+      if (cand_fast_[i] != 0) {
+        cand_rss_[i] =
+            cand_mean_[i] + prop.fading_from_tail(cand_key_[i], ftail);
+      }
+    }
+  }
+  // --- pass 3: mW conversion + accumulation, ascending attempt index ---
+  // Identical order and per-term arithmetic to Medium::interference_mw()
+  // (which skips the same uncoupled terms via `continue` — they were never
+  // added there either), so the totals and every decode() subtraction match
+  // it bit-for-bit.
   double total_mw = 0.0;
-  for (std::size_t t = 0; t < attempts_.size(); ++t) {
-    const TransmissionAttempt& other = attempts_[t];
-    if (other.sender == rx || other.channel != channel) {
-      mw_[t] = 0.0;
-      continue;
-    }
-    // Grid coupling cutoff, identical to Medium's reference path: the
-    // attempt neither decodes nor contributes interference here.
-    if (!medium_->coupled(other.sender, rx)) {
-      rss_dbm_[t] = kUncoupledRss;
-      mw_[t] = 0.0;
-      continue;
-    }
-    double rss;
-    if (fast && other.sender.value < n && other.tx_power_dbm == primed) {
-      rss = row[other.sender.value] +
-            prop.fading_from_tail(keys[other.sender.value], ftail);
-    } else if (smeans != nullptr && other.sender.value < n &&
-               other.tx_power_dbm == primed) {
-      const auto* begin = srow.cols;
-      const auto* end = srow.cols + srow.len;
-      const auto* it = std::lower_bound(begin, end, other.sender.value);
-      rss = it != end && *it == other.sender.value
-                ? smeans[it - begin] +
-                      prop.fading_from_tail(srow.keys[it - begin], ftail)
-                : medium_->rss_dbm(other.sender, rx, channel, slot_,
-                                   other.tx_power_dbm);
-    } else {
-      rss = medium_->rss_dbm(other.sender, rx, channel, slot_,
-                             other.tx_power_dbm);
-    }
+  for (std::size_t i = 0; i < num_cand; ++i) {
+    const std::uint32_t t = cand_[i];
+    const double rss = cand_rss_[i];
     const double mw = dbm_to_mw(rss);
     rss_dbm_[t] = rss;
     mw_[t] = mw;
+    stamp_[t] = gen_;
     total_mw += mw;
   }
   total_mw_ = total_mw;
   jammer_mw_ = medium_->jammer_mw(rx, channel, slot_, slot_start_);
 }
 
+SlotReception::DecodeOutcome SlotReception::decode_candidates(
+    std::uint64_t slot_draw_seed) const {
+  DecodeOutcome out;
+  // Every candidate is stamped (self/cross-channel were filtered in the
+  // gather), so the per-call stamp/self checks of decode() are vacuous here;
+  // the remaining sequence below is decode()'s, term for term.
+  const double sensitivity = medium_->config().sensitivity_dbm;
+  const double noise_mw = medium_->noise_floor_mw();
+  const double total_mw = total_mw_;
+  const double jammer_mw = jammer_mw_;
+  const double rx_offset_us = rx_clock_offset_us_;
+  const double guard_us = guard_us_;
+  const NodeId rx = rx_;
+  const std::size_t num_cand = cand_.size();
+  for (std::size_t i = 0; i < num_cand; ++i) {
+    const std::uint32_t t = cand_[i];
+    const TransmissionAttempt& tx = attempts_[t];
+    // Reachability pruning: a pruned pair's probability is exactly 0 on
+    // every channel and slot, and its empty decode carries no guard miss —
+    // skipping it changes no outcome.
+    if (!medium_->maybe_reachable(tx.sender, rx)) continue;
+    const double signal_dbm = cand_rss_[i];
+    // Guard check before the sensitivity cut, as in decode(): a guard miss
+    // is counted even for sub-threshold signals.
+    if (std::fabs(tx.clock_offset_us - rx_offset_us) > guard_us) {
+      ++out.guard_misses;
+      continue;
+    }
+    if (signal_dbm < sensitivity) continue;
+    if (medium_->link_blacked_out(tx.sender, rx)) continue;
+    const double signal_mw = mw_[t];
+    double interf_mw = total_mw - signal_mw;
+    if (interf_mw < 0.0) interf_mw = 0.0;  // FP guard for the subtraction
+    interf_mw += jammer_mw;
+    const double sinr_db =
+        10.0 * std::log10(signal_mw / (noise_mw + interf_mw));
+    const double probability = medium_->prr(tx.frame_bytes, sinr_db);
+    // Draw only for decodable pairs: chance(0) is false in any keying, so
+    // skipping the hash for the common below-threshold case is outcome-free.
+    if (!(probability > 0.0)) continue;
+    const double draw = hashed_uniform(
+        hash_mix(slot_draw_seed, rx.value, tx.sender.value));
+    if (!(draw < probability)) continue;
+    if (signal_dbm > out.best_rss) {
+      out.best_rss = signal_dbm;
+      out.best_tx = static_cast<std::int32_t>(t);
+    }
+  }
+  return out;
+}
+
 Medium::ReceptionCheck SlotReception::decode(std::size_t t) const {
   const TransmissionAttempt& tx = attempts_[t];
   if (tx.sender == rx_) return {};
-  // Uncoupled pair (grid cutoff): same empty outcome — no guard miss, no
-  // probability — as Medium::check_reception()'s early return.
-  if (rss_dbm_[t] == kUncoupledRss) return {};
+  // Not a candidate of the current listener (grid cutoff or wrong channel):
+  // same empty outcome — no guard miss, no probability — as
+  // Medium::check_reception()'s early return.
+  if (stamp_[t] != gen_) return {};
   const double signal_dbm = rss_dbm_[t];
   // Same guard-miss check at the same sequence point as
   // Medium::check_reception(): after the RSS, before the sensitivity cut.

@@ -40,6 +40,8 @@ class SpatialGrid {
 
   [[nodiscard]] std::uint32_t cols() const { return cols_; }
   [[nodiscard]] std::uint32_t rows() const { return rows_; }
+  /// Number of partitioned nodes (0 while unbuilt).
+  [[nodiscard]] std::size_t num_nodes() const { return cell_x_.size(); }
   [[nodiscard]] std::size_t num_cells() const {
     return static_cast<std::size_t>(cols_) * rows_;
   }

@@ -7,6 +7,7 @@
 //    fading makes the margin a hard guarantee, not a heuristic.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <vector>
@@ -210,6 +211,98 @@ TEST(ReceptionPipelineTest, PruningNeverSkipsReceivablePair) {
         }
       }
     }
+  }
+}
+
+// Multi-cell parity: on a deployment spanning >=4x4 active grid cells the
+// resolver gathers each listener's attempts from its 3x3 cell-neighborhood
+// buckets instead of scanning the slot — and must still return the exact
+// reference doubles, with drifted clocks (guard hits AND misses), active
+// link blackouts (the fault-script primitive), and both flat and compact
+// (CSR merge-join) storage. Even slots sort the attempts by sender — the
+// in-engine ascending order driving the merge-join fast path — while odd
+// slots keep the random order that forces the binary-search re-seat.
+TEST(ReceptionPipelineTest, MultiCellBucketParityUnderDriftAndBlackout) {
+  for (const bool compact : {false, true}) {
+    MediumConfig config;
+    config.propagation.path_loss_exponent = 3.8;
+    // 50 m cells over the 210 m floor below: >=5 cells per axis, so the
+    // 3x3 cutoff genuinely prunes pairs (unlike the paper-scale layouts).
+    config.grid_cell_size_m = 50.0;
+    if (compact) config.flat_table_max_nodes = 0;
+    Rng pos_rng(0x9A1D);
+    std::vector<Position> positions;
+    for (std::size_t i = 0; i < 42; ++i) {
+      positions.push_back(Position{pos_rng.uniform(0.0, 210.0),
+                                   pos_rng.uniform(0.0, 210.0), 0.0});
+    }
+    Medium medium(config, positions, 0xF00D);
+    medium.build_reachability(0.0);
+    ASSERT_TRUE(medium.grid().active());
+    ASSERT_GE(medium.grid().cols(), 4u);
+    ASSERT_GE(medium.grid().rows(), 4u);
+    medium.set_link_blackout(NodeId{3}, NodeId{7}, true);
+    medium.set_link_blackout(NodeId{11}, NodeId{2}, true);
+
+    SlotReception reception(medium);
+    Rng rng(0x77AB);
+    const double guard_us = 2200.0;
+    std::size_t uncoupled = 0;
+    std::size_t misses = 0;
+    std::size_t hits = 0;
+    std::size_t decodable = 0;
+    std::size_t blacked = 0;
+    for (std::uint64_t slot = 1; slot <= 60; ++slot) {
+      const SimTime slot_start =
+          SimTime{0} + static_cast<std::int64_t>(slot) * kSlotDuration;
+      auto attempts = random_attempts(medium, 4 + rng.next() % 8, rng);
+      if (slot % 2 == 0) {
+        std::sort(attempts.begin(), attempts.end(),
+                  [](const TransmissionAttempt& a,
+                     const TransmissionAttempt& b) {
+                    return a.sender.value < b.sender.value;
+                  });
+      }
+      for (TransmissionAttempt& attempt : attempts) {
+        attempt.clock_offset_us = rng.uniform(-2500.0, 2500.0);
+      }
+      reception.begin_slot(slot, slot_start, attempts);
+
+      for (std::uint16_t r = 0; r < medium.num_nodes(); ++r) {
+        const NodeId rx{r};
+        const double rx_offset_us = rng.uniform(-2500.0, 2500.0);
+        for (std::size_t t = 0; t < attempts.size(); ++t) {
+          if (attempts[t].sender == rx) continue;
+          reception.begin_listener(rx, attempts[t].channel, rx_offset_us,
+                                   guard_us);
+          const Medium::ReceptionCheck cached = reception.decode(t);
+          const Medium::ReceptionCheck reference = medium.check_reception(
+              attempts[t], rx, slot, slot_start, attempts, rx_offset_us,
+              guard_us);
+          ASSERT_EQ(cached.probability, reference.probability)
+              << "slot " << slot << " rx " << r << " attempt " << t;
+          ASSERT_EQ(cached.rss_dbm, reference.rss_dbm)
+              << "slot " << slot << " rx " << r << " attempt " << t;
+          ASSERT_EQ(cached.guard_missed, reference.guard_missed)
+              << "slot " << slot << " rx " << r << " attempt " << t;
+          if (!medium.coupled(attempts[t].sender, rx)) {
+            ++uncoupled;
+          } else if (cached.guard_missed) {
+            ++misses;
+          } else {
+            ++hits;
+          }
+          if (cached.probability > 0.0) ++decodable;
+          if (medium.link_blacked_out(attempts[t].sender, rx)) ++blacked;
+        }
+      }
+    }
+    // Every regime must actually be exercised on this layout.
+    EXPECT_GT(uncoupled, 500u) << "compact=" << compact;
+    EXPECT_GT(misses, 100u) << "compact=" << compact;
+    EXPECT_GT(hits, 100u) << "compact=" << compact;
+    EXPECT_GT(decodable, 50u) << "compact=" << compact;
+    EXPECT_GT(blacked, 10u) << "compact=" << compact;
   }
 }
 

@@ -12,15 +12,20 @@
 // DIGS_PERF_SMOKE=1 skips everything except a reduced busy-slot row and
 // gates it against the committed bench/perf_baseline.json (path override:
 // DIGS_PERF_BASELINE): >20% below the baseline slots/s exits nonzero. The
-// smoke takes best-of-3 to damp scheduler noise; the baseline should be
+// smoke takes best-of-3 to damp scheduler noise and always runs with the
+// phase profiler on; the baseline stores the per-phase ns breakdown, so a
+// failing gate names the worst-regressing DIGS_PROF phases (baseline vs
+// current ns) instead of just the end-to-end ratio. The baseline should be
 // (re)measured on the CI host via DIGS_PERF_WRITE_BASELINE=1.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/prof.h"
@@ -268,7 +273,11 @@ struct BusySlotRun {
   double wall_s{0};
   std::uint64_t slots{0};
   double slots_per_s{0};
+  std::size_t shards{1};
+  std::size_t shard_threads{1};  // effective worker count after clamping
+  double imbalance{0};           // max/mean per-shard busy ns (prof only)
   std::string prof;  // DIGS_PROF phase breakdown (empty when off)
+  std::uint64_t phase_ns[prof::kNumPhases] = {};  // raw totals (prof only)
 };
 
 BusySlotRun run_busy_slot(int devices, std::int64_t warmup_s,
@@ -302,7 +311,28 @@ BusySlotRun run_busy_slot(int devices, std::int64_t warmup_s,
   run.slots = net.current_asn() - slots0;
   run.slots_per_s =
       run.wall_s > 0 ? static_cast<double>(run.slots) / run.wall_s : 0.0;
-  if (prof_on) run.prof = prof::json();
+  run.shards = net.num_shards();
+  run.shard_threads = net.num_shard_threads();
+  if (prof_on) {
+    run.prof = prof::json();
+    for (int p = 0; p < prof::kNumPhases; ++p) {
+      run.phase_ns[p] = prof::total_ns(static_cast<prof::Phase>(p));
+    }
+    // Busiest shard's cumulative region time over the mean (1.0 = perfect
+    // balance); only meaningful when the run was actually sharded.
+    const std::vector<std::uint64_t>& busy = net.shard_busy_ns();
+    std::uint64_t max = 0;
+    std::uint64_t sum = 0;
+    for (const std::uint64_t ns : busy) {
+      if (ns > max) max = ns;
+      sum += ns;
+    }
+    if (sum > 0) {
+      run.imbalance = static_cast<double>(max) *
+                      static_cast<double>(busy.size()) /
+                      static_cast<double>(sum);
+    }
+  }
   return run;
 }
 
@@ -319,9 +349,11 @@ void write_busy_slot_json(std::FILE* out, const BusySlotRun& r) {
   std::fprintf(out,
                "  \"busy_slot\": {\n"
                "    \"devices\": %d, \"window_s\": %.1f, \"wall_s\": %.4f, "
-               "\"slots\": %llu, \"slots_per_s\": %.1f",
+               "\"slots\": %llu, \"slots_per_s\": %.1f, "
+               "\"shards\": %zu, \"shard_threads\": %zu, \"imbalance\": %.3f",
                r.devices, r.window_s, r.wall_s,
-               static_cast<unsigned long long>(r.slots), r.slots_per_s);
+               static_cast<unsigned long long>(r.slots), r.slots_per_s,
+               r.shards, r.shard_threads, r.imbalance);
   if (!r.prof.empty()) std::fprintf(out, ",\n    \"prof\": %s", r.prof.c_str());
   std::fprintf(out, "\n  }\n");
 }
@@ -362,12 +394,12 @@ void report_slot_engine() {
 
 // --- DIGS_PERF_SMOKE=1: reduced busy-slot row vs. committed baseline ---
 
-/// Minimal extraction of "slots_per_s": <num> from perf_baseline.json.
-/// The file is written by this binary (flat, one key), so a substring
-/// scan is sufficient — no JSON library in the container.
-double read_baseline_slots_per_s(const char* path) {
+/// Whole-file slurp (empty on failure). The baseline is written by this
+/// binary (flat keys, unique names), so substring scans are sufficient —
+/// no JSON library in the container.
+std::string read_file(const char* path) {
   std::FILE* in = std::fopen(path, "r");
-  if (in == nullptr) return -1.0;
+  if (in == nullptr) return {};
   std::string text;
   char buf[4096];
   std::size_t got;
@@ -375,10 +407,15 @@ double read_baseline_slots_per_s(const char* path) {
     text.append(buf, got);
   }
   std::fclose(in);
-  const char* key = "\"slots_per_s\":";
-  const std::size_t pos = text.find(key);
+  return text;
+}
+
+/// Extracts the number following `"key":`; -1 when absent.
+double find_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = text.find(needle);
   if (pos == std::string::npos) return -1.0;
-  return std::atof(text.c_str() + pos + std::strlen(key));
+  return std::atof(text.c_str() + pos + needle.size());
 }
 
 int run_perf_smoke() {
@@ -386,6 +423,10 @@ int run_perf_smoke() {
   if (const char* env = std::getenv("DIGS_PERF_BASELINE")) {
     baseline_path = env;
   }
+  // The smoke always profiles: both the committed baseline and the current
+  // run carry the same per-phase clock overhead, and a failing gate can
+  // then attribute the regression to a slot-loop phase.
+  prof::force_enabled(true);
   std::printf("perf smoke: city busy-slot row, best of 3\n");
   BusySlotRun best;
   for (int i = 0; i < 3; ++i) {
@@ -403,19 +444,26 @@ int run_perf_smoke() {
     std::fprintf(out,
                  "{\n"
                  "  \"scenario\": \"city-500 floor, 90s untimed warmup then "
-                 "120s of the formation EB storm, best of 3 "
+                 "120s of the formation EB storm, best of 3, profiler on "
                  "(DIGS_PERF_SMOKE)\",\n"
                  "  \"hardware_threads\": %u,\n"
-                 "  \"slots_per_s\": %.1f\n"
-                 "}\n",
+                 "  \"slots_per_s\": %.1f,\n"
+                 "  \"prof_ns\": {",
                  bench::hardware_threads(), best.slots_per_s);
+    for (int p = 0; p < prof::kNumPhases; ++p) {
+      std::fprintf(out, "%s\"%s\": %llu", p == 0 ? "" : ", ",
+                   prof::phase_name(static_cast<prof::Phase>(p)),
+                   static_cast<unsigned long long>(best.phase_ns[p]));
+    }
+    std::fprintf(out, "}\n}\n");
     std::fclose(out);
     std::printf("wrote baseline %s (%.3g slots/s)\n", baseline_path,
                 best.slots_per_s);
     return 0;
   }
 
-  const double baseline = read_baseline_slots_per_s(baseline_path);
+  const std::string baseline_text = read_file(baseline_path);
+  const double baseline = find_number(baseline_text, "slots_per_s");
   if (baseline <= 0) {
     std::fprintf(stderr,
                  "perf smoke: no baseline at %s (run with "
@@ -431,6 +479,43 @@ int run_perf_smoke() {
                  "perf smoke FAILED: busy-slot throughput regressed >20%% "
                  "(%.2fx of baseline)\n",
                  ratio);
+    // Attribute the regression: rank the slot-loop phases by absolute ns
+    // growth over the baseline breakdown (the windows are identical, so
+    // raw ns are comparable) and name the worst offenders.
+    struct PhaseDelta {
+      const char* name;
+      double base_ns;
+      double cur_ns;
+    };
+    std::vector<PhaseDelta> deltas;
+    for (int p = 0; p < prof::kNumPhases; ++p) {
+      const auto phase = static_cast<prof::Phase>(p);
+      if (phase == prof::kSlotTotal) continue;  // the sum, not a phase
+      const double base_ns = find_number(baseline_text, prof::phase_name(phase));
+      if (base_ns < 0) continue;  // pre-prof_ns baseline format
+      deltas.push_back(PhaseDelta{prof::phase_name(phase), base_ns,
+                                  static_cast<double>(best.phase_ns[p])});
+    }
+    if (deltas.empty()) {
+      std::fprintf(stderr,
+                   "(baseline has no prof_ns breakdown; regenerate it with "
+                   "DIGS_PERF_WRITE_BASELINE=1 for phase attribution)\n");
+    } else {
+      std::sort(deltas.begin(), deltas.end(),
+                [](const PhaseDelta& a, const PhaseDelta& b) {
+                  return a.cur_ns - a.base_ns > b.cur_ns - b.base_ns;
+                });
+      std::fprintf(stderr, "worst-regressing phases (baseline -> current):\n");
+      const std::size_t top = std::min<std::size_t>(5, deltas.size());
+      for (std::size_t i = 0; i < top; ++i) {
+        const PhaseDelta& d = deltas[i];
+        std::fprintf(stderr, "  %-14s %12.0f ns -> %12.0f ns (%+.0f%%)\n",
+                     d.name, d.base_ns, d.cur_ns,
+                     d.base_ns > 0
+                         ? 100.0 * (d.cur_ns - d.base_ns) / d.base_ns
+                         : 0.0);
+      }
+    }
     return 1;
   }
   std::printf("perf smoke OK\n");

@@ -3,8 +3,9 @@
 # (default, ASan+UBSan, TSan), then the three bench acceptance gates
 # (ext_churn exits nonzero on invariant violations or failed rejoins,
 # ext_sync on a desync storm / PDR loss within the 40 ppm crystal budget,
-# ext_scaling on a failed city-scale row, a shard-determinism mismatch, or
-# a missed sharding-speedup threshold on multi-core hardware).
+# ext_scaling on a failed city-scale row, a shard-determinism mismatch,
+# excessive 1-thread pipeline overhead, a too-high serial fraction, or a
+# missed sharding-speedup threshold on multi-core hardware).
 #
 # Usage: scripts/check.sh [preset...]   (default: default sanitize tsan)
 # Extra knobs pass through the environment: DIGS_BENCH_RUNS, DIGS_THREADS.
@@ -29,9 +30,12 @@ done
 # Skipped when the default preset was excluded from this invocation.
 if printf '%s\n' "${presets[@]}" | grep -qx default; then
   echo "==> gate: perf smoke (busy-slot throughput vs bench/perf_baseline.json)"
-  # Reduced city busy-slot row, best of 3; fails on >20% regression against
-  # the committed baseline. Re-baseline on a new CI host with
-  # DIGS_PERF_WRITE_BASELINE=1 (writes the file the gate reads).
+  # Reduced city busy-slot row, best of 3, profiler on; fails on >20%
+  # regression against the committed baseline and then prints the
+  # worst-regressing DIGS_PROF phases (name, baseline ns, current ns) so
+  # the offending slot-loop phase is named, not just the ratio.
+  # Re-baseline on a new CI host with DIGS_PERF_WRITE_BASELINE=1 (writes
+  # the file the gate reads).
   (cd build/bench &&
    DIGS_PERF_SMOKE=1 DIGS_PERF_BASELINE=../../bench/perf_baseline.json \
    ./micro_core)
@@ -45,13 +49,18 @@ else
   echo "==> bench gates skipped (default preset not selected)"
 fi
 
-# Sharded reception resolution under TSan: a reduced city-scale row at
-# DIGS_SHARDS=4 (the smoke skips the JSON and only checks that the sharded
-# run stays bit-identical to the serial one). Races in the shard pool or
-# the per-listener merge show up here, not in the single-threaded gates.
+# Sharded slot pipeline under TSan: a reduced city-scale row at
+# DIGS_SHARDS=4 with a real 4-worker persistent pool (DIGS_SHARD_THREADS=4
+# is forced — the default would clamp to the host's core count and leave
+# the pool idle on small CI boxes, losing all TSan coverage of the
+# fork-join barriers, defer buffers, and replay). The smoke skips the JSON
+# and only checks that the sharded run stays bit-identical to the serial
+# one; races in the shard pool, the deferred side-effect replay, or the
+# per-listener merge show up here, not in the single-threaded gates.
 if printf '%s\n' "${presets[@]}" | grep -qx tsan; then
-  echo "==> gate: ext_scaling sharded smoke (tsan)"
-  (cd build-tsan/bench && DIGS_SCALING_SMOKE=1 DIGS_SHARDS=4 ./ext_scaling)
+  echo "==> gate: ext_scaling sharded smoke (tsan, 4-thread pool)"
+  (cd build-tsan/bench &&
+   DIGS_SCALING_SMOKE=1 DIGS_SHARDS=4 DIGS_SHARD_THREADS=4 ./ext_scaling)
 fi
 
 echo "==> all presets and gates passed"

@@ -16,9 +16,10 @@ struct Counter {
 Counter g_counters[kNumPhases];
 
 constexpr const char* kPhaseNames[kNumPhases] = {
-    "wake_pop",       "plan_gather",  "bucket_build", "begin_listener",
-    "decode",         "shard_resolve", "merge_compact", "ack_resolve",
-    "deliver",        "energy_settle", "wake_refresh", "slot_total",
+    "wake_pop",      "plan_gather",   "bucket_build", "begin_listener",
+    "decode",        "shard_resolve", "merge_compact", "ack_resolve",
+    "deliver",       "energy_settle", "wake_refresh",  "barrier_wait",
+    "worker_idle",   "slot_total",
 };
 
 // -1 = not yet decided from the environment; 0/1 = cached decision.
@@ -66,7 +67,7 @@ std::uint64_t calls(Phase phase) {
 std::uint64_t summed_phase_ns() {
   std::uint64_t sum = 0;
   for (int p = 0; p < kNumPhases; ++p) {
-    if (p == kSlotTotal) continue;
+    if (!is_wall_phase(static_cast<Phase>(p))) continue;
     sum += total_ns(static_cast<Phase>(p));
   }
   return sum;

@@ -23,9 +23,14 @@ namespace digs::prof {
 
 /// Slot-loop phases, in pipeline order. kSlotTotal is the whole slot body
 /// (the denominator the phases are checked against), not a summed phase.
+/// kBarrierWait/kWorkerIdle are *detail* phases: they overlap the wall
+/// phases (a barrier wait happens inside kShardResolve/kDeliver/... on the
+/// calling thread; worker idle overlaps whatever the caller is doing), so
+/// they are excluded from summed_phase_ns() — the wall phases alone must
+/// still cover kSlotTotal.
 enum Phase : int {
   kWakePop = 0,     // wake-heap drain + participant/listener set build
-  kPlanGather,      // plan_slot over participants + on-air attempt gather
+  kPlanGather,      // settle + plan_slot over participants + attempt gather
   kBucketBuild,     // per-cell attempt bucket construction
   kBeginListener,   // candidate gather + RSS/mW accumulators (serial path)
   kDecode,          // per-candidate decode checks + draws (serial path)
@@ -35,9 +40,17 @@ enum Phase : int {
   kDeliver,         // frame delivery + TX outcome reporting
   kEnergySettle,    // per-participant energy accounting + end_slot
   kWakeRefresh,     // post-slot wake recomputation + engine re-arm
+  kBarrierWait,     // detail: caller waiting on the fork-join barrier
+  kWorkerIdle,      // detail: pool workers out of tasks / between regions
   kSlotTotal,       // whole slot body (engine_tick / slot_tick), not summed
   kNumPhases,
 };
+
+/// True for the chained wall phases whose totals sum to kSlotTotal; false
+/// for kSlotTotal itself and the overlapping detail phases.
+[[nodiscard]] constexpr bool is_wall_phase(Phase phase) {
+  return phase != kSlotTotal && phase != kBarrierWait && phase != kWorkerIdle;
+}
 
 /// Short stable key for each phase (JSON field names).
 [[nodiscard]] const char* phase_name(Phase phase);
@@ -68,7 +81,8 @@ void add(Phase phase, std::uint64_t ns);
 [[nodiscard]] std::uint64_t total_ns(Phase phase);
 [[nodiscard]] std::uint64_t calls(Phase phase);
 
-/// Sum of all phases except kSlotTotal.
+/// Sum of the wall phases (everything except kSlotTotal and the
+/// overlapping kBarrierWait/kWorkerIdle detail phases).
 [[nodiscard]] std::uint64_t summed_phase_ns();
 
 /// Zeroes every counter (benches call this to scope a breakdown to one run).

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iterator>
 #include <numeric>
+#include <thread>
 
 #include "common/prof.h"
 #include "core/invariant_monitor.h"
@@ -17,6 +18,12 @@ namespace {
 /// unaffected either way (the merge order is listener order in both paths).
 constexpr std::size_t kMinParallelListeners = 4;
 
+/// Below this many slot participants the slot keeps the serial body even
+/// with sharding on: region fan-out, defer buffers, and replay cost more
+/// than the work they spread. Purely a cost gate — the serial and parallel
+/// bodies are bit-identical, so the decision can vary slot by slot.
+constexpr std::size_t kMinParallelSlotNodes = 8;
+
 std::size_t resolve_shards(std::size_t configured) {
   std::size_t shards = configured;
   if (shards == 0) {
@@ -28,7 +35,25 @@ std::size_t resolve_shards(std::size_t configured) {
   return std::min<std::size_t>(shards, 64);
 }
 
+std::size_t resolve_shard_threads(std::size_t configured, std::size_t shards) {
+  std::size_t threads = configured;
+  if (threads == 0) {
+    if (const char* env = std::getenv("DIGS_SHARD_THREADS")) {
+      threads = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    }
+  }
+  if (threads == 0) {
+    // Default: one worker per shard, capped at the hardware — extra threads
+    // beyond either bound only add scheduling noise, never speed.
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = std::min<std::size_t>(shards, hw == 0 ? 1 : hw);
+  }
+  return std::clamp<std::size_t>(threads, 1, shards);
+}
+
 }  // namespace
+
+thread_local Network::ShardCtx* Network::t_shard_ctx_ = nullptr;
 
 Network::~Network() = default;
 
@@ -44,26 +69,60 @@ Network::Network(const NetworkConfig& config, std::vector<Position> positions)
   medium_.build_reachability(config.node.mac.tx_power_dbm);
   num_shards_ = resolve_shards(config.shards);
   assign_shards();
-  if (num_shards_ > 1) {
-    pool_ = std::make_unique<ShardPool>(num_shards_ - 1);
+  shard_threads_ =
+      num_shards_ > 1
+          ? resolve_shard_threads(config.shard_threads, num_shards_)
+          : 1;
+  if (shard_threads_ > 1) {
+    pool_ = std::make_unique<ShardPool>(shard_threads_ - 1);
   }
+  // The monitor's audits hook into topology changes mid-slot and assume
+  // serial hook order; with it on, sharding still accelerates reception
+  // resolution but the node phases stay serial.
+  node_parallel_ = num_shards_ > 1 && !config.monitor_invariants;
   shard_reception_.reserve(num_shards_);
   for (std::size_t s = 0; s < num_shards_; ++s) {
     shard_reception_.emplace_back(medium_);
   }
   shard_guard_misses_.assign(num_shards_, 0);
+  shard_members_.resize(num_shards_);
+  shard_listener_li_.resize(num_shards_);
+  shard_tx_.resize(num_shards_);
+  shard_rx_.resize(num_shards_);
+  defer_bufs_.resize(num_shards_);
+  shard_ctx_.resize(num_shards_);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    shard_ctx_[s].defer = &defer_bufs_[s];
+  }
+  shard_busy_ns_.assign(num_shards_, 0);
   // Hot struct-of-arrays storage, sized before any Node is constructed so
   // the pointers handed to nodes stay stable for the network's lifetime.
   alive_.assign(medium_.num_nodes(), 1);
   meters_.assign(medium_.num_nodes(), EnergyMeter{config.node.power});
   best_parent_.assign(medium_.num_nodes(), kNoNode);
   Node::Hooks hooks;
+  // The stats collector dedups first-wins per (flow, seq), so it must see
+  // records in serial arrival order: inside a parallel region the hooks
+  // divert into the shard's side-buffer under the current site key and
+  // drain_shard_ctxs() replays them sorted — the serial order.
   hooks.on_data_delivered = [this](NodeId /*ap*/, const DataPayload& payload,
                                    SimTime now) {
+    if (ShardCtx* ctx = t_shard_ctx_) {
+      ctx->stats.push_back(StatOp{ctx->defer->next_key(), payload.flow,
+                                  payload.seq, now, DropReason::kOther,
+                                  /*delivered=*/true});
+      return;
+    }
     stats_.on_delivered(payload.flow, payload.seq, now);
   };
   hooks.on_data_lost = [this](NodeId /*node*/, const DataPayload& payload,
                               DropReason reason, SimTime now) {
+    if (ShardCtx* ctx = t_shard_ctx_) {
+      ctx->stats.push_back(StatOp{ctx->defer->next_key(), payload.flow,
+                                  payload.seq, now, reason,
+                                  /*delivered=*/false});
+      return;
+    }
     stats_.on_dropped(payload.flow, payload.seq, now, reason);
   };
   hooks.on_joined = [this](NodeId id, SimTime now) {
@@ -137,10 +196,18 @@ void Network::assign_shards() {
       shard_of_node_[i] = static_cast<std::uint16_t>(
           grid.cell_of(static_cast<std::uint16_t>(i)) % num_shards_);
     }
-    return;
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      shard_of_node_[i] = static_cast<std::uint16_t>(i % num_shards_);
+    }
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    shard_of_node_[i] = static_cast<std::uint16_t>(i % num_shards_);
+  // Access points are pinned to shard 0: an AP's frame delivery can run
+  // gateway_route, which reads every AP's routing state and injects into
+  // the freshest one — keeping all APs on one shard makes every AP-state
+  // access serial within a region. Assignment affects load balance only,
+  // never results.
+  for (std::uint16_t ap = 0; ap < config_.num_access_points && ap < n; ++ap) {
+    shard_of_node_[ap] = 0;
   }
 }
 
@@ -163,6 +230,7 @@ void Network::start() {
   listen_time_.assign(n, SimDuration{0});
   tx_time_.assign(n, SimDuration{0});
   clock_offset_us_.assign(n, 0.0);
+  plans_.assign(n, SlotPlan{});
   all_ids_.resize(n);
   std::iota(all_ids_.begin(), all_ids_.end(), std::uint16_t{0});
 
@@ -332,6 +400,15 @@ std::uint64_t Network::asn_floor(SimTime t) const {
 void Network::set_scanner(std::size_t i, bool scanning) {
   if (scanning_.empty() || (scanning_[i] != 0) == scanning) return;
   scanning_[i] = scanning ? 1 : 0;
+  if (ShardCtx* ctx = t_shard_ctx_) {
+    // Inside a parallel region (the wake-refresh fan-out): the per-node
+    // flag flip above is safe (each node belongs to one shard), but the
+    // shared sorted vector edit is deferred and applied at the drain. The
+    // flag can't serve as the membership test there, so the drain re-checks
+    // membership; a sorted set's final content is order-independent.
+    ctx->scans.push_back(ScanOp{static_cast<std::uint16_t>(i), scanning});
+    return;
+  }
   const auto v = static_cast<std::uint16_t>(i);
   const auto it = std::lower_bound(scanners_.begin(), scanners_.end(), v);
   if (scanning) {
@@ -555,23 +632,46 @@ void Network::engine_tick() {
   }
 
   // Settle before planning: a scanner that syncs *during* this slot must
-  // have its skipped slots charged as scan listening, not sleep.
-  for (const std::uint16_t i : slot_nodes_) {
-    if (alive_[i] != 0) settle_node_to(i, asn);
+  // have its skipped slots charged as scan listening, not sleep. On the
+  // parallel pipeline the settle pass is fused into the plan region (each
+  // shard settles its own members right before planning them — the same
+  // per-node order, and settling is node-local).
+  const bool par = parallel_slot(slot_nodes_.size());
+  if (!par) {
+    for (const std::uint16_t i : slot_nodes_) {
+      if (alive_[i] != 0) settle_node_to(i, asn);
+    }
   }
   if (pf) mark = prof::lap(prof::kWakePop, mark);
 
   last_processed_asn_ = static_cast<std::int64_t>(asn);
   in_slot_ = true;
   dirty_.clear();
-  process_slot(asn, sim_.now(), slot_nodes_, pf ? &mark : nullptr);
+  process_slot(asn, sim_.now(), slot_nodes_, pf ? &mark : nullptr,
+               /*settle_first=*/par);
   in_slot_ = false;
 
   // Only the heap-due nodes need a recomputed TX wake: pure listeners'
   // wakes are untouched (their sync deadline moving later on an EB heard
   // here only makes the old heap entry conservatively early), and any node
   // whose queues or slotframes changed this slot notified into dirty_.
-  for (const std::uint16_t i : participants_) refresh_wake(i, asn + 1);
+  if (parallel_slot(participants_.size())) {
+    // Per-shard refresh: each task writes only its members' next_wake_
+    // entries and pushes into its own shard's heap; scanner-set edits are
+    // deferred and merged at the drain.
+    for (std::size_t s = 0; s < num_shards_; ++s) shard_members_[s].clear();
+    for (const std::uint16_t i : participants_) {
+      shard_members_[shard_of_node_[i]].push_back(i);
+    }
+    run_region([this, asn](std::size_t s) {
+      for (const std::uint32_t i : shard_members_[s]) {
+        refresh_wake(i, asn + 1);
+      }
+    });
+    drain_shard_ctxs();
+  } else {
+    for (const std::uint16_t i : participants_) refresh_wake(i, asn + 1);
+  }
   for (const std::uint16_t i : dirty_) apply_wake_change(i, asn + 1, asn + 1);
   arm_engine();
   if (pf) {
@@ -583,6 +683,15 @@ void Network::engine_tick() {
 
 void Network::on_node_wake_dirty(NodeId id) {
   if (!engine_active() || next_wake_.empty()) return;
+  if (ShardCtx* ctx = t_shard_ctx_) {
+    // Raised on a shard task: collect per shard, concatenated into dirty_
+    // at the drain. Concatenation order across shards differs from the
+    // serial push order, which is result-neutral: apply_wake_change is
+    // idempotent per node and its cross-node effects land in sorted sets
+    // (listen buckets, scanners) and a tie-broken heap.
+    ctx->dirty.push_back(id.value);
+    return;
+  }
   if (in_slot_) {
     dirty_.push_back(id.value);
     return;
@@ -733,20 +842,29 @@ void Network::resolve_receptions(std::uint64_t asn, SimTime slot_start,
   cell_index_.build(medium_.grid(), on_air_);
   const std::uint64_t slot_draw_seed = hash_mix(draw_seed_, asn);
   if (num_shards_ > 1 && num_listeners >= kMinParallelListeners) {
+    // Partition the listener indices by shard once, serially, in O(L):
+    // each task then walks only its own list. (The former per-shard filter
+    // over the full list cost O(shards * L) — the dominant overhead of
+    // high shard counts on few threads.)
+    for (std::size_t s = 0; s < num_shards_; ++s) {
+      shard_listener_li_[s].clear();
+    }
+    for (std::size_t li = 0; li < num_listeners; ++li) {
+      shard_listener_li_[shard_of_node_[listeners_[li].id.value]].push_back(
+          static_cast<std::uint32_t>(li));
+    }
     if (pf) {
       const std::uint64_t now = prof::now_ns();
       prof::add(prof::kBucketBuild, now - mark);
       mark = now;
     }
-    pool_->run(num_shards_, [&](std::size_t s) {
+    run_region([&, asn, slot_start, slot_draw_seed](std::size_t s) {
       // Per-shard resolver instance and guard counter: shards share no
-      // mutable state. Each shard walks the full listener list and takes
-      // the ones its cells own.
+      // mutable state.
       SlotReception& reception = shard_reception_[s];
       reception.begin_slot(asn, slot_start, on_air_, &cell_index_);
       std::uint64_t misses = 0;
-      for (std::size_t li = 0; li < num_listeners; ++li) {
-        if (shard_of_node_[listeners_[li].id.value] != s) continue;
+      for (const std::uint32_t li : shard_listener_li_[s]) {
         // Nothing on the air couples to this listener on its channel: its
         // candidate list would come back empty (no decode, no draw, no
         // guard miss), so skipping it wholesale is bit-identical — and in
@@ -806,9 +924,95 @@ void Network::resolve_receptions(std::uint64_t asn, SimTime slot_start,
   }
 }
 
+bool Network::parallel_slot(std::size_t num_participants) const {
+  return node_parallel_ && num_participants >= kMinParallelSlotNodes;
+}
+
+void Network::run_region(const std::function<void(std::size_t)>& fn) {
+  const bool pf = prof::enabled();
+  auto task = [&](std::size_t s) {
+    const std::uint64_t t0 = pf ? prof::now_ns() : 0;
+    ShardCtx& ctx = shard_ctx_[s];
+    t_shard_ctx_ = &ctx;
+    Simulator::set_defer_buffer(ctx.defer);
+    fn(s);
+    Simulator::set_defer_buffer(nullptr);
+    t_shard_ctx_ = nullptr;
+    if (pf) shard_busy_ns_[s] += prof::now_ns() - t0;
+  };
+  if (pool_) {
+    pool_->run(num_shards_, task);
+  } else {
+    for (std::size_t s = 0; s < num_shards_; ++s) task(s);
+  }
+}
+
+void Network::drain_shard_ctxs() {
+  // 1) Simulator ops, globally sorted by site key: the exact serial event
+  //    sequence, including seq numbers (nothing else schedules between a
+  //    region's barrier and this replay).
+  sim_.replay_deferred(defer_bufs_.data(), num_shards_);
+  // 2) Stat records, same key space: the collector's first-wins dedup sees
+  //    serial arrival order.
+  bool any_stats = false;
+  for (const ShardCtx& ctx : shard_ctx_) {
+    if (!ctx.stats.empty()) {
+      any_stats = true;
+      break;
+    }
+  }
+  if (any_stats) {
+    stat_replay_.clear();
+    for (ShardCtx& ctx : shard_ctx_) {
+      for (StatOp& op : ctx.stats) stat_replay_.push_back(&op);
+    }
+    std::stable_sort(stat_replay_.begin(), stat_replay_.end(),
+                     [](const StatOp* a, const StatOp* b) {
+                       return a->key < b->key;
+                     });
+    for (const StatOp* op : stat_replay_) {
+      if (op->delivered) {
+        stats_.on_delivered(op->flow, op->seq, op->at);
+      } else {
+        stats_.on_dropped(op->flow, op->seq, op->at, op->reason);
+      }
+    }
+    stat_replay_.clear();
+  }
+  // 3) Scanner-set edits (membership-checked: the per-node flag already
+  //    flipped inside the region) and dirty-wake concatenation, in shard
+  //    order — both order-neutral (sorted set / idempotent per node).
+  for (ShardCtx& ctx : shard_ctx_) {
+    for (const ScanOp& op : ctx.scans) {
+      const auto it =
+          std::lower_bound(scanners_.begin(), scanners_.end(), op.node);
+      if (op.scanning) {
+        if (it == scanners_.end() || *it != op.node) {
+          scanners_.insert(it, op.node);
+        }
+      } else if (it != scanners_.end() && *it == op.node) {
+        scanners_.erase(it);
+      }
+    }
+    ctx.scans.clear();
+    if (!ctx.dirty.empty()) {
+      dirty_.insert(dirty_.end(), ctx.dirty.begin(), ctx.dirty.end());
+      ctx.dirty.clear();
+    }
+    ctx.stats.clear();
+  }
+}
+
 void Network::process_slot(std::uint64_t asn, SimTime slot_start,
                            const std::vector<std::uint16_t>& participants,
-                           std::uint64_t* prof_mark) {
+                           std::uint64_t* prof_mark, bool settle_first) {
+  if (parallel_slot(participants.size())) {
+    process_slot_parallel(asn, slot_start, participants, prof_mark,
+                          settle_first);
+    return;
+  }
+  // settle_first only accompanies the parallel decision, which is a pure
+  // function of the same inputs — the serial body never owes a settle.
   const bool pf = prof_mark != nullptr;
   std::uint64_t mark = pf ? *prof_mark : 0;
   transmitters_.clear();
@@ -1024,6 +1228,277 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
     prof::add(prof::kEnergySettle, now - mark);
     *prof_mark = now;
   }
+}
+
+void Network::process_slot_parallel(
+    std::uint64_t asn, SimTime slot_start,
+    const std::vector<std::uint16_t>& participants, std::uint64_t* prof_mark,
+    bool settle_first) {
+  const bool pf = prof_mark != nullptr;
+  std::uint64_t mark = pf ? *prof_mark : 0;
+  const std::size_t num_participants = participants.size();
+
+  // Partition the participant ranks by shard (serial, O(P)); the lists are
+  // the work units of every region below. Ranks (not ids) ride along so
+  // end_slot sites reproduce the serial participant order.
+  for (std::size_t s = 0; s < num_shards_; ++s) shard_members_[s].clear();
+  for (std::size_t pi = 0; pi < num_participants; ++pi) {
+    shard_members_[shard_of_node_[participants[pi]]].push_back(
+        static_cast<std::uint32_t>(pi));
+  }
+
+  // --- Region A: settle + plan + clock snapshot, per shard. Planning is
+  // node-local; the rare hook or timer op it raises defers under the
+  // participant-rank site, so the post-barrier replay is the serial order.
+  run_region([&, asn, slot_start, settle_first](std::size_t s) {
+    Simulator::DeferBuffer& defer = defer_bufs_[s];
+    const std::vector<std::uint32_t>& members = shard_members_[s];
+    const std::size_t m = members.size();
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint16_t idx = participants[members[j]];
+      if (j + 4 < m) {
+        nodes_[participants[members[j + 4]]]->mac().prefetch_plan_state();
+      }
+      if (alive_[idx] == 0) continue;
+      defer.set_site(members[j]);
+      // Settle with the same per-node order as the serial path (settle
+      // immediately before the node's own plan; settling is node-local, so
+      // cross-node interleaving is immaterial).
+      if (settle_first) settle_node_to(idx, asn);
+      Node& nd = *nodes_[idx];
+      SlotPlan plan = nd.mac().plan_slot(asn, slot_start);
+      kinds_[idx] = plan.kind;
+      channels_[idx] = plan.channel;
+      if (clocks_active_) {
+        clock_offset_us_[idx] = nd.mac().clock_offset_us(slot_start);
+      }
+      if (plan.kind == SlotPlan::Kind::kTx) plans_[idx] = std::move(plan);
+    }
+  });
+  drain_shard_ctxs();
+
+  // Serial gather in participant order: bit-identical transmitter/listener
+  // lists to the serial plan loop.
+  transmitters_.clear();
+  listeners_.clear();
+  for (std::size_t pi = 0; pi < num_participants; ++pi) {
+    const std::uint16_t idx = participants[pi];
+    if (alive_[idx] == 0) continue;
+    switch (kinds_[idx]) {
+      case SlotPlan::Kind::kTx:
+        transmitters_.push_back(PlannedTx{NodeId{idx}, std::move(plans_[idx])});
+        break;
+      case SlotPlan::Kind::kRx:
+      case SlotPlan::Kind::kScan: {
+        SlotListener listener{NodeId{idx}, channels_[idx]};
+        if (clocks_active_ && kinds_[idx] == SlotPlan::Kind::kRx) {
+          listener.clock_offset_us = clock_offset_us_[idx];
+          listener.guard_us = static_cast<double>(SlotTiming::rx_guard().us);
+        }
+        listeners_.push_back(listener);
+        break;
+      }
+      case SlotPlan::Kind::kSleep:
+        break;
+    }
+  }
+
+  on_air_.clear();
+  on_air_.reserve(transmitters_.size());
+  for (const PlannedTx& tx : transmitters_) {
+    TransmissionAttempt attempt;
+    attempt.sender = tx.sender;
+    attempt.channel = tx.plan.channel;
+    attempt.frame_bytes = tx.plan.frame.length_bytes;
+    attempt.tx_power_dbm = config_.node.mac.tx_power_dbm;
+    if (clocks_active_) {
+      attempt.clock_offset_us = clock_offset_us_[tx.sender.value];
+    }
+    on_air_.push_back(attempt);
+  }
+  if (pf) mark = prof::lap(prof::kPlanGather, mark);
+
+  resolve_receptions(asn, slot_start, pf ? &mark : nullptr);
+
+  // ACK resolution: serial and identical to the serial body (hashed draws,
+  // modest work — the slot's cross-shard synchronization point anyway).
+  frame_acked_.assign(transmitters_.size(), 0);
+  dst_received_.assign(transmitters_.size(), 0);
+  ack_on_air_.clear();
+  for (const SlotRx& rx : receptions_) {
+    const PlannedTx& tx = transmitters_[rx.tx_index];
+    if (tx.plan.expects_ack && tx.plan.frame.dst == rx.receiver) {
+      dst_received_[rx.tx_index] = 1;
+      TransmissionAttempt ack;
+      ack.sender = rx.receiver;
+      ack.channel = tx.plan.channel;
+      ack.frame_bytes = FrameSizes::kAck;
+      ack.tx_power_dbm = config_.node.mac.tx_power_dbm;
+      ack_on_air_.push_back(ack);
+    }
+  }
+  {
+    ack_cells_.build(medium_.grid(), ack_on_air_);
+    std::size_t ack_index = 0;
+    for (std::size_t t = 0; t < transmitters_.size(); ++t) {
+      if (!dst_received_[t]) continue;
+      const TransmissionAttempt& ack = ack_on_air_[ack_index++];
+      const NodeId ack_rx = transmitters_[t].sender;
+      if (!medium_.maybe_reachable(ack.sender, ack_rx)) continue;
+      const double p = medium_.reception_probability(
+          ack, ack_rx, asn, slot_start, ack_on_air_, 0.0,
+          std::numeric_limits<double>::infinity(), &ack_cells_);
+      if (!(p > 0.0)) continue;
+      const double draw = hashed_uniform(
+          hash_mix(ack_seed_, asn, ack_rx.value, ack.sender.value));
+      frame_acked_[t] = draw < p ? 1 : 0;
+    }
+  }
+  if (pf) mark = prof::lap(prof::kAckResolve, mark);
+
+  // Partition receptions by receiver shard and transmissions by sender
+  // shard (serial, O(R + T)): the deliver/outcome/energy work units.
+  const std::size_t num_rx = receptions_.size();
+  const std::size_t num_tx = transmitters_.size();
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    shard_tx_[s].clear();
+    shard_rx_[s].clear();
+  }
+  for (std::size_t r = 0; r < num_rx; ++r) {
+    shard_rx_[shard_of_node_[receptions_[r].receiver.value]].push_back(
+        static_cast<std::uint32_t>(r));
+  }
+  for (std::size_t t = 0; t < num_tx; ++t) {
+    shard_tx_[shard_of_node_[transmitters_[t].sender.value]].push_back(
+        static_cast<std::uint32_t>(t));
+  }
+
+  const SimTime slot_done = slot_start + kSlotDuration;
+  // Site layout across the fused region, mirroring the serial statement
+  // order: receptions at [0, R), TX outcomes at [R, R+T), end_slot at
+  // R+T+pi. Keys are disjoint, so one sorted replay is the serial order.
+  auto deliver_rx = [&, asn, slot_done](std::size_t s) {
+    Simulator::DeferBuffer& defer = defer_bufs_[s];
+    for (const std::uint32_t r : shard_rx_[s]) {
+      defer.set_site(r);
+      const SlotRx& rx = receptions_[r];
+      node(rx.receiver)
+          .mac()
+          .on_receive(transmitters_[rx.tx_index].plan.frame, rx.rss_dbm, asn,
+                      slot_done, on_air_[rx.tx_index].clock_offset_us);
+    }
+  };
+  auto report_outcomes = [&, asn, slot_done, num_rx](std::size_t s) {
+    Simulator::DeferBuffer& defer = defer_bufs_[s];
+    for (const std::uint32_t t : shard_tx_[s]) {
+      defer.set_site(num_rx + t);
+      node(transmitters_[t].sender)
+          .mac()
+          .on_tx_outcome(frame_acked_[t] != 0, asn, slot_done, 0.0);
+    }
+  };
+  auto energy_and_end = [&, asn, slot_done, num_rx, num_tx](std::size_t s) {
+    Simulator::DeferBuffer& defer = defer_bufs_[s];
+    const std::vector<std::uint32_t>& members = shard_members_[s];
+    for (const std::uint32_t pi : members) {
+      const std::uint16_t i = participants[pi];
+      if (alive_[i] == 0) continue;
+      listen_time_[i] = SimDuration{0};
+      tx_time_[i] = SimDuration{0};
+      switch (kinds_[i]) {
+        case SlotPlan::Kind::kScan:
+          listen_time_[i] = kSlotDuration;
+          break;
+        case SlotPlan::Kind::kRx:
+          listen_time_[i] = SlotTiming::rx_guard();
+          break;
+        default:
+          break;
+      }
+    }
+    for (const std::uint32_t t : shard_tx_[s]) {
+      const PlannedTx& tx = transmitters_[t];
+      const auto i = static_cast<std::size_t>(tx.sender.value);
+      tx_time_[i] =
+          tx_time_[i] + SlotTiming::frame_duration(tx.plan.frame.length_bytes);
+      if (tx.plan.expects_ack) {
+        listen_time_[i] = listen_time_[i] + SlotTiming::ack_wait() +
+                          SlotTiming::ack_duration();
+      }
+    }
+    for (const std::uint32_t r : shard_rx_[s]) {
+      const SlotRx& rx = receptions_[r];
+      const PlannedTx& tx = transmitters_[rx.tx_index];
+      const auto i = static_cast<std::size_t>(rx.receiver.value);
+      listen_time_[i] =
+          listen_time_[i] +
+          SlotTiming::frame_duration(tx.plan.frame.length_bytes);
+      if (tx.plan.expects_ack && tx.plan.frame.dst == rx.receiver) {
+        tx_time_[i] = tx_time_[i] + SlotTiming::ack_duration();
+      }
+    }
+    for (const std::uint32_t pi : members) {
+      const std::uint16_t i = participants[pi];
+      if (alive_[i] == 0) continue;
+      if (asn > slots_charged_[i]) settle_node_to(i, asn);
+      EnergyMeter& meter = meters_[i];
+      SimDuration active = listen_time_[i] + tx_time_[i];
+      if (active > kSlotDuration) active = kSlotDuration;
+      if (tx_time_[i].us > 0) meter.charge(RadioState::kTransmit, tx_time_[i]);
+      if (listen_time_[i].us > 0) {
+        meter.charge(RadioState::kListen, listen_time_[i]);
+      }
+      meter.charge(RadioState::kSleep, kSlotDuration - active);
+      slots_charged_[i] = asn + 1;
+    }
+    for (const std::uint32_t pi : members) {
+      const std::uint16_t i = participants[pi];
+      if (alive_[i] == 0 || kinds_[i] == SlotPlan::Kind::kScan) continue;
+      defer.set_site(num_rx + num_tx + pi);
+      nodes_[i]->mac().end_slot(asn, slot_done);
+    }
+  };
+
+  if (!clocks_active_) {
+    // --- Region B (fused): deliver + TX outcomes + energy + end_slot in
+    // one fork-join. Receivers never transmit in the same slot and
+    // on_tx_outcome touches only the transmitter when clocks are cold, so
+    // every mutation inside the region is per-node (= per-shard).
+    run_region([&](std::size_t s) {
+      deliver_rx(s);
+      report_outcomes(s);
+      energy_and_end(s);
+    });
+    drain_shard_ctxs();
+    if (pf) {
+      mark = prof::lap(prof::kDeliver, mark);
+      mark = prof::lap(prof::kEnergySettle, mark);
+    }
+  } else {
+    // --- Region B1: deliveries only. The ACK-borne clock correction makes
+    // on_tx_outcome read the acker's post-receive clock state — a
+    // cross-shard read — so the outcome loop stays serial here.
+    run_region(deliver_rx);
+    drain_shard_ctxs();
+    for (std::size_t t = 0; t < num_tx; ++t) {
+      double acker_offset_us = 0.0;
+      if (frame_acked_[t] != 0) {
+        acker_offset_us = node(transmitters_[t].plan.frame.dst)
+                              .mac()
+                              .clock_offset_us(slot_start);
+      }
+      node(transmitters_[t].sender)
+          .mac()
+          .on_tx_outcome(frame_acked_[t] != 0, asn, slot_done,
+                         acker_offset_us);
+    }
+    if (pf) mark = prof::lap(prof::kDeliver, mark);
+    // --- Region B2: energy + end_slot.
+    run_region(energy_and_end);
+    drain_shard_ctxs();
+    if (pf) mark = prof::lap(prof::kEnergySettle, mark);
+  }
+  if (pf) *prof_mark = mark;
 }
 
 }  // namespace digs

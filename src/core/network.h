@@ -63,6 +63,13 @@ struct NetworkConfig {
   /// DIGS_SHARDS environment variable; unset/1 keeps today's serial path
   /// with no threads and no synchronization.
   std::size_t shards = 0;
+  /// Worker threads driving the sharded slot pipeline, decoupled from the
+  /// shard count: many cell-shards can load-balance over few cores (the
+  /// claim order affects wall-clock only, never results). 0 reads the
+  /// DIGS_SHARD_THREADS environment variable; still 0 defaults to
+  /// min(shards, hardware threads). Clamped to [1, shards]; at 1 every
+  /// phase runs inline on the caller with no pool and no synchronization.
+  std::size_t shard_threads = 0;
 };
 
 /// A periodic application flow from a field device towards the APs.
@@ -171,6 +178,17 @@ class Network {
 
   /// Resolved intra-trial shard count (config.shards / DIGS_SHARDS).
   [[nodiscard]] std::size_t num_shards() const { return num_shards_; }
+  /// Resolved worker-thread count for the sharded slot pipeline
+  /// (config.shard_threads / DIGS_SHARD_THREADS; 1 when unsharded).
+  [[nodiscard]] std::size_t num_shard_threads() const {
+    return shard_threads_;
+  }
+  /// Cumulative busy nanoseconds per shard across every parallel region
+  /// since start (all-zero unless DIGS_PROF is on). max/mean over this
+  /// vector is the load-imbalance ratio the scaling benches record.
+  [[nodiscard]] const std::vector<std::uint64_t>& shard_busy_ns() const {
+    return shard_busy_ns_;
+  }
   /// Shard owning node `i` (constant after construction).
   [[nodiscard]] std::size_t shard_of(NodeId id) const {
     return shard_of_node_[id.value];
@@ -191,9 +209,26 @@ class Network {
   /// `prof_mark`, when non-null (profiler on), carries the caller's chained
   /// phase timestamp in and out so phase boundaries share clock reads and
   /// the DIGS_PROF phase sum stays gap-free against the slot total.
+  /// `settle_first` folds the engine's lazy-settle pass into the plan
+  /// region (only set on the parallel path, where the engine skipped its
+  /// own settle loop).
   void process_slot(std::uint64_t asn, SimTime slot_start,
                     const std::vector<std::uint16_t>& participants,
-                    std::uint64_t* prof_mark = nullptr);
+                    std::uint64_t* prof_mark = nullptr,
+                    bool settle_first = false);
+  /// The sharded full-slot pipeline: settle+plan, deliver+outcomes, energy
+  /// and end_slot run per shard in fused fork-join regions; every hook and
+  /// simulator side effect is deferred into per-shard buffers and replayed
+  /// in serial program order after each barrier, so results (and event
+  /// sequence numbers) are bit-identical to the serial body above.
+  void process_slot_parallel(std::uint64_t asn, SimTime slot_start,
+                             const std::vector<std::uint16_t>& participants,
+                             std::uint64_t* prof_mark, bool settle_first);
+  /// True when this slot should run the parallel pipeline: sharding is on,
+  /// no invariant monitor (its audits assume serial hook order), and the
+  /// slot is busy enough to amortize the region machinery. Both paths are
+  /// bit-identical, so the decision is purely a cost gate.
+  [[nodiscard]] bool parallel_slot(std::size_t num_participants) const;
 
   /// Reception resolution for one busy slot: fills rx_result_ (one slot per
   /// listener) and compacts it into receptions_ in listener order — the
@@ -308,8 +343,52 @@ class Network {
 
   // --- spatial shards ---
   std::size_t num_shards_{1};
+  std::size_t shard_threads_{1};
+  // Sharding is on and no monitor: slots may take the parallel pipeline.
+  bool node_parallel_{false};
   std::vector<std::uint16_t> shard_of_node_;
-  std::unique_ptr<ShardPool> pool_;  // only when num_shards_ > 1
+  std::unique_ptr<ShardPool> pool_;  // only when shard_threads_ > 1
+
+  /// Per-shard side-buffers for hook effects raised inside a parallel
+  /// region. Simulator ops live in the matching defer_bufs_ entry; stat
+  /// records carry keys from the same per-site sequence so their replay
+  /// interleaves in serial order (FlowStatsCollector's first-wins dedup
+  /// must see the serial arrival order). Dirty-wake notices and scanner
+  /// set edits are merely concatenated/applied in shard order — both are
+  /// order-neutral: apply_wake_change is idempotent per node and
+  /// scanners_ is a sorted set.
+  struct StatOp {
+    std::uint64_t key;
+    FlowId flow;
+    std::uint32_t seq;
+    SimTime at;
+    DropReason reason;  // dropped ops only
+    bool delivered;
+  };
+  struct ScanOp {
+    std::uint16_t node;
+    bool scanning;
+  };
+  struct ShardCtx {
+    Simulator::DeferBuffer* defer{nullptr};
+    std::vector<StatOp> stats;
+    std::vector<std::uint16_t> dirty;
+    std::vector<ScanOp> scans;
+  };
+  /// The executing shard task's context; hooks divert their side effects
+  /// here when set. Null outside parallel regions — every hook then takes
+  /// its plain serial branch.
+  static thread_local ShardCtx* t_shard_ctx_;
+
+  /// Runs fn(s) for every shard on the pool (inline loop at 1 thread),
+  /// with the shard's defer buffer and context installed and its busy time
+  /// accumulated into shard_busy_ns_ (profiler on only).
+  void run_region(const std::function<void(std::size_t)>& fn);
+  /// Serial post-barrier merge: replays deferred simulator ops (sorted by
+  /// site key -> exact serial event order and seq values), then stat
+  /// records (same key space), then scanner-set edits and dirty-wake
+  /// concatenation in shard order.
+  void drain_shard_ctxs();
 
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<CentralManager> manager_;
@@ -424,6 +503,25 @@ class Network {
   // scratch, so shards never share mutable state). Serial runs use [0].
   std::vector<SlotReception> shard_reception_;
   std::vector<std::uint64_t> shard_guard_misses_;
+  // --- parallel-pipeline arenas, sized once and reused across slots ---
+  // Per-shard work lists, rebuilt serially each slot in O(P)/O(L)/O(T)/O(R)
+  // total: participant ranks, listener indices, transmitter indices and
+  // reception indices owned by each shard. Each region task walks only its
+  // own list (this replaced the per-shard full-list filter scans, whose
+  // O(shards * L) waste was the 1-thread overhead at high shard counts).
+  std::vector<std::vector<std::uint32_t>> shard_members_;
+  std::vector<std::vector<std::uint32_t>> shard_listener_li_;
+  std::vector<std::vector<std::uint32_t>> shard_tx_;
+  std::vector<std::vector<std::uint32_t>> shard_rx_;
+  // Per-node plan storage for the parallel plan region (kTx entries only;
+  // the serial gather moves them out in participant order).
+  std::vector<SlotPlan> plans_;
+  // Per-shard deferred simulator ops and hook side-buffers.
+  std::vector<Simulator::DeferBuffer> defer_bufs_;
+  std::vector<ShardCtx> shard_ctx_;
+  std::vector<StatOp*> stat_replay_;  // drain scratch
+  // Cumulative per-shard busy ns across regions (profiler on only).
+  std::vector<std::uint64_t> shard_busy_ns_;
   // Per-slot attempt buckets by grid cell, built once per busy slot and
   // shared read-only by every shard's resolver; ack_cells_ is the same
   // index over the slot's ACK attempts for the reverse-link resolution.

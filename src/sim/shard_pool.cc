@@ -1,6 +1,19 @@
 #include "sim/shard_pool.h"
 
+#include "common/prof.h"
+
 namespace digs {
+
+namespace {
+
+/// Spin iterations before a worker parks / between yields at a barrier.
+/// Yield on spin-out so oversubscribed runs (shards*threads > cores, the
+/// determinism matrix on small machines) stay live instead of burning a
+/// quantum; regions are microseconds apart, so a parked worker's futex
+/// round trip would otherwise dominate small slots.
+constexpr int kSpinRounds = 4096;
+
+}  // namespace
 
 ShardPool::ShardPool(std::size_t extra_workers) {
   workers_.reserve(extra_workers);
@@ -10,9 +23,12 @@ ShardPool::ShardPool(std::size_t extra_workers) {
 }
 
 ShardPool::~ShardPool() {
+  stop_.store(true, std::memory_order_release);
   {
+    // Pairs with a parking worker's sleepers_ bump: either the worker saw
+    // stop_ before waiting, or it is inside wait() and the notify below
+    // reaches it.
     const std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
   }
   work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
@@ -25,43 +41,95 @@ void ShardPool::run(std::size_t tasks,
     for (std::size_t i = 0; i < tasks; ++i) fn(i);
     return;
   }
-  std::unique_lock<std::mutex> lock(mutex_);
   fn_ = &fn;
   total_ = tasks;
-  next_ = 0;
-  pending_ = tasks;
-  ++generation_;
-  work_cv_.notify_all();
-  // The caller participates: claim tasks like any worker, then wait on the
-  // barrier for the ones other threads still hold.
-  while (next_ < total_) {
-    const std::size_t i = next_++;
-    lock.unlock();
-    fn(i);
-    lock.lock();
-    if (--pending_ == 0) done_cv_.notify_all();
+  next_.store(0, std::memory_order_relaxed);
+  remaining_.store(tasks, std::memory_order_relaxed);
+  checked_out_.store(0, std::memory_order_relaxed);
+  // Publish: workers read fn_/total_ only after observing the new
+  // generation (acquire), so the plain writes above are ordered.
+  generation_.fetch_add(1, std::memory_order_release);
+  if (sleepers_.load(std::memory_order_relaxed) > 0) {
+    // A sleeper either re-checks the generation under this same mutex and
+    // returns to work, or is about to wait and will see the bump in the
+    // predicate — no missed wakeup either way.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    work_cv_.notify_all();
   }
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  // The caller participates: claim tasks like any worker.
+  std::size_t done_here = 0;
+  while (true) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= total_) break;
+    fn(i);
+    ++done_here;
+  }
+  if (done_here > 0) {
+    remaining_.fetch_sub(done_here, std::memory_order_release);
+  }
+  // Barrier: wait until (a) every task completed — the acquire pairs with
+  // the workers' release decrements, making every shard's writes visible
+  // to the post-barrier merge — and (b) every worker checked out of this
+  // generation. (b) is what makes resetting next_ for the NEXT region
+  // safe: without it, a worker delayed between observing this generation
+  // and its first claim could consume a ticket of the following region
+  // against this region's stale fn/total.
+  const std::size_t workers = workers_.size();
+  if (remaining_.load(std::memory_order_acquire) > 0 ||
+      checked_out_.load(std::memory_order_acquire) < workers) {
+    const bool pf = prof::enabled();
+    const std::uint64_t t0 = pf ? prof::now_ns() : 0;
+    int spins = 0;
+    while (remaining_.load(std::memory_order_acquire) > 0 ||
+           checked_out_.load(std::memory_order_acquire) < workers) {
+      if (++spins >= kSpinRounds) {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+    if (pf) prof::add(prof::kBarrierWait, prof::now_ns() - t0);
+  }
   fn_ = nullptr;
 }
 
 void ShardPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
   std::uint64_t seen = 0;
   while (true) {
-    work_cv_.wait(lock, [this, seen] {
-      return stop_ || (generation_ != seen && fn_ != nullptr);
-    });
-    if (stop_) return;
-    seen = generation_;
-    const auto* fn = fn_;
-    while (next_ < total_) {
-      const std::size_t i = next_++;
-      lock.unlock();
-      (*fn)(i);
-      lock.lock();
-      if (--pending_ == 0) done_cv_.notify_all();
+    // Wait for the next generation: spin (with yields), then park.
+    std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (gen == seen && !stop_.load(std::memory_order_acquire)) {
+      const bool pf = prof::enabled();
+      const std::uint64_t t0 = pf ? prof::now_ns() : 0;
+      int spins = 0;
+      while ((gen = generation_.load(std::memory_order_acquire)) == seen &&
+             !stop_.load(std::memory_order_acquire)) {
+        if (++spins >= kSpinRounds) {
+          spins = 0;
+          std::this_thread::yield();
+          std::unique_lock<std::mutex> lock(mutex_);
+          sleepers_.fetch_add(1, std::memory_order_relaxed);
+          work_cv_.wait(lock, [this, seen] {
+            return stop_.load(std::memory_order_relaxed) ||
+                   generation_.load(std::memory_order_acquire) != seen;
+          });
+          sleepers_.fetch_sub(1, std::memory_order_relaxed);
+        }
+      }
+      if (pf) prof::add(prof::kWorkerIdle, prof::now_ns() - t0);
     }
+    if (stop_.load(std::memory_order_acquire)) return;
+    seen = gen;
+    const auto* fn = fn_;
+    const std::size_t total = total_;
+    std::size_t done = 0;
+    while (true) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) break;
+      (*fn)(i);
+      ++done;
+    }
+    if (done > 0) remaining_.fetch_sub(done, std::memory_order_release);
+    checked_out_.fetch_add(1, std::memory_order_release);
   }
 }
 

@@ -1,26 +1,83 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace digs {
 
+namespace {
+
+// The calling thread's open defer window, if any. Thread-local (not
+// per-Simulator): a thread runs at most one simulation at a time, and the
+// window only spans one fork-join region of one slot.
+thread_local Simulator::DeferBuffer* t_defer = nullptr;
+
+}  // namespace
+
+void Simulator::set_defer_buffer(DeferBuffer* buf) { t_defer = buf; }
+
 bool EventHandle::pending() const {
-  return sim_ != nullptr && sim_->live_.contains(id_);
+  if (sim_ == nullptr) return false;
+  if (Simulator::DeferBuffer* buf = t_defer; buf != nullptr) {
+    // Events of a node live on that node's shard, so every not-yet-replayed
+    // op touching this id is in *this* thread's buffer; the latest one wins.
+    for (auto it = buf->ops_.rbegin(); it != buf->ops_.rend(); ++it) {
+      if (it->id == id_) return !it->cancel;
+    }
+  }
+  return sim_->live_.contains(id_);
 }
 
 void EventHandle::cancel() {
-  if (sim_ != nullptr) sim_->live_.erase(id_);
+  if (sim_ != nullptr) {
+    if (Simulator::DeferBuffer* buf = t_defer; buf != nullptr) {
+      buf->ops_.push_back(Simulator::DeferBuffer::Op{
+          buf->next_key(), SimTime{}, id_, EventFn{}, /*cancel=*/true});
+    } else {
+      sim_->live_.erase(id_);
+    }
+  }
   sim_ = nullptr;
   id_ = 0;
 }
 
 EventHandle Simulator::schedule_at(SimTime at, EventFn fn) {
   if (at < now_) at = now_;
-  const std::uint64_t id = next_id_++;
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (DeferBuffer* buf = t_defer; buf != nullptr) {
+    buf->ops_.push_back(DeferBuffer::Op{buf->next_key(), at, id,
+                                        std::move(fn), /*cancel=*/false});
+    return EventHandle{this, id};
+  }
   heap_.push_back(Event{at, next_seq_++, id, std::move(fn)});
   sift_up(heap_.size() - 1);
   live_.insert(id);
   return EventHandle{this, id};
+}
+
+void Simulator::replay_deferred(DeferBuffer* bufs, std::size_t n) {
+  // Gather all shards' ops and sort into serial program order. Stable so
+  // same-key ops (impossible by construction, but cheap insurance) keep
+  // buffer order.
+  replay_scratch_.clear();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (auto& op : bufs[s].ops_) replay_scratch_.push_back(&op);
+  }
+  std::stable_sort(replay_scratch_.begin(), replay_scratch_.end(),
+                   [](const DeferBuffer::Op* a, const DeferBuffer::Op* b) {
+                     return a->key < b->key;
+                   });
+  for (DeferBuffer::Op* op : replay_scratch_) {
+    if (op->cancel) {
+      live_.erase(op->id);  // heap tombstone, exactly as a serial cancel
+    } else {
+      heap_.push_back(Event{op->at, next_seq_++, op->id, std::move(op->fn)});
+      sift_up(heap_.size() - 1);
+      live_.insert(op->id);
+    }
+  }
+  replay_scratch_.clear();
+  for (std::size_t s = 0; s < n; ++s) bufs[s].ops_.clear();
 }
 
 void Simulator::sift_up(std::size_t i) {

@@ -12,6 +12,7 @@
 // slot engine, periodic timers, flow generators — pay no heap allocation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
@@ -44,12 +45,75 @@ class EventHandle {
   std::uint64_t id_{0};
 };
 
-/// Single-threaded discrete-event simulator.
+/// Single-threaded discrete-event simulator — with one concession to the
+/// parallel slot pipeline: a *defer window*. While a thread has a
+/// DeferBuffer installed (Simulator::set_defer_buffer), schedule_at() and
+/// EventHandle::cancel() do not touch the heap or the live-id set; they
+/// record the operation in the buffer under a caller-supplied ordering key
+/// and the caller replays all buffers after the fork-join barrier, in
+/// ascending key order — reproducing the exact event sequence (and seq
+/// numbers) the serial execution would have produced. pending() answers
+/// from the thread's own buffer first (an id belongs to exactly one node,
+/// and a node to exactly one shard, so the local view is complete), then
+/// from the live set, which is read-only during a window because cancels
+/// are deferred too. Event *ids* are allocated from an atomic counter, so
+/// their values may differ between thread counts — harmless: ordering uses
+/// only (at, seq), and the id set is never iterated.
 class Simulator {
  public:
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// Per-shard buffer of deferred schedule/cancel operations recorded
+  /// during one parallel region. Keys are (site << 16 | sub): the caller
+  /// sets the site — the op's global serial-order rank (reception index,
+  /// transmitter index, participant rank...) — before invoking node code,
+  /// and each recorded op takes the next sub-counter value. Sites ascend
+  /// within a shard and never collide across shards, so a stable sort over
+  /// all buffers is exactly the serial program order.
+  class DeferBuffer {
+   public:
+    /// Starts a new op site; resets the intra-site sub-counter.
+    void set_site(std::uint64_t site) {
+      site_ = site;
+      sub_ = 0;
+    }
+    /// Consumes the next key of the current site. Callers with their own
+    /// deferred side-buffers (e.g. stat records) draw keys from the same
+    /// sequence so their replay interleaves in serial order too.
+    [[nodiscard]] std::uint64_t next_key() { return (site_ << 16) | sub_++; }
+    [[nodiscard]] bool empty() const { return ops_.empty(); }
+    void clear() { ops_.clear(); }
+
+   private:
+    friend class Simulator;
+    friend class EventHandle;
+    struct Op {
+      std::uint64_t key;
+      SimTime at;       // schedule ops only
+      std::uint64_t id;
+      EventFn fn;       // empty for cancels
+      bool cancel{false};
+    };
+
+    std::vector<Op> ops_;
+    std::uint64_t site_{0};
+    std::uint64_t sub_{0};
+  };
+
+  /// Installs `buf` as the calling thread's defer sink (nullptr closes the
+  /// window for this thread). Only the slot pipeline's fork-join regions
+  /// use this; everything else runs with no buffer installed and sees the
+  /// plain single-threaded behavior.
+  static void set_defer_buffer(DeferBuffer* buf);
+
+  /// Applies every deferred op from `bufs[0..n)` in ascending key order:
+  /// schedules enter the heap with freshly assigned seq numbers (the same
+  /// values the serial execution would have assigned — no other schedule
+  /// can interleave) and cancels erase from the live set (leaving the heap
+  /// tombstone a serial cancel would leave). Clears the buffers.
+  void replay_deferred(DeferBuffer* bufs, std::size_t n);
 
   /// Current simulated time.
   [[nodiscard]] SimTime now() const { return now_; }
@@ -109,12 +173,17 @@ class Simulator {
 
   SimTime now_{};
   std::uint64_t next_seq_{0};
-  std::uint64_t next_id_{1};
+  // Atomic so deferred schedules can mint ids inside parallel regions; the
+  // *values* handed out may then depend on thread interleaving, which is
+  // fine — ids are opaque (never ordered or iterated), only seq orders ties.
+  std::atomic<std::uint64_t> next_id_{1};
   std::uint64_t events_executed_{0};
   // Binary min-heap ordered by fires_before.
   std::vector<Event> heap_;
   // Ids of events that are queued and neither fired nor cancelled.
   std::unordered_set<std::uint64_t> live_;
+  // Reused by replay_deferred (pointers into the shard buffers).
+  std::vector<DeferBuffer::Op*> replay_scratch_;
 };
 
 /// Repeating timer built on the simulator; fires every `period` until

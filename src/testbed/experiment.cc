@@ -79,6 +79,7 @@ ExperimentRunner::ExperimentRunner(const TestbedLayout& layout,
   net.use_slot_engine = config.use_slot_engine;
   net.monitor_invariants = config.monitor_invariants;
   net.shards = config.shards;
+  net.shard_threads = config.shard_threads;
 
   network_ = std::make_unique<Network>(net, layout.positions);
 

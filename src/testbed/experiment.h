@@ -93,6 +93,10 @@ struct ExperimentConfig {
   /// Intra-trial spatial shards (see NetworkConfig::shards): 0 defers to
   /// the DIGS_SHARDS environment variable (default 1 = serial).
   std::size_t shards = 0;
+  /// Worker threads for the sharded slot pipeline (see
+  /// NetworkConfig::shard_threads): 0 defers to DIGS_SHARD_THREADS, then
+  /// min(shards, hardware threads).
+  std::size_t shard_threads = 0;
   /// Override for MediumConfig::flat_table_max_nodes (the flat-vs-sparse
   /// storage cutover); tests force compact mode with 0 to pin sparse ==
   /// flat bit-identity on small layouts.

@@ -1,17 +1,21 @@
-// Shard-count invariance: N-shard runs must be BIT-IDENTICAL to 1-shard.
+// Shard- and thread-count invariance: every (shards, threads) combination
+// must be BIT-IDENTICAL to the serial run.
 //
-// The spatial-sharding refactor parallelizes each busy slot's reception
-// resolution across shards, but every per-pair draw is hashed from
-// (seed, asn, listener, sender), shards write disjoint per-listener result
-// slots, and the merge back into reception order is always listener order —
-// so PDR, energy, desync, and every other observable must match exactly
-// (no tolerances) at DIGS_SHARDS = 1, 2, and 4, including under a fault
-// script with clock drift enabled. Also pins that compact (sparse CSR)
-// medium storage reproduces the flat-table results bit-for-bit, and that a
-// deployment wide enough to activate the spatial grid stays shard-invariant
-// with cell-based shard assignment.
+// The sharded slot pipeline runs settle+plan, reception resolution,
+// deliver+outcomes, energy+end_slot, and wake refresh per shard, but every
+// per-pair draw is hashed from (seed, asn, listener, sender), shards write
+// disjoint per-node state, and every hook or simulator side effect raised
+// inside a parallel region is deferred and replayed in serial program
+// order after the barrier — so PDR, energy, desync, and every other
+// observable must match exactly (no tolerances) across the full
+// {1, 2, 8} shards x {1, 2, 4} worker-threads matrix, including under a
+// fault script with clock drift enabled. Also pins that compact (sparse
+// CSR) medium storage reproduces the flat-table results bit-for-bit, and
+// that a deployment wide enough to activate the spatial grid stays
+// invariant with cell-based shard assignment.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <tuple>
@@ -45,13 +49,19 @@ ExperimentConfig small_config(ProtocolSuite suite, std::uint64_t seed) {
 }
 
 RunSnapshot run_once(const TestbedLayout& layout, ExperimentConfig config,
-                     std::size_t shards) {
+                     std::size_t shards, std::size_t threads = 1) {
   config.shards = shards;
+  config.shard_threads = threads;
   ExperimentRunner runner(layout, config);
   RunSnapshot snap;
   snap.result = runner.run();
   Network& net = runner.network();
   EXPECT_EQ(net.num_shards(), shards);
+  // Worker count is clamped to [1, shards] (and pinned to 1 unsharded):
+  // requesting more threads than shards must degrade gracefully, never
+  // spawn idle workers.
+  EXPECT_EQ(net.num_shard_threads(),
+            shards > 1 ? std::min(threads, shards) : 1);
   snap.final_asn = net.current_asn();
   for (std::size_t i = 0; i < net.size(); ++i) {
     const Node& node = net.node(NodeId{static_cast<std::uint16_t>(i)});
@@ -116,15 +126,21 @@ class ShardInvariance
     : public ::testing::TestWithParam<std::tuple<ProtocolSuite, std::uint64_t>> {
 };
 
-TEST_P(ShardInvariance, BitIdenticalAcrossShardCounts) {
+TEST_P(ShardInvariance, BitIdenticalAcrossShardAndThreadMatrix) {
   const auto [suite, seed] = GetParam();
   const ExperimentConfig config = small_config(suite, seed);
   const TestbedLayout layout = half_testbed_a();
-  const RunSnapshot serial = run_once(layout, config, 1);
-  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
-    const RunSnapshot sharded = run_once(layout, config, shards);
-    SCOPED_TRACE("shards=" + std::to_string(shards));
-    expect_identical(sharded, serial);
+  const RunSnapshot serial = run_once(layout, config, 1, 1);
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      if (shards == 1 && threads == 1) continue;  // the reference itself
+      const RunSnapshot sharded = run_once(layout, config, shards, threads);
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " threads=" + std::to_string(threads));
+      expect_identical(sharded, serial);
+    }
   }
 }
 
@@ -154,11 +170,17 @@ TEST(ShardInvarianceFaultsAndDrift, BitIdenticalUnderFaultScript) {
   config.faults.blackout(seconds(std::int64_t{20}), NodeId{2}, NodeId{7},
                          seconds(std::int64_t{25}));
   const TestbedLayout layout = half_testbed_a();
-  const RunSnapshot serial = run_once(layout, config, 1);
-  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
-    const RunSnapshot sharded = run_once(layout, config, shards);
-    SCOPED_TRACE("shards=" + std::to_string(shards));
-    expect_identical(sharded, serial);
+  const RunSnapshot serial = run_once(layout, config, 1, 1);
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      if (shards == 1 && threads == 1) continue;
+      const RunSnapshot sharded = run_once(layout, config, shards, threads);
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " threads=" + std::to_string(threads));
+      expect_identical(sharded, serial);
+    }
   }
   // The drift path actually engaged.
   EXPECT_GT(serial.result.clock_corrections, 0u);
@@ -172,8 +194,12 @@ TEST(ShardInvarianceCityGrid, BitIdenticalWithActiveGrid) {
   config.num_flows = 8;
   const TestbedLayout layout = city_layout();
   const RunSnapshot serial = run_once(layout, config, 1);
-  const RunSnapshot sharded = run_once(layout, config, 4);
-  expect_identical(sharded, serial);
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const RunSnapshot sharded = run_once(layout, config, 4, threads);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical(sharded, serial);
+  }
   // The scenario is not degenerate: traffic flows.
   EXPECT_GT(serial.result.delivered, 0u);
 }

@@ -1,0 +1,353 @@
+// Extension study: reactive jamming vs schedule randomization — across all
+// three suites. Four arms per suite at equal jammer duty (17.5% of the
+// slot x channel grid):
+//
+//   clean                no jammers (reference ceiling)
+//   oblivious            2 kWifiStreaming jammers (schedule-blind)
+//   reactive             2 learning jammers that sniff per-(slot-offset,
+//                        channel-offset) activity and jam the hottest cells
+//   reactive+randomized  same attacker, but the network re-permutes its
+//                        application slotframe every 30 s (SlotSwapper)
+//
+// The bench doubles as an acceptance check (exits nonzero otherwise):
+// the reactive attacker must beat the oblivious one at equal duty (higher
+// slot-hit rate AND lower victim PDR), randomization must claw back a
+// gated share of the lost PDR for every suite, every swap epoch must pass
+// the invariant monitor's conflict audit, and one jammed+randomized run
+// must be bit-identical across the shard/thread matrix. Writes
+// BENCH_jamming.json.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "testbed/experiment.h"
+
+namespace {
+
+using namespace digs;
+
+enum class Arm { kClean, kOblivious, kReactive, kReactiveRandomized };
+
+constexpr Arm kArms[] = {Arm::kClean, Arm::kOblivious, Arm::kReactive,
+                         Arm::kReactiveRandomized};
+
+constexpr const char* arm_key(Arm arm) {
+  switch (arm) {
+    case Arm::kClean: return "clean";
+    case Arm::kOblivious: return "oblivious";
+    case Arm::kReactive: return "reactive";
+    case Arm::kReactiveRandomized: return "reactive_randomized";
+  }
+  return "?";
+}
+
+struct ArmSummary {
+  Cdf pdr;
+  std::uint64_t tx_attempts = 0;
+  std::uint64_t tx_jammed = 0;
+  std::uint64_t swap_epochs = 0;
+  std::uint64_t swaps_applied = 0;
+  std::uint64_t swaps_rejected = 0;
+  std::uint64_t swap_epoch_audits = 0;
+  std::uint64_t swap_epoch_violations = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    return tx_attempts > 0
+               ? static_cast<double>(tx_jammed) /
+                     static_cast<double>(tx_attempts)
+               : 0.0;
+  }
+};
+
+struct SuiteSummary {
+  const char* key;
+  int seeds = 0;
+  ArmSummary arms[4];
+};
+
+TrialSpec make_trial(ProtocolSuite suite, Arm arm, int seed_index) {
+  TrialSpec trial;
+  trial.layout = half_testbed_a();
+  trial.config.suite = suite;
+  trial.config.seed = 47'000 + seed_index;
+  trial.config.num_flows = 8;
+  trial.config.flow_period = seconds(static_cast<std::int64_t>(5));
+  trial.config.warmup = seconds(static_cast<std::int64_t>(120));
+  trial.config.duration = seconds(static_cast<std::int64_t>(240));
+  // The arms are compared at shards=1 so the numbers do not depend on the
+  // host environment; the shard matrix below pins bit-identity separately.
+  trial.config.shards = 1;
+  trial.config.shard_threads = 1;
+  // Hotter than the JamLab-calibrated -4 dBm default: this study is about
+  // schedule targeting, so the jammer gets enough power that a hit usually
+  // kills the attempt — otherwise every arm hides behind link-margin
+  // retries and the arms become indistinguishable.
+  trial.config.jammer_tx_power_dbm = 2.0;
+  switch (arm) {
+    case Arm::kClean:
+      break;
+    case Arm::kOblivious:
+      trial.config.num_jammers = 2;
+      break;
+    case Arm::kReactive:
+      trial.config.num_reactive_jammers = 2;
+      break;
+    case Arm::kReactiveRandomized:
+      trial.config.num_reactive_jammers = 2;
+      trial.config.randomize_schedule = true;
+      // At or under the attacker's 15.1 s learning epoch, so the learned
+      // histogram is already one permutation stale by the time it is acted
+      // on; a 30 s epoch lets the jammer be current half the time.
+      trial.config.randomize_epoch = seconds(static_cast<std::int64_t>(15));
+      // The swap-epoch audit is the gate on the defense's safety: every
+      // reinstall must be conflict-free.
+      trial.config.monitor_invariants = true;
+      break;
+  }
+  return trial;
+}
+
+void print_suite(const SuiteSummary& s) {
+  bench::section(std::string("suite: ") + s.key);
+  for (const Arm arm : kArms) {
+    const ArmSummary& a = s.arms[static_cast<int>(arm)];
+    std::printf("  %-20s PDR mean %.3f  min %.3f  slot-hit rate %.3f\n",
+                arm_key(arm), a.pdr.mean(), a.pdr.min(), a.hit_rate());
+  }
+  const ArmSummary& r = s.arms[static_cast<int>(Arm::kReactiveRandomized)];
+  std::printf(
+      "  randomization: %llu epochs, %llu swaps applied / %llu rejected, "
+      "%llu audits, %llu violations\n",
+      static_cast<unsigned long long>(r.swap_epochs),
+      static_cast<unsigned long long>(r.swaps_applied),
+      static_cast<unsigned long long>(r.swaps_rejected),
+      static_cast<unsigned long long>(r.swap_epoch_audits),
+      static_cast<unsigned long long>(r.swap_epoch_violations));
+}
+
+void write_json(const std::vector<SuiteSummary>& summaries,
+                bool shards_identical) {
+  std::FILE* out = std::fopen("BENCH_jamming.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "could not write BENCH_jamming.json\n");
+    return;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"methodology\": \"half_testbed_a (20 nodes, 2 APs), 8 flows @5s, "
+      "120s warmup, 240s measurement; 2 jammers at the layout's jammer "
+      "positions, on from measurement start; the oblivious arm runs "
+      "kWifiStreaming (17.5%% of the slot x channel grid), the reactive arms "
+      "sniff per-(slot-offset, channel-offset) activity over 1510-slot "
+      "epochs and jam the 423 hottest cells (equal duty); the randomized "
+      "arm additionally re-permutes the application slotframe every 15s "
+      "through the SlotSwapper with the invariant monitor auditing every "
+      "reinstall; slot-hit rate is the fraction of data TX attempts that "
+      "launched into an actively jammed (slot, channel); arms compared at "
+      "shards=1, bit-identity pinned separately across the shard matrix\",\n"
+      "  \"hardware_threads\": %u,\n"
+      "  \"shard_matrix_bit_identical\": %s,\n",
+      bench::hardware_threads(), shards_identical ? "true" : "false");
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    const SuiteSummary& s = summaries[i];
+    std::fprintf(out, "  \"%s\": {\n    \"seeds\": %d,\n", s.key, s.seeds);
+    for (const Arm arm : kArms) {
+      const ArmSummary& a = s.arms[static_cast<int>(arm)];
+      std::fprintf(out,
+                   "    \"%s\": { \"pdr_mean\": %.4f, \"pdr_min\": %.4f, "
+                   "\"slot_hit_rate\": %.4f },\n",
+                   arm_key(arm), a.pdr.mean(), a.pdr.min(), a.hit_rate());
+    }
+    const ArmSummary& r = s.arms[static_cast<int>(Arm::kReactiveRandomized)];
+    std::fprintf(
+        out,
+        "    \"swap_epochs\": %llu,\n"
+        "    \"swaps_applied\": %llu,\n"
+        "    \"swaps_rejected\": %llu,\n"
+        "    \"swap_epoch_audits\": %llu,\n"
+        "    \"swap_epoch_violations\": %llu\n"
+        "  }%s\n",
+        static_cast<unsigned long long>(r.swap_epochs),
+        static_cast<unsigned long long>(r.swaps_applied),
+        static_cast<unsigned long long>(r.swaps_rejected),
+        static_cast<unsigned long long>(r.swap_epoch_audits),
+        static_cast<unsigned long long>(r.swap_epoch_violations),
+        i + 1 < summaries.size() ? "," : "");
+  }
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_jamming.json\n");
+}
+
+/// One jammed + randomized DiGS run per (shards, threads) cell; every
+/// observable metric must be bit-identical to the serial cell.
+bool shard_matrix_identical() {
+  struct Cell {
+    std::size_t shards;
+    std::size_t threads;
+  };
+  const Cell cells[] = {{1, 1}, {2, 2}, {4, 4}};
+  std::vector<TrialSpec> trials;
+  for (const Cell& cell : cells) {
+    TrialSpec trial = make_trial(ProtocolSuite::kDigs,
+                                 Arm::kReactiveRandomized, 0);
+    // The monitor is a diagnostic, not part of the replayed slot pipeline;
+    // keep the matrix about the engine itself.
+    trial.config.monitor_invariants = false;
+    trial.config.shards = cell.shards;
+    trial.config.shard_threads = cell.threads;
+    trials.push_back(trial);
+  }
+  const std::vector<ExperimentResult> results = run_trials(trials);
+  bool ok = true;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const ExperimentResult& a = results[0];
+    const ExperimentResult& b = results[i];
+    const bool same = a.generated == b.generated &&
+                      a.delivered == b.delivered &&
+                      a.flow_pdrs == b.flow_pdrs &&
+                      a.victim_tx_attempts == b.victim_tx_attempts &&
+                      a.victim_tx_jammed == b.victim_tx_jammed &&
+                      a.swap_epochs == b.swap_epochs &&
+                      a.swaps_applied == b.swaps_applied &&
+                      a.swaps_rejected == b.swaps_rejected;
+    std::printf("  shards=%zu threads=%zu: delivered %llu/%llu, "
+                "hit %llu/%llu -> %s\n",
+                cells[i].shards, cells[i].threads,
+                static_cast<unsigned long long>(b.delivered),
+                static_cast<unsigned long long>(b.generated),
+                static_cast<unsigned long long>(b.victim_tx_jammed),
+                static_cast<unsigned long long>(b.victim_tx_attempts),
+                same ? "identical" : "DIVERGED");
+    ok = ok && same;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("ext_jamming",
+                "Extension: reactive jamming adversary vs SlotSwapper "
+                "schedule randomization, three suites at equal jammer duty");
+  // Smoke mode for the TSan preset: only the shard/thread matrix (the
+  // randomization reinstall + jammer bookkeeping under a real worker
+  // pool), no arm sweep and no JSON.
+  if (std::getenv("DIGS_JAMMING_SMOKE") != nullptr) {
+    bench::section("shard/thread matrix smoke (DiGS, reactive + randomized)");
+    const bool ok = shard_matrix_identical();
+    std::printf(ok ? "smoke: matrix identical\n"
+                   : "FAIL: matrix diverged\n");
+    return ok ? 0 : 1;
+  }
+  const int seeds = bench::default_runs(3);
+  std::printf("seeds per arm: %d; half Testbed A, 8 flows; 2 jammers at "
+              "17.5%% duty\n",
+              seeds);
+
+  const ProtocolSuite suites[] = {ProtocolSuite::kDigs,
+                                  ProtocolSuite::kOrchestra,
+                                  ProtocolSuite::kWirelessHart};
+  std::vector<TrialSpec> trials;
+  for (const ProtocolSuite suite : suites) {
+    for (const Arm arm : kArms) {
+      for (int s = 0; s < seeds; ++s) {
+        trials.push_back(make_trial(suite, arm, s));
+      }
+    }
+  }
+  const std::vector<ExperimentResult> results = run_trials(trials);
+
+  std::vector<SuiteSummary> summaries;
+  std::size_t t = 0;
+  for (const ProtocolSuite suite : suites) {
+    SuiteSummary summary;
+    summary.key = to_string(suite);
+    summary.seeds = seeds;
+    for (const Arm arm : kArms) {
+      ArmSummary& a = summary.arms[static_cast<int>(arm)];
+      for (int s = 0; s < seeds; ++s, ++t) {
+        const ExperimentResult& r = results[t];
+        a.pdr.add(r.overall_pdr);
+        a.tx_attempts += r.victim_tx_attempts;
+        a.tx_jammed += r.victim_tx_jammed;
+        a.swap_epochs += r.swap_epochs;
+        a.swaps_applied += r.swaps_applied;
+        a.swaps_rejected += r.swaps_rejected;
+        a.swap_epoch_audits += r.swap_epoch_audits;
+        a.swap_epoch_violations += r.swap_epoch_violations;
+      }
+    }
+    summaries.push_back(summary);
+    print_suite(summaries.back());
+  }
+
+  bench::section("shard/thread matrix (DiGS, reactive + randomized)");
+  const bool shards_ok = shard_matrix_identical();
+
+  write_json(summaries, shards_ok);
+
+  // Acceptance gates. The recovery margin is deliberately modest: the
+  // randomized arm must recover at least this much of the PDR the reactive
+  // attacker took (measured against the reactive arm, not the clean one —
+  // the jammer still burns 17.5% of the grid, just blindly).
+  constexpr double kRecoveryMargin = 0.02;
+  bool ok = true;
+  for (const SuiteSummary& s : summaries) {
+    const ArmSummary& oblivious = s.arms[static_cast<int>(Arm::kOblivious)];
+    const ArmSummary& reactive = s.arms[static_cast<int>(Arm::kReactive)];
+    const ArmSummary& randomized =
+        s.arms[static_cast<int>(Arm::kReactiveRandomized)];
+    if (!(reactive.pdr.mean() < oblivious.pdr.mean())) {
+      std::printf("FAIL: %s reactive PDR %.4f not below oblivious %.4f at "
+                  "equal duty\n",
+                  s.key, reactive.pdr.mean(), oblivious.pdr.mean());
+      ok = false;
+    }
+    if (!(reactive.hit_rate() > oblivious.hit_rate())) {
+      std::printf("FAIL: %s reactive slot-hit rate %.4f not above "
+                  "oblivious %.4f\n",
+                  s.key, reactive.hit_rate(), oblivious.hit_rate());
+      ok = false;
+    }
+    if (!(randomized.pdr.mean() >= reactive.pdr.mean() + kRecoveryMargin)) {
+      std::printf("FAIL: %s randomized PDR %.4f did not recover %.2f over "
+                  "reactive %.4f\n",
+                  s.key, randomized.pdr.mean(), kRecoveryMargin,
+                  reactive.pdr.mean());
+      ok = false;
+    }
+    if (randomized.swap_epochs == 0 ||
+        randomized.swap_epoch_audits != randomized.swap_epochs) {
+      std::printf("FAIL: %s swap epochs %llu but audits %llu\n", s.key,
+                  static_cast<unsigned long long>(randomized.swap_epochs),
+                  static_cast<unsigned long long>(
+                      randomized.swap_epoch_audits));
+      ok = false;
+    }
+    if (randomized.swap_epoch_violations != 0) {
+      std::printf("FAIL: %s recorded %llu schedule conflicts at swap "
+                  "epochs\n",
+                  s.key,
+                  static_cast<unsigned long long>(
+                      randomized.swap_epoch_violations));
+      ok = false;
+    }
+  }
+  if (!shards_ok) {
+    std::printf("FAIL: jammed + randomized run diverged across the "
+                "shard/thread matrix\n");
+    ok = false;
+  }
+  std::printf(
+      "\nExpected shape: at equal duty the reactive attacker concentrates\n"
+      "its budget on the cells the schedule actually uses (slot-hit rate\n"
+      "several times the oblivious 0.175) and hurts PDR more; 15 s\n"
+      "re-permutation makes the learned histogram stale before it pays\n"
+      "off, pulling hit rate back towards blind chance and recovering\n"
+      "most of the lost PDR — with every reinstall conflict-free.\n");
+  return ok ? 0 : 1;
+}

@@ -45,6 +45,8 @@ if printf '%s\n' "${presets[@]}" | grep -qx default; then
   (cd build/bench && ./ext_sync)
   echo "==> gate: ext_scaling"
   (cd build/bench && ./ext_scaling)
+  echo "==> gate: ext_jamming"
+  (cd build/bench && ./ext_jamming)
 else
   echo "==> bench gates skipped (default preset not selected)"
 fi
@@ -61,6 +63,13 @@ if printf '%s\n' "${presets[@]}" | grep -qx tsan; then
   echo "==> gate: ext_scaling sharded smoke (tsan, 4-thread pool)"
   (cd build-tsan/bench &&
    DIGS_SCALING_SMOKE=1 DIGS_SHARDS=4 DIGS_SHARD_THREADS=4 ./ext_scaling)
+  # The jamming matrix under TSan drives the schedule-randomization
+  # reinstall and the reactive jammer's slot observation through the same
+  # 4-worker pool (cells force shards/threads in-config); bit-identity
+  # doubles as the race detector's workload.
+  echo "==> gate: ext_jamming sharded smoke (tsan, 4-thread pool)"
+  (cd build-tsan/bench &&
+   DIGS_JAMMING_SMOKE=1 DIGS_SHARD_THREADS=4 ./ext_jamming)
 fi
 
 echo "==> all presets and gates passed"

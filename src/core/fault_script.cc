@@ -2,6 +2,7 @@
 
 #include "core/network.h"
 #include "phy/jammer.h"
+#include "phy/reactive_jammer.h"
 
 namespace digs {
 
@@ -53,6 +54,18 @@ void FaultScript::install(Network& net) const {
         // One-shot: park the off-phase far beyond any experiment horizon.
         jam.off_duration = seconds(static_cast<std::int64_t>(1) << 40);
         net.add_jammer(jam);
+        break;
+      }
+      case FaultEvent::Kind::kReactiveJammer: {
+        ReactiveJammerConfig jam;
+        jam.position = event.position;
+        jam.tx_power_dbm = event.power_dbm;
+        jam.top_k = event.jam_top_k;
+        jam.sniff_threshold_dbm = event.sniff_dbm;
+        jam.period_slots = event.period_slots;
+        jam.epoch_slots = event.epoch_slots;
+        jam.start = net.sim().now() + event.at;
+        net.add_reactive_jammer(jam);
         break;
       }
     }

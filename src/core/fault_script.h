@@ -27,6 +27,7 @@ struct FaultEvent {
     kBlackout,   // link (a, b) receives nothing for `duration`
     kBurst,      // constant interferer at `position` for `duration`
     kClockJump,  // node's clock steps by `clock_offset_us` instantly
+    kReactiveJammer,  // learning jammer at `position` from `at` onwards
   };
   Kind kind;
   SimDuration at{};  // offset from install()
@@ -34,9 +35,14 @@ struct FaultEvent {
   NodeId link_a;     // kBlackout endpoints
   NodeId link_b;
   SimDuration duration{};      // kBlackout / kBurst window length
-  Position position;           // kBurst interferer location
-  double power_dbm{10.0};      // kBurst interferer TX power
+  Position position;           // kBurst / kReactiveJammer location
+  double power_dbm{10.0};      // kBurst / kReactiveJammer TX power
   double clock_offset_us{0.0};  // kClockJump step size (signed)
+  // kReactiveJammer shape (see ReactiveJammerConfig for semantics).
+  std::uint32_t jam_top_k{423};
+  double sniff_dbm{-90.0};
+  std::uint32_t period_slots{151};
+  std::uint32_t epoch_slots{1510};
 };
 
 class FaultScript {
@@ -109,6 +115,27 @@ class FaultScript {
     e.duration = duration;
     e.position = where;
     e.power_dbm = power_dbm;
+    events_.push_back(e);
+    return *this;
+  }
+
+  /// Reactive jammer at `where` switched on at `at`: sniffs per-(slot,
+  /// channel-offset) activity over `epoch_slots`-slot epochs and jams the
+  /// `top_k` hottest cells of each following epoch (ReactiveJammer).
+  FaultScript& reactive_jammer(SimDuration at, Position where,
+                               double power_dbm, std::uint32_t top_k = 423,
+                               double sniff_dbm = -90.0,
+                               std::uint32_t period_slots = 151,
+                               std::uint32_t epoch_slots = 1510) {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kReactiveJammer;
+    e.at = at;
+    e.position = where;
+    e.power_dbm = power_dbm;
+    e.jam_top_k = top_k;
+    e.sniff_dbm = sniff_dbm;
+    e.period_slots = period_slots;
+    e.epoch_slots = epoch_slots;
     events_.push_back(e);
     return *this;
   }

@@ -42,6 +42,21 @@ void NetworkInvariantMonitor::audit_network(SimTime now) {
   audit_uplink_slot_uniqueness(now);
 }
 
+void NetworkInvariantMonitor::on_swap_epoch(SimTime now) {
+  ++swap_epoch_audits_;
+  const std::size_t before = violations_.size();
+  audit_network(now);
+  // Attribute only schedule conflicts to the swap: the permutation touches
+  // nothing but slot offsets, so a routing-side violation surfacing here is
+  // a graced suspicion whose maturation merely coincided with this audit
+  // (the 5 s sweep would have recorded it moments later anyway).
+  for (std::size_t i = before; i < violations_.size(); ++i) {
+    if (violations_[i].kind == InvariantKind::kScheduleConflict) {
+      ++violations_at_swap_epochs_;
+    }
+  }
+}
+
 void NetworkInvariantMonitor::audit_node(std::size_t i, SimTime now) {
   const NodeId id{static_cast<std::uint16_t>(i)};
   graced_scratch_.clear();

@@ -109,6 +109,23 @@ class NetworkInvariantMonitor {
   /// (also what the periodic sweep runs).
   void audit_network(SimTime now);
 
+  /// Full-network audit right after a schedule-randomization epoch
+  /// reinstalled every node's slotframes — the moment a broken permutation
+  /// would surface as schedule conflicts. Counts the audits and any
+  /// SCHEDULE-CONFLICT violations newly recorded during them (routing-side
+  /// suspicions maturing at the same instant are the sweep's business, not
+  /// the swap's: the permutation touches nothing but slot offsets).
+  void on_swap_epoch(SimTime now);
+
+  /// Swap-epoch audits run, and schedule conflicts first detected by one
+  /// (0 when randomization never ran or every epoch was clean).
+  [[nodiscard]] std::uint64_t swap_epoch_audits() const {
+    return swap_epoch_audits_;
+  }
+  [[nodiscard]] std::uint64_t violations_at_swap_epochs() const {
+    return violations_at_swap_epochs_;
+  }
+
   /// Every violation recorded so far, in detection order. Each
   /// (kind, node, other) triple is recorded at most once.
   [[nodiscard]] const std::vector<InvariantViolation>& violations() const {
@@ -151,6 +168,8 @@ class NetworkInvariantMonitor {
   Network& net_;
   PeriodicTimer sweep_;
   std::vector<InvariantViolation> violations_;
+  std::uint64_t swap_epoch_audits_{0};
+  std::uint64_t violations_at_swap_epochs_{0};
   /// Graced conditions currently observed -> first time they were seen.
   std::unordered_map<std::uint64_t, SimTime> suspects_;
   /// (kind, node, other) triples already recorded (dedup).

@@ -164,6 +164,16 @@ Network::Network(const NetworkConfig& config, std::vector<Position> positions)
       if (monitor_) monitor_->on_topology_changed(id, now);
     };
   }
+  if (config_.randomization.enabled) {
+    // Every schedule rebuild (initial, topology-driven, or the epoch
+    // reinstall itself) re-applies the network's current permutation, so a
+    // node that re-derives its slotframe mid-epoch stays consistent with
+    // the rest of the network.
+    hooks.app_slot_permutation =
+        [this]() -> const std::vector<std::uint16_t>* {
+      return app_slot_perm_.empty() ? nullptr : &app_slot_perm_;
+    };
+  }
 
   pending_revive_.assign(medium_.num_nodes(), -1);
   nodes_.reserve(medium_.num_nodes());
@@ -262,6 +272,24 @@ void Network::start() {
     sim_.schedule_after(flows_[i].start_offset,
                         [this, i] { generate_flow_packet(i); });
   }
+
+  // Schedule randomization epoch driver. The timer fires as an ordinary
+  // simulator event between slots, so the whole epoch (permutation draw +
+  // every node's reinstall) is atomic with respect to the slot loop.
+  if (config_.randomization.enabled) {
+    SlotSwapperConfig swapper;
+    swapper.frame_len = config_.suite == ProtocolSuite::kOrchestra
+                            ? config_.node.scheduler.orchestra_unicast_len
+                            : config_.node.scheduler.app_slotframe_len;
+    swapper.swaps_per_epoch = config_.randomization.swaps_per_epoch;
+    swapper.max_retries = config_.randomization.max_retries;
+    swapper.seed = hash_mix(config_.seed, 0x5107, config_.randomization.seed);
+    slot_swapper_ = std::make_unique<SlotSwapper>(swapper);
+    swap_timer_ = std::make_unique<PeriodicTimer>(
+        sim_, config_.randomization.epoch,
+        [this] { advance_randomization_epoch(); });
+    swap_timer_->start();
+  }
 }
 
 void Network::run_until(SimTime until) {
@@ -282,6 +310,73 @@ void Network::generate_flow_packet(std::size_t flow_index) {
   }
   sim_.schedule_after(flow.period,
                       [this, flow_index] { generate_flow_packet(flow_index); });
+}
+
+void Network::observe_on_air(std::uint64_t asn, SimTime slot_start) {
+  const bool reactive = medium_.num_reactive_jammers() > 0;
+  if (!reactive && medium_.num_jammers() == 0) return;
+  // Reactive jammers sniff every attempt on the air this slot (energy
+  // detection at their own position — see Medium::observe_slot_attempts).
+  // Runs once per executed slot at the serial on-air seam, so the sniffer's
+  // histogram and epoch rollovers are identical at every shard/thread
+  // setting and in both slot drivers.
+  if (reactive) medium_.observe_slot_attempts(asn, slot_start, on_air_);
+  // Victim slot-hit coverage: which data-frame attempts launched into a
+  // (slot, channel) cell some jammer was actively blasting. Geometry-free
+  // on purpose — it measures the jammer's schedule-targeting efficiency,
+  // the quantity schedule randomization is supposed to destroy.
+  for (std::size_t t = 0; t < transmitters_.size(); ++t) {
+    if (transmitters_[t].plan.frame.type != FrameType::kData) continue;
+    ++victim_tx_attempts_;
+    if (medium_.any_jammer_active(on_air_[t].channel, asn, slot_start)) {
+      ++victim_tx_jammed_;
+    }
+  }
+}
+
+void Network::advance_randomization_epoch() {
+  if (!slot_swapper_) return;
+  // Precedence edges from the live routing graph and the pre-permutation
+  // (base) schedules: for each field device forwarding through a field-
+  // device parent, the child's uplink TX offsets must still be able to
+  // precede the parent's within one slotframe cycle wherever the base
+  // schedule ordered them (AP parents sink traffic and impose nothing).
+  const std::size_t n = nodes_.size();
+  std::vector<std::vector<std::uint16_t>> uplink_tx(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive_[i] == 0) continue;
+    for (const Cell& cell : nodes_[i]->base_app_slotframe().cells) {
+      if (cell.option == CellOption::kTx && !cell.downlink) {
+        uplink_tx[i].push_back(cell.slot_offset);
+      }
+    }
+  }
+  std::vector<PrecedenceEdge> edges;
+  for (std::size_t i = config_.num_access_points; i < n; ++i) {
+    if (alive_[i] == 0 || uplink_tx[i].empty()) continue;
+    const RoutingProtocol& routing = nodes_[i]->routing();
+    for (const NodeId parent :
+         {routing.best_parent(), routing.second_best_parent()}) {
+      if (!parent.valid() || parent.value < config_.num_access_points) {
+        continue;
+      }
+      if (parent.value >= n || alive_[parent.value] == 0) continue;
+      if (uplink_tx[parent.value].empty()) continue;
+      PrecedenceEdge edge;
+      edge.child_tx = uplink_tx[i];
+      edge.parent_tx = uplink_tx[parent.value];
+      edges.push_back(std::move(edge));
+    }
+  }
+  app_slot_perm_ = slot_swapper_->advance_epoch(swap_epoch_++, edges);
+  // Atomic reinstall: every alive node re-derives its schedule through the
+  // new permutation inside this one event, in id order, via the ordinary
+  // install path (occupancy listeners and the wake engine see a normal
+  // schedule change). Slots never interleave with a half-switched network.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive_[i] != 0) nodes_[i]->refresh_schedule();
+  }
+  if (monitor_) monitor_->on_swap_epoch(sim_.now());
 }
 
 void Network::set_node_alive(NodeId id, bool alive) {
@@ -1078,6 +1173,7 @@ void Network::process_slot(std::uint64_t asn, SimTime slot_start,
     }
     on_air_.push_back(attempt);
   }
+  observe_on_air(asn, slot_start);
   if (pf) mark = prof::lap(prof::kPlanGather, mark);
 
   // Reception resolution through the cell-indexed per-slot resolver: each
@@ -1316,6 +1412,7 @@ void Network::process_slot_parallel(
     }
     on_air_.push_back(attempt);
   }
+  observe_on_air(asn, slot_start);  // serial: identical to the serial body
   if (pf) mark = prof::lap(prof::kPlanGather, mark);
 
   resolve_receptions(asn, slot_start, pf ? &mark : nullptr);

@@ -32,6 +32,7 @@
 #include "core/wake_heap.h"
 #include "phy/medium.h"
 #include "phy/reception.h"
+#include "sched/slot_swapper.h"
 #include "sim/shard_pool.h"
 #include "sim/simulator.h"
 #include "stats/flow_stats.h"
@@ -70,6 +71,19 @@ struct NetworkConfig {
   /// min(shards, hardware threads). Clamped to [1, shards]; at 1 every
   /// phase runs inline on the caller with no pool and no synchronization.
   std::size_t shard_threads = 0;
+  /// SlotSwapper-style schedule randomization (see sched/slot_swapper.h):
+  /// every `epoch` the network draws a fresh validated permutation of the
+  /// application slotframe's slot offsets and reinstalls every alive node's
+  /// schedule through it, invalidating a reactive jammer's learned activity
+  /// histogram. Off by default — no swapper, no timer, no per-rebuild cost.
+  struct SlotRandomization {
+    bool enabled = false;
+    SimDuration epoch = seconds(static_cast<std::int64_t>(30));
+    std::uint64_t seed = 1;
+    std::uint32_t swaps_per_epoch = 48;
+    std::uint32_t max_retries = 8;
+  };
+  SlotRandomization randomization;
 };
 
 /// A periodic application flow from a field device towards the APs.
@@ -110,6 +124,9 @@ class Network {
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
 
   void add_jammer(const JammerConfig& jammer) { medium_.add_jammer(jammer); }
+  void add_reactive_jammer(const ReactiveJammerConfig& jammer) {
+    medium_.add_reactive_jammer(jammer);
+  }
 
   /// Registers a flow; packet generation starts at `first_packet` once the
   /// network is started.
@@ -199,6 +216,34 @@ class Network {
     return best_parent_[id.value];
   }
 
+  // --- schedule randomization / jamming observability ---
+
+  /// The current epoch's slot permutation (empty = identity / off).
+  [[nodiscard]] const std::vector<std::uint16_t>& app_slot_permutation()
+      const {
+    return app_slot_perm_;
+  }
+  /// Randomization epochs completed, and the swapper's accepted/rejected
+  /// transposition counters (0 when randomization is off).
+  [[nodiscard]] std::uint64_t swap_epochs() const {
+    return slot_swapper_ ? slot_swapper_->epochs() : 0;
+  }
+  [[nodiscard]] std::uint64_t swaps_applied() const {
+    return slot_swapper_ ? slot_swapper_->swaps_applied() : 0;
+  }
+  [[nodiscard]] std::uint64_t swaps_rejected() const {
+    return slot_swapper_ ? slot_swapper_->swaps_rejected() : 0;
+  }
+  /// Jammer slot-hit coverage: data-frame transmission attempts since
+  /// start, and how many of them launched into a (slot, channel) some
+  /// jammer was actively blasting. Counted only while jammers exist.
+  [[nodiscard]] std::uint64_t victim_tx_attempts() const {
+    return victim_tx_attempts_;
+  }
+  [[nodiscard]] std::uint64_t victim_tx_jammed() const {
+    return victim_tx_jammed_;
+  }
+
  private:
   // --- shared per-slot arithmetic ---
 
@@ -256,6 +301,18 @@ class Network {
 
   void slot_tick();  // polled driver
   void generate_flow_packet(std::size_t flow_index);
+
+  /// Serial pre-resolution seam, run once per executed slot right after the
+  /// on-air attempt list is gathered (both drivers, both slot bodies): feeds
+  /// the slot's attempts to the medium's reactive-jammer sniffers and counts
+  /// data-frame attempts launched into actively-jammed (slot, channel)
+  /// cells. No-op (one branch) when no jammers exist.
+  void observe_on_air(std::uint64_t asn, SimTime slot_start);
+  /// Randomization epoch driver (PeriodicTimer event): rebuilds the
+  /// precedence edges from the live routing graph and the pre-permutation
+  /// schedules, advances the SlotSwapper, and atomically reinstalls every
+  /// alive node's schedule through the new permutation in id order.
+  void advance_randomization_epoch();
 
   // --- slot engine ---
 
@@ -404,6 +461,16 @@ class Network {
   std::vector<SimTime> fully_joined_at_;
   std::uint64_t asn_{0};  // polled driver's slot counter
   bool started_{false};
+  // --- schedule randomization state ---
+  std::unique_ptr<SlotSwapper> slot_swapper_;
+  std::unique_ptr<PeriodicTimer> swap_timer_;
+  // Current epoch permutation; empty = identity (the node hook then returns
+  // nullptr and rebuilds skip the post-pass entirely).
+  std::vector<std::uint16_t> app_slot_perm_;
+  std::uint64_t swap_epoch_{0};
+  // Jammer slot-hit coverage counters (see victim_tx_attempts()).
+  std::uint64_t victim_tx_attempts_{0};
+  std::uint64_t victim_tx_jammed_{0};
   // True once any node's clock can deviate (oscillator configured, or a
   // clock jump injected). While false, the slot loop never queries offsets
   // and every listener stays guard-exempt — the zero-cost gate for ppm = 0.

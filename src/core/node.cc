@@ -299,6 +299,21 @@ void Node::rebuild_schedule() {
       routing_ ? routing_->second_best_parent() : kNoNode;
   if (routing_) view.children = routing_->children();
   scheduler_->rebuild(mac_.schedule(), view);
+  if (!hooks_.app_slot_permutation) return;
+  // SlotSwapper post-pass: remap the application slotframe's slot offsets
+  // through the network's epoch permutation and reinstall. install() runs
+  // the ordinary occupancy/wake path, so the engine and the sharded
+  // pipeline see the reshuffle as a normal schedule change.
+  const Slotframe* app = mac_.schedule().slotframe(TrafficClass::kApplication);
+  if (app == nullptr) {
+    base_app_frame_ = Slotframe{};
+    base_app_frame_.cells.clear();
+    return;
+  }
+  base_app_frame_ = *app;
+  const std::vector<std::uint16_t>* perm = hooks_.app_slot_permutation();
+  if (perm == nullptr || perm->size() != app->length) return;
+  mac_.schedule().install(app->remapped(*perm));
 }
 
 }  // namespace digs

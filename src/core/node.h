@@ -96,6 +96,14 @@ class Node {
     /// struct-of-arrays parent mirror current without per-slot virtual
     /// routing queries.
     std::function<void(NodeId node, NodeId parent)> on_parent_changed;
+    /// SlotSwapper schedule randomization: the network's current epoch
+    /// permutation over application slot offsets, or nullptr for identity.
+    /// When set, every schedule rebuild applies it as a post-pass (so
+    /// mid-epoch topology rebuilds stay consistent with the network-wide
+    /// permutation) and keeps a pre-permutation copy of the application
+    /// slotframe for the validators. Unset when randomization is off —
+    /// rebuilds then cost nothing extra.
+    std::function<const std::vector<std::uint16_t>*()> app_slot_permutation;
   };
 
   /// `alive_cell` / `meter` optionally point at Network-owned
@@ -148,6 +156,19 @@ class Node {
     return fully_joined_reported_;
   }
 
+  /// Re-derives the schedule from current routing state, re-applying the
+  /// current slot permutation. The randomization epoch driver calls this on
+  /// every node after advancing the permutation, so the reshuffle reaches
+  /// the MAC through the ordinary schedule-install path.
+  void refresh_schedule() { rebuild_schedule(); }
+
+  /// The application slotframe as the scheduler built it, before the slot
+  /// permutation post-pass. Only maintained while the permutation hook is
+  /// set; empty otherwise.
+  [[nodiscard]] const Slotframe& base_app_slotframe() const {
+    return base_app_frame_;
+  }
+
  private:
   void on_frame(const Frame& frame, double rss_dbm, SimTime now);
   void on_tx_result(NodeId peer, FrameType type, bool acked, SimTime now);
@@ -176,6 +197,8 @@ class Node {
   TschMac mac_;
   std::unique_ptr<RoutingProtocol> routing_;
   std::unique_ptr<Scheduler> scheduler_;
+  /// Pre-permutation application slotframe (see base_app_slotframe()).
+  Slotframe base_app_frame_;
 
   bool joined_reported_{false};
   bool fully_joined_reported_{false};

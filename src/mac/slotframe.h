@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -67,6 +68,21 @@ struct Slotframe {
   TrafficClass traffic{TrafficClass::kApplication};
   std::uint16_t length{101};
   std::vector<Cell> cells;
+
+  /// Copy with every cell's slot offset mapped through `perm`
+  /// (perm[old] == new), the SlotSwapper reinstall primitive. `perm` must
+  /// cover the frame length; offsets beyond it are left unmapped (cells
+  /// outside the frame are already dead to the engine).
+  [[nodiscard]] Slotframe remapped(
+      std::span<const std::uint16_t> perm) const {
+    Slotframe out = *this;
+    for (Cell& cell : out.cells) {
+      if (cell.slot_offset < perm.size()) {
+        cell.slot_offset = perm[cell.slot_offset];
+      }
+    }
+    return out;
+  }
 };
 
 }  // namespace digs

@@ -1,8 +1,33 @@
 #include "phy/jammer.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace digs {
+
+double path_loss_power_mw(const Position& from, const Position& rx,
+                          double tx_power_dbm, double path_loss_ref_db,
+                          double path_loss_exponent,
+                          double floor_penetration_db, double floor_height_m) {
+  const double d = std::max(distance(from, rx), 1.0);
+  const double pl = path_loss_ref_db +
+                    10.0 * path_loss_exponent * std::log10(d) +
+                    floors_crossed(from, rx, floor_height_m) *
+                        floor_penetration_db;
+  return std::pow(10.0, (tx_power_dbm - pl) / 10.0);
+}
+
+JammerConfig sanitize_jammer_config(JammerConfig config) {
+  config.wifi_block_start = std::clamp(config.wifi_block_start, 0, 12);
+  if (!std::isfinite(config.tx_power_dbm)) config.tx_power_dbm = 10.0;
+  config.tx_power_dbm = std::clamp(config.tx_power_dbm, -60.0, 36.0);
+  if (config.on_duration.us < 0) config.on_duration = SimDuration{0};
+  if (config.off_duration.us < 0) config.off_duration = SimDuration{0};
+  return config;
+}
+
+Jammer::Jammer(const JammerConfig& config, std::uint64_t seed)
+    : config_(sanitize_jammer_config(config)), seed_(seed) {}
 
 bool Jammer::macro_on(SimTime t) const {
   if (t < config_.start) return false;
@@ -47,13 +72,9 @@ double Jammer::received_power_mw(const Position& rx, double path_loss_ref_db,
                                  double path_loss_exponent,
                                  double floor_penetration_db,
                                  double floor_height_m) const {
-  const double d = std::max(distance(config_.position, rx), 1.0);
-  const double pl = path_loss_ref_db +
-                    10.0 * path_loss_exponent * std::log10(d) +
-                    floors_crossed(config_.position, rx, floor_height_m) *
-                        floor_penetration_db;
-  const double rss_dbm = config_.tx_power_dbm - pl;
-  return std::pow(10.0, rss_dbm / 10.0);
+  return path_loss_power_mw(config_.position, rx, config_.tx_power_dbm,
+                            path_loss_ref_db, path_loss_exponent,
+                            floor_penetration_db, floor_height_m);
 }
 
 }  // namespace digs

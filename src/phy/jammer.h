@@ -45,12 +45,33 @@ struct JammerConfig {
   SimDuration off_duration = seconds(static_cast<std::int64_t>(0));
 };
 
+/// Received power (mW) at `rx` from an emitter at `from` transmitting
+/// `tx_power_dbm`, through the pure path-loss + floor-penetration curve (no
+/// fading). Shared by jammer emissions and the reactive jammer's
+/// energy-detection sniffer.
+[[nodiscard]] double path_loss_power_mw(const Position& from,
+                                        const Position& rx,
+                                        double tx_power_dbm,
+                                        double path_loss_ref_db,
+                                        double path_loss_exponent,
+                                        double floor_penetration_db,
+                                        double floor_height_m);
+
+/// Clamps a jammer description into the model's valid domain at
+/// construction time instead of silently producing out-of-range behavior:
+/// `wifi_block_start` is clamped so the whole 4-channel block stays inside
+/// channels 0..15 (i.e. to 0..12); non-finite `tx_power_dbm` falls back to
+/// the 10 dBm default and finite values clamp to a plausible emitter range
+/// [-60, +36] dBm (negative dBm is a legitimate weak emitter — the
+/// experiment default is -4 dBm — and is preserved); negative macro
+/// durations clamp to zero.
+[[nodiscard]] JammerConfig sanitize_jammer_config(JammerConfig config);
+
 /// One interference source. Stateless: activity is a pure function of
 /// (config, seed, channel, slot).
 class Jammer {
  public:
-  Jammer(const JammerConfig& config, std::uint64_t seed)
-      : config_(config), seed_(seed) {}
+  Jammer(const JammerConfig& config, std::uint64_t seed);
 
   /// True if this jammer corrupts the given channel during the given slot.
   [[nodiscard]] bool active(PhysicalChannel channel, std::uint64_t slot,

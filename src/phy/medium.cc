@@ -30,6 +30,48 @@ Medium::Medium(const MediumConfig& config, std::vector<Position> positions,
 void Medium::add_jammer(const JammerConfig& jammer_config) {
   jammers_.emplace_back(jammer_config,
                         hash_mix(seed_, 0x1A33, jammers_.size()));
+  jammer_masks_.push_back(
+      emitter_cell_mask(jammers_.back().config().position,
+                        jammers_.back().config().tx_power_dbm));
+}
+
+void Medium::add_reactive_jammer(const ReactiveJammerConfig& jammer_config) {
+  reactive_jammers_.emplace_back(
+      jammer_config, hash_mix(seed_, 0x5EAC, reactive_jammers_.size()));
+  reactive_jammer_masks_.push_back(
+      emitter_cell_mask(reactive_jammers_.back().config().position,
+                        reactive_jammers_.back().config().tx_power_dbm));
+}
+
+void Medium::observe_slot_attempts(
+    std::uint64_t slot, SimTime slot_start,
+    std::span<const TransmissionAttempt> attempts) {
+  const auto& prop = config_.propagation;
+  for (ReactiveJammer& jammer : reactive_jammers_) {
+    if (!jammer.begin_slot(slot, slot_start)) continue;
+    if (attempts.empty()) continue;
+    const Position& ear = jammer.config().position;
+    const double floor_mw = jammer.sniff_floor_mw();
+    for (const TransmissionAttempt& attempt : attempts) {
+      if (attempt.sender.value >= positions_.size()) continue;
+      const double mw = path_loss_power_mw(
+          positions_[attempt.sender.value], ear, attempt.tx_power_dbm,
+          prop.path_loss_ref_db, prop.path_loss_exponent,
+          prop.floor_penetration_db, prop.floor_height_m);
+      if (mw >= floor_mw) jammer.hear(slot, attempt.channel);
+    }
+  }
+}
+
+bool Medium::any_jammer_active(PhysicalChannel channel, std::uint64_t slot,
+                               SimTime slot_start) const {
+  for (const Jammer& jammer : jammers_) {
+    if (jammer.active(channel, slot, slot_start)) return true;
+  }
+  for (const ReactiveJammer& jammer : reactive_jammers_) {
+    if (jammer.active(channel, slot, slot_start)) return true;
+  }
+  return false;
 }
 
 void Medium::set_link_blackout(NodeId a, NodeId b, bool blacked_out) {
@@ -129,8 +171,8 @@ double Medium::interference_mw(NodeId rx, PhysicalChannel channel,
       if (other.channel != channel) continue;
       // Transmitters beyond the grid's 3×3-neighborhood cutoff are
       // uncoupled: by model definition they contribute nothing here, exactly
-      // as they decode with probability 0. Jammers are global and never
-      // filtered.
+      // as they decode with probability 0. Jammers get the same treatment
+      // via per-jammer reachable-cell masks inside jammer_mw().
       if (!coupled(other.sender, rx)) continue;
       const double rss =
           rss_dbm(other.sender, rx, channel, slot, other.tx_power_dbm);
@@ -148,13 +190,95 @@ double Medium::jammer_mw(NodeId rx, PhysicalChannel channel,
                          std::uint64_t slot, SimTime slot_start) const {
   double total_mw = 0.0;
   const auto& prop = config_.propagation;
-  for (const auto& jammer : jammers_) {
+  // Per-jammer reachable-cell masks: a listener outside a jammer's mask
+  // receives exactly 0 mW from it by model definition (same cutoff family
+  // as the transmitter grid coupling), so the per-listener check is one
+  // bit test instead of the activity hash + path-loss evaluation. Masks
+  // are empty (global) while the grid is unbuilt or inactive — every
+  // paper-scale layout — so those runs are bit-identical to the unmasked
+  // model.
+  const bool masked = grid_.active() && rx.value < grid_.num_nodes();
+  const std::uint32_t rx_cell = masked ? grid_.cell_of(rx.value) : 0;
+  for (std::size_t i = 0; i < jammers_.size(); ++i) {
+    if (masked && i < jammer_masks_.size() &&
+        !mask_covers(jammer_masks_[i], rx_cell)) {
+      continue;
+    }
+    const Jammer& jammer = jammers_[i];
+    if (!jammer.active(channel, slot, slot_start)) continue;
+    total_mw += jammer.received_power_mw(
+        positions_[rx.value], prop.path_loss_ref_db, prop.path_loss_exponent,
+        prop.floor_penetration_db, prop.floor_height_m);
+  }
+  for (std::size_t i = 0; i < reactive_jammers_.size(); ++i) {
+    if (masked && i < reactive_jammer_masks_.size() &&
+        !mask_covers(reactive_jammer_masks_[i], rx_cell)) {
+      continue;
+    }
+    const ReactiveJammer& jammer = reactive_jammers_[i];
     if (!jammer.active(channel, slot, slot_start)) continue;
     total_mw += jammer.received_power_mw(
         positions_[rx.value], prop.path_loss_ref_db, prop.path_loss_exponent,
         prop.floor_penetration_db, prop.floor_height_m);
   }
   return total_mw;
+}
+
+std::vector<std::uint64_t> Medium::emitter_cell_mask(
+    const Position& pos, double tx_power_dbm) const {
+  if (!grid_.built() || !grid_.active()) return {};
+  const auto& p = config_.propagation;
+  // Same ±6σ cutoff radius the grid cells are sized by, at the emitter's
+  // own power: beyond it the pure path-loss mean sits under sensitivity
+  // minus the provable fading margin (floors only attenuate further).
+  const double floor_dbm =
+      config_.sensitivity_dbm - propagation_.max_fading_db();
+  const double exponent = (tx_power_dbm - p.path_loss_ref_db - floor_dbm) /
+                          (10.0 * p.path_loss_exponent);
+  const double radius_m = p.reference_distance_m * std::pow(10.0, exponent);
+  // Chebyshev ring count: a cell more than `reach` rings from the
+  // emitter's cell is at least (reach * cell_size) >= radius_m away at
+  // every point (the emitter's clamped cell coordinates only shrink the
+  // per-axis separation for off-map positions, keeping the bound valid).
+  // The floor of 1 ring covers any 3×3-cell span outright.
+  const auto rings =
+      static_cast<std::int64_t>(std::ceil(radius_m / grid_.cell_size_m()));
+  const std::int64_t reach = std::max<std::int64_t>(1, rings);
+  std::uint32_t jcx = 0;
+  std::uint32_t jcy = 0;
+  grid_.cell_coords_of(pos, jcx, jcy);
+  std::vector<std::uint64_t> mask((grid_.num_cells() + 63) / 64, 0);
+  for (std::uint32_t cy = 0; cy < grid_.rows(); ++cy) {
+    if (std::abs(static_cast<std::int64_t>(cy) -
+                 static_cast<std::int64_t>(jcy)) > reach) {
+      continue;
+    }
+    for (std::uint32_t cx = 0; cx < grid_.cols(); ++cx) {
+      if (std::abs(static_cast<std::int64_t>(cx) -
+                   static_cast<std::int64_t>(jcx)) > reach) {
+        continue;
+      }
+      const std::size_t cell =
+          static_cast<std::size_t>(cy) * grid_.cols() + cx;
+      mask[cell >> 6] |= std::uint64_t{1} << (cell & 63);
+    }
+  }
+  return mask;
+}
+
+void Medium::rebuild_jammer_masks() {
+  jammer_masks_.clear();
+  jammer_masks_.reserve(jammers_.size());
+  for (const Jammer& jammer : jammers_) {
+    jammer_masks_.push_back(emitter_cell_mask(jammer.config().position,
+                                              jammer.config().tx_power_dbm));
+  }
+  reactive_jammer_masks_.clear();
+  reactive_jammer_masks_.reserve(reactive_jammers_.size());
+  for (const ReactiveJammer& jammer : reactive_jammers_) {
+    reactive_jammer_masks_.push_back(emitter_cell_mask(
+        jammer.config().position, jammer.config().tx_power_dbm));
+  }
 }
 
 double Medium::grid_cell_size(double tx_power_dbm) const {
@@ -180,6 +304,7 @@ void Medium::build_reachability(double tx_power_dbm) {
   const std::size_t n = positions_.size();
   primed_power_dbm_ = tx_power_dbm;
   grid_ = SpatialGrid(positions_, grid_cell_size(tx_power_dbm));
+  rebuild_jammer_masks();
   reach_words_ = (n + 63) / 64;
   reachable_.assign(n * reach_words_, 0);
   // A pair is prunable only if EVERY channel's mean RSS sits more than the

@@ -33,6 +33,7 @@
 #include "phy/geometry.h"
 #include "phy/jammer.h"
 #include "phy/propagation.h"
+#include "phy/reactive_jammer.h"
 #include "phy/prr.h"
 #include "phy/spatial_grid.h"
 
@@ -75,8 +76,34 @@ class Medium {
          std::uint64_t seed);
 
   void add_jammer(const JammerConfig& config);
-  void clear_jammers() { jammers_.clear(); }
+  void add_reactive_jammer(const ReactiveJammerConfig& config);
+  void clear_jammers() {
+    jammers_.clear();
+    reactive_jammers_.clear();
+    jammer_masks_.clear();
+    reactive_jammer_masks_.clear();
+  }
   [[nodiscard]] std::size_t num_jammers() const { return jammers_.size(); }
+  [[nodiscard]] std::size_t num_reactive_jammers() const {
+    return reactive_jammers_.size();
+  }
+
+  /// Feeds every reactive jammer one executed slot's on-air attempts (the
+  /// energy-detection sniff: an attempt is overheard iff its pure path-loss
+  /// received power at the jammer clears the sniff threshold). Must be
+  /// called from serial code once per slot, before any reception on that
+  /// slot is resolved — the drivers call it at the on-air seam, which is
+  /// serial in the polled loop, the engine, and the sharded pipeline alike,
+  /// so the learned jam sets are shard/thread-invariant.
+  void observe_slot_attempts(std::uint64_t slot, SimTime slot_start,
+                             std::span<const TransmissionAttempt> attempts);
+
+  /// True when any jammer — oblivious or reactive — is active on (channel,
+  /// slot), ignoring geometry. Used for the victim slot-hit coverage
+  /// metric, not for interference.
+  [[nodiscard]] bool any_jammer_active(PhysicalChannel channel,
+                                       std::uint64_t slot,
+                                       SimTime slot_start) const;
 
   /// Forces the (a, b) link's decode probability to 0 in both directions
   /// while set (transient blackout, the paper's "link quality changes").
@@ -255,6 +282,9 @@ class Medium {
   [[nodiscard]] const MediumConfig& config() const { return config_; }
   [[nodiscard]] const Propagation& propagation() const { return propagation_; }
   [[nodiscard]] const std::vector<Jammer>& jammers() const { return jammers_; }
+  [[nodiscard]] const std::vector<ReactiveJammer>& reactive_jammers() const {
+    return reactive_jammers_;
+  }
 
  private:
   [[nodiscard]] const PrrTable& table_for(int frame_bytes) const;
@@ -265,12 +295,34 @@ class Medium {
   void set_reachable(std::size_t a, std::size_t b) {
     reachable_[a * reach_words_ + (b >> 6)] |= std::uint64_t{1} << (b & 63);
   }
+  /// Reachable-cell bitset for an emitter at `pos` with `tx_power_dbm`:
+  /// every grid cell within R Chebyshev rings of the emitter's (clamped)
+  /// cell, R = max(1, ceil(decode_radius / cell_size)) with the same ±6σ
+  /// cutoff radius the grid itself is sized by. Cells beyond R rings are
+  /// separated from the emitter by more than the radius, so — like
+  /// uncoupled transmitters — their contribution is exactly 0 mW by model
+  /// definition. R >= 1 guarantees any layout spanning <= 3×3 cells (every
+  /// paper-scale testbed) is fully covered, keeping those runs
+  /// bit-identical to the unmasked model. Empty result = no filtering
+  /// (grid unbuilt or inactive).
+  [[nodiscard]] std::vector<std::uint64_t> emitter_cell_mask(
+      const Position& pos, double tx_power_dbm) const;
+  void rebuild_jammer_masks();
+  [[nodiscard]] static bool mask_covers(const std::vector<std::uint64_t>& mask,
+                                        std::uint32_t cell) {
+    return mask.empty() || ((mask[cell >> 6] >> (cell & 63)) & 1) != 0;
+  }
 
   MediumConfig config_;
   std::vector<Position> positions_;
   Propagation propagation_;
   std::uint64_t seed_;
   std::vector<Jammer> jammers_;
+  std::vector<ReactiveJammer> reactive_jammers_;
+  // Per-jammer reachable-cell masks (parallel to the jammer vectors);
+  // empty mask = global. Rebuilt by build_reachability() and at add time.
+  std::vector<std::vector<std::uint64_t>> jammer_masks_;
+  std::vector<std::vector<std::uint64_t>> reactive_jammer_masks_;
   /// Noise floor converted to mW once; used in every SINR evaluation.
   double noise_floor_mw_;
   // PRR lookup tables for every frame length in FrameSizes, built eagerly at

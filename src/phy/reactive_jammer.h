@@ -1,0 +1,119 @@
+// Reactive (learning) jamming adversary. Unlike the oblivious JamLab-style
+// Jammer — whose activity is a pure function of (config, seed, channel,
+// slot), blind to the victim — a ReactiveJammer passively *listens*: an
+// energy-detection sniffer "hears" any transmission attempt whose received
+// power at the jammer position clears a threshold (pure path loss, same
+// curve as jammer emissions), accumulates a periodic activity histogram
+// keyed to the victim's slotframe length, and at each adaptation-epoch
+// boundary selects the top-K hottest (slot-offset, channel-offset) cells to
+// jam for the next epoch.
+//
+// The channel offset is recoverable because TSCH hopping is
+// hop_channel(asn, offset) = (asn + offset) % 16: an eavesdropper that sees
+// (slot, channel) learns offset = (channel - slot) mod 16, which is exactly
+// the coordinate in which periodic schedules repeat. Dedicated cells of a
+// periodic flow hit the same (slot % L, channel_offset) bin every cycle and
+// dominate the histogram, so the jam set converges onto the victim's ladder.
+//
+// Determinism: the histogram is fed once per executed slot at the serial
+// on-air seam (identically in the polled driver, the serial engine, and the
+// sharded pipeline's serial gather), epoch rollover happens *before* the
+// current slot is recorded, and top-K selection breaks count ties by a
+// seeded hash — so the jam set is a pure function of (seed, observation
+// history) and runs stay reproducible at every shard/thread setting.
+// active() is const and safe to query from shard workers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "phy/geometry.h"
+
+namespace digs {
+
+struct ReactiveJammerConfig {
+  Position position;
+  double tx_power_dbm = 10.0;
+  /// Energy-detection threshold: an attempt is overheard iff its pure
+  /// path-loss received power at the jammer clears this. The default sits
+  /// just above the -95 dBm noise floor, i.e. the jammer hears essentially
+  /// everything it could physically detect.
+  double sniff_threshold_dbm = -90.0;
+  /// Period of the activity histogram in slots — the victim's application
+  /// slotframe length (DiGS/WirelessHART 151, Orchestra unicast length).
+  std::uint16_t period_slots = 151;
+  /// Slots per adaptation epoch. The jam set is recomputed at each epoch
+  /// boundary from observations made strictly before it; the first epoch
+  /// after `start` is a pure learning window (nothing jammed yet).
+  std::uint32_t epoch_slots = 1510;
+  /// Number of hottest (slot offset, channel offset) cells jammed per
+  /// epoch. Duty cycle over the (slot, channel) grid is top_k /
+  /// (period_slots * 16) — e.g. 423/2416 ~= 0.175 matches the oblivious
+  /// kWifiStreaming jammer's expected duty.
+  std::uint32_t top_k = 423;
+  /// The jammer neither listens nor jams before `start`.
+  SimTime start{0};
+};
+
+class ReactiveJammer {
+ public:
+  ReactiveJammer(const ReactiveJammerConfig& config, std::uint64_t seed);
+
+  /// Opens observation of one executed slot: gates on `start`, and rolls
+  /// the adaptation epoch (rebuilding the jam set, then decaying the
+  /// histogram) when `slot` crosses the next epoch boundary. Returns false
+  /// while the jammer is not yet listening, letting callers skip the
+  /// per-attempt sniff loop. Call once per slot, before any active() query
+  /// for that slot, from serial code only.
+  bool begin_slot(std::uint64_t slot, SimTime slot_start);
+
+  /// Records one overheard attempt (already sniff-filtered by the caller)
+  /// for the slot last passed to begin_slot.
+  void hear(std::uint64_t slot, PhysicalChannel channel);
+
+  /// Sniff threshold in mW, precomputed for the caller's filter.
+  [[nodiscard]] double sniff_floor_mw() const { return sniff_floor_mw_; }
+
+  /// True if this jammer corrupts the given channel during the given slot.
+  /// Const and read-only: safe to call concurrently from shard workers
+  /// while no begin_slot/hear is in flight.
+  [[nodiscard]] bool active(PhysicalChannel channel, std::uint64_t slot,
+                            SimTime slot_start) const;
+
+  /// Interference power in mW received at `rx` when active (path loss
+  /// only, like the oblivious Jammer).
+  [[nodiscard]] double received_power_mw(const Position& rx,
+                                         double path_loss_ref_db,
+                                         double path_loss_exponent,
+                                         double floor_penetration_db,
+                                         double floor_height_m) const;
+
+  [[nodiscard]] const ReactiveJammerConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t attempts_heard() const { return heard_; }
+  [[nodiscard]] std::uint32_t epochs_completed() const { return epochs_; }
+  /// Number of (offset, channel-offset) cells currently jammed (0 until
+  /// the first epoch boundary).
+  [[nodiscard]] std::size_t jam_cells() const { return jam_cells_; }
+
+ private:
+  [[nodiscard]] std::size_t bin(std::uint64_t slot,
+                                PhysicalChannel channel) const;
+  void rebuild_jam_set();
+
+  ReactiveJammerConfig config_;
+  std::uint64_t seed_;
+  double sniff_floor_mw_;
+  /// Activity counts and current jam set, both indexed
+  /// [slot % period_slots][(channel - slot) mod 16] flattened row-major.
+  std::vector<std::uint32_t> histogram_;
+  std::vector<std::uint8_t> jam_set_;
+  std::size_t jam_cells_{0};
+  std::uint64_t next_epoch_boundary_{0};
+  bool observing_{false};
+  std::uint32_t epochs_{0};
+  std::uint64_t heard_{0};
+};
+
+}  // namespace digs

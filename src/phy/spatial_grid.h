@@ -72,6 +72,26 @@ class SpatialGrid {
   /// node — the degenerate case where sparse rows are simply dense.
   void neighborhood(std::uint16_t i, std::vector<std::uint16_t>& out) const;
 
+  /// Cell coordinates an arbitrary position (e.g. a jammer, which is not a
+  /// node) falls into, clamped to the grid extent so off-map sources land in
+  /// the nearest border cell. Clamping only shrinks the per-axis separation
+  /// to every grid cell, so distance lower bounds derived from these
+  /// coordinates stay valid for off-map positions. Only meaningful while
+  /// built().
+  void cell_coords_of(const Position& p, std::uint32_t& cx,
+                      std::uint32_t& cy) const {
+    const auto clamp_axis = [](double v, double min_v, double cell,
+                               std::uint32_t n) -> std::uint32_t {
+      if (cell <= 0.0 || n == 0) return 0;
+      const double f = (v - min_v) / cell;
+      if (f <= 0.0) return 0;
+      const auto c = static_cast<std::uint32_t>(f);
+      return c >= n ? n - 1 : c;
+    };
+    cx = clamp_axis(p.x, min_x_, cell_size_m_, cols_);
+    cy = clamp_axis(p.y, min_y_, cell_size_m_, rows_);
+  }
+
  private:
   std::uint32_t cols_{1};
   std::uint32_t rows_{1};

@@ -1,5 +1,6 @@
 #include "sched/conflict_analysis.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace digs {
@@ -38,6 +39,55 @@ double measured_skip_rate(const Schedule& schedule, TrafficClass traffic,
   }
   if (active == 0) return 0.0;
   return static_cast<double>(skipped) / static_cast<double>(active);
+}
+
+bool is_slot_permutation(std::span<const std::uint16_t> perm) {
+  std::vector<std::uint8_t> seen(perm.size(), 0);
+  for (const std::uint16_t v : perm) {
+    if (v >= perm.size() || seen[v] != 0) return false;
+    seen[v] = 1;
+  }
+  return true;
+}
+
+namespace {
+
+struct MinMax {
+  std::uint16_t min;
+  std::uint16_t max;
+};
+
+MinMax mapped_min_max(std::span<const std::uint16_t> offsets,
+                      std::span<const std::uint16_t> perm) {
+  MinMax mm{static_cast<std::uint16_t>(0xFFFF), 0};
+  for (const std::uint16_t o : offsets) {
+    const std::uint16_t v = perm.empty() ? o : perm[o];
+    mm.min = std::min(mm.min, v);
+    mm.max = std::max(mm.max, v);
+  }
+  return mm;
+}
+
+}  // namespace
+
+bool permutation_preserves_precedence(std::span<const std::uint16_t> perm,
+                                      std::span<const PrecedenceEdge> edges) {
+  for (const PrecedenceEdge& edge : edges) {
+    if (edge.child_tx.empty() || edge.parent_tx.empty()) continue;
+    for (const std::uint16_t o : edge.child_tx) {
+      if (o >= perm.size()) return false;
+    }
+    for (const std::uint16_t o : edge.parent_tx) {
+      if (o >= perm.size()) return false;
+    }
+    const MinMax base_child = mapped_min_max(edge.child_tx, {});
+    const MinMax base_parent = mapped_min_max(edge.parent_tx, {});
+    if (base_child.min >= base_parent.max) continue;  // no base ordering
+    const MinMax child = mapped_min_max(edge.child_tx, perm);
+    const MinMax parent = mapped_min_max(edge.parent_tx, perm);
+    if (child.min >= parent.max) return false;
+  }
+  return true;
 }
 
 }  // namespace digs

@@ -6,9 +6,16 @@
 //           combination,
 // plus a measured counterpart computed by sweeping a real Schedule, used by
 // the ablation bench to validate the model.
+// This header also hosts the validators the SlotSwapper randomization layer
+// runs before committing a candidate slot permutation: bijectivity (which is
+// what preserves per-node and Eq. 4 cross-node conflict-freedom — distinct
+// slot offsets stay distinct under any bijection applied network-wide) and
+// route-precedence preservation (a child's uplink TX must still be able to
+// precede its parent's forwarding TX within one slotframe cycle).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "mac/schedule.h"
@@ -43,5 +50,30 @@ struct SlotframeLoad {
 [[nodiscard]] double measured_skip_rate(const Schedule& schedule,
                                         TrafficClass traffic,
                                         std::uint64_t window);
+
+/// True when `perm` is a bijection on [0, perm.size()): every value occurs
+/// exactly once. A network-wide bijection over slot offsets maps distinct
+/// offsets to distinct offsets, so it preserves per-node conflict-freedom
+/// and the Eq. 4 cross-node uplink-slot uniqueness by construction; this
+/// check is what the SlotSwapper runs before committing an epoch.
+[[nodiscard]] bool is_slot_permutation(std::span<const std::uint16_t> perm);
+
+/// One route edge for the precedence validator: the child's dedicated
+/// uplink-TX slot offsets and its forwarding parent's, both from the *base*
+/// (pre-permutation) schedules.
+struct PrecedenceEdge {
+  std::vector<std::uint16_t> child_tx;
+  std::vector<std::uint16_t> parent_tx;
+};
+
+/// Route-precedence preservation: for every edge where the base schedule
+/// lets the parent forward in the same slotframe cycle (the child's earliest
+/// uplink TX strictly precedes the parent's latest), the permuted schedule
+/// must too. Edges without that base property impose no constraint — the
+/// suite already relies on the next cycle there (e.g. Orchestra's
+/// sender-based ladder), and a permutation cannot be required to create an
+/// ordering the base schedule never had.
+[[nodiscard]] bool permutation_preserves_precedence(
+    std::span<const std::uint16_t> perm, std::span<const PrecedenceEdge> edges);
 
 }  // namespace digs

@@ -1,0 +1,60 @@
+#include "sched/slot_swapper.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace digs {
+
+namespace {
+
+SlotSwapperConfig sanitize(SlotSwapperConfig config) {
+  if (config.frame_len == 0) config.frame_len = 1;
+  if (config.max_retries == 0) config.max_retries = 1;
+  return config;
+}
+
+}  // namespace
+
+SlotSwapper::SlotSwapper(const SlotSwapperConfig& config)
+    : config_(sanitize(config)), perm_(config_.frame_len) {
+  std::iota(perm_.begin(), perm_.end(), static_cast<std::uint16_t>(0));
+}
+
+const std::vector<std::uint16_t>& SlotSwapper::advance_epoch(
+    std::uint64_t epoch, const std::vector<PrecedenceEdge>& edges) {
+  ++epochs_;
+  const std::uint16_t len = config_.frame_len;
+  perm_.assign(len, 0);
+  std::iota(perm_.begin(), perm_.end(), static_cast<std::uint16_t>(0));
+  for (std::uint32_t swap = 0; swap < config_.swaps_per_epoch; ++swap) {
+    for (std::uint32_t retry = 0; retry < config_.max_retries; ++retry) {
+      const std::uint64_t h = hash_mix(config_.seed, 0x5109, epoch,
+                                       (std::uint64_t{swap} << 32) | retry);
+      const auto a = static_cast<std::uint16_t>(h % len);
+      const auto b = static_cast<std::uint16_t>((h >> 20) % len);
+      if (a == b) {
+        ++rejected_;
+        continue;
+      }
+      std::swap(perm_[a], perm_[b]);
+      if (permutation_preserves_precedence(perm_, edges)) {
+        ++applied_;
+        break;
+      }
+      std::swap(perm_[a], perm_[b]);  // roll back the rejected candidate
+      ++rejected_;
+    }
+  }
+  // Transpositions of a bijection stay bijective; assert it anyway — the
+  // epoch is only published if the full validation passes.
+  if (!is_slot_permutation(perm_)) {
+    perm_.assign(len, 0);
+    std::iota(perm_.begin(), perm_.end(), static_cast<std::uint16_t>(0));
+  }
+  return perm_;
+}
+
+}  // namespace digs

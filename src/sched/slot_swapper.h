@@ -1,0 +1,68 @@
+// SlotSwapper-style schedule randomization (after "SlotSwapper: A Schedule
+// Randomization Protocol for Real-Time WirelessHART Networks"): each epoch
+// the network draws a fresh seeded permutation of the application
+// slotframe's slot offsets and re-derives every node's schedule through it,
+// so a reactive jammer's learned (slot-offset, channel-offset) histogram
+// goes stale every epoch.
+//
+// Safety: the permutation is built from candidate transpositions, each
+// validated through conflict_analysis before commit —
+//   - bijectivity (is_slot_permutation) is maintained by construction and
+//     asserted per epoch; applied network-wide it maps distinct offsets to
+//     distinct offsets, preserving per-node conflict-freedom and the Eq. 4
+//     cross-node uplink-slot uniqueness,
+//   - route precedence (permutation_preserves_precedence): a child's uplink
+//     TX must still be able to precede its forwarding parent's uplink TX
+//     within one slotframe cycle wherever the base schedule ordered them.
+// Rejected swaps are retried a bounded number of times with fresh draws;
+// rejection counts are exported for the experiment metrics.
+//
+// Determinism: candidate draws come from hash_mix(seed, epoch, swap, retry),
+// so the epoch permutation is a pure function of (seed, epoch, precedence
+// edges) and runs stay reproducible at every shard/thread setting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/conflict_analysis.h"
+
+namespace digs {
+
+struct SlotSwapperConfig {
+  /// Application slotframe length the permutation ranges over.
+  std::uint16_t frame_len = 151;
+  /// Candidate transpositions attempted per epoch.
+  std::uint32_t swaps_per_epoch = 48;
+  /// Fresh draws per candidate before it is abandoned.
+  std::uint32_t max_retries = 8;
+  std::uint64_t seed = 1;
+};
+
+class SlotSwapper {
+ public:
+  explicit SlotSwapper(const SlotSwapperConfig& config);
+
+  /// Builds epoch `epoch`'s permutation from scratch (identity +
+  /// swaps_per_epoch validated transpositions) against the given base
+  /// precedence edges, and returns it. The result stays valid until the
+  /// next call.
+  const std::vector<std::uint16_t>& advance_epoch(
+      std::uint64_t epoch, const std::vector<PrecedenceEdge>& edges);
+
+  [[nodiscard]] const std::vector<std::uint16_t>& permutation() const {
+    return perm_;
+  }
+  [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+  [[nodiscard]] std::uint64_t swaps_applied() const { return applied_; }
+  [[nodiscard]] std::uint64_t swaps_rejected() const { return rejected_; }
+
+ private:
+  SlotSwapperConfig config_;
+  std::vector<std::uint16_t> perm_;
+  std::uint64_t epochs_{0};
+  std::uint64_t applied_{0};
+  std::uint64_t rejected_{0};
+};
+
+}  // namespace digs

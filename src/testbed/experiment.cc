@@ -80,6 +80,11 @@ ExperimentRunner::ExperimentRunner(const TestbedLayout& layout,
   net.monitor_invariants = config.monitor_invariants;
   net.shards = config.shards;
   net.shard_threads = config.shard_threads;
+  net.randomization.enabled = config.randomize_schedule;
+  net.randomization.epoch = config.randomize_epoch;
+  net.randomization.seed = config.randomize_seed;
+  net.randomization.swaps_per_epoch = config.randomize_swaps;
+  net.randomization.max_retries = config.randomize_max_retries;
 
   network_ = std::make_unique<Network>(net, layout.positions);
 
@@ -116,6 +121,28 @@ ExperimentRunner::ExperimentRunner(const TestbedLayout& layout,
       jammer.on_duration = config.jammer_on;
       jammer.off_duration = config.jammer_off;
       network_->add_jammer(jammer);
+    }
+  }
+
+  // Reactive jammers: same layout positions and start offset as the
+  // oblivious ones, so reactive-vs-oblivious comparisons differ only in
+  // the targeting policy.
+  if (config.num_reactive_jammers > 0 &&
+      config.jammer_start_after.has_value()) {
+    const SimTime jam_start =
+        SimTime{0} + config.warmup + *config.jammer_start_after;
+    const std::size_t count =
+        std::min(config.num_reactive_jammers, layout.jammer_positions.size());
+    for (std::size_t j = 0; j < count; ++j) {
+      ReactiveJammerConfig jammer;
+      jammer.position = layout.jammer_positions[j];
+      jammer.tx_power_dbm = config.jammer_tx_power_dbm;
+      jammer.sniff_threshold_dbm = config.reactive_sniff_dbm;
+      jammer.period_slots = config.reactive_period_slots;
+      jammer.epoch_slots = config.reactive_epoch_slots;
+      jammer.top_k = config.reactive_top_k;
+      jammer.start = jam_start;
+      network_->add_reactive_jammer(jammer);
     }
   }
 }
@@ -183,7 +210,8 @@ ExperimentResult ExperimentRunner::run() {
   // start, first failure, or first fault-script event), per flow that lost
   // packets.
   std::optional<SimTime> disturbance;
-  if (config_.num_jammers > 0 && config_.jammer_start_after.has_value()) {
+  if ((config_.num_jammers > 0 || config_.num_reactive_jammers > 0) &&
+      config_.jammer_start_after.has_value()) {
     disturbance = SimTime{0} + config_.warmup + *config_.jammer_start_after;
   }
   for (const FailureEvent& failure : config_.failures) {
@@ -216,7 +244,21 @@ ExperimentResult ExperimentRunner::run() {
   }
   if (const NetworkInvariantMonitor* monitor = net.invariant_monitor()) {
     result.invariant_violations = monitor->violations().size();
+    result.swap_epoch_audits = monitor->swap_epoch_audits();
+    result.swap_epoch_violations = monitor->violations_at_swap_epochs();
   }
+
+  // Jamming / randomization metrics.
+  result.victim_tx_attempts = net.victim_tx_attempts();
+  result.victim_tx_jammed = net.victim_tx_jammed();
+  result.jam_slot_hit_rate =
+      result.victim_tx_attempts > 0
+          ? static_cast<double>(result.victim_tx_jammed) /
+                static_cast<double>(result.victim_tx_attempts)
+          : 0.0;
+  result.swap_epochs = net.swap_epochs();
+  result.swaps_applied = net.swaps_applied();
+  result.swaps_rejected = net.swaps_rejected();
 
   // PDR dip around each fault-script disturbance: depth below the
   // pre-fault baseline and time until a 10 s bin returns near it.

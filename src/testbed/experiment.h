@@ -56,6 +56,31 @@ struct ExperimentConfig {
   SimDuration jammer_on = seconds(static_cast<std::int64_t>(100000));
   SimDuration jammer_off = seconds(static_cast<std::int64_t>(0));
 
+  /// Reactive (learning) jammers, placed on the same layout positions as
+  /// the oblivious ones and switched on at the same jammer_start_after
+  /// offset. They sniff per-(slot-offset, channel-offset) activity over
+  /// `reactive_epoch_slots`-slot epochs and then jam the
+  /// `reactive_top_k` hottest cells of each following epoch
+  /// (phy/reactive_jammer.h). The default top_k matches the oblivious
+  /// kWifiStreaming duty cycle (0.175 of the 151x16 cell grid), so
+  /// reactive-vs-oblivious comparisons hold energy constant.
+  std::size_t num_reactive_jammers = 0;
+  std::uint32_t reactive_top_k = 423;
+  double reactive_sniff_dbm = -90.0;
+  std::uint32_t reactive_period_slots = 151;
+  std::uint32_t reactive_epoch_slots = 1510;
+
+  /// SlotSwapper-style schedule randomization (sched/slot_swapper.h):
+  /// every `randomize_epoch` the network permutes the application
+  /// slotframe's slot offsets (validated against conflict-freedom and
+  /// route precedence) and reinstalls every schedule, so a reactive
+  /// jammer's learned histogram goes stale each epoch.
+  bool randomize_schedule = false;
+  SimDuration randomize_epoch = seconds(static_cast<std::int64_t>(30));
+  std::uint64_t randomize_seed = 1;
+  std::uint32_t randomize_swaps = 48;
+  std::uint32_t randomize_max_retries = 8;
+
   std::vector<FailureEvent> failures;
 
   /// Declarative fault timeline (crash/recover cycles, link blackouts,
@@ -153,6 +178,25 @@ struct ExperimentResult {
   std::uint64_t stale_route_drops{0};
   /// Violations the invariant monitor recorded (0 when not monitoring).
   std::size_t invariant_violations{0};
+
+  // --- jamming / randomization metrics ---
+
+  /// Data-frame transmission attempts network-wide since start, and how
+  /// many launched into a (slot, channel) an active jammer was blasting.
+  /// Their ratio (jam_slot_hit_rate) is the jammer's schedule-targeting
+  /// efficiency — the quantity randomization is designed to destroy.
+  std::uint64_t victim_tx_attempts{0};
+  std::uint64_t victim_tx_jammed{0};
+  double jam_slot_hit_rate{0};
+  /// Randomization epochs completed, and the SlotSwapper's accepted /
+  /// rejected transposition counts (all 0 with randomization off).
+  std::uint64_t swap_epochs{0};
+  std::uint64_t swaps_applied{0};
+  std::uint64_t swaps_rejected{0};
+  /// Swap-epoch audits run by the invariant monitor and violations they
+  /// detected (0 unless both monitoring and randomization are on).
+  std::uint64_t swap_epoch_audits{0};
+  std::uint64_t swap_epoch_violations{0};
 
   // --- clock-drift metrics (all 0 when drift is disabled) ---
 

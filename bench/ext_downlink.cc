@@ -1,132 +1,454 @@
-// Extension study (no corresponding paper figure): the downlink graph of
-// paper footnote 2. Measures downlink command delivery and latency on
-// Testbed A, clean and under the Fig. 9 interference, and the energy cost
-// of the downlink cells.
+// Extension study: downlink determinism through node-disjoint multipath
+// tunnels with packet replication, scored by a closed-loop control
+// workload (simulated PID loops: quadratic control cost + actuation
+// deadline misses + sensor->actuator latency tail). Six arms:
+//
+//   {replication on, off} x {clean, interference, relay-crash}
+//
+// where interference is the Fig. 9 WiFi-like jammer setup and relay-crash
+// repeatedly (3 strikes, 30 s down / 30 s up) kills the relay carrying
+// the deepest live primary tunnel path mid-measurement. Every arm runs
+// with SlotSwapper schedule randomization AND the invariant monitor on,
+// so the tunnel invariants (loop-freedom, disjointness honesty, Eq.
+// 4-style replication conflict-freedom in the permuted frame) are
+// audited through crash, repair, and every swap epoch.
+//
+// The bench doubles as an acceptance check (exits nonzero otherwise):
+// with replication on, the relay crash must leave the p99.9
+// sensor->actuator latency bounded (see kCrashTailBoundMs) and the control
+// cost within a fixed factor of the clean arm, and must beat replication
+// off on the crash arm (backup copies win deliveries; fewer deadline
+// misses than single-path); zero tunnel invariant violations anywhere;
+// and one replicated crash run must be bit-identical across the
+// shard/thread matrix. Writes BENCH_downlink.json.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
-#include "core/network.h"
 #include "testbed/experiment.h"
 
 namespace {
 
 using namespace digs;
 
-struct Result {
-  Cdf pdr;
-  Cdf latency_ms;
-  Cdf energy_mj;
-};
+enum class Arm { kClean, kInterference, kRelayCrash };
 
-/// One run's samples, merged into Result in submission order.
-struct RunProduct {
-  std::vector<double> pdrs;
-  std::vector<double> latencies_ms;
-  double energy_mj = -1.0;  // <0: no packet delivered this run
-};
+constexpr Arm kArms[] = {Arm::kClean, Arm::kInterference, Arm::kRelayCrash};
 
-RunProduct run_one(std::size_t num_jammers, int r) {
-  const TestbedLayout layout = testbed_a();
-  NetworkConfig config;
-  config.suite = ProtocolSuite::kDigs;
-  config.seed = 17'000 + r;
-  config.node = ExperimentRunner::default_node_config();
-  config.node.enable_downlink = true;
-  config.node.mac.tx_power_dbm = layout.tx_power_dbm;
-  config.medium.propagation.path_loss_exponent = layout.path_loss_exponent;
-  Network net(config, layout.positions);
-
-  for (std::size_t j = 0; j < num_jammers; ++j) {
-    JammerConfig jammer;
-    jammer.position = layout.jammer_positions[j];
-    jammer.tx_power_dbm = -4.0;
-    jammer.wifi_block_start = static_cast<int>((j * 4) % 13);
-    net.add_jammer(jammer);
+constexpr const char* arm_key(Arm arm) {
+  switch (arm) {
+    case Arm::kClean: return "clean";
+    case Arm::kInterference: return "interference";
+    case Arm::kRelayCrash: return "relay_crash";
   }
-
-  // 8 downlink command flows from the gateway to spread devices.
-  const auto targets = pick_sources(layout, 8, 900 + r);
-  for (std::size_t f = 0; f < targets.size(); ++f) {
-    FlowSpec flow;
-    flow.id = FlowId{static_cast<std::uint16_t>(f)};
-    flow.source = NodeId{static_cast<std::uint16_t>(f % 2)};  // either AP
-    flow.downlink_dest = targets[f];
-    flow.period = seconds(static_cast<std::int64_t>(5));
-    flow.start_offset = seconds(static_cast<std::int64_t>(300));
-    net.add_flow(flow);
-  }
-  net.start();
-  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(300)));
-  net.reset_energy();
-  net.run_until(SimTime{0} + seconds(static_cast<std::int64_t>(620)));
-
-  const SimTime measure =
-      SimTime{0} + seconds(static_cast<std::int64_t>(305));
-  const SimTime end = SimTime{0} + seconds(static_cast<std::int64_t>(600));
-  RunProduct product;
-  std::uint64_t delivered = 0;
-  for (const FlowRecord& flow : net.stats().flows()) {
-    product.pdrs.push_back(net.stats().pdr(flow.id, measure, end));
-    for (const PacketRecord& packet : flow.packets) {
-      if (packet.generated >= measure && packet.received()) {
-        product.latencies_ms.push_back(packet.latency().millis());
-        ++delivered;
-      }
-    }
-  }
-  if (delivered > 0) {
-    product.energy_mj =
-        net.total_energy_mj() / static_cast<double>(delivered);
-  }
-  return product;
+  return "?";
 }
 
-Result run(std::size_t num_jammers, int runs) {
-  Result result;
-  for (const RunProduct& product : bench::parallel_map(
-           runs, [num_jammers](int r) { return run_one(num_jammers, r); })) {
-    for (const double pdr : product.pdrs) result.pdr.add(pdr);
-    for (const double ms : product.latencies_ms) result.latency_ms.add(ms);
-    if (product.energy_mj >= 0.0) result.energy_mj.add(product.energy_mj);
+constexpr double kDeadlineMs = 5000.0;  // == control_deadline below
+// Acceptance bounds on the p99.9 sensor->actuator latency. The tail is
+// not the command path: the controller anchors each command on the
+// latest *delivered* sensor sample, so a sensor-uplink stall of S
+// seconds surfaces as an S-plus-transit latency even when the actuation
+// command itself flies. The tunnel-queue age purge caps the command-side
+// contribution at tunnel_queue_max_age; what remains on the clean arm is
+// the worst uplink stall (~13-18 s here), gated at 4x the deadline —
+// this fails without the purge (stranded copies reached 125 s). On the
+// crash arm the victim's uplink subtree stalls for the 30 s outage plus
+// rejoin, so the staleness tail is fault-bounded (identical in the
+// replication-off arm) and gated at 2x the outage downtime instead.
+constexpr double kCleanTailBoundMs = 4.0 * kDeadlineMs;
+constexpr double kCrashTailBoundMs = 60'000.0;  // 2x the 30 s outage
+
+struct ArmSummary {
+  Cdf pdr;
+  Cdf control_cost;
+  Cdf latency_ms;  // pooled sensor->actuator latencies across seeds
+  std::uint64_t actuations = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t replication_wins = 0;
+  std::uint64_t replication_losses = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t single_path_fallbacks = 0;
+  std::uint64_t tunnel_rebuilds = 0;
+  Cdf repair_s;
+  std::uint64_t swap_epochs = 0;
+  std::uint64_t swap_epoch_audits = 0;
+  std::uint64_t swap_epoch_violations = 0;
+  std::uint64_t tunnel_violations = 0;
+
+  [[nodiscard]] double p999_ms() const {
+    return latency_ms.empty() ? 0.0 : latency_ms.percentile(99.9);
   }
-  return result;
+  [[nodiscard]] double miss_rate() const {
+    return actuations > 0 ? static_cast<double>(deadline_misses) /
+                                static_cast<double>(actuations)
+                          : 0.0;
+  }
+};
+
+struct VariantSummary {
+  bool replication = true;
+  int seeds = 0;
+  ArmSummary arms[3];
+};
+
+TrialSpec make_trial(bool replication, Arm arm, int seed_index) {
+  TrialSpec trial;
+  trial.layout = half_testbed_a();
+  trial.config.suite = ProtocolSuite::kDigs;
+  trial.config.seed = 53'000 + seed_index;
+  // Background sensor traffic plus 2 closed control loops; the loops'
+  // actuation flows are the downlink under test. Two loops at a 2 s
+  // period is the densest control workload the 3-attempts-per-151-slot
+  // tunnel ladders carry without saturating shared first-hop edges once
+  // replication doubles the downlink load (4 loops at 1 s overflowed
+  // queues and drowned the replication signal in congestion drops).
+  trial.config.num_flows = 4;
+  trial.config.flow_period = seconds(static_cast<std::int64_t>(5));
+  trial.config.warmup = seconds(static_cast<std::int64_t>(120));
+  trial.config.duration = seconds(static_cast<std::int64_t>(240));
+  trial.config.enable_tunnels = true;
+  trial.config.tunnel_replication = replication;
+  trial.config.control_loops = 2;
+  trial.config.control_period = seconds(static_cast<std::int64_t>(2));
+  trial.config.control_deadline = seconds(static_cast<std::int64_t>(5));
+  // Randomization + monitor on every arm: the tunnel cell ladders must
+  // stay conflict-free through every swap epoch, and the monitor audits
+  // the tunnel invariants the whole run (it forces the serial engine; the
+  // shard matrix below pins bit-identity separately, monitor off).
+  trial.config.randomize_schedule = true;
+  trial.config.randomize_epoch = seconds(static_cast<std::int64_t>(30));
+  trial.config.monitor_invariants = true;
+  trial.config.shards = 1;
+  trial.config.shard_threads = 1;
+  switch (arm) {
+    case Arm::kClean:
+      break;
+    case Arm::kInterference:
+      // The Fig. 9 WiFi-like interference at the JamLab-calibrated power.
+      trial.config.num_jammers = 2;
+      break;
+    case Arm::kRelayCrash:
+      // Three crash/revive strikes against the relay actually carrying
+      // the primary copies (re-picked from the live deepest primary path
+      // at each strike): down at 60/120/180 s into measurement, 30 s
+      // outage each. One strike is mostly absorbed by instant tunnel
+      // re-derivation; three separate the replicated arm from single-path
+      // above seed noise.
+      trial.config.crash_tunnel_relay_after =
+          seconds(static_cast<std::int64_t>(60));
+      trial.config.crash_tunnel_relay_downtime =
+          seconds(static_cast<std::int64_t>(30));
+      trial.config.crash_tunnel_relay_cycles = 3;
+      break;
+  }
+  return trial;
+}
+
+void accumulate(ArmSummary& a, const ExperimentResult& r) {
+  a.pdr.add(r.overall_pdr);
+  a.control_cost.add(r.control_cost);
+  for (const double ms : r.sensor_actuator_latencies_ms) a.latency_ms.add(ms);
+  a.actuations += r.actuations;
+  a.deadline_misses += r.actuation_deadline_misses;
+  a.replication_wins += r.replication_wins;
+  a.replication_losses += r.replication_losses;
+  a.duplicates_suppressed += r.duplicates_suppressed;
+  a.single_path_fallbacks += r.single_path_fallbacks;
+  a.tunnel_rebuilds += r.tunnel_rebuilds;
+  for (const double s : r.tunnel_repair_times_s) a.repair_s.add(s);
+  a.swap_epochs += r.swap_epochs;
+  a.swap_epoch_audits += r.swap_epoch_audits;
+  a.swap_epoch_violations += r.swap_epoch_violations;
+  a.tunnel_violations += r.tunnel_violations;
+}
+
+void print_variant(const VariantSummary& v) {
+  bench::section(std::string("replication ") + (v.replication ? "on" : "off"));
+  for (const Arm arm : kArms) {
+    const ArmSummary& a = v.arms[static_cast<int>(arm)];
+    std::printf(
+        "  %-13s cost %.3f  miss %llu/%llu  p99.9 %.0f ms  PDR %.3f\n",
+        arm_key(arm), a.control_cost.mean(),
+        static_cast<unsigned long long>(a.deadline_misses),
+        static_cast<unsigned long long>(a.actuations), a.p999_ms(),
+        a.pdr.mean());
+    std::printf(
+        "                wins %llu  losses %llu  suppressed %llu  "
+        "fallbacks %llu  rebuilds %llu  repair mean %.1f s\n",
+        static_cast<unsigned long long>(a.replication_wins),
+        static_cast<unsigned long long>(a.replication_losses),
+        static_cast<unsigned long long>(a.duplicates_suppressed),
+        static_cast<unsigned long long>(a.single_path_fallbacks),
+        static_cast<unsigned long long>(a.tunnel_rebuilds),
+        a.repair_s.empty() ? 0.0 : a.repair_s.mean());
+  }
+}
+
+void write_json(const std::vector<VariantSummary>& variants,
+                bool shards_identical) {
+  std::FILE* out = std::fopen("BENCH_downlink.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "could not write BENCH_downlink.json\n");
+    return;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"methodology\": \"half_testbed_a (20 nodes, 2 APs); 4 uplink "
+      "sensor flows @5s plus 2 closed PID loops at 2s period scored by "
+      "quadratic control cost and a 5s sensor->actuator deadline; downlink "
+      "actuation commands source-routed over two maximally node-disjoint "
+      "AP->device tunnels (replicated at the ingress, deduplicated at the "
+      "egress) when replication is on, primary tunnel only when off; "
+      "queued tunnel copies older than 5s are purged (kStaleRoute); 120s "
+      "warmup, 240s measurement; interference arm adds 2 WiFi-like jammers "
+      "(the Fig. 9 setup, -4 dBm); relay-crash arm strikes the mid relay "
+      "of the deepest live primary tunnel path 3 times (60/120/180s into "
+      "measurement, 30s outage each, victim re-picked live per strike); "
+      "every arm runs SlotSwapper randomization (30s epochs) with the "
+      "invariant monitor auditing tunnel loop-freedom, disjointness and "
+      "replication conflict-freedom in the permuted frame; arms compared "
+      "at shards=1, bit-identity pinned separately across the shard "
+      "matrix\",\n"
+      "  \"hardware_threads\": %u,\n"
+      "  \"shard_matrix_bit_identical\": %s,\n",
+      bench::hardware_threads(), shards_identical ? "true" : "false");
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const VariantSummary& v = variants[i];
+    std::fprintf(out, "  \"replication_%s\": {\n    \"seeds\": %d,\n",
+                 v.replication ? "on" : "off", v.seeds);
+    for (std::size_t k = 0; k < 3; ++k) {
+      const ArmSummary& a = v.arms[k];
+      std::fprintf(
+          out,
+          "    \"%s\": { \"control_cost\": %.4f, \"actuations\": %llu, "
+          "\"deadline_misses\": %llu, \"p999_sensor_actuator_ms\": %.1f, "
+          "\"pdr_mean\": %.4f, \"replication_wins\": %llu, "
+          "\"replication_losses\": %llu, \"duplicates_suppressed\": %llu, "
+          "\"single_path_fallbacks\": %llu, \"tunnel_rebuilds\": %llu, "
+          "\"repair_mean_s\": %.2f, \"swap_epochs\": %llu, "
+          "\"swap_epoch_violations\": %llu, \"tunnel_violations\": %llu "
+          "}%s\n",
+          arm_key(kArms[k]), a.control_cost.mean(),
+          static_cast<unsigned long long>(a.actuations),
+          static_cast<unsigned long long>(a.deadline_misses), a.p999_ms(),
+          a.pdr.mean(), static_cast<unsigned long long>(a.replication_wins),
+          static_cast<unsigned long long>(a.replication_losses),
+          static_cast<unsigned long long>(a.duplicates_suppressed),
+          static_cast<unsigned long long>(a.single_path_fallbacks),
+          static_cast<unsigned long long>(a.tunnel_rebuilds),
+          a.repair_s.empty() ? 0.0 : a.repair_s.mean(),
+          static_cast<unsigned long long>(a.swap_epochs),
+          static_cast<unsigned long long>(a.swap_epoch_violations),
+          static_cast<unsigned long long>(a.tunnel_violations),
+          k + 1 < 3 ? "," : "");
+    }
+    std::fprintf(out, "  }%s\n", i + 1 < variants.size() ? "," : "");
+  }
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_downlink.json\n");
+}
+
+/// One replicated relay-crash run per (shards, threads) cell; every
+/// observable metric — including the control workload's and the
+/// replication scoreboard's — must be bit-identical to the serial cell.
+bool shard_matrix_identical(bool smoke) {
+  struct MatrixCell {
+    std::size_t shards;
+    std::size_t threads;
+  };
+  std::vector<MatrixCell> cells;
+  if (smoke) {
+    cells = {{1, 1}, {4, 4}};
+  } else {
+    cells = {{1, 1}, {8, 1}, {1, 4}, {8, 4}};
+  }
+  std::vector<TrialSpec> trials;
+  for (const MatrixCell& cell : cells) {
+    TrialSpec trial = make_trial(/*replication=*/true, Arm::kRelayCrash, 0);
+    // The monitor is a diagnostic that forces the serial engine; the
+    // matrix is about the sharded slot pipeline itself.
+    trial.config.monitor_invariants = false;
+    if (smoke) trial.config.duration = seconds(static_cast<std::int64_t>(90));
+    trial.config.shards = cell.shards;
+    trial.config.shard_threads = cell.threads;
+    trials.push_back(trial);
+  }
+  const std::vector<ExperimentResult> results = run_trials(trials);
+  bool ok = true;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const ExperimentResult& a = results[0];
+    const ExperimentResult& b = results[i];
+    const bool same =
+        a.generated == b.generated && a.delivered == b.delivered &&
+        a.flow_pdrs == b.flow_pdrs && a.control_cost == b.control_cost &&
+        a.actuations == b.actuations &&
+        a.actuation_deadline_misses == b.actuation_deadline_misses &&
+        a.sensor_actuator_latencies_ms == b.sensor_actuator_latencies_ms &&
+        a.replication_wins == b.replication_wins &&
+        a.replication_losses == b.replication_losses &&
+        a.duplicates_suppressed == b.duplicates_suppressed &&
+        a.single_path_fallbacks == b.single_path_fallbacks &&
+        a.swap_epochs == b.swap_epochs &&
+        a.swaps_applied == b.swaps_applied;
+    std::printf("  shards=%zu threads=%zu: delivered %llu/%llu, "
+                "cost %.4f, misses %llu, wins %llu -> %s\n",
+                cells[i].shards, cells[i].threads,
+                static_cast<unsigned long long>(b.delivered),
+                static_cast<unsigned long long>(b.generated), b.control_cost,
+                static_cast<unsigned long long>(b.actuation_deadline_misses),
+                static_cast<unsigned long long>(b.replication_wins),
+                same ? "identical" : "DIVERGED");
+    ok = ok && same;
+  }
+  return ok;
 }
 
 }  // namespace
 
 int main() {
   bench::header("ext_downlink",
-                "Extension: downlink graph (paper footnote 2) on Testbed A");
-  const int runs = bench::default_runs(4);
-  std::printf("runs per setting: %d, 8 gateway->device command flows\n",
-              runs);
+                "Extension: multipath tunnel replication vs a closed-loop "
+                "control workload, clean / interference / relay-crash");
+  // Smoke mode for the TSan preset: only the shard/thread matrix (tunnel
+  // injection, replication bookkeeping and the plant workload under a real
+  // worker pool), no arm sweep and no JSON.
+  if (std::getenv("DIGS_DOWNLINK_SMOKE") != nullptr) {
+    bench::section("shard/thread matrix smoke (replicated relay-crash)");
+    const bool ok = shard_matrix_identical(/*smoke=*/true);
+    std::printf(ok ? "smoke: matrix identical\n" : "FAIL: matrix diverged\n");
+    return ok ? 0 : 1;
+  }
+  const int seeds = bench::default_runs(3);
+  std::printf("seeds per arm: %d; half Testbed A, 4 sensor flows + 2 PID "
+              "loops @2s, 5s deadline\n",
+              seeds);
 
-  const Result clean = run(0, runs);
-  bench::section("clean environment");
-  std::printf("  per-flow PDR: mean=%.3f worst=%.3f\n", clean.pdr.mean(),
-              clean.pdr.min());
-  std::printf("  latency: median=%.0f ms p95=%.0f ms\n",
-              clean.latency_ms.median(), clean.latency_ms.percentile(95));
-  std::printf("  energy per delivered command: %.1f mJ\n",
-              clean.energy_mj.mean());
+  std::vector<TrialSpec> trials;
+  for (const bool replication : {true, false}) {
+    for (const Arm arm : kArms) {
+      for (int s = 0; s < seeds; ++s) {
+        trials.push_back(make_trial(replication, arm, s));
+      }
+    }
+  }
+  const std::vector<ExperimentResult> results = run_trials(trials);
 
-  const Result jammed = run(3, runs);
-  bench::section("3 WiFi-like jammers (the Fig. 9 interference)");
-  std::printf("  per-flow PDR: mean=%.3f worst=%.3f\n", jammed.pdr.mean(),
-              jammed.pdr.min());
-  std::printf("  latency: median=%.0f ms p95=%.0f ms\n",
-              jammed.latency_ms.median(), jammed.latency_ms.percentile(95));
-  std::printf("  energy per delivered command: %.1f mJ\n",
-              jammed.energy_mj.mean());
+  std::vector<VariantSummary> variants;
+  std::size_t t = 0;
+  for (const bool replication : {true, false}) {
+    VariantSummary variant;
+    variant.replication = replication;
+    variant.seeds = seeds;
+    for (const Arm arm : kArms) {
+      for (int s = 0; s < seeds; ++s, ++t) {
+        accumulate(variant.arms[static_cast<int>(arm)], results[t]);
+      }
+    }
+    variants.push_back(variant);
+    print_variant(variants.back());
+  }
 
+  bench::section("shard/thread matrix (replicated relay-crash)");
+  const bool shards_ok = shard_matrix_identical(/*smoke=*/false);
+
+  write_json(variants, shards_ok);
+
+  // Acceptance gates.
+  const VariantSummary& on = variants[0];
+  const VariantSummary& off = variants[1];
+  const ArmSummary& on_clean = on.arms[static_cast<int>(Arm::kClean)];
+  const ArmSummary& on_crash = on.arms[static_cast<int>(Arm::kRelayCrash)];
+  const ArmSummary& off_crash = off.arms[static_cast<int>(Arm::kRelayCrash)];
+  // The crash arm's control cost may exceed clean (the plant drifts while
+  // the victim's whole subtree — sensors up, commands down — is dark for
+  // three 30 s outages) but must stay within this factor: the backup
+  // tunnel keeps commands flowing. Measured ~3.5x; 5x is the drift the
+  // fault itself costs, anything beyond would mean commands stranding.
+  constexpr double kCostFactor = 5.0;
+  bool ok = true;
+  if (!(on_clean.p999_ms() > 0.0 &&
+        on_clean.p999_ms() <= kCleanTailBoundMs)) {
+    std::printf("FAIL: replicated clean-arm p99.9 %.0f ms not bounded by "
+                "%.0f ms (4x deadline; see kCleanTailBoundMs)\n",
+                on_clean.p999_ms(), kCleanTailBoundMs);
+    ok = false;
+  }
+  if (!(on_crash.p999_ms() > 0.0 && on_crash.p999_ms() <= kCrashTailBoundMs)) {
+    std::printf("FAIL: replicated crash-arm p99.9 %.0f ms not bounded by "
+                "%.0f ms (2x outage; see kCrashTailBoundMs)\n",
+                on_crash.p999_ms(), kCrashTailBoundMs);
+    ok = false;
+  }
+  if (!(on_crash.control_cost.mean() <=
+        kCostFactor * on_clean.control_cost.mean())) {
+    std::printf("FAIL: replicated crash-arm control cost %.4f above %.1fx "
+                "clean %.4f\n",
+                on_crash.control_cost.mean(), kCostFactor,
+                on_clean.control_cost.mean());
+    ok = false;
+  }
+  if (on_crash.replication_wins == 0) {
+    std::printf("FAIL: crash arm recorded no replication wins — the backup "
+                "tunnel never saved a delivery\n");
+    ok = false;
+  }
+  if (!(on_crash.miss_rate() < off_crash.miss_rate())) {
+    std::printf("FAIL: replicated crash-arm miss rate %.4f not below "
+                "single-path %.4f\n",
+                on_crash.miss_rate(), off_crash.miss_rate());
+    ok = false;
+  }
+  for (const VariantSummary& v : variants) {
+    for (const Arm arm : kArms) {
+      const ArmSummary& a = v.arms[static_cast<int>(arm)];
+      if (a.tunnel_violations != 0) {
+        std::printf("FAIL: replication %s %s recorded %llu tunnel invariant "
+                    "violations\n",
+                    v.replication ? "on" : "off", arm_key(arm),
+                    static_cast<unsigned long long>(a.tunnel_violations));
+        ok = false;
+      }
+      if (a.swap_epochs == 0 || a.swap_epoch_audits != a.swap_epochs) {
+        std::printf("FAIL: replication %s %s swap epochs %llu but audits "
+                    "%llu\n",
+                    v.replication ? "on" : "off", arm_key(arm),
+                    static_cast<unsigned long long>(a.swap_epochs),
+                    static_cast<unsigned long long>(a.swap_epoch_audits));
+        ok = false;
+      }
+      if (a.swap_epoch_violations != 0) {
+        std::printf("FAIL: replication %s %s recorded %llu schedule "
+                    "conflicts at swap epochs\n",
+                    v.replication ? "on" : "off", arm_key(arm),
+                    static_cast<unsigned long long>(a.swap_epoch_violations));
+        ok = false;
+      }
+    }
+  }
+  if (!shards_ok) {
+    std::printf("FAIL: replicated relay-crash run diverged across the "
+                "shard/thread matrix\n");
+    ok = false;
+  }
   std::printf(
-      "\nDownlink rides a second Eq. 4 ladder (shifted half a slotframe)\n"
-      "and storing-mode destination tables with DAO-sequence freshness.\n"
-      "Unlike the uplink there is no backup-parent diversity downwards:\n"
-      "when a device re-homes, its whole descent path must re-converge, so\n"
-      "commands to churn-prone deep devices lose packets that sensor\n"
-      "reports would not (flows to stable subtrees deliver ~100%%). This is\n"
-      "the known hard part of storing-mode downward routing and a natural\n"
-      "candidate for the paper's future work on redundant downlink graphs.\n");
-  return 0;
+      "\nExpected shape: clean and interference arms deliver nearly every\n"
+      "actuation inside the deadline either way (DiGS link-margin retries\n"
+      "already absorb the Fig. 9 jammers). The repeated relay crashes are\n"
+      "where the replication pays: single-path commands blackhole through\n"
+      "each outage's in-flight window and thin-DAG re-derivations, while\n"
+      "replicated commands keep arriving over the node-disjoint backup —\n"
+      "wins spike and the deadline miss rate stays below single-path. The\n"
+      "p99.9 sensor->actuator tail is sensor-staleness-bound (the\n"
+      "controller anchors on the latest delivered sample), so it is gated\n"
+      "at 4x the deadline on the clean arm and 2x the forced outage on\n"
+      "the crash arm; the tunnel-queue age purge is what keeps it from\n"
+      "growing past either. Dedicated role-keyed tunnel cells\n"
+      "keep the two copies collision-free through every SlotSwapper epoch\n"
+      "(zero tunnel invariant violations).\n");
+  return ok ? 0 : 1;
 }

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Full robustness gate in one command: build + ctest on every preset
-# (default, ASan+UBSan, TSan), then the three bench acceptance gates
+# (default, ASan+UBSan, TSan), then the bench acceptance gates
 # (ext_churn exits nonzero on invariant violations or failed rejoins,
 # ext_sync on a desync storm / PDR loss within the 40 ppm crystal budget,
 # ext_scaling on a failed city-scale row, a shard-determinism mismatch,
 # excessive 1-thread pipeline overhead, a too-high serial fraction, or a
-# missed sharding-speedup threshold on multi-core hardware).
+# missed sharding-speedup threshold on multi-core hardware; ext_jamming
+# on a jamming PDR collapse or swap-epoch schedule conflicts; ext_downlink
+# on an unbounded actuation-latency tail, tunnel invariant violations, or
+# replication failing to beat single-path through relay crashes).
 #
 # Usage: scripts/check.sh [preset...]   (default: default sanitize tsan)
 # Extra knobs pass through the environment: DIGS_BENCH_RUNS, DIGS_THREADS.
@@ -47,6 +50,8 @@ if printf '%s\n' "${presets[@]}" | grep -qx default; then
   (cd build/bench && ./ext_scaling)
   echo "==> gate: ext_jamming"
   (cd build/bench && ./ext_jamming)
+  echo "==> gate: ext_downlink"
+  (cd build/bench && ./ext_downlink)
 else
   echo "==> bench gates skipped (default preset not selected)"
 fi
@@ -70,6 +75,13 @@ if printf '%s\n' "${presets[@]}" | grep -qx tsan; then
   echo "==> gate: ext_jamming sharded smoke (tsan, 4-thread pool)"
   (cd build-tsan/bench &&
    DIGS_JAMMING_SMOKE=1 DIGS_SHARD_THREADS=4 ./ext_jamming)
+  # Tunnel replication + relay crash/repair under TSan: source-routed
+  # injection at the AP, duplicate suppression, plant bookkeeping and the
+  # mid-run tunnel re-derivations all cross the sharded slot pipeline;
+  # the smoke pins the 4x4 cell bit-identical to serial.
+  echo "==> gate: ext_downlink sharded smoke (tsan, 4-thread pool)"
+  (cd build-tsan/bench &&
+   DIGS_DOWNLINK_SMOKE=1 DIGS_SHARDS=4 DIGS_SHARD_THREADS=4 ./ext_downlink)
 fi
 
 echo "==> all presets and gates passed"

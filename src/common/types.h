@@ -57,6 +57,7 @@ enum class DropReason : std::uint8_t {
   kStaleRoute,         // descended into a stale branch and had to be cut
   kSourceDead,         // generated at a powered-off source
   kPowerLoss,          // queued at a node when its power was cut
+  kDuplicate,          // replicated tunnel copy suppressed by the seen-set
   kOther,
 };
 inline constexpr std::size_t kNumDropReasons =
@@ -71,6 +72,7 @@ inline constexpr std::size_t kNumDropReasons =
     case DropReason::kStaleRoute: return "stale_route";
     case DropReason::kSourceDead: return "source_dead";
     case DropReason::kPowerLoss: return "power_loss";
+    case DropReason::kDuplicate: return "duplicate";
     case DropReason::kOther: return "other";
   }
   return "?";

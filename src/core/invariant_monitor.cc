@@ -5,6 +5,7 @@
 
 #include "core/network.h"
 #include "routing/digs_routing.h"
+#include "sched/conflict_analysis.h"
 
 namespace digs {
 
@@ -40,6 +41,7 @@ void NetworkInvariantMonitor::on_topology_changed(NodeId node, SimTime now) {
 void NetworkInvariantMonitor::audit_network(SimTime now) {
   for (std::size_t i = 0; i < net_.size(); ++i) audit_node(i, now);
   audit_uplink_slot_uniqueness(now);
+  audit_tunnels(now);
 }
 
 void NetworkInvariantMonitor::on_swap_epoch(SimTime now) {
@@ -51,7 +53,8 @@ void NetworkInvariantMonitor::on_swap_epoch(SimTime now) {
   // a graced suspicion whose maturation merely coincided with this audit
   // (the 5 s sweep would have recorded it moments later anyway).
   for (std::size_t i = before; i < violations_.size(); ++i) {
-    if (violations_[i].kind == InvariantKind::kScheduleConflict) {
+    if (violations_[i].kind == InvariantKind::kScheduleConflict ||
+        violations_[i].kind == InvariantKind::kTunnelConflict) {
       ++violations_at_swap_epochs_;
     }
   }
@@ -190,6 +193,13 @@ void NetworkInvariantMonitor::collect_schedule_conflicts(
         // cell per slot. A conflict is two same-direction dedicated TX
         // cells fighting for the slot towards DIFFERENT peers.
         if (cells[a].downlink != cells[b].downlink) continue;
+        // Tunnel cells are exempt here: the primary- and backup-role
+        // ladders are each Eq. 4-injective but not mutually so, so a parent
+        // serving children in both roles may hold overlapping tunnel TX
+        // offsets by construction (the MAC deterministically picks one, and
+        // the invariant that matters — the two copies of one packet never
+        // colliding — is audited per destination by audit_tunnels).
+        if (cells[a].tunnel || cells[b].tunnel) continue;
         if (cells[a].peer == cells[b].peer) continue;
         immediate.push_back(
             key(InvariantKind::kScheduleConflict, id, cells[b].peer));
@@ -267,6 +277,52 @@ void NetworkInvariantMonitor::audit_uplink_slot_uniqueness(SimTime now) {
       } else if (slot_owner != id) {
         record(InvariantKind::kScheduleConflict, slot_owner, id, now);
       }
+    }
+  }
+}
+
+void NetworkInvariantMonitor::audit_tunnels(SimTime now) {
+  const TunnelManager* tunnels = net_.tunnel_manager();
+  if (tunnels == nullptr) return;
+  const DigsScheduler sched(net_.config().node.scheduler);
+  const std::uint16_t naps = net_.config().num_access_points;
+  const std::vector<std::uint16_t>& perm = net_.app_slot_permutation();
+  std::vector<std::uint8_t> seen(net_.size(), 0);
+  for (const NodeId dest : tunnels->destinations()) {
+    const TunnelPair* pair = tunnels->pair(dest);
+    if (pair == nullptr || !pair->valid()) continue;
+    // Loop-freedom: a source route visiting any node twice would orbit
+    // until the hop limit (the climb's visited set makes this impossible;
+    // the audit proves the stored state, not the construction).
+    for (const TunnelPath* path : {&pair->primary, &pair->backup}) {
+      if (!path->valid()) continue;
+      std::fill(seen.begin(), seen.end(), 0);
+      for (const NodeId hop : path->hops) {
+        if (hop.value >= seen.size()) continue;
+        if (seen[hop.value] != 0) {
+          record(InvariantKind::kTunnelLoop, dest, hop, now);
+        }
+        seen[hop.value] = 1;
+      }
+    }
+    // The disjointness flag must be honest: a pair advertised as
+    // node-disjoint shares no interior node (endpoints exempt — the
+    // destination is common by definition, and the ingress APs may be too).
+    if (pair->disjoint) {
+      for (std::size_t a = 1; a + 1 < pair->primary.hops.size(); ++a) {
+        for (std::size_t b = 1; b + 1 < pair->backup.hops.size(); ++b) {
+          if (pair->primary.hops[a] == pair->backup.hops[b]) {
+            record(InvariantKind::kTunnelDisjoint, dest,
+                   pair->primary.hops[a], now);
+          }
+        }
+      }
+    }
+    // Eq. 4-style replication conflict-freedom, checked through the current
+    // SlotSwapper permutation: the two copies of one packet never contest a
+    // (slot, channel) from different links — in the permuted frame too.
+    if (!tunnel_pair_conflict_free(*pair, sched, naps, perm)) {
+      record(InvariantKind::kTunnelConflict, dest, kNoNode, now);
     }
   }
 }

@@ -57,6 +57,9 @@ enum class InvariantKind : std::uint8_t {
   kStaleDescendant,   // descendant entry stale or via a departed child
   kScheduleConflict,  // dedicated TX cells collide on a slot offset
   kSyncDrift,         // holds dedicated TX cells while drifted past guard
+  kTunnelLoop,        // a tunnel path visits the same node twice
+  kTunnelDisjoint,    // pair flagged disjoint but interiors intersect
+  kTunnelConflict,    // replicated copies collide on a (slot, channel)
 };
 
 [[nodiscard]] constexpr const char* to_string(InvariantKind kind) {
@@ -67,6 +70,9 @@ enum class InvariantKind : std::uint8_t {
     case InvariantKind::kStaleDescendant: return "stale_descendant";
     case InvariantKind::kScheduleConflict: return "schedule_conflict";
     case InvariantKind::kSyncDrift: return "sync_drift";
+    case InvariantKind::kTunnelLoop: return "tunnel_loop";
+    case InvariantKind::kTunnelDisjoint: return "tunnel_disjoint";
+    case InvariantKind::kTunnelConflict: return "tunnel_conflict";
   }
   return "?";
 }
@@ -146,6 +152,13 @@ class NetworkInvariantMonitor {
 
   void audit_node(std::size_t i, SimTime now);
   void audit_uplink_slot_uniqueness(SimTime now);
+  /// Multipath tunnel invariants, audited over every registered
+  /// destination's stored pair: loop-freedom (no node appears twice on a
+  /// path), the disjointness flag's honesty (flagged pairs really share no
+  /// interior node), and replication conflict-freedom (the role-keyed cell
+  /// ladders of primary and backup never collide on a (slot, channel), even
+  /// through the current SlotSwapper permutation). No-op without tunnels.
+  void audit_tunnels(SimTime now);
   void record(InvariantKind kind, NodeId node, NodeId other, SimTime now);
 
   /// A condition that must persist for `grace` before counting.

@@ -110,20 +110,23 @@ Network::Network(const NetworkConfig& config, std::vector<Position> positions)
     if (ShardCtx* ctx = t_shard_ctx_) {
       ctx->stats.push_back(StatOp{ctx->defer->next_key(), payload.flow,
                                   payload.seq, now, DropReason::kOther,
-                                  /*delivered=*/true});
+                                  /*delivered=*/true, payload.tunnel,
+                                  /*at_final_dst=*/true});
       return;
     }
-    stats_.on_delivered(payload.flow, payload.seq, now);
+    apply_delivered(payload.flow, payload.seq, now, payload.tunnel);
   };
-  hooks.on_data_lost = [this](NodeId /*node*/, const DataPayload& payload,
+  hooks.on_data_lost = [this](NodeId node, const DataPayload& payload,
                               DropReason reason, SimTime now) {
     if (ShardCtx* ctx = t_shard_ctx_) {
       ctx->stats.push_back(StatOp{ctx->defer->next_key(), payload.flow,
                                   payload.seq, now, reason,
-                                  /*delivered=*/false});
+                                  /*delivered=*/false, payload.tunnel,
+                                  node == payload.final_dst});
       return;
     }
-    stats_.on_dropped(payload.flow, payload.seq, now, reason);
+    apply_dropped(payload.flow, payload.seq, now, reason, payload.tunnel,
+                  node == payload.final_dst);
   };
   hooks.on_joined = [this](NodeId id, SimTime now) {
     joined_at_[id.value] = now;
@@ -190,6 +193,26 @@ Network::Network(const NetworkConfig& config, std::vector<Position> positions)
   }
   if (config_.monitor_invariants) {
     monitor_ = std::make_unique<NetworkInvariantMonitor>(*this);
+  }
+  if (config_.node.enable_tunnels) {
+    // Pure control plane over a read-only routing view; derivations only
+    // run from serial seams (injection, the maintenance timer, fault
+    // handling), never from inside a parallel region.
+    TunnelManager::Env env;
+    env.best_parent = [this](NodeId id) {
+      if (id.value >= nodes_.size() || alive_[id.value] == 0) return kNoNode;
+      return nodes_[id.value]->routing().best_parent();
+    };
+    env.second_best_parent = [this](NodeId id) {
+      if (id.value >= nodes_.size() || alive_[id.value] == 0) return kNoNode;
+      return nodes_[id.value]->routing().second_best_parent();
+    };
+    env.alive = [this](NodeId id) {
+      return id.value < nodes_.size() && alive_[id.value] != 0;
+    };
+    env.num_access_points = config_.num_access_points;
+    env.num_nodes = medium_.num_nodes();
+    tunnels_ = std::make_unique<TunnelManager>(std::move(env));
   }
 }
 
@@ -290,6 +313,28 @@ void Network::start() {
         [this] { advance_randomization_epoch(); });
     swap_timer_->start();
   }
+
+  // Tunnel maintenance: re-derive every registered destination roughly once
+  // a second, so repairs are detected (and timed) even while the control
+  // traffic that would lazily refresh them is sparse.
+  if (tunnels_) {
+    tunnel_timer_ = std::make_unique<PeriodicTimer>(
+        sim_, seconds(static_cast<std::int64_t>(1)), [this] {
+          const SimTime now = sim_.now();
+          tunnels_->maintain(now);
+          // Purge stranded tunnel copies: a route stack frozen at the
+          // ingress can outlive the cells it was laid over (churn moved a
+          // relay's tunnel ladder away), and an aged command is useless to
+          // its control loop. Bounds the delivered-latency tail.
+          for (const auto& nd : nodes_) {
+            if (nd->alive()) {
+              nd->mac().expire_tunnel_packets(
+                  config_.node.tunnel_queue_max_age, now);
+            }
+          }
+        });
+    tunnel_timer_->start();
+  }
 }
 
 void Network::run_until(SimTime until) {
@@ -303,13 +348,113 @@ void Network::generate_flow_packet(std::size_t flow_index) {
   const SimTime now = sim_.now();
   stats_.on_generated(flow.id, seq, now);
   Node& source = node(flow.source);
-  if (source.alive()) {
-    source.generate_packet(flow.id, seq, now, flow.downlink_dest);
-  } else {
+  if (!source.alive()) {
     stats_.on_dropped(flow.id, seq, now, DropReason::kSourceDead);
+  } else if (source.is_access_point() && flow.downlink_dest.valid() &&
+             tunnels_ &&
+             inject_tunnel_downlink(flow.id, seq, flow.downlink_dest, now)) {
+    // Replicated down the node-disjoint tunnels; the egress dedup keeps the
+    // first-wins stats semantics identical to a single-copy delivery.
+  } else {
+    if (source.is_access_point() && flow.downlink_dest.valid() && tunnels_) {
+      // Tunnels are on but no valid tunnel exists for this destination right
+      // now (not joined, partitioned, or a non-DiGS suite without tunnel
+      // cells): degrade to ordinary table routing, counted, never asserted.
+      ++single_path_fallbacks_;
+    }
+    source.generate_packet(flow.id, seq, now, flow.downlink_dest);
   }
   sim_.schedule_after(flow.period,
                       [this, flow_index] { generate_flow_packet(flow_index); });
+}
+
+void Network::apply_delivered(FlowId flow, std::uint32_t seq, SimTime at,
+                              std::uint8_t tunnel) {
+  // A delivery whose first arriving copy rode the backup tunnel is a
+  // replication win: the primary copy lost the race (or the path).
+  const bool first = !stats_.was_delivered(flow, seq);
+  stats_.on_delivered(flow, seq, at);
+  if (first && tunnel == 2) ++replication_wins_;
+}
+
+void Network::apply_dropped(FlowId flow, std::uint32_t seq, SimTime at,
+                            DropReason reason, std::uint8_t tunnel,
+                            bool at_final_dst) {
+  if (reason == DropReason::kDuplicate && tunnel != 0) {
+    ++duplicates_suppressed_;
+    // Suppressed at the egress itself: the other copy already delivered,
+    // so this one was pure redundancy (the replication-loss counter).
+    if (at_final_dst) ++replication_losses_;
+  }
+  stats_.on_dropped(flow, seq, at, reason);
+}
+
+bool Network::inject_tunnel_downlink(FlowId flow, std::uint32_t seq,
+                                     NodeId dest, SimTime now) {
+  // Only the DiGS scheduler installs tunnel cell ladders; source-routing a
+  // copy on any other suite would strand it in the MAC queue forever. The
+  // caller's fallback path (table routing) handles those suites.
+  if (!tunnels_ || config_.suite != ProtocolSuite::kDigs) return false;
+  const TunnelPair& pair = tunnels_->refresh(dest, now);
+  if (!pair.valid()) return false;
+  const NodeId ingress = pair.primary.hops.front();
+  if (ingress.value >= nodes_.size() || alive_[ingress.value] == 0) {
+    return false;
+  }
+  DataPayload payload;
+  payload.flow = flow;
+  payload.seq = seq;
+  payload.origin = ingress;
+  payload.final_dst = dest;
+  payload.created = now;
+  payload.route = pair.primary.hops;
+  payload.route_hop = 0;
+  payload.tunnel = 1;
+  bool injected = nodes_[ingress.value]->inject_tunnel(payload, now);
+  if (config_.tunnel_replication && pair.replicated()) {
+    const NodeId backup_ingress = pair.backup.hops.front();
+    if (backup_ingress.value < nodes_.size() &&
+        alive_[backup_ingress.value] != 0) {
+      DataPayload copy = payload;
+      copy.origin = backup_ingress;
+      copy.route = pair.backup.hops;
+      copy.tunnel = 2;
+      injected = nodes_[backup_ingress.value]->inject_tunnel(copy, now) ||
+                 injected;
+    }
+  } else if (config_.tunnel_replication) {
+    // Replication requested but only one path exists right now (e.g. the
+    // second-best parent is down or coincides with the primary's exit).
+    ++single_path_fallbacks_;
+  }
+  return injected;
+}
+
+bool Network::send_downlink(FlowId flow, std::uint32_t seq, NodeId dest,
+                            SimTime now) {
+  if (inject_tunnel_downlink(flow, seq, dest, now)) return true;
+  if (tunnels_) ++single_path_fallbacks_;
+  // Wired-backbone rule: inject at the alive AP holding the freshest
+  // downlink route to the destination (same policy as gateway_route).
+  std::int64_t best_freshness = -1;
+  std::uint16_t best_ap = 0;
+  for (std::uint16_t ap = 0; ap < config_.num_access_points; ++ap) {
+    if (!nodes_[ap]->alive()) continue;
+    const std::int64_t freshness =
+        nodes_[ap]->routing().downlink_freshness(dest);
+    if (freshness > best_freshness) {
+      best_freshness = freshness;
+      best_ap = ap;
+    }
+  }
+  if (best_freshness < 0) return false;
+  DataPayload payload;
+  payload.flow = flow;
+  payload.seq = seq;
+  payload.origin = NodeId{best_ap};
+  payload.final_dst = dest;
+  payload.created = now;
+  return nodes_[best_ap]->inject_downlink(payload, now);
 }
 
 void Network::observe_on_air(std::uint64_t asn, SimTime slot_start) {
@@ -417,6 +562,10 @@ void Network::set_node_alive(NodeId id, bool alive) {
     }
   }
   if (manager_) manager_->notify_dynamics();
+  // Crisp repair anchors: a crash (or revival) that breaks or heals a
+  // tunnel is observed at the injection instant, not a maintenance period
+  // later.
+  if (tunnels_) tunnels_->maintain(now);
 }
 
 void Network::inject_clock_jump(NodeId id, double offset_us) {
@@ -1067,9 +1216,10 @@ void Network::drain_shard_ctxs() {
                      });
     for (const StatOp* op : stat_replay_) {
       if (op->delivered) {
-        stats_.on_delivered(op->flow, op->seq, op->at);
+        apply_delivered(op->flow, op->seq, op->at, op->tunnel);
       } else {
-        stats_.on_dropped(op->flow, op->seq, op->at, op->reason);
+        apply_dropped(op->flow, op->seq, op->at, op->reason, op->tunnel,
+                      op->at_final_dst);
       }
     }
     stat_replay_.clear();

@@ -32,6 +32,7 @@
 #include "core/wake_heap.h"
 #include "phy/medium.h"
 #include "phy/reception.h"
+#include "routing/tunnel.h"
 #include "sched/slot_swapper.h"
 #include "sim/shard_pool.h"
 #include "sim/simulator.h"
@@ -84,6 +85,11 @@ struct NetworkConfig {
     std::uint32_t max_retries = 8;
   };
   SlotRandomization randomization;
+  /// Replicate tunneled downlink packets over both node-disjoint paths
+  /// (when node.enable_tunnels built them). Off sends the primary copy only
+  /// — the ablation arm of the downlink-determinism bench. Ignored while
+  /// tunnels are disabled.
+  bool tunnel_replication = true;
 };
 
 /// A periodic application flow from a field device towards the APs.
@@ -140,6 +146,55 @@ class Network {
 
   /// Failure injection.
   void set_node_alive(NodeId id, bool alive);
+
+  /// Injects a (possibly replicated) source-routed downlink packet for
+  /// `flow` towards `dest` through the tunnel subsystem: re-derives the
+  /// destination's tunnel pair from the live DAG, stamps the primary copy
+  /// with its route stack at the ingress AP, and — when tunnel_replication
+  /// is on and a backup path exists — a second copy down the backup tunnel.
+  /// Returns false when no tunnel transport applies (tunnels disabled,
+  /// non-DiGS suite, or no valid primary right now); the caller falls back
+  /// to ordinary table-routed injection. Serial seams only.
+  bool inject_tunnel_downlink(FlowId flow, std::uint32_t seq, NodeId dest,
+                              SimTime now);
+
+  /// Gateway-side downlink send: tunnels first (replicated when possible),
+  /// otherwise table routing injected at the alive AP with the freshest
+  /// downlink route (the wired-backbone rule), counting the single-path
+  /// fallback. Returns false when nothing could be injected at all (no
+  /// tunnel and no AP knows the destination) — the caller records the drop.
+  /// Serial seams only.
+  bool send_downlink(FlowId flow, std::uint32_t seq, NodeId dest, SimTime now);
+
+  /// The multipath tunnel manager (only when config.node.enable_tunnels).
+  [[nodiscard]] TunnelManager* tunnel_manager() { return tunnels_.get(); }
+  [[nodiscard]] const TunnelManager* tunnel_manager() const {
+    return tunnels_.get();
+  }
+
+  // --- tunnel replication observability ---
+
+  /// Deliveries whose FIRST arriving copy rode the backup tunnel: the
+  /// replication saved a packet the primary failed to deliver first.
+  [[nodiscard]] std::uint64_t replication_wins() const {
+    return replication_wins_;
+  }
+  /// Redundant copies that reached the egress destination after the other
+  /// copy had already delivered (the replication cost nothing but airtime).
+  [[nodiscard]] std::uint64_t replication_losses() const {
+    return replication_losses_;
+  }
+  /// Every replicated copy suppressed by a node's duplicate filter
+  /// (egress or an earlier shared hop).
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
+  /// Tunnel injections that went out unreplicated (no backup path — e.g. a
+  /// suite without second-best parents, or a partitioned DAG) plus
+  /// downlink generations that fell back to table routing entirely.
+  [[nodiscard]] std::uint64_t single_path_fallbacks() const {
+    return single_path_fallbacks_;
+  }
 
   /// Fault injection: instantaneously shifts one node's clock by
   /// `offset_us` (activating the drift subsystem if it was off, so the
@@ -302,6 +357,15 @@ class Network {
   void slot_tick();  // polled driver
   void generate_flow_packet(std::size_t flow_index);
 
+  /// Serial-order stat application shared by the direct hook path and the
+  /// deferred-replay path: updates FlowStats and the replication counters
+  /// with identical first-wins semantics in both.
+  void apply_delivered(FlowId flow, std::uint32_t seq, SimTime at,
+                       std::uint8_t tunnel);
+  void apply_dropped(FlowId flow, std::uint32_t seq, SimTime at,
+                     DropReason reason, std::uint8_t tunnel,
+                     bool at_final_dst);
+
   /// Serial pre-resolution seam, run once per executed slot right after the
   /// on-air attempt list is gathered (both drivers, both slot bodies): feeds
   /// the slot's attempts to the medium's reactive-jammer sniffers and counts
@@ -421,6 +485,12 @@ class Network {
     SimTime at;
     DropReason reason;  // dropped ops only
     bool delivered;
+    /// Tunnel copy tag of the payload (0 none, 1 primary, 2 backup) and
+    /// whether the event happened at the packet's final destination — the
+    /// replay needs both to count replication wins/losses in the exact
+    /// serial arrival order the first-wins dedup sees.
+    std::uint8_t tunnel{0};
+    bool at_final_dst{false};
   };
   struct ScanOp {
     std::uint16_t node;
@@ -450,6 +520,13 @@ class Network {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<CentralManager> manager_;
   std::unique_ptr<NetworkInvariantMonitor> monitor_;
+  // --- multipath tunnel state (only when config.node.enable_tunnels) ---
+  std::unique_ptr<TunnelManager> tunnels_;
+  std::unique_ptr<PeriodicTimer> tunnel_timer_;
+  std::uint64_t replication_wins_{0};
+  std::uint64_t replication_losses_{0};
+  std::uint64_t duplicates_suppressed_{0};
+  std::uint64_t single_path_fallbacks_{0};
   std::vector<ReviveRecord> revivals_;
   // Per node: index into revivals_ of its open record (-1 = none). Cleared
   // on death — a revival interrupted by another crash never rejoined.

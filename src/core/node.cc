@@ -59,6 +59,7 @@ Node::Node(Simulator& sim, NodeId id, bool is_access_point,
       SchedulerConfig scheduler_config = config_.scheduler;
       routing_config.enable_downlink = config_.enable_downlink;
       scheduler_config.enable_downlink = config_.enable_downlink;
+      scheduler_config.enable_tunnels = config_.enable_tunnels;
       routing_ = std::make_unique<DigsRouting>(
           sim_, id_, is_access_point_, neighbors_, routing_config,
           rng.fork("routing"), env);
@@ -101,6 +102,7 @@ void Node::set_alive(bool alive, SimTime now) {
     mac_.power_down(now);
     routing_->power_down(now);
     neighbors_.clear();
+    seen_.clear();
     rebuild_schedule();
     // An access point keeps joined() == true through power_down (its rank
     // is constitutive); force the tracker down so revival re-reports the
@@ -151,6 +153,22 @@ bool Node::inject_downlink(const DataPayload& payload, SimTime now) {
   return mac_.enqueue_data(payload, now, down);
 }
 
+bool Node::inject_tunnel(const DataPayload& payload, SimTime now) {
+  if (static_cast<std::size_t>(payload.route_hop) + 1 >=
+      payload.route.size()) {
+    return false;
+  }
+  DataPayload copy = payload;
+  ++copy.route_hop;
+  // Mark the pair as locally seen so a copy looping back here (stale route
+  // through the ingress) cannot be re-forwarded; mac drops report through
+  // on_data_dropped as usual.
+  seen_.seen_or_insert(copy.flow, copy.seq);
+  const NodeId next = copy.route[copy.route_hop];
+  mac_.enqueue_data(copy, now, next);
+  return true;
+}
+
 void Node::on_frame(const Frame& frame, double rss_dbm, SimTime now) {
   // Keep the neighbor table fresh from everything we hear.
   switch (frame.type) {
@@ -180,6 +198,45 @@ void Node::on_frame(const Frame& frame, double rss_dbm, SimTime now) {
     case FrameType::kData: {
       if (frame.dst != id_) break;  // overheard; not ours to forward
       DataPayload payload = frame.as<DataPayload>();
+      if (payload.is_source_routed()) {
+        // Replicated tunnel copy. Duplicate elimination first — at the
+        // egress and at any relay both routes share — so the second copy of
+        // a (flow, seq) stops here instead of burning slots downstream. The
+        // suppressed copy is reported as a kDuplicate drop; the stats layer
+        // never counts it against PDR because the pair already delivered
+        // (or still can deliver via the surviving copy).
+        if (seen_.seen_or_insert(payload.flow, payload.seq)) {
+          if (hooks_.on_data_lost) {
+            hooks_.on_data_lost(id_, payload, DropReason::kDuplicate, now);
+          }
+          break;
+        }
+        if (payload.final_dst == id_) {
+          if (hooks_.on_data_delivered) {
+            hooks_.on_data_delivered(id_, payload, now);
+          }
+          break;
+        }
+        ++payload.hops;
+        if (payload.hops > config_.mac.max_hops) {
+          if (hooks_.on_data_lost) {
+            hooks_.on_data_lost(id_, payload, DropReason::kHopLimit, now);
+          }
+          break;
+        }
+        // Advance the route stack: we must be the hop the copy is addressed
+        // to; anything else is a stale route (re-derived mid-flight).
+        const std::size_t pos = payload.route_hop;
+        if (pos + 1 >= payload.route.size() || payload.route[pos] != id_) {
+          if (hooks_.on_data_lost) {
+            hooks_.on_data_lost(id_, payload, DropReason::kStaleRoute, now);
+          }
+          break;
+        }
+        ++payload.route_hop;
+        mac_.enqueue_data(payload, now, payload.route[payload.route_hop]);
+        break;
+      }
       // Delivery: uplink packets end at any access point; downlink (or
       // device-to-device) packets end at their final destination.
       const bool delivered = payload.is_downlink()

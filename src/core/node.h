@@ -11,6 +11,7 @@
 #include "common/types.h"
 #include "energy/energy_meter.h"
 #include "mac/tsch_mac.h"
+#include "net/duplicate_filter.h"
 #include "net/neighbor_table.h"
 #include "routing/digs_routing.h"
 #include "routing/routing.h"
@@ -49,6 +50,16 @@ struct NodeConfig {
   /// Enables the downlink-graph extension (destination advertisements +
   /// downlink cells) for the DiGS suite.
   bool enable_downlink = false;
+  /// Enables the dedicated tunnel-cell ladders for source-routed multipath
+  /// downlink (DiGS suite; other schedulers ignore it and the network falls
+  /// back to table routing with a counted single-path fallback).
+  bool enable_tunnels = false;
+  /// Maximum queue age of a source-routed tunnel copy before the periodic
+  /// tunnel maintenance purges it (kStaleRoute): route stacks are frozen at
+  /// the ingress, so parent churn can strand a copy in a relay whose tunnel
+  /// cells moved away. Bounds the sensor->actuator latency tail — an older
+  /// command is past any sane actuation deadline anyway.
+  SimDuration tunnel_queue_max_age = seconds(static_cast<std::int64_t>(5));
   /// Orchestra unicast slotframe flavour (see OrchestraScheduler).
   /// Sender-based avoids persistent sibling collisions at the AP funnel and
   /// matches the paper's measured Orchestra performance; receiver-based is
@@ -142,6 +153,12 @@ class Node {
   /// to the packet's destination is known here.
   bool inject_downlink(const DataPayload& payload, SimTime now);
 
+  /// Injects a source-routed tunnel copy at this node (the tunnel ingress
+  /// access point). `payload.route_hop` must index this node; the copy is
+  /// enqueued towards the next hop of its route stack. Returns false on a
+  /// malformed route (already at the end).
+  bool inject_tunnel(const DataPayload& payload, SimTime now);
+
   [[nodiscard]] TschMac& mac() { return mac_; }
   [[nodiscard]] const TschMac& mac() const { return mac_; }
   [[nodiscard]] RoutingProtocol& routing() { return *routing_; }
@@ -197,6 +214,10 @@ class Node {
   TschMac mac_;
   std::unique_ptr<RoutingProtocol> routing_;
   std::unique_ptr<Scheduler> scheduler_;
+  /// Per-node forwarding-plane dedup for replicated tunnel copies: the
+  /// second copy of a (flow, seq) is suppressed at the first node both
+  /// routes traverse (usually the egress). Volatile — cleared on power loss.
+  DuplicateFilter seen_;
   /// Pre-permutation application slotframe (see base_app_slotframe()).
   Slotframe base_app_frame_;
 

@@ -60,6 +60,12 @@ struct Cell {
   /// Application cells of the downlink graph (TX towards a child / RX from
   /// a parent); the MAC matches them against downlink-queued packets.
   bool downlink{false};
+  /// Dedicated tunnel cells (source-routed multipath downlink): a ladder of
+  /// their own, offset from the downlink ladder so replicated copies on the
+  /// two tunnels never share a (slot, channel) with each other or with
+  /// table-routed downlink traffic. Tunnel cells always have downlink set
+  /// too, keeping them out of the uplink Eq. 4 audits and precedence edges.
+  bool tunnel{false};
 
   friend bool operator==(const Cell&, const Cell&) = default;
 };

@@ -164,6 +164,11 @@ std::size_t TschMac::match_packet(const Cell& cell) const {
   for (std::size_t i = 0; i < app_queue_.size(); ++i) {
     const AppPacket& packet = app_queue_[i];
     const bool packet_down = packet.down_next_hop.valid();
+    // Source-routed copies ride the dedicated tunnel ladders only, and
+    // table-routed packets never use them: the two queues' cells are
+    // disjoint, which is what keeps a replicated copy from stealing the
+    // downlink ladder slot Eq. 4 reserved for ordinary traffic.
+    if (cell.tunnel != packet.payload.is_source_routed()) continue;
     if (cell.downlink != packet_down) continue;
     if (packet_down && packet.down_next_hop != cell.peer) continue;
     return i;
@@ -321,6 +326,23 @@ void TschMac::handle_routing_tx_result(bool acked, SimTime now) {
   backoff_exp_ = std::min(backoff_exp_ + 1, config_.backoff_max_exp);
   backoff_counter_ =
       static_cast<int>(rng_.uniform_int(std::uint64_t{1} << backoff_exp_));
+}
+
+std::size_t TschMac::expire_tunnel_packets(SimDuration max_age, SimTime now) {
+  std::size_t dropped = 0;
+  std::size_t i = 0;
+  while (i < app_queue_.size()) {
+    const DataPayload& payload = app_queue_[i].payload;
+    if (payload.is_source_routed() && now - payload.created > max_age) {
+      drop_packet(i, DropReason::kStaleRoute, now);
+      ++dropped;
+    } else {
+      ++i;
+    }
+  }
+  // Dropping can only move the next-activity ASN later (an emptier queue
+  // skips more slots), so no wakeup notification is needed.
+  return dropped;
 }
 
 void TschMac::drop_packet(std::size_t index, DropReason reason, SimTime now) {

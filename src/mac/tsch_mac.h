@@ -151,6 +151,13 @@ class TschMac {
   /// A queued join-in that has not been sent yet is replaced, not duplicated.
   void enqueue_routing(const Frame& frame);
 
+  /// Drops queued source-routed tunnel copies older than `max_age`
+  /// (kStaleRoute). A copy's route stack is frozen at the ingress, so
+  /// parent churn can strand it in a relay queue whose tunnel cells moved
+  /// away; an aged command is dead weight to its control loop anyway.
+  /// Returns the number of packets dropped.
+  std::size_t expire_tunnel_packets(SimDuration max_age, SimTime now);
+
   [[nodiscard]] std::size_t app_queue_size() const { return app_queue_.size(); }
   [[nodiscard]] std::size_t routing_queue_size() const {
     return routing_queue_.size();

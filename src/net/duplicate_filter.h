@@ -1,0 +1,57 @@
+// Bounded per-node duplicate elimination for replicated tunnel copies.
+//
+// FlowStats already dedups deliveries per (flow, seq) network-wide; this is
+// the forwarding-plane analogue a real node would run: a fixed-capacity
+// seen-set consulted at every hop of a source-routed packet, so the second
+// copy of a replicated pair is suppressed at the first shared relay (or at
+// the egress) instead of burning slots all the way down. FIFO eviction
+// keeps the memory bound hard; an evicted entry can at worst let an ancient
+// straggler through, which the stats-layer dedup still absorbs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace digs {
+
+class DuplicateFilter {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  explicit DuplicateFilter(std::size_t capacity = kDefaultCapacity)
+      : ring_(capacity, kEmpty) {}
+
+  /// True if (flow, seq) is in the seen-set; otherwise records it (evicting
+  /// the oldest entry once the ring is full) and returns false.
+  bool seen_or_insert(FlowId flow, std::uint32_t seq) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(flow.value) << 32) | seq;
+    for (const std::uint64_t entry : ring_) {
+      if (entry == key) return true;
+    }
+    ring_[head_] = key;
+    head_ = (head_ + 1) % ring_.size();
+    return false;
+  }
+
+  /// Volatile state: dies with the node's power.
+  void clear() {
+    for (std::uint64_t& entry : ring_) entry = kEmpty;
+    head_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  // flow == 0xFFFF is an invalid FlowId, so this key collides with no
+  // real packet.
+  static constexpr std::uint64_t kEmpty = ~0ull;
+
+  std::vector<std::uint64_t> ring_;
+  std::size_t head_{0};
+};
+
+}  // namespace digs

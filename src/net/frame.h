@@ -100,8 +100,18 @@ struct DataPayload {
   NodeId final_dst;
   SimTime created;
   std::uint8_t hops{0};
+  /// Source route (multipath tunnel): full hop list, ingress access point
+  /// first and final destination last. Empty means ordinary table routing.
+  /// A few hops of 2-byte ids ride comfortably inside the kData frame
+  /// budget, so the over-the-air length does not change.
+  std::vector<NodeId> route;
+  /// Index into `route` of the node this copy is currently addressed to.
+  std::uint8_t route_hop{0};
+  /// 0 = not tunneled; 1 = primary-tunnel copy; 2 = backup-tunnel copy.
+  std::uint8_t tunnel{0};
 
   [[nodiscard]] bool is_downlink() const { return final_dst.valid(); }
+  [[nodiscard]] bool is_source_routed() const { return !route.empty(); }
 };
 
 /// Topology report for the centralized Network Manager baseline.

@@ -1,0 +1,189 @@
+#include "routing/tunnel.h"
+
+#include <algorithm>
+
+namespace digs {
+
+namespace {
+
+/// Climbs the parent DAG from `below` (exclusive) until an alive access
+/// point, appending to `up` (which already holds the path so far, deepest
+/// node last). At each step the best and second-best parents are both
+/// candidates; one avoiding `avoid` (the primary interior) is preferred,
+/// maximizing node-disjointness. `visited` enforces loop freedom. Returns
+/// true when an access point terminated the climb.
+bool climb(const TunnelManager::Env& env, std::vector<NodeId>& up,
+           std::vector<std::uint8_t>& backup_edge_up,
+           std::vector<std::uint8_t>& visited,
+           const std::vector<std::uint8_t>* avoid) {
+  std::size_t steps = 0;
+  while (true) {
+    const NodeId cur = up.back();
+    if (cur.value < env.num_access_points) return true;  // reached an AP
+    if (++steps > env.num_nodes) return false;           // hop cap
+    const NodeId best = env.best_parent(cur);
+    const NodeId second = env.second_best_parent(cur);
+    NodeId next = kNoNode;
+    bool via_backup = false;
+    // Candidate order (best first) is the tiebreak; an avoid-set hit only
+    // reorders, never excludes — a shared relay costs disjointness, not the
+    // path.
+    struct Cand {
+      NodeId id;
+      bool backup;
+    };
+    const Cand cands[2] = {{best, false}, {second, true}};
+    for (int pass = 0; pass < 2 && !next.valid(); ++pass) {
+      for (const Cand& cand : cands) {
+        if (!cand.id.valid() || !env.alive(cand.id)) continue;
+        if (cand.id.value < env.num_nodes && visited[cand.id.value] != 0) {
+          continue;
+        }
+        if (pass == 0 && avoid != nullptr &&
+            cand.id.value < avoid->size() && (*avoid)[cand.id.value] != 0) {
+          continue;  // first pass: only parents off the primary interior
+        }
+        next = cand.id;
+        via_backup = cand.backup;
+        break;
+      }
+    }
+    if (!next.valid()) return false;  // dead end
+    if (next.value < env.num_nodes) visited[next.value] = 1;
+    // The edge is next -> cur going downlink; record the role cur assigned
+    // to next (it decides which tunnel ladder next transmits on).
+    backup_edge_up.push_back(via_backup ? 1 : 0);
+    up.push_back(next);
+  }
+}
+
+/// Reverses an upward (dest-first) hop list into a TunnelPath (AP first).
+TunnelPath reversed(std::vector<NodeId> up,
+                    std::vector<std::uint8_t> backup_edge_up) {
+  TunnelPath path;
+  path.hops.assign(up.rbegin(), up.rend());
+  path.backup_edge.assign(backup_edge_up.rbegin(), backup_edge_up.rend());
+  return path;
+}
+
+}  // namespace
+
+TunnelPair TunnelManager::derive(NodeId dest) const {
+  TunnelPair out;
+  if (!dest.valid() || dest.value < env_.num_access_points ||
+      !env_.alive(dest)) {
+    return out;  // tunnels run AP -> field device only
+  }
+
+  std::vector<std::uint8_t> visited(env_.num_nodes, 0);
+  if (dest.value < env_.num_nodes) visited[dest.value] = 1;
+
+  // Primary: the best-parent chain (the same spine uplink attempts 1..A-1
+  // ride, so its quality is already being maintained by live traffic). The
+  // climb prefers best parents and falls back to second-best ones, so a
+  // dead best parent degrades the primary instead of killing the tunnel.
+  {
+    std::vector<NodeId> up{dest};
+    std::vector<std::uint8_t> backup_edge_up;
+    std::vector<std::uint8_t> primary_visited = visited;
+    if (!climb(env_, up, backup_edge_up, primary_visited, nullptr)) {
+      return out;
+    }
+    out.primary = reversed(std::move(up), std::move(backup_edge_up));
+  }
+
+  // Interior of the primary (everything between the AP and the dest): the
+  // avoid-set the backup climb steers around.
+  std::vector<std::uint8_t> primary_interior(env_.num_nodes, 0);
+  for (std::size_t k = 1; k + 1 < out.primary.hops.size(); ++k) {
+    const NodeId hop = out.primary.hops[k];
+    if (hop.value < env_.num_nodes) primary_interior[hop.value] = 1;
+  }
+
+  // Backup: leaves through the second-best parent, then prefers parents off
+  // the primary interior. No second-best parent (RPL, a thin spot in the
+  // DAG) => graceful single-path pair. When the primary already had to use
+  // the second-best exit (dead best parent), there is no disjoint exit
+  // edge left and the pair degrades to single-path too.
+  const NodeId primary_exit = out.primary.hops[out.primary.hops.size() - 2];
+  const NodeId second = env_.second_best_parent(dest);
+  if (second.valid() && env_.alive(second) && second != primary_exit) {
+    std::vector<NodeId> up{dest};
+    std::vector<std::uint8_t> backup_edge_up;
+    std::vector<std::uint8_t> backup_visited = visited;
+    if (second.value < env_.num_nodes) backup_visited[second.value] = 1;
+    backup_edge_up.push_back(1);
+    up.push_back(second);
+    if (climb(env_, up, backup_edge_up, backup_visited, &primary_interior)) {
+      out.backup = reversed(std::move(up), std::move(backup_edge_up));
+    }
+  }
+
+  if (out.backup.valid()) {
+    out.disjoint = true;
+    for (std::size_t k = 1; k + 1 < out.backup.hops.size(); ++k) {
+      const NodeId hop = out.backup.hops[k];
+      if (hop.value < env_.num_nodes && primary_interior[hop.value] != 0) {
+        out.disjoint = false;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+TunnelManager::State& TunnelManager::slot_for(NodeId dest) {
+  for (std::size_t i = 0; i < dests_.size(); ++i) {
+    if (dests_[i] == dest) return states_[i];
+  }
+  dests_.push_back(dest);
+  states_.emplace_back();
+  return states_.back();
+}
+
+void TunnelManager::rederive(State& state, NodeId dest, SimTime now) {
+  TunnelPair fresh = derive(dest);
+  if (fresh.valid()) {
+    if (state.pair.valid() && !(fresh.primary.hops == state.pair.primary.hops &&
+                                fresh.backup.hops == state.pair.backup.hops)) {
+      ++rebuilds_;
+    }
+    if (!fresh.replicated()) ++fallback_derivations_;
+    if (state.broken_since.us >= 0) {
+      repair_times_s_.push_back(
+          static_cast<double>((now - state.broken_since).us) / 1e6);
+      state.broken_since = SimTime{-1};
+    }
+  } else if (state.pair.valid() && state.broken_since.us < 0) {
+    // A previously working tunnel just lost its last path: open the outage
+    // window the next successful derivation closes.
+    state.broken_since = now;
+  }
+  if (fresh.valid() || !state.pair.valid()) {
+    state.pair = std::move(fresh);
+  }
+  // A broken pair keeps its last-good hops (state.pair) so diagnostics can
+  // see what broke, but refresh()/pair() callers observe validity through
+  // broken_since-driven re-derivation on the next call.
+}
+
+const TunnelPair& TunnelManager::refresh(NodeId dest, SimTime now) {
+  State& state = slot_for(dest);
+  rederive(state, dest, now);
+  return state.pair;
+}
+
+void TunnelManager::maintain(SimTime now) {
+  for (std::size_t i = 0; i < dests_.size(); ++i) {
+    rederive(states_[i], dests_[i], now);
+  }
+}
+
+const TunnelPair* TunnelManager::pair(NodeId dest) const {
+  for (std::size_t i = 0; i < dests_.size(); ++i) {
+    if (dests_[i] == dest) return &states_[i].pair;
+  }
+  return nullptr;
+}
+
+}  // namespace digs

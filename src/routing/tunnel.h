@@ -1,0 +1,119 @@
+// Node-disjoint multipath downlink tunnels (ROADMAP item 4).
+//
+// DiGS keeps a best and a second-best parent with strictly smaller rank at
+// every field device (paper Section V). This module turns that DAG into
+// downlink determinism: for each critical destination it extracts two
+// maximally node-disjoint AP->device paths — the best-parent chain, plus a
+// backup that leaves through the second-best parent and greedily avoids the
+// primary's interior — over which the network source-routes replicated
+// copies. Suites without a second-best parent (RPL/Orchestra) degrade
+// gracefully to a single path; the fallback is counted, never asserted.
+//
+// The manager is pure control plane over a read-only routing view: it never
+// touches node state, so re-derivation can run from any serial seam (packet
+// injection, the maintenance timer, fault handling) while shard workers are
+// parked at a barrier.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+
+namespace digs {
+
+/// One source route: ingress access point first, destination last.
+struct TunnelPath {
+  std::vector<NodeId> hops;
+  /// Per-edge parent role, aligned with edges (hops[k] -> hops[k+1]): true
+  /// when the transmitter hops[k] is hops[k+1]'s second-best parent, which
+  /// selects the backup-role tunnel ladder on that hop.
+  std::vector<std::uint8_t> backup_edge;
+
+  [[nodiscard]] bool valid() const { return hops.size() >= 2; }
+
+  friend bool operator==(const TunnelPath&, const TunnelPath&) = default;
+};
+
+/// The (up to) two tunnels of one destination.
+struct TunnelPair {
+  TunnelPath primary;
+  TunnelPath backup;
+  /// True when both paths are valid and their interiors (every hop except
+  /// the AP endpoints and the destination) share no node.
+  bool disjoint{false};
+
+  [[nodiscard]] bool valid() const { return primary.valid(); }
+  [[nodiscard]] bool replicated() const { return backup.valid(); }
+
+  friend bool operator==(const TunnelPair&, const TunnelPair&) = default;
+};
+
+class TunnelManager {
+ public:
+  /// Read-only view of the live routing state. Callbacks must return
+  /// kNoNode / false for dead or out-of-range nodes.
+  struct Env {
+    std::function<NodeId(NodeId)> best_parent;
+    std::function<NodeId(NodeId)> second_best_parent;
+    std::function<bool(NodeId)> alive;
+    std::uint16_t num_access_points{0};
+    std::size_t num_nodes{0};
+  };
+
+  explicit TunnelManager(Env env) : env_(std::move(env)) {}
+
+  /// Derives the tunnel pair for `dest` from the current parent DAG. Pure:
+  /// no counters move. An invalid primary means no tunnel exists right now
+  /// (destination dead, partitioned, or not yet joined).
+  [[nodiscard]] TunnelPair derive(NodeId dest) const;
+
+  /// Current pair for `dest`, re-derived from the live DAG (lazy churn
+  /// handling: every injection sees the newest parents). Registers the
+  /// destination on first use; bumps the rebuild counter when the hop lists
+  /// changed and resolves repair timing when a broken pair becomes valid.
+  const TunnelPair& refresh(NodeId dest, SimTime now);
+
+  /// Re-derives every registered destination — the maintenance seam, also
+  /// the anchor for repair timing when traffic is sparse.
+  void maintain(SimTime now);
+
+  /// Registered destinations in registration order.
+  [[nodiscard]] const std::vector<NodeId>& destinations() const {
+    return dests_;
+  }
+  [[nodiscard]] const TunnelPair* pair(NodeId dest) const;
+
+  /// Times a pair derived with a valid primary differed from the previous
+  /// derivation of the same destination.
+  [[nodiscard]] std::uint64_t rebuilds() const { return rebuilds_; }
+  /// Derivations that produced a primary but no backup path (single-path
+  /// degradation, e.g. RPL's missing second-best parent).
+  [[nodiscard]] std::uint64_t fallback_derivations() const {
+    return fallback_derivations_;
+  }
+  /// Broken->valid durations, one per repaired outage of any destination.
+  [[nodiscard]] const std::vector<double>& repair_times_s() const {
+    return repair_times_s_;
+  }
+
+ private:
+  struct State {
+    TunnelPair pair;
+    SimTime broken_since{-1};
+  };
+
+  State& slot_for(NodeId dest);
+  void rederive(State& state, NodeId dest, SimTime now);
+
+  Env env_;
+  std::vector<NodeId> dests_;
+  std::vector<State> states_;  // parallel to dests_
+  std::uint64_t rebuilds_{0};
+  std::uint64_t fallback_derivations_{0};
+  std::vector<double> repair_times_s_;
+};
+
+}  // namespace digs

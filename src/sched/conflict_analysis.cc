@@ -70,6 +70,56 @@ MinMax mapped_min_max(std::span<const std::uint16_t> offsets,
 
 }  // namespace
 
+namespace {
+
+struct TunnelCellUse {
+  std::uint16_t slot;
+  ChannelOffset channel;
+  NodeId tx;
+  NodeId rx;
+};
+
+void expand_tunnel_cells(const TunnelPath& path, const DigsScheduler& sched,
+                         std::uint16_t num_access_points,
+                         std::span<const std::uint16_t> perm,
+                         std::vector<TunnelCellUse>& out) {
+  if (!path.valid()) return;
+  for (std::size_t k = 0; k + 1 < path.hops.size(); ++k) {
+    const NodeId child = path.hops[k + 1];
+    const bool backup_role =
+        k < path.backup_edge.size() && path.backup_edge[k] != 0;
+    for (int p = 1; p <= sched.config().attempts; ++p) {
+      TunnelCellUse use;
+      use.slot = sched.tunnel_slot(child, num_access_points, p, backup_role);
+      if (use.slot < perm.size()) use.slot = perm[use.slot];
+      use.channel = DigsScheduler::tunnel_channel(child, p, backup_role);
+      use.tx = path.hops[k];
+      use.rx = child;
+      out.push_back(use);
+    }
+  }
+}
+
+}  // namespace
+
+bool tunnel_pair_conflict_free(const TunnelPair& pair,
+                               const DigsScheduler& sched,
+                               std::uint16_t num_access_points,
+                               std::span<const std::uint16_t> perm) {
+  std::vector<TunnelCellUse> primary;
+  std::vector<TunnelCellUse> backup;
+  expand_tunnel_cells(pair.primary, sched, num_access_points, perm, primary);
+  expand_tunnel_cells(pair.backup, sched, num_access_points, perm, backup);
+  for (const TunnelCellUse& a : primary) {
+    for (const TunnelCellUse& b : backup) {
+      if (a.slot != b.slot || a.channel != b.channel) continue;
+      if (a.tx == b.tx && a.rx == b.rx) continue;  // shared edge, same cell
+      return false;
+    }
+  }
+  return true;
+}
+
 bool permutation_preserves_precedence(std::span<const std::uint16_t> perm,
                                       std::span<const PrecedenceEdge> edges) {
   for (const PrecedenceEdge& edge : edges) {

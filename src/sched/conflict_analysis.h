@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "mac/schedule.h"
+#include "routing/tunnel.h"
+#include "sched/digs_scheduler.h"
 
 namespace digs {
 
@@ -75,5 +77,19 @@ struct PrecedenceEdge {
 /// ordering the base schedule never had.
 [[nodiscard]] bool permutation_preserves_precedence(
     std::span<const std::uint16_t> perm, std::span<const PrecedenceEdge> edges);
+
+/// Tunnel self-collision validator: the replicated copies of one packet —
+/// one descending the primary, one the backup — must never be transmitted
+/// by *different* links in the same (slot, channel). Expands every edge of
+/// both paths into its full tunnel-ladder attempt set (role-keyed slots and
+/// channels derived by `sched`) and cross-checks primary against backup; a
+/// shared edge (non-disjoint pair) occupies the same cell by the same
+/// transmitter and is not a collision. `perm`, when non-empty, maps slot
+/// offsets through the current SlotSwapper epoch first, so the check proves
+/// Eq. 4-style conflict-freedom holds in the permuted frame too (a bijection
+/// preserves it, which this verifies rather than assumes).
+[[nodiscard]] bool tunnel_pair_conflict_free(
+    const TunnelPair& pair, const DigsScheduler& sched,
+    std::uint16_t num_access_points, std::span<const std::uint16_t> perm = {});
 
 }  // namespace digs

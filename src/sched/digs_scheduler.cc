@@ -20,6 +20,17 @@ std::uint16_t DigsScheduler::downlink_slot(NodeId child,
       (up + config_.app_slotframe_len / 2) % config_.app_slotframe_len);
 }
 
+std::uint16_t DigsScheduler::tunnel_slot(NodeId child,
+                                         std::uint16_t num_access_points,
+                                         int attempt, bool backup_role) const {
+  const std::uint16_t up = app_tx_slot(child, num_access_points, attempt);
+  const std::uint16_t shift =
+      backup_role ? static_cast<std::uint16_t>(3 * config_.app_slotframe_len /
+                                               4)
+                  : static_cast<std::uint16_t>(config_.app_slotframe_len / 4);
+  return static_cast<std::uint16_t>((up + shift) % config_.app_slotframe_len);
+}
+
 void DigsScheduler::rebuild(Schedule& schedule,
                             const RoutingView& view) const {
   // --- Synchronization slotframe ---
@@ -135,6 +146,50 @@ void DigsScheduler::rebuild(Schedule& schedule,
         rx.attempt = static_cast<std::uint8_t>(p);
         rx.downlink = true;
         app.cells.push_back(rx);
+      }
+    }
+  }
+  if (config_.enable_tunnels) {
+    // Tunnel ladders: a parent transmits source-routed copies to each child
+    // on the ladder of its own role towards that child (best parent =
+    // quarter shift, second-best = three-quarter shift); a device listens on
+    // the ladder of each parent it actually has. Like every other DiGS
+    // cell, both sides derive the (slot, channel) from the child's id and
+    // the role alone — no negotiation.
+    for (const ChildEntry& child : view.children) {
+      for (int p = 1; p <= config_.attempts; ++p) {
+        Cell tx;
+        tx.slot_offset =
+            tunnel_slot(child.id, view.num_access_points, p, !child.as_best);
+        tx.channel_offset = tunnel_channel(child.id, p, !child.as_best);
+        tx.option = CellOption::kTx;
+        tx.traffic = TrafficClass::kApplication;
+        tx.peer = child.id;
+        tx.attempt = static_cast<std::uint8_t>(p);
+        tx.downlink = true;
+        tx.tunnel = true;
+        app.cells.push_back(tx);
+      }
+    }
+    if (!view.is_access_point) {
+      const bool roles[2] = {false, true};
+      for (const bool backup_role : roles) {
+        const NodeId parent =
+            backup_role ? view.second_best_parent : view.best_parent;
+        if (!parent.valid()) continue;
+        for (int p = 1; p <= config_.attempts; ++p) {
+          Cell rx;
+          rx.slot_offset =
+              tunnel_slot(view.id, view.num_access_points, p, backup_role);
+          rx.channel_offset = tunnel_channel(view.id, p, backup_role);
+          rx.option = CellOption::kRx;
+          rx.traffic = TrafficClass::kApplication;
+          rx.peer = kNoNode;  // roles can lag at the parent during churn
+          rx.attempt = static_cast<std::uint8_t>(p);
+          rx.downlink = true;
+          rx.tunnel = true;
+          app.cells.push_back(rx);
+        }
       }
     }
   }

@@ -41,6 +41,23 @@ class DigsScheduler final : public Scheduler {
                                             std::uint16_t num_access_points,
                                             int attempt) const;
 
+  /// Tunnel ladder: the slot in which a parent transmits the p-th
+  /// source-routed attempt to `child`. Two role-keyed ladders — the child's
+  /// best parent uses the quarter-frame shift, its second-best parent the
+  /// three-quarter shift — so the final hops of a primary and a backup
+  /// tunnel copy (same child, different parents) land in different slots.
+  [[nodiscard]] std::uint16_t tunnel_slot(NodeId child,
+                                          std::uint16_t num_access_points,
+                                          int attempt, bool backup_role) const;
+
+  /// Channel offset of the tunnel ladder cell for `child`'s p-th attempt,
+  /// decorrelated from the uplink (p) and downlink (p + 5) ladders and
+  /// between the two parent roles.
+  [[nodiscard]] static ChannelOffset tunnel_channel(NodeId child, int attempt,
+                                                    bool backup_role) {
+    return attempt_channel_offset(child, attempt + (backup_role ? 12 : 9));
+  }
+
  private:
   SchedulerConfig config_;
 };

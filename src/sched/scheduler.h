@@ -39,6 +39,12 @@ struct SchedulerConfig {
   /// ladder (shifted by half the application slotframe), and every device
   /// listens on its own downlink slots.
   bool enable_downlink = false;
+  /// Dedicated tunnel cells for source-routed multipath downlink: two more
+  /// Eq. 4-style ladders (quarter- and three-quarter-frame shifts, one per
+  /// parent role) so the replicated copies of a packet never collide with
+  /// each other or with the table-routed downlink ladder. Requires
+  /// enable_downlink-style child tables; DiGS-layout schedulers only.
+  bool enable_tunnels = false;
   /// Slot offset of the network-wide shared routing cell ("All nodes in the
   /// network use the same time slot offset for the routing traffic").
   std::uint16_t routing_shared_slot = 0;

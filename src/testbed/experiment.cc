@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/stats.h"
 #include "core/invariant_monitor.h"
 
 namespace digs {
@@ -85,8 +86,27 @@ ExperimentRunner::ExperimentRunner(const TestbedLayout& layout,
   net.randomization.seed = config.randomize_seed;
   net.randomization.swaps_per_epoch = config.randomize_swaps;
   net.randomization.max_retries = config.randomize_max_retries;
+  if (config.enable_tunnels || config.control_loops > 0) {
+    // Tunnels source-route over dedicated cells, but their table-routed
+    // fallback (and the control workload's actuation flows) need the
+    // downlink extension's destination advertisements.
+    net.node.enable_downlink = true;
+  }
+  net.node.enable_tunnels = config.enable_tunnels;
+  net.tunnel_replication = config.tunnel_replication;
 
   network_ = std::make_unique<Network>(net, layout.positions);
+
+  if (config.control_loops > 0) {
+    PlantConfig plant;
+    plant.period = config.control_period;
+    plant.deadline = config.control_deadline;
+    plant.seed = hash_mix(config.seed, 0x91D5);
+    plant_ = std::make_unique<PlantWorkload>(
+        *network_, plant,
+        pick_sources(layout, config.control_loops,
+                     hash_mix(config.seed, 0xC7A1)));
+  }
 
   // Flows: sources drawn deterministically from the experiment seed,
   // periods staggered so sources do not phase-align.
@@ -156,6 +176,49 @@ ExperimentResult ExperimentRunner::run() {
     net.sim().schedule_after(failure.at, [&net, failure] {
       net.set_node_alive(failure.node, failure.alive);
     });
+  }
+
+  // Control loops start with the measurement traffic.
+  if (plant_) plant_->start(config_.warmup);
+
+  // Tunnel-relay crash: the victim is picked at fire time from the live
+  // interior of the first tunnel destination's primary path (deterministic
+  // — the tunnel state at that instant is a pure function of the run), so
+  // the crash severs the path actually carrying the primary copies.
+  if (config_.crash_tunnel_relay_after.has_value()) {
+    const SimDuration downtime = config_.crash_tunnel_relay_downtime;
+    const int cycles = std::max(1, config_.crash_tunnel_relay_cycles);
+    for (int strike = 0; strike < cycles; ++strike) {
+      net.sim().schedule_after(
+          config_.warmup + *config_.crash_tunnel_relay_after +
+              2 * strike * downtime,
+          [&net, downtime] {
+            const TunnelManager* tunnels = net.tunnel_manager();
+            if (tunnels == nullptr) return;
+            // Deepest primary path wins: a destination adjacent to its AP
+            // has no interior relay to kill, so scanning (rather than taking
+            // the first destination) keeps the fault meaningful on every
+            // topology the flow picker produces.
+            const TunnelPair* victim_pair = nullptr;
+            for (const NodeId dest : tunnels->destinations()) {
+              const TunnelPair* pair = tunnels->pair(dest);
+              if (pair == nullptr || pair->primary.hops.size() < 3) continue;
+              if (victim_pair == nullptr ||
+                  pair->primary.hops.size() >
+                      victim_pair->primary.hops.size()) {
+                victim_pair = pair;
+              }
+            }
+            if (victim_pair == nullptr) return;
+            const NodeId relay =
+                victim_pair->primary.hops[victim_pair->primary.hops.size() /
+                                          2];
+            net.set_node_alive(relay, false);
+            net.sim().schedule_after(downtime, [&net, relay] {
+              net.set_node_alive(relay, true);
+            });
+          });
+    }
   }
 
   // Warmup: let the mesh form.
@@ -246,6 +309,10 @@ ExperimentResult ExperimentRunner::run() {
     result.invariant_violations = monitor->violations().size();
     result.swap_epoch_audits = monitor->swap_epoch_audits();
     result.swap_epoch_violations = monitor->violations_at_swap_epochs();
+    result.tunnel_violations =
+        monitor->count(InvariantKind::kTunnelLoop) +
+        monitor->count(InvariantKind::kTunnelDisjoint) +
+        monitor->count(InvariantKind::kTunnelConflict);
   }
 
   // Jamming / randomization metrics.
@@ -283,6 +350,29 @@ ExperimentResult ExperimentRunner::run() {
     dip.depth = std::max(0.0, baseline - worst);
     dip.duration_s = (recovered_at - fault_at).seconds();
     result.fault_dips.push_back(dip);
+  }
+
+  // Control-loop and tunnel-replication metrics.
+  if (plant_) {
+    PlantMetrics plant = plant_->harvest(measure_start_, measure_end);
+    result.control_cost = plant.control_cost;
+    result.actuations = plant.actuations;
+    result.actuation_deadline_misses = plant.deadline_misses;
+    if (!plant.sensor_actuator_latencies_ms.empty()) {
+      Cdf cdf;
+      for (const double ms : plant.sensor_actuator_latencies_ms) cdf.add(ms);
+      result.p999_sensor_actuator_ms = cdf.percentile(99.9);
+    }
+    result.sensor_actuator_latencies_ms =
+        std::move(plant.sensor_actuator_latencies_ms);
+  }
+  result.replication_wins = net.replication_wins();
+  result.replication_losses = net.replication_losses();
+  result.duplicates_suppressed = net.duplicates_suppressed();
+  result.single_path_fallbacks = net.single_path_fallbacks();
+  if (const TunnelManager* tunnels = net.tunnel_manager()) {
+    result.tunnel_rebuilds = tunnels->rebuilds();
+    result.tunnel_repair_times_s = tunnels->repair_times_s();
   }
 
   for (std::size_t i = layout_.num_access_points;

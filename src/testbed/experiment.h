@@ -15,6 +15,7 @@
 #include "core/fault_script.h"
 #include "core/network.h"
 #include "testbed/layouts.h"
+#include "testbed/plant.h"
 
 namespace digs {
 
@@ -126,6 +127,37 @@ struct ExperimentConfig {
   /// storage cutover); tests force compact mode with 0 to pin sparse ==
   /// flat bit-identity on small layouts.
   std::optional<std::size_t> medium_flat_table_max_nodes;
+
+  // --- multipath downlink tunnels + closed-loop control workload ---
+
+  /// Builds node-disjoint AP->device tunnels (dedicated tunnel cell
+  /// ladders, source-routed frames) for every downlink destination; also
+  /// enables the DiGS downlink extension the fallback path needs.
+  bool enable_tunnels = false;
+  /// Replicate each tunneled packet over both paths (the ablation arm
+  /// sends the primary copy only). Ignored unless enable_tunnels.
+  bool tunnel_replication = true;
+  /// Closed-loop control workload: this many PID-style loops (sensor
+  /// device -> AP controller -> actuation downlink), 0 = none. Devices are
+  /// drawn deterministically from the experiment seed.
+  std::size_t control_loops = 0;
+  /// Sampling/actuation period and sensor-to-actuator deadline of every
+  /// control loop (see PlantConfig).
+  SimDuration control_period = seconds(static_cast<std::int64_t>(1));
+  SimDuration control_deadline = seconds(static_cast<std::int64_t>(5));
+  /// Crash a relay node picked live from the interior of the first tunnel
+  /// destination's primary path this long after the measurement window
+  /// starts (nullopt: never), reviving it after the downtime — the
+  /// replication-win scenario of the downlink bench.
+  std::optional<SimDuration> crash_tunnel_relay_after;
+  SimDuration crash_tunnel_relay_downtime =
+      seconds(static_cast<std::int64_t>(30));
+  /// Number of crash/revive strikes. Strike k fires 2*k*downtime after the
+  /// first (one downtime of outage, one of recovery headroom), and re-picks
+  /// its victim from the then-current primary path — repeated strikes keep
+  /// hitting whatever relay actually carries the primary copies, which is
+  /// what separates replicated from single-path delivery above seed noise.
+  int crash_tunnel_relay_cycles = 1;
 };
 
 struct ExperimentResult {
@@ -198,6 +230,34 @@ struct ExperimentResult {
   std::uint64_t swap_epoch_audits{0};
   std::uint64_t swap_epoch_violations{0};
 
+  // --- tunnel / control-loop metrics (all 0 without tunnels / loops) ---
+
+  /// Mean quadratic stage cost per control tick per loop, actuation
+  /// commands issued in the window, and how many missed the sensor-to-
+  /// actuator deadline (including never-delivered commands).
+  double control_cost{0};
+  std::uint64_t actuations{0};
+  std::uint64_t actuation_deadline_misses{0};
+  /// Sensor-sample-to-actuator latencies (ms) of delivered actuations, and
+  /// their p99.9 (0 when no samples) — the bounded-tail gate.
+  std::vector<double> sensor_actuator_latencies_ms;
+  double p999_sensor_actuator_ms{0};
+  /// Replication scoreboard (Network counters over the whole run):
+  /// deliveries won by the backup copy, redundant copies suppressed at the
+  /// egress, all suppressed duplicates, and single-path fallbacks.
+  std::uint64_t replication_wins{0};
+  std::uint64_t replication_losses{0};
+  std::uint64_t duplicates_suppressed{0};
+  std::uint64_t single_path_fallbacks{0};
+  /// Tunnel derivations that changed a destination's hop lists, and the
+  /// broken->repaired durations the maintenance loop observed.
+  std::uint64_t tunnel_rebuilds{0};
+  std::vector<double> tunnel_repair_times_s;
+  /// Monitor violations of the tunnel invariants only (loop-freedom,
+  /// disjointness honesty, replication conflict-freedom) — 0 unless
+  /// monitor_invariants is on. The acceptance gate on multipath safety.
+  std::uint64_t tunnel_violations{0};
+
   // --- clock-drift metrics (all 0 when drift is disabled) ---
 
   /// Desynchronizations across all nodes over the whole run (sync timeout,
@@ -230,10 +290,14 @@ class ExperimentRunner {
   [[nodiscard]] static NodeConfig default_node_config();
   [[nodiscard]] static MediumConfig default_medium_config();
 
+  /// The control workload (nullptr unless control_loops > 0).
+  [[nodiscard]] PlantWorkload* plant() { return plant_.get(); }
+
  private:
   TestbedLayout layout_;
   ExperimentConfig config_;
   std::unique_ptr<Network> network_;
+  std::unique_ptr<PlantWorkload> plant_;
   SimTime measure_start_{};
 };
 

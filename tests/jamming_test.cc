@@ -402,6 +402,56 @@ TEST(ScheduleRandomizationTest, PermutationPropertiesAcrossSuites) {
   }
 }
 
+// Tunnel cells ride the same permutation: with multipath tunnels and a
+// closed-loop control workload on, every installed tunnel cell must equal
+// its base-frame counterpart with the slot offset remapped through the
+// epoch permutation, and the monitor's tunnel invariants — loop-freedom,
+// disjointness honesty, and replication conflict-freedom evaluated in the
+// PERMUTED frame — must stay clean through every swap epoch.
+TEST(ScheduleRandomizationTest, TunnelCellsSurviveSwapEpochs) {
+  ExperimentConfig config = randomized_config(ProtocolSuite::kDigs, 17);
+  config.enable_tunnels = true;
+  config.control_loops = 2;
+  const TestbedLayout layout = half_testbed_a();
+  ExperimentRunner runner(layout, config);
+  const ExperimentResult result = runner.run();
+  Network& net = runner.network();
+
+  EXPECT_GE(result.swap_epochs, 2u);
+  EXPECT_GT(result.swaps_applied, 0u);
+  EXPECT_EQ(result.swap_epoch_audits, result.swap_epochs);
+  EXPECT_EQ(result.swap_epoch_violations, 0u);
+
+  const std::vector<std::uint16_t>& perm = net.app_slot_permutation();
+  ASSERT_FALSE(perm.empty());
+  std::size_t tunnel_cells = 0;
+  for (std::uint16_t i = 0; i < net.size(); ++i) {
+    const Node& node = net.node(NodeId{i});
+    if (!node.alive()) continue;
+    const Slotframe* installed =
+        node.mac().schedule().slotframe(TrafficClass::kApplication);
+    const Slotframe& base = node.base_app_slotframe();
+    if (installed == nullptr || base.cells.empty()) continue;
+    ASSERT_EQ(installed->cells.size(), base.cells.size());
+    for (std::size_t c = 0; c < base.cells.size(); ++c) {
+      if (!base.cells[c].tunnel) continue;
+      ++tunnel_cells;
+      Cell expected = base.cells[c];
+      expected.slot_offset = perm[expected.slot_offset];
+      EXPECT_EQ(installed->cells[c], expected) << "node " << i << " cell "
+                                               << c;
+    }
+  }
+  EXPECT_GT(tunnel_cells, 0u);
+
+  const NetworkInvariantMonitor* monitor = net.invariant_monitor();
+  ASSERT_NE(monitor, nullptr);
+  EXPECT_EQ(monitor->count(InvariantKind::kTunnelLoop), 0u);
+  EXPECT_EQ(monitor->count(InvariantKind::kTunnelDisjoint), 0u);
+  EXPECT_EQ(monitor->count(InvariantKind::kTunnelConflict), 0u);
+  EXPECT_EQ(monitor->count(InvariantKind::kScheduleConflict), 0u);
+}
+
 // 20 consecutive swap epochs under 40 ppm oscillator drift plus a
 // crash/recover fault script: the monitor must stay clean through every
 // epoch (the reinstall path handles mid-run topology changes and drifted
